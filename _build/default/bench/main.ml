@@ -1,0 +1,195 @@
+(* Benchmark harness.
+
+   Two sections:
+   1. Bechamel micro-benchmarks of the hot primitives (event queue, PRNG,
+      control equation, WALI update, feedback-timer draw, and the cost of
+      one simulated second of a live TFMCC session).
+   2. The full experiment sweep: one harness per figure of the paper,
+      printing the series the figure plots (quick scale by default;
+      `--full` for the paper-scale parameters). *)
+
+let full_mode = Array.exists (fun a -> a = "--full") Sys.argv
+
+let micro_only = Array.exists (fun a -> a = "--micro-only") Sys.argv
+
+let figures_only = Array.exists (fun a -> a = "--figures-only") Sys.argv
+
+(* ------------------------------------------------------ micro-benchmarks *)
+
+let bench_event_heap () =
+  let h = Netsim.Event_heap.create () in
+  for i = 0 to 255 do
+    ignore (Netsim.Event_heap.add h ~time:(float_of_int ((i * 7919) mod 1009)) ignore)
+  done;
+  let rec drain () = match Netsim.Event_heap.pop h with Some _ -> drain () | None -> () in
+  drain ()
+
+let bench_rng =
+  let rng = Stats.Rng.create 1 in
+  fun () -> ignore (Stats.Rng.uniform rng)
+
+let bench_padhye () = ignore (Tcp_model.Padhye.throughput ~s:1000 ~rtt:0.1 0.01)
+
+let bench_padhye_inverse () =
+  ignore (Tcp_model.Padhye.inverse_loss ~s:1000 ~rtt:0.1 125_000.)
+
+let bench_wali =
+  let h = Tfrc.Loss_history.create () in
+  let seq = ref 0 and now = ref 0. in
+  fun () ->
+    (* every 50th packet lost *)
+    incr seq;
+    if !seq mod 50 = 0 then incr seq;
+    now := !now +. 0.01;
+    Tfrc.Loss_history.on_packet h ~seq:!seq ~now:!now ~rtt:0.05;
+    ignore (Tfrc.Loss_history.loss_event_rate h)
+
+let bench_timer_draw =
+  let rng = Stats.Rng.create 2 in
+  fun () ->
+    ignore
+      (Tfmcc_core.Feedback_timer.draw rng ~bias:Tfmcc_core.Config.Modified_offset
+         ~t_max:3. ~delta:(1. /. 3.) ~n_estimate:10_000 ~ratio:0.7)
+
+let bench_expected_messages () =
+  ignore
+    (Tfmcc_core.Feedback_timer.expected_messages ~n:1000 ~n_estimate:10_000
+       ~delay:1. ~t_suppress:4.)
+
+let bench_feedback_round =
+  let rng = Stats.Rng.create 3 in
+  let params =
+    {
+      Tfmcc_core.Feedback_process.n_estimate = 10_000;
+      t_max = 6.;
+      delay = 1.;
+      bias = Tfmcc_core.Config.Modified_offset;
+      delta = 1. /. 3.;
+      cancel = Tfmcc_core.Feedback_process.Rate_threshold 0.1;
+    }
+  in
+  fun () ->
+    let values = Tfmcc_core.Feedback_process.uniform_values rng ~n:100 ~lo:0.3 ~hi:0.9 in
+    ignore (Tfmcc_core.Feedback_process.run_round rng params ~values)
+
+(* One simulated second of a live 4-receiver TFMCC session at ~1 Mbit/s:
+   the end-to-end cost of the whole stack. *)
+let bench_simulated_second =
+  let st =
+    Experiments.Scenario.star ~seed:77 ~link_bps:1e6
+      ~link_delays:(Array.make 4 0.02) ()
+  in
+  Tfmcc_core.Session.start st.Experiments.Scenario.s_session ~at:0.;
+  Experiments.Scenario.run_until st.Experiments.Scenario.s_sc 30.;
+  let now = ref 30. in
+  fun () ->
+    now := !now +. 1.;
+    Experiments.Scenario.run_until st.Experiments.Scenario.s_sc !now
+
+let bench_jain =
+  let rng = Stats.Rng.create 5 in
+  let xs = Array.init 64 (fun _ -> Stats.Rng.uniform rng) in
+  fun () -> ignore (Stats.Descriptive.jain_index xs)
+
+let bench_trace_event =
+  let tr = Netsim.Trace.create ~capacity:1024 () in
+  let e = Netsim.Engine.create () in
+  let topo = Netsim.Topology.create e in
+  let a = Netsim.Topology.add_node topo in
+  let b = Netsim.Topology.add_node topo in
+  let ab, _ = Netsim.Topology.connect topo ~bandwidth_bps:1e6 ~delay_s:0.001 a b in
+  Netsim.Trace.attach tr ab;
+  let p =
+    Netsim.Packet.make ~flow:1 ~size:100 ~src:0 ~dst:(Netsim.Packet.Unicast 1)
+      ~created:0. (Netsim.Packet.Raw 0)
+  in
+  fun () ->
+    Netsim.Link.send ab p;
+    Netsim.Engine.run e
+
+let bench_topo_gen () =
+  let e = Netsim.Engine.create () in
+  let topo = Netsim.Topology.create e in
+  let rng = Stats.Rng.create 6 in
+  ignore
+    (Netsim.Topo_gen.transit_stub topo rng ~transits:3 ~stubs_per_transit:2
+       ~hosts_per_stub:3 ())
+
+let bench_layered_second =
+  let e = Netsim.Engine.create ~seed:7 () in
+  let topo = Netsim.Topology.create e in
+  let sender = Netsim.Topology.add_node topo in
+  let rx = Netsim.Topology.add_node topo in
+  ignore (Netsim.Topology.connect topo ~bandwidth_bps:1e6 ~delay_s:0.02 sender rx);
+  let snd = Layered.Sender.create topo ~session:1 ~node:sender () in
+  let r = Layered.Receiver.create topo ~session:1 ~node:rx () in
+  Layered.Receiver.join r;
+  Layered.Sender.start snd ~at:0.;
+  Netsim.Engine.run ~until:10. e;
+  let now = ref 10. in
+  fun () ->
+    now := !now +. 1.;
+    Netsim.Engine.run ~until:!now e
+
+let micro_tests =
+  let t name fn = Bechamel.Test.make ~name (Bechamel.Staged.stage fn) in
+  [
+    t "event_heap: 256 add+pop" bench_event_heap;
+    t "rng: uniform draw" bench_rng;
+    t "padhye: throughput" bench_padhye;
+    t "padhye: inverse (bisection)" bench_padhye_inverse;
+    t "wali: packet + rate query" bench_wali;
+    t "feedback timer: one draw" bench_timer_draw;
+    t "E[M]: numerical integral" bench_expected_messages;
+    t "feedback round: 100 receivers" bench_feedback_round;
+    t "jain index: 64 flows" bench_jain;
+    t "trace: tx+deliver event pair" bench_trace_event;
+    t "topo_gen: 27-node transit-stub" bench_topo_gen;
+    t "layered: 1 simulated second" bench_layered_second;
+    t "full stack: 1 simulated second" bench_simulated_second;
+  ]
+
+let run_micro () =
+  print_endline "=== Micro-benchmarks (Bechamel, monotonic clock) ===";
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"" [ test ]) in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ e ] -> Printf.sprintf "%12.1f ns/run" e
+            | _ -> "(no estimate)"
+          in
+          Printf.printf "%-40s %s\n%!" name estimate)
+        analyzed)
+    micro_tests
+
+(* ------------------------------------------------------ figure harnesses *)
+
+let run_figures () =
+  let mode = if full_mode then Experiments.Scenario.Full else Experiments.Scenario.Quick in
+  Printf.printf "=== Paper figures (%s scale) ===\n%!"
+    (if full_mode then "full" else "quick");
+  List.iter
+    (fun e ->
+      let t0 = Unix.gettimeofday () in
+      let series = e.Experiments.Registry.run ~mode ~seed:42 in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf "--- %s: %s (%.1fs) ---\n%!" e.Experiments.Registry.figure
+        e.Experiments.Registry.title dt;
+      List.iter (fun s -> Format.printf "%a@." Experiments.Series.pp s) series)
+    Experiments.Registry.all
+
+let () =
+  if not figures_only then run_micro ();
+  if not micro_only then run_figures ()

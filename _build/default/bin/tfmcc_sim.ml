@@ -1,0 +1,183 @@
+(* tfmcc-sim: run any of the paper's experiments from the command line. *)
+
+open Cmdliner
+
+let mode_of_full full = if full then Experiments.Scenario.Full else Experiments.Scenario.Quick
+
+let print_series ~csv series =
+  List.iter
+    (fun s ->
+      if csv then print_string (Experiments.Series.to_csv s)
+      else Format.printf "%a@." Experiments.Series.pp s)
+    series
+
+let list_cmd =
+  let doc = "List the available experiments (one per paper figure)." in
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-7s %-10s %s\n" e.Experiments.Registry.id
+          e.Experiments.Registry.figure e.Experiments.Registry.title)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let full_arg =
+  let doc = "Run at the paper's full scale (receiver counts, durations)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc ~docv:"SEED")
+
+let csv_arg =
+  let doc = "Emit CSV instead of aligned tables." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let run_cmd =
+  let doc = "Run one experiment by id (e.g. fig09)." in
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"experiment id")
+  in
+  let plot_arg =
+    let doc = "Also render each series' first column as a terminal plot." in
+    Arg.(value & flag & info [ "plot" ] ~doc)
+  in
+  let run id full seed csv plot =
+    match Experiments.Registry.find id with
+    | None ->
+        Printf.eprintf "unknown experiment %s; try `tfmcc-sim list'\n" id;
+        exit 1
+    | Some e ->
+        let series = e.Experiments.Registry.run ~mode:(mode_of_full full) ~seed in
+        print_series ~csv series;
+        if plot then
+          List.iter
+            (fun s -> print_string (Experiments.Series.render_ascii s ~col:(List.length s.Experiments.Series.ylabels - 1)))
+            series
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ id_arg $ full_arg $ seed_arg $ csv_arg $ plot_arg)
+
+let all_cmd =
+  let doc = "Run every experiment in figure order." in
+  let run full seed csv =
+    List.iter
+      (fun e ->
+        Printf.printf "--- %s: %s ---\n%!" e.Experiments.Registry.figure
+          e.Experiments.Registry.title;
+        let series = e.Experiments.Registry.run ~mode:(mode_of_full full) ~seed in
+        print_series ~csv series)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ full_arg $ seed_arg $ csv_arg)
+
+let scatter_cmd =
+  let doc = "Dump the raw (time, value, sent) scatter of Fig. 2." in
+  let n_arg =
+    Arg.(value & opt int 2000 & info [ "n" ] ~docv:"N" ~doc:"receiver count")
+  in
+  let bias_arg =
+    let bias_conv =
+      Arg.enum
+        [
+          ("unbiased", Tfmcc_core.Config.Unbiased);
+          ("offset", Tfmcc_core.Config.Offset);
+          ("modified-offset", Tfmcc_core.Config.Modified_offset);
+          ("modified-n", Tfmcc_core.Config.Modified_n);
+        ]
+    in
+    Arg.(value & opt bias_conv Tfmcc_core.Config.Offset & info [ "bias" ] ~docv:"BIAS")
+  in
+  let run n bias seed =
+    Printf.printf "time,value,sent\n";
+    Array.iter
+      (fun (t, v, sent) -> Printf.printf "%.6g,%.6g,%d\n" t v (Bool.to_int sent))
+      (Experiments.Fig02_time_value.scatter ~seed ~n ~bias)
+  in
+  Cmd.v (Cmd.info "fig02-scatter" ~doc) Term.(const run $ n_arg $ bias_arg $ seed_arg)
+
+let trace_cmd =
+  let doc =
+    "Run a small TFMCC session and dump an ns-2-style packet trace of its \
+     bottleneck link."
+  in
+  let duration_arg =
+    Arg.(value & opt float 5. & info [ "duration" ] ~docv:"SECONDS")
+  in
+  let run seed duration =
+    let e = Netsim.Engine.create ~seed () in
+    let topo = Netsim.Topology.create e in
+    let sender = Netsim.Topology.add_node topo in
+    let rx = Netsim.Topology.add_node topo in
+    let ab, ba =
+      Netsim.Topology.connect topo ~bandwidth_bps:400e3 ~delay_s:0.02 sender rx
+    in
+    let tracer = Netsim.Trace.create () in
+    Netsim.Trace.attach tracer ab;
+    Netsim.Trace.attach tracer ba;
+    let session =
+      Tfmcc_core.Session.create topo ~session:1 ~sender_node:sender
+        ~receiver_nodes:[ rx ] ()
+    in
+    Tfmcc_core.Session.start session ~at:0.;
+    Netsim.Engine.run ~until:duration e;
+    print_string (Netsim.Trace.to_text tracer);
+    Printf.eprintf
+      "# %d events (+ tx, d queue-drop, x loss-drop, r deliver); columns: \
+       kind time src dst flow size uid\n"
+      (Netsim.Trace.total_recorded tracer)
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ seed_arg $ duration_arg)
+
+let dot_cmd =
+  let doc = "Emit a generated topology as Graphviz DOT (for inspection)." in
+  let kind_arg =
+    let kind_conv = Arg.enum [ ("transit-stub", `Ts); ("tree", `Tree); ("star", `Star) ] in
+    Arg.(value & opt kind_conv `Ts & info [ "kind" ] ~docv:"KIND")
+  in
+  let size_arg = Arg.(value & opt int 20 & info [ "size" ] ~docv:"N") in
+  let run kind size seed =
+    let e = Netsim.Engine.create ~seed () in
+    let topo = Netsim.Topology.create e in
+    let rng = Stats.Rng.create seed in
+    let nodes =
+      match kind with
+      | `Ts ->
+          let ts =
+            Netsim.Topo_gen.transit_stub topo rng
+              ~stubs_per_transit:(Stdlib.max 1 (size / 8))
+              ()
+          in
+          Array.concat
+            [ ts.Netsim.Topo_gen.transits; ts.Netsim.Topo_gen.stubs; ts.Netsim.Topo_gen.hosts ]
+      | `Tree -> Netsim.Topo_gen.random_tree topo rng ~n:size ()
+      | `Star ->
+          let hub, leaves = Netsim.Topo_gen.star topo ~leaves:size () in
+          Array.append [| hub |] leaves
+    in
+    print_endline "graph topology {";
+    print_endline "  node [shape=circle fontsize=9];";
+    let n = Array.length nodes in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        match Netsim.Topology.link_between topo nodes.(i) nodes.(j) with
+        | Some link ->
+            Printf.printf "  n%d -- n%d [label=\"%.0fM/%.0fms\" fontsize=7];\n"
+              (Netsim.Node.id nodes.(i))
+              (Netsim.Node.id nodes.(j))
+              (Netsim.Link.bandwidth_bps link /. 1e6)
+              (Netsim.Link.delay_s link *. 1000.)
+        | None -> ()
+      done
+    done;
+    print_endline "}"
+  in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ kind_arg $ size_arg $ seed_arg)
+
+let () =
+  let doc = "TFMCC (SIGCOMM 2001) reproduction: experiment runner" in
+  let info = Cmd.info "tfmcc-sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; all_cmd; scatter_cmd; trace_cmd; dot_cmd ]))

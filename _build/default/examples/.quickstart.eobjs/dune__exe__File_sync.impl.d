@@ -1,0 +1,1 @@
+examples/file_sync.ml: Array Float List Netsim Printf Repair Tcp Tfmcc_core

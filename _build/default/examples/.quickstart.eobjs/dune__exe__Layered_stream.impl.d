@@ -1,0 +1,1 @@
+examples/layered_stream.ml: Layered List Netsim Option Printf

@@ -1,0 +1,1 @@
+examples/stock_ticker.ml: List Netsim Printf Stats Tfmcc_core

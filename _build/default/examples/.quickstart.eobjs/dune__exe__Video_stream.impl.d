@@ -1,0 +1,1 @@
+examples/video_stream.ml: Array List Netsim Printf String Tfmcc_core

@@ -1,0 +1,100 @@
+(* Multicast file synchronisation: the paper's Future Work names a
+   multicast rdist-style filesystem-sync deployment as the intended first
+   real application.
+
+   A 10 MB file (10,000 blocks of 1 kB) is pushed to 12 mirrors over
+   TFMCC with the NAK-based repair layer (tfmcc.repair) providing real
+   reliability on top — every mirror ends with every block, not just a
+   byte count.  Each mirror's link also carries an interfering TCP
+   download; we report true completion times, the repair overhead, and
+   how TFMCC shared the links with TCP.
+
+   Run with: dune exec examples/file_sync.exe *)
+
+let blocks = 10_000 (* x 1 kB packets = 10 MB *)
+
+let () =
+  let n = 12 in
+  let engine = Netsim.Engine.create ~seed:23 () in
+  let topo = Netsim.Topology.create engine in
+  let monitor = Netsim.Monitor.create engine in
+  let sender = Netsim.Topology.add_node topo in
+  let hub = Netsim.Topology.add_node topo in
+  ignore (Netsim.Topology.connect topo ~bandwidth_bps:1e9 ~delay_s:0.002 sender hub);
+  let mirrors =
+    Array.init n (fun _ ->
+        let rx = Netsim.Topology.add_node topo in
+        ignore
+          (Netsim.Topology.connect topo ~bandwidth_bps:8e6 ~delay_s:0.015 hub rx);
+        rx)
+  in
+  (* Interfering TCP download on every mirror link. *)
+  Array.iteri
+    (fun i rx ->
+      let src = Netsim.Topology.add_node topo in
+      ignore (Netsim.Topology.connect topo ~bandwidth_bps:1e9 ~delay_s:0.001 src hub);
+      let source =
+        Tcp.Tcp_source.create topo ~conn:(100 + i) ~flow:(1000 + i) ~src ~dst:rx ()
+      in
+      let _sink = Tcp.Tcp_sink.create topo ~conn:(100 + i) ~node:rx () in
+      Netsim.Monitor.watch_node_flow monitor rx ~flow:(1000 + i);
+      Tcp.Tcp_source.start source ~at:0.)
+    mirrors;
+  let session =
+    Tfmcc_core.Session.create topo ~session:1 ~sender_node:sender
+      ~receiver_nodes:(Array.to_list mirrors) ()
+  in
+  let repair_sender =
+    Repair.Sender.create (Tfmcc_core.Session.sender session) ~node:sender
+      ~session:1 ~blocks
+  in
+  let repairs =
+    List.map
+      (fun rx -> Repair.Receiver.create topo rx ~sender ~session:1 ~blocks ())
+      (Tfmcc_core.Session.receivers session)
+  in
+  Tfmcc_core.Session.start session ~at:0.;
+  (* Stop as soon as every mirror holds every block. *)
+  let rec watch t =
+    ignore
+      (Netsim.Engine.at engine ~time:t (fun () ->
+           if List.for_all Repair.Receiver.complete repairs then
+             Netsim.Engine.stop engine
+           else watch (t +. 0.5)))
+  in
+  watch 0.5;
+  Netsim.Engine.run ~until:3600. engine;
+  Printf.printf
+    "synchronised %d blocks (10 MB) to %d mirrors over TFMCC + NAK repair\n"
+    blocks n;
+  Printf.printf "(8 Mbit/s links, one competing TCP each; fair share 4 Mbit/s)\n\n";
+  List.iteri
+    (fun i rep ->
+      match Repair.Receiver.completion_time rep with
+      | Some t ->
+          let tcp_kbps =
+            Netsim.Monitor.throughput_bps monitor ~flow:(1000 + i) ~t_start:10.
+              ~t_end:t
+            /. 1000.
+          in
+          Printf.printf
+            "  mirror %2d: complete at t=%6.1fs (%d NAKs; competing TCP %4.0f kbit/s)\n"
+            i t (Repair.Receiver.naks_sent rep) tcp_kbps
+      | None -> Printf.printf "  mirror %2d: did not finish!\n" i)
+    repairs;
+  let times = List.filter_map Repair.Receiver.completion_time repairs in
+  (match times with
+  | [] -> print_endline "no mirror finished"
+  | _ ->
+      let first = List.fold_left Float.min infinity times in
+      let last = List.fold_left Float.max neg_infinity times in
+      Printf.printf
+        "\ncompletion skew (multicast: everyone finishes ~together): %.1fs\n"
+        (last -. first));
+  Printf.printf
+    "repair overhead: %d retransmitted blocks (%.1f%% of the file) for %d NAKs\n"
+    (Repair.Sender.repairs_sent repair_sender)
+    (100.
+    *. float_of_int (Repair.Sender.repairs_sent repair_sender)
+    /. float_of_int blocks)
+    (Repair.Sender.naks_received repair_sender)

@@ -1,0 +1,1 @@
+lib/experiments/abl01_zeta.ml: Array Config List Printf Scenario Sender Series Session Stdlib Tfmcc_core

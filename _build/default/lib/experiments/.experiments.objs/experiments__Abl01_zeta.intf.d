@@ -1,0 +1,1 @@
+lib/experiments/abl01_zeta.mli: Scenario Series

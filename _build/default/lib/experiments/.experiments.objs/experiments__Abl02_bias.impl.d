@@ -1,0 +1,1 @@
+lib/experiments/abl02_bias.ml: Array Config Float List Netsim Printf Scenario Sender Series Session Stdlib Tfmcc_core

@@ -1,0 +1,1 @@
+lib/experiments/abl02_bias.mli: Scenario Series

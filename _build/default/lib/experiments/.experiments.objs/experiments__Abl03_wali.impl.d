@@ -1,0 +1,1 @@
+lib/experiments/abl03_wali.ml: Array Config Float List Netsim Scaling_model Scenario Sender Series Session Stats Tfmcc_core

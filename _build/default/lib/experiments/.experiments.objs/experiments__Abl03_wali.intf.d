@@ -1,0 +1,1 @@
+lib/experiments/abl03_wali.mli: Scenario Series

@@ -1,0 +1,1 @@
+lib/experiments/abl04_queue.ml: Array Fun List Netsim Scenario Series Session Stats Tfmcc_core

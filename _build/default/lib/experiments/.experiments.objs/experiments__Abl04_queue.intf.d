@@ -1,0 +1,1 @@
+lib/experiments/abl04_queue.mli: Scenario Series

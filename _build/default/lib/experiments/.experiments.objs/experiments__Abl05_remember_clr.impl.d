@@ -1,0 +1,1 @@
+lib/experiments/abl05_remember_clr.ml: Array Config Netsim Printf Scenario Sender Series Session Tfmcc_core

@@ -1,0 +1,1 @@
+lib/experiments/abl05_remember_clr.mli: Scenario Series

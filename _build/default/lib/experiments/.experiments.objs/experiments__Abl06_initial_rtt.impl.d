@@ -1,0 +1,1 @@
+lib/experiments/abl06_initial_rtt.ml: Array Config Float List Netsim Scenario Sender Series Session Tfmcc_core

@@ -1,0 +1,1 @@
+lib/experiments/abl06_initial_rtt.mli: Scenario Series

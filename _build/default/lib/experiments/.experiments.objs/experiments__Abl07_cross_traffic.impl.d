@@ -1,0 +1,1 @@
+lib/experiments/abl07_cross_traffic.ml: Array List Netsim Scenario Series Session Stats String Tfmcc_core

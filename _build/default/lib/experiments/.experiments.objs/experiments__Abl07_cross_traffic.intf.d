@@ -1,0 +1,1 @@
+lib/experiments/abl07_cross_traffic.mli: Scenario Series

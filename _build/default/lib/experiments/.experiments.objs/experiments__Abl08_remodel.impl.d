@@ -1,0 +1,1 @@
+lib/experiments/abl08_remodel.ml: Config Float Netsim Receiver Scenario Sender Series Session Stdlib Tfmcc_core

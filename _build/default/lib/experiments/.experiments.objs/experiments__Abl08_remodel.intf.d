@@ -1,0 +1,1 @@
+lib/experiments/abl08_remodel.mli: Scenario Series

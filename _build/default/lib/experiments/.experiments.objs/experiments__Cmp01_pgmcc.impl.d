@@ -1,0 +1,1 @@
+lib/experiments/cmp01_pgmcc.ml: Array List Netsim Pgmcc Printf Scenario Series Stats Tfmcc_core

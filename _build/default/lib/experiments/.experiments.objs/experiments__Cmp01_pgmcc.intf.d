@@ -1,0 +1,1 @@
+lib/experiments/cmp01_pgmcc.mli: Scenario Series

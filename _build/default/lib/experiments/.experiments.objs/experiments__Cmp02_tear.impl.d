@@ -1,0 +1,1 @@
+lib/experiments/cmp02_tear.ml: Array List Netsim Printf Scenario Series Stats Tear Tfrc

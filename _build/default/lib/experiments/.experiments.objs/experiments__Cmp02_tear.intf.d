@@ -1,0 +1,1 @@
+lib/experiments/cmp02_tear.mli: Scenario Series

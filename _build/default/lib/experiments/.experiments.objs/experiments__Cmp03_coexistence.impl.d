@@ -1,0 +1,1 @@
+lib/experiments/cmp03_coexistence.ml: Netsim Pgmcc Printf Scenario Series Stats Tfmcc_core

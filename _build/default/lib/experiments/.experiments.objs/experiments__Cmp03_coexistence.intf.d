@@ -1,0 +1,1 @@
+lib/experiments/cmp03_coexistence.mli: Scenario Series

@@ -1,0 +1,1 @@
+lib/experiments/ext01_aggregation.ml: Aggregator Array Config List Netsim Printf Receiver Scenario Sender Series Session Stdlib Tfmcc_core

@@ -1,0 +1,1 @@
+lib/experiments/ext01_aggregation.mli: Scenario Series

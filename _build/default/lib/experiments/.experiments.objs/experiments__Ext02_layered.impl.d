@@ -1,0 +1,1 @@
+lib/experiments/ext02_layered.ml: Array Layered Netsim Scenario Series

@@ -1,0 +1,1 @@
+lib/experiments/ext02_layered.mli: Scenario Series

@@ -1,0 +1,1 @@
+lib/experiments/ext03_transit_stub.ml: Array Netsim Option Printf Scenario Sender Series Session Stats Stdlib Tfmcc_core

@@ -1,0 +1,1 @@
+lib/experiments/ext03_transit_stub.mli: Scenario Series

@@ -1,0 +1,1 @@
+lib/experiments/fig01_bias_cdf.ml: List Scenario Series Stats Tfmcc_core

@@ -1,0 +1,1 @@
+lib/experiments/fig02_time_value.ml: Array Config Feedback_process List Scenario Series Stats Tfmcc_core

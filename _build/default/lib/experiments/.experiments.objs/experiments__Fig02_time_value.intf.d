@@ -1,0 +1,1 @@
+lib/experiments/fig02_time_value.mli: Scenario Series Tfmcc_core

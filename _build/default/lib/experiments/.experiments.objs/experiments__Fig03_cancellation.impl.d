@@ -1,0 +1,1 @@
+lib/experiments/fig03_cancellation.ml: Config Feedback_process List Scenario Series Stats Tfmcc_core

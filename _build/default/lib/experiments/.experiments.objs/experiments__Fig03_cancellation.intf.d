@@ -1,0 +1,1 @@
+lib/experiments/fig03_cancellation.mli: Scenario Series

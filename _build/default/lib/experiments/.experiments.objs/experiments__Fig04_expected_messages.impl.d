@@ -1,0 +1,1 @@
+lib/experiments/fig04_expected_messages.ml: List Printf Scenario Series Tfmcc_core

@@ -1,0 +1,1 @@
+lib/experiments/fig05_response_time.ml: Config Feedback_process List Scenario Series Stats Tfmcc_core

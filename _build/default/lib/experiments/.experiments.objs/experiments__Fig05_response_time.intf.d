@@ -1,0 +1,1 @@
+lib/experiments/fig05_response_time.mli: Scenario Series Tfmcc_core

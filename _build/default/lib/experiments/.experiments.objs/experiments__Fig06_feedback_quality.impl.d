@@ -1,0 +1,1 @@
+lib/experiments/fig06_feedback_quality.ml: Fig05_response_time List Series

@@ -1,0 +1,1 @@
+lib/experiments/fig07_scaling.ml: List Scaling_model Scenario Series Stats Tfmcc_core

@@ -1,0 +1,1 @@
+lib/experiments/fig07_scaling.mli: Scenario Series

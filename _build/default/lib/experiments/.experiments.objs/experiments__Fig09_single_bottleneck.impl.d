@@ -1,0 +1,1 @@
+lib/experiments/fig09_single_bottleneck.ml: Array List Printf Scenario Series Stats Tfmcc_core

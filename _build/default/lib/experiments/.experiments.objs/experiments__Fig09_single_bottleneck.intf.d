@@ -1,0 +1,1 @@
+lib/experiments/fig09_single_bottleneck.mli: Scenario Series

@@ -1,0 +1,1 @@
+lib/experiments/fig10_tail_circuits.ml: Array Printf Scenario Series Tfmcc_core

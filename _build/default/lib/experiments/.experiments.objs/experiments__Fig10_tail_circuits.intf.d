@@ -1,0 +1,1 @@
+lib/experiments/fig10_tail_circuits.mli: Scenario Series

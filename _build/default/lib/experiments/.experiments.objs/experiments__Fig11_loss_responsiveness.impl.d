@@ -1,0 +1,1 @@
+lib/experiments/fig11_loss_responsiveness.ml: Array Netsim Receiver Scenario Series Session Tfmcc_core

@@ -1,0 +1,1 @@
+lib/experiments/fig11_loss_responsiveness.mli: Scenario Series

@@ -1,0 +1,1 @@
+lib/experiments/fig12_rtt_measurements.ml: List Netsim Printf Scenario Series Session Stats Tfmcc_core

@@ -1,0 +1,1 @@
+lib/experiments/fig12_rtt_measurements.mli: Scenario Series

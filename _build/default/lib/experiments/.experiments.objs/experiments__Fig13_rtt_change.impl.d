@@ -1,0 +1,1 @@
+lib/experiments/fig13_rtt_change.ml: Array Float List Netsim Printf Scenario Sender Series Session Tfmcc_core

@@ -1,0 +1,1 @@
+lib/experiments/fig13_rtt_change.mli: Scenario Series

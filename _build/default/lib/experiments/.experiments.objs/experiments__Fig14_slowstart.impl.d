@@ -1,0 +1,1 @@
+lib/experiments/fig14_slowstart.ml: Float List Netsim Scenario Sender Series Session Tfmcc_core

@@ -1,0 +1,1 @@
+lib/experiments/fig15_late_join.ml: Array Netsim Receiver Scenario Series Session Tfmcc_core

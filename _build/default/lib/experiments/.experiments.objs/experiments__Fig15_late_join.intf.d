@@ -1,0 +1,1 @@
+lib/experiments/fig15_late_join.mli: Scenario Series

@@ -1,0 +1,1 @@
+lib/experiments/fig17_loss_events.ml: Float List Series Tcp_model

@@ -1,0 +1,1 @@
+lib/experiments/fig18_return_traffic.ml: Array List Netsim Printf Scenario Series Session Tfmcc_core

@@ -1,0 +1,1 @@
+lib/experiments/fig18_return_traffic.mli: Scenario Series

@@ -1,0 +1,1 @@
+lib/experiments/fig19_lossy_return.ml: Array List Printf Scenario Series Session Tfmcc_core

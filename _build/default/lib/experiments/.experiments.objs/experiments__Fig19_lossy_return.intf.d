@@ -1,0 +1,1 @@
+lib/experiments/fig19_lossy_return.mli: Scenario Series

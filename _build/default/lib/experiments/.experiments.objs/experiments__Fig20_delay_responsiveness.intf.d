@@ -1,0 +1,1 @@
+lib/experiments/fig20_delay_responsiveness.mli: Scenario Series

@@ -1,0 +1,1 @@
+lib/experiments/fig21_flow_doubling.ml: Array List Netsim Scenario Series Session Tfmcc_core

@@ -1,0 +1,1 @@
+lib/experiments/fig21_flow_doubling.mli: Scenario Series

@@ -1,0 +1,1 @@
+lib/experiments/scenario.ml: Array List Netsim Option Stats Tcp Tfmcc_core

@@ -1,0 +1,1 @@
+lib/experiments/scenario.mli: Netsim Tcp Tfmcc_core

@@ -1,0 +1,1 @@
+lib/experiments/series.ml: Array Buffer Float Format List Printf Stats Stdlib String

@@ -1,0 +1,8 @@
+(** Ablation: the feedback-cancellation threshold ζ at the protocol level
+    (§2.5.2 fixes ζ = 0.1).  For a group that suddenly shares congestion,
+    small ζ hears the true minimum but costs feedback messages; large ζ
+    suppresses hard but can leave the sender tracking a non-minimal
+    receiver.  We sweep ζ and measure reports per round and the achieved
+    rate. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

@@ -1,0 +1,76 @@
+open Tfmcc_core
+
+(* n receivers with mild independent loss; at t_change receiver 0's link
+   degrades to heavy loss.  Reaction = delay until it becomes CLR. *)
+let run_one ~seed ~bias ~n ~t_change ~t_limit =
+  let cfg = { Config.default with bias } in
+  let st =
+    Scenario.star ~seed ~cfg ~link_bps:50e6 ~link_delays:(Array.make n 0.02)
+      ~link_losses:(Array.make n 0.005) ()
+  in
+  let sc = st.Scenario.s_sc in
+  let eng = sc.Scenario.engine in
+  let target = Netsim.Node.id st.Scenario.s_rx_nodes.(0) in
+  Session.start st.Scenario.s_session ~at:0.;
+  ignore
+    (Netsim.Engine.at eng ~time:t_change (fun () ->
+         let fwd, _ = st.Scenario.s_rx_links.(0) in
+         Netsim.Link.set_loss fwd
+           (Netsim.Loss_model.bernoulli
+              ~rng:(Netsim.Engine.split_rng eng)
+              ~p:0.06)));
+  let snd = Session.sender st.Scenario.s_session in
+  let reaction = ref nan in
+  let rec poll t =
+    if t <= t_limit then
+      ignore
+        (Netsim.Engine.at eng ~time:t (fun () ->
+             if Float.is_nan !reaction then begin
+               match Sender.clr snd with
+               | Some id when id = target ->
+                   reaction := t -. t_change;
+                   Netsim.Engine.stop eng
+               | _ -> poll (t +. 0.1)
+             end))
+  in
+  poll (t_change +. 0.1);
+  Scenario.run_until sc t_limit;
+  let rounds = Stdlib.max 1 (Sender.round snd) in
+  let per_round = float_of_int (Sender.reports_received snd) /. float_of_int rounds in
+  (!reaction, per_round)
+
+let run ~mode ~seed =
+  let n = Scenario.scale mode ~quick:40 ~full:200 in
+  let t_change = 30. in
+  let t_limit = t_change +. Scenario.scale mode ~quick:60. ~full:120. in
+  let methods =
+    [
+      ("unbiased", Config.Unbiased);
+      ("offset", Config.Offset);
+      ("modified offset", Config.Modified_offset);
+      ("modified N", Config.Modified_n);
+    ]
+  in
+  let rows =
+    List.mapi
+      (fun i (_, bias) ->
+        let reaction, per_round = run_one ~seed ~bias ~n ~t_change ~t_limit in
+        (float_of_int i, [ reaction; per_round ]))
+      methods
+  in
+  [
+    Series.make
+      ~title:
+        (Printf.sprintf
+           "Ablation: timer bias method at protocol level (%d receivers; \
+            receiver 0 degrades to 6%% loss at t=%.0f)"
+           n t_change)
+      ~xlabel:"method (0=unbiased 1=offset 2=mod-offset 3=mod-N)"
+      ~ylabels:[ "reaction delay (s)"; "reports/round" ]
+      ~notes:
+        [
+          "the adopted modified offset should react at least as fast as \
+           unbiased timers without a report-load explosion";
+        ]
+      rows;
+  ]

@@ -1,0 +1,6 @@
+(** Ablation: the feedback-timer biasing method at the protocol level
+    (§2.5.1 adopts the modified offset).  Measures how quickly the
+    correct CLR is found after a receiver's path degrades, and the
+    feedback load, for each method. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

@@ -1,0 +1,8 @@
+(** Ablation: WALI loss-history depth (§2.3 and §3: "values around 8 to
+    32 appear to be a good compromise"; §3 notes a longer history
+    alleviates the scaling degradation at the price of responsiveness).
+    Two views: the Section-3 scaling model's throughput at various group
+    sizes, and the protocol-level smoothness/responsiveness of a single
+    receiver. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

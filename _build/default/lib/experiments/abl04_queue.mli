@@ -1,0 +1,6 @@
+(** Ablation: drop-tail versus RED at the shared bottleneck.  §4 notes
+    that both TCP-friendliness and intra-protocol fairness improve with
+    active queue management; this runs the Fig. 9 scenario under both
+    disciplines. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

@@ -1,0 +1,7 @@
+(** Ablation: App. C's previous-CLR memory.  Two receivers whose loss
+    rates alternate dominance force frequent CLR switching; remembering
+    the previous CLR should make behaviour strictly more conservative
+    (lower or equal rate, fewer or equal distinct CLR switches back and
+    forth paid for by slower reaction to improvements). *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

@@ -1,0 +1,7 @@
+(** Ablation: the initial RTT value (§2.4.1 recommends 500 ms as "larger
+    than the highest RTT of any receiver"; App. A argues a too-high value
+    stays safe).  Sweeps the initial value and measures startup speed
+    (time to reach 80 % of the fair rate) and safety (peak rate during the
+    first seconds relative to the bottleneck). *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

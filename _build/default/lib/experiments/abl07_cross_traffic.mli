@@ -1,0 +1,8 @@
+(** Ablation: TFMCC against non-TCP cross traffic.  The paper evaluates
+    only against TCP; real paths also carry unresponsive and bursty
+    flows.  One TFMCC session shares a bottleneck with (a) nothing,
+    (b) a CBR flow at half the link, (c) an exponential on-off flow of
+    the same average load, and (d) a Poisson stream — TFMCC must fill
+    the leftover capacity and stay alive under burst-induced loss. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

@@ -1,0 +1,59 @@
+open Tfmcc_core
+
+let run_one ~seed ~remodel ~t_end ~join_at =
+  let cfg = { Config.default with remodel_on_first_rtt = remodel } in
+  let sc = Scenario.base ~seed () in
+  let topo = sc.Scenario.topo in
+  let eng = sc.Scenario.engine in
+  let sender = Netsim.Topology.add_node topo in
+  let hub = Netsim.Topology.add_node topo in
+  ignore (Netsim.Topology.connect topo ~bandwidth_bps:8e6 ~delay_s:0.02 sender hub);
+  let fast = Netsim.Topology.add_node topo in
+  ignore (Netsim.Topology.connect topo ~bandwidth_bps:8e6 ~delay_s:0.005 hub fast);
+  let slow = Netsim.Topology.add_node topo in
+  ignore (Netsim.Topology.connect topo ~bandwidth_bps:200e3 ~delay_s:0.005 hub slow);
+  let session =
+    Session.create topo ~cfg ~session:Scenario.tfmcc_flow ~sender_node:sender
+      ~receiver_nodes:[ fast ] ()
+  in
+  Session.start session ~at:0.;
+  let late = Session.add_receiver session ~node:slow ~join_now:false () in
+  ignore (Netsim.Engine.at eng ~time:join_at (fun () -> Receiver.join late));
+  (* Integrate the rate excess above the 200 kbit/s tail capacity over
+     the post-join window. *)
+  let snd = Session.sender session in
+  let excess = ref 0. and samples = ref 0 in
+  Scenario.sample_every sc ~dt:0.5 ~t_end (fun t ->
+      if t > join_at +. 5. then begin
+        let kbit = Sender.rate_bytes_per_s snd *. 8. /. 1000. in
+        excess := !excess +. Float.max 0. (kbit -. 200.);
+        incr samples
+      end);
+  Scenario.run_until sc t_end;
+  let mean_excess = !excess /. float_of_int (Stdlib.max 1 !samples) in
+  (mean_excess, Receiver.loss_event_rate late)
+
+let run ~mode ~seed =
+  let join_at = 40. in
+  let t_end = join_at +. Scenario.scale mode ~quick:60. ~full:120. in
+  let off_excess, off_p = run_one ~seed ~remodel:false ~t_end ~join_at in
+  let on_excess, on_p = run_one ~seed ~remodel:true ~t_end ~join_at in
+  [
+    Series.make
+      ~title:
+        "Ablation: App. A loss-history remodel on first RTT measurement \
+         (200 kbit/s late joiner; mean sender-rate excess above the tail)"
+      ~xlabel:"remodel (0=off, 1=on)"
+      ~ylabels:[ "mean excess (kbit/s)"; "joiner's final p" ]
+      ~notes:
+        [
+          "App. A: aggregating with the too-high initial RTT \
+           under-estimates p; the remodel re-aggregates with the measured \
+           RTT.  In this scenario the joiner measures its RTT within a \
+           couple of rounds, so few gaps accumulate under the initial \
+           estimate and the two variants measure alike — consistent with \
+           App. A's own argument that the initial-RTT optimism is \
+           transient and self-limiting";
+        ]
+      [ (0., [ off_excess; off_p ]); (1., [ on_excess; on_p ]) ];
+  ]

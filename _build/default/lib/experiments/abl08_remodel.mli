@@ -1,0 +1,9 @@
+(** Ablation: App. A's loss-history remodel.  A late-joining bottleneck
+    receiver first aggregates losses with the 500 ms initial RTT (merging
+    many into few events, i.e. underestimating p); once its real RTT is
+    measured, the plain protocol only rescales the synthetic interval,
+    while the remodel re-aggregates the logged loss gaps.  We compare the
+    rate overshoot above the 200 kbit/s tail during the minute after the
+    join, with the remodel off and on. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

@@ -1,0 +1,9 @@
+(** §5 comparison: TFMCC versus PGMCC.
+
+    The same scenario (a bottleneck shared with TCP, plus a lossy
+    receiver that must be elected representative) run once under each
+    protocol.  The paper's qualitative claim: both are viable and
+    TCP-friendly, PGMCC's rate shows TCP's sawtooth while TFMCC's is
+    smooth and predictable. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

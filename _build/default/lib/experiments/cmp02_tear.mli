@@ -1,0 +1,7 @@
+(** §5 comparison: TEAR versus TFRC (both unicast, as the paper notes
+    only a unicast TEAR exists).  Same lossy path, one run each, plus a
+    real TCP flow for reference: §5 expects TEAR's window emulation and
+    TFRC's equation to land at similar rates with comparable
+    smoothness. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

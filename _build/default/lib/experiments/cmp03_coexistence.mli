@@ -1,0 +1,7 @@
+(** Inter-protocol coexistence: one TFMCC session and one PGMCC session
+    sharing the same bottleneck (a question §5 raises implicitly — both
+    claim TCP-friendliness, so they should also coexist with each
+    other).  Measures the long-run share each takes and Jain's index
+    over the pair (plus a TCP reference flow). *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

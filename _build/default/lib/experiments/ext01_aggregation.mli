@@ -1,0 +1,8 @@
+(** Extension (paper §6.1, Future Work): feedback aggregation tree versus
+    pure end-to-end suppression.  The same two-level distribution tree is
+    run twice: once with plain TFMCC (randomized suppression, reports
+    straight to the sender) and once with an aggregator per first-level
+    subtree and suppression disabled.  The tree must cut the report load
+    at the sender without hurting rate control or CLR election. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

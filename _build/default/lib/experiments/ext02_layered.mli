@@ -1,0 +1,9 @@
+(** Extension (§6.1, Future Work): the paper's closing suggestion —
+    TFMCC's equation-based rate controller driving receiver-driven
+    layered multicast.  Heterogeneous receivers behind 0.25–4 Mbit/s
+    bottlenecks must each settle on the layer prefix matching their own
+    capacity (escaping the single-rate "slowest receiver sets everyone's
+    quality" limitation), with dynamic join backoff keeping join/leave
+    thrash bounded. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

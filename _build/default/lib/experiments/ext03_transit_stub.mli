@@ -1,0 +1,10 @@
+(** Extension: TFMCC over a realistic transit-stub internet.  Section 3
+    argues that on real multicast trees loss is correlated along shared
+    paths and concentrated on last hops, which is what keeps single-rate
+    control usable; this experiment runs a full session over a generated
+    transit-stub topology (with a handful of congested stub links) and
+    reports utilization of the worst receiver's bottleneck, feedback
+    load, CLR placement, and the one-way delay spread across the
+    receiver set. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

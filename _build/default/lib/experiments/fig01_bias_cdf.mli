@@ -1,0 +1,5 @@
+(** Fig. 1: cumulative distribution of the feedback time under the
+    different biasing methods (unbiased exponential, offset, modified N),
+    for a receiver whose rate ratio is 0.5. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

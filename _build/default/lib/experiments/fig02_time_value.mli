@@ -1,0 +1,14 @@
+(** Fig. 2: time–value distribution of one feedback round with uniform
+    feedback values, offset-biased versus unbiased timers: when feedback
+    is biased, the early responses (and hence the best value heard) are
+    close to the true minimum. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list
+
+val scatter :
+  seed:int ->
+  n:int ->
+  bias:Tfmcc_core.Config.bias ->
+  (float * float * bool) array
+(** (time, value, sent) triples of one round — the raw points of the
+    figure, used by the CSV dump of the CLI. *)

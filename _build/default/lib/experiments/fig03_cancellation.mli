@@ -1,0 +1,6 @@
+(** Fig. 3: number of feedback messages in the first round of the
+    worst-case scenario (every receiver suddenly congested) for the three
+    cancellation policies: cancel on any echo, cancel within ζ = 10 %,
+    cancel only on equal-or-lower echoes. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

@@ -1,0 +1,34 @@
+let run ~mode ~seed:_ =
+  let ns =
+    Scenario.scale mode
+      ~quick:[ 1; 10; 100; 1000; 10_000 ]
+      ~full:[ 1; 3; 10; 30; 100; 300; 1000; 3000; 10_000; 30_000; 100_000 ]
+  in
+  let t_values = [ 2.; 3.; 4.; 5.; 6. ] in
+  let rows =
+    List.map
+      (fun n ->
+        let ys =
+          List.map
+            (fun t' ->
+              Tfmcc_core.Feedback_timer.expected_messages ~n ~n_estimate:10_000
+                ~delay:1. ~t_suppress:t')
+            t_values
+        in
+        (float_of_int n, ys))
+      ns
+  in
+  [
+    Series.make
+      ~title:
+        "Fig. 4: expected feedback messages vs group size for suppression \
+         windows T' (RTTs), N=10000, delay=1 RTT"
+      ~xlabel:"receivers (n)"
+      ~ylabels:(List.map (Printf.sprintf "T'=%.0f") t_values)
+      ~notes:
+        [
+          "paper: T' of 3-4 RTTs yields a useful handful of responses for n \
+           one to two orders of magnitude below N";
+        ]
+      rows;
+  ]

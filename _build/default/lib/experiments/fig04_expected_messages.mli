@@ -1,0 +1,6 @@
+(** Fig. 4: expected number of feedback messages per round under plain
+    exponential suppression, as a function of the suppression window T'
+    (in RTTs) and the group size n, for N = 10,000 (the Fuhrmann–Widmer
+    expectation evaluated by numerical integration). *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

@@ -1,0 +1,13 @@
+(** Fig. 5: mean time of the first feedback response (in RTTs) versus
+    group size, for unbiased exponential timers, the basic offset bias
+    and the modified offset bias. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list
+
+val methods : (string * Tfmcc_core.Config.bias) list
+(** The three biasing methods compared in Figs 5 and 6. *)
+
+val measure :
+  mode:Scenario.mode -> seed:int -> (int * (float * float) list) list
+(** Shared Monte-Carlo behind Figs 5 and 6: per group size, per method,
+    (mean first-response time, mean best-minus-min value). *)

@@ -1,0 +1,16 @@
+let run ~mode ~seed =
+  let data = Fig05_response_time.measure ~mode ~seed in
+  [
+    Series.make
+      ~title:
+        "Fig. 6: quality of the lowest reported rate (mean excess over the \
+         true minimum) vs group size"
+      ~xlabel:"receivers (n)"
+      ~ylabels:(List.map fst Fig05_response_time.methods)
+      ~notes:
+        [
+          "paper: plain exponential ~20% above the minimum; offset methods \
+           within a few percent";
+        ]
+      (List.map (fun (n, per) -> (float_of_int n, List.map snd per)) data);
+  ]

@@ -1,0 +1,5 @@
+(** Fig. 6: quality of the reported rate — the mean excess of the lowest
+    rate reported in one round over the true minimum of the receiver set
+    (in units of the normalized rate), per biasing method. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

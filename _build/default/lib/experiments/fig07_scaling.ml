@@ -1,0 +1,41 @@
+open Tfmcc_core
+
+let run ~mode ~seed =
+  let ns =
+    Scenario.scale mode ~quick:[ 1; 10; 100; 1000 ]
+      ~full:[ 1; 3; 10; 30; 100; 300; 1000; 3000; 10_000 ]
+  in
+  let trials = Scenario.scale mode ~quick:60 ~full:300 in
+  let rng = Stats.Rng.create seed in
+  let run_profile profile =
+    Scaling_model.series rng ~ns ~profile ~rtt:0.05 ~s:1000 ~n_intervals:8
+      ~trials
+  in
+  let constant = run_profile (Scaling_model.Constant 0.1) in
+  let realistic = run_profile (Scaling_model.Realistic { c = 1. }) in
+  let to_kbit v = v *. 8. /. 1000. in
+  let rows =
+    List.map2
+      (fun (n, c) (_, d) -> (float_of_int n, [ to_kbit c; to_kbit d ]))
+      constant realistic
+  in
+  [
+    Series.make
+      ~title:
+        "Fig. 7: throughput (kbit/s) vs receivers under independent loss \
+         (10% constant vs realistic distribution), RTT 50 ms"
+      ~xlabel:"receivers (n)" ~ylabels:[ "constant"; "distrib." ]
+      ~notes:
+        [
+          "paper: ~300 kbit/s at n=1 dropping to ~1/6 at n=10000 for \
+           constant loss; only ~30% degradation for the realistic \
+           distribution";
+          "this static E[min] Monte-Carlo is a pessimistic bound: the \
+           protocol's capped increases between CLR switches keep the \
+           time-averaged rate above the instantaneous minimum, so the \
+           measured curve falls somewhat faster than the paper's \
+           protocol-level one; the crossover ordering (distrib. >> \
+           constant) is preserved";
+        ]
+      rows;
+  ]

@@ -1,0 +1,6 @@
+(** Fig. 7: throughput degradation with the number of receivers under
+    independent loss (Section 3's loss-path-multiplicity model), for a
+    constant 10 % per-receiver loss rate and for the skewed "realistic"
+    distribution; RTT 50 ms, 1 kB packets. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

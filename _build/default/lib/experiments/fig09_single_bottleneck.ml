@@ -1,0 +1,61 @@
+let run ~mode ~seed =
+  let t_end = Scenario.scale mode ~quick:100. ~full:200. in
+  let warmup = Scenario.scale mode ~quick:30. ~full:60. in
+  let n_tcp = 15 in
+  let d =
+    Scenario.dumbbell ~seed ~bottleneck_bps:8e6 ~delay_s:0.02 ~n_tfmcc_rx:1
+      ~n_tcp ()
+  in
+  Tfmcc_core.Session.start d.session ~at:0.;
+  Scenario.run_until d.sc t_end;
+  let bin = 1. in
+  let tf = Scenario.throughput_series d.sc ~flow:Scenario.tfmcc_flow ~bin ~t_end in
+  let tcp1 = Scenario.throughput_series d.sc ~flow:(Scenario.tcp_flow 0) ~bin ~t_end in
+  let tcp2 = Scenario.throughput_series d.sc ~flow:(Scenario.tcp_flow 1) ~bin ~t_end in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i (t, v) -> (t, [ snd tcp1.(i); snd tcp2.(i); v ]))
+         tf)
+  in
+  let mean_tfmcc =
+    Scenario.mean_throughput_kbps d.sc ~flow:Scenario.tfmcc_flow ~t_start:warmup
+      ~t_end
+  in
+  let mean_tcp =
+    let acc = ref 0. in
+    for i = 0 to n_tcp - 1 do
+      acc :=
+        !acc
+        +. Scenario.mean_throughput_kbps d.sc ~flow:(Scenario.tcp_flow i)
+             ~t_start:warmup ~t_end
+    done;
+    !acc /. float_of_int n_tcp
+  in
+  let cov flow =
+    let series =
+      Scenario.throughput_series d.sc ~flow ~bin ~t_end
+      |> Array.to_list
+      |> List.filter (fun (t, _) -> t >= warmup)
+      |> List.map snd |> Array.of_list
+    in
+    Stats.Descriptive.coefficient_of_variation series
+  in
+  [
+    Series.make
+      ~title:"Fig. 9: 1 TFMCC + 15 TCP over a single 8 Mbit/s bottleneck"
+      ~xlabel:"time (s)" ~ylabels:[ "TCP 1"; "TCP 2"; "TFMCC" ]
+      ~notes:
+        [
+          Printf.sprintf
+            "steady-state means (kbit/s): TFMCC %.0f vs TCP avg %.0f (fair \
+             share 500); ratio %.2f"
+            mean_tfmcc mean_tcp (mean_tfmcc /. mean_tcp);
+          Printf.sprintf
+            "smoothness (coeff. of variation): TFMCC %.2f vs TCP1 %.2f — \
+             paper: TFMCC visibly smoother"
+            (cov Scenario.tfmcc_flow)
+            (cov (Scenario.tcp_flow 0));
+        ]
+      rows;
+  ]

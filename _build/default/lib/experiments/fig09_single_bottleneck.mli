@@ -1,0 +1,5 @@
+(** Fig. 9: one TFMCC flow and 15 TCP flows sharing a single 8 Mbit/s
+    bottleneck: TFMCC's average matches TCP's (fair share ≈ 500 kbit/s)
+    with a visibly smoother rate. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

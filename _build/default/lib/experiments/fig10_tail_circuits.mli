@@ -1,0 +1,6 @@
+(** Fig. 10: one TFMCC flow whose 16 receivers each sit behind their own
+    1 Mbit/s tail circuit shared with one TCP flow: the
+    loss-path-multiplicity effect (tracking the minimum of 16 independent
+    loss processes) confines TFMCC to ≈ 70 % of TCP throughput. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

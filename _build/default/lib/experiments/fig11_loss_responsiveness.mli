@@ -1,0 +1,8 @@
+(** Fig. 11: responsiveness to changes in the loss rate.  A star of four
+    receiver links (RTT 60 ms) with loss rates 0.1 / 0.5 / 2.5 / 12.5 %;
+    receivers join in that order at fixed intervals, then leave in
+    reverse; one TCP flow to each receiver runs throughout.  TFMCC should
+    track the TCP throughput of the currently worst receiver at every
+    stage. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

@@ -1,0 +1,8 @@
+(** Fig. 12: rate of initial RTT measurements.  A large receiver set
+    behind one shared bottleneck (highly correlated loss, the worst case:
+    everyone wants feedback), link RTTs spread over 60–140 ms, initial
+    RTT 500 ms; the number of receivers holding a real RTT measurement
+    grows by roughly the per-round feedback count and tails off to one
+    new measurement per round. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

@@ -1,0 +1,8 @@
+(** Fig. 13: responsiveness to changes in the RTT.  All receivers share
+    the same independent loss probability; at a chosen time one
+    receiver's link delay is increased sharply, making it the correct
+    CLR; the measured reaction delay (until the sender elects it)
+    decreases the later the change happens, because more receivers
+    already hold valid RTT estimates. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

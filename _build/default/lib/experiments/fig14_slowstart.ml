@@ -1,0 +1,74 @@
+open Tfmcc_core
+
+(* Run one slowstart and return the maximum sending rate reached before
+   slowstart ends (kbit/s). *)
+let max_slowstart_rate ~seed ~n_rx ~n_tcp ~bottleneck_bps =
+  let d =
+    Scenario.dumbbell ~seed ~bottleneck_bps ~delay_s:0.02 ~n_tfmcc_rx:n_rx
+      ~n_tcp ()
+  in
+  let sc = d.Scenario.sc in
+  let eng = sc.Scenario.engine in
+  let snd = Session.sender d.Scenario.session in
+  (* Give competing TCP a head start so the link is in steady state. *)
+  let tfmcc_start = if n_tcp > 0 then 10. else 0. in
+  Session.start d.Scenario.session ~at:tfmcc_start;
+  let peak = ref 0. in
+  let rec poll t =
+    ignore
+      (Netsim.Engine.at eng ~time:t (fun () ->
+           if Sender.in_slowstart snd then begin
+             peak := Float.max !peak (Sender.rate_bytes_per_s snd);
+             poll (t +. 0.02)
+           end
+           else Netsim.Engine.stop eng))
+  in
+  poll (tfmcc_start +. 0.02);
+  Scenario.run_until sc (tfmcc_start +. 120.);
+  !peak *. 8. /. 1000.
+
+let run ~mode ~seed =
+  let ns = Scenario.scale mode ~quick:[ 2; 8; 32 ] ~full:[ 2; 8; 32; 128; 512 ] in
+  let trials = Scenario.scale mode ~quick:2 ~full:4 in
+  let configs =
+    [
+      ("only TFMCC", 0, 1e6);
+      ("one competing TCP", 1, 2e6);
+      ("high stat. mux.", 8, 9e6);
+    ]
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let ys =
+          List.map
+            (fun (_, n_tcp, bw) ->
+              (* The slowstart peak is dominated by when the first loss
+                 report lands: average a few seeds. *)
+              let acc = ref 0. in
+              for k = 0 to trials - 1 do
+                acc :=
+                  !acc
+                  +. max_slowstart_rate ~seed:(seed + (100 * k)) ~n_rx:n ~n_tcp
+                       ~bottleneck_bps:bw
+              done;
+              !acc /. float_of_int trials)
+            configs
+        in
+        (float_of_int n, ys))
+      ns
+  in
+  [
+    Series.make
+      ~title:
+        "Fig. 14: maximum slowstart rate (kbit/s) vs receivers; fair rate 1 \
+         Mbit/s in each configuration"
+      ~xlabel:"receivers (n)"
+      ~ylabels:(List.map (fun (l, _, _) -> l) configs)
+      ~notes:
+        [
+          "paper: alone ~2x bottleneck; with competition the peak drops \
+           below the fair rate and decreases with the receiver count";
+        ]
+      rows;
+  ]

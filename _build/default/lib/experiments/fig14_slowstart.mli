@@ -1,0 +1,8 @@
+(** Fig. 14: maximum rate reached during slowstart versus the number of
+    receivers, for three levels of statistical multiplexing (TFMCC alone,
+    one competing TCP, high multiplexing), each sized so the fair rate is
+    1 Mbit/s.  Alone, TFMCC peaks near twice the bottleneck; with
+    competition the slowstart peak drops well below the fair rate as the
+    receiver set grows. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

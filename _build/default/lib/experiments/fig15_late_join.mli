@@ -1,0 +1,12 @@
+(** Figs. 15 and 16: late join of a low-rate receiver.  An eight-receiver
+    TFMCC session competes with seven TCP flows on an 8 Mbit/s bottleneck
+    (fair rate 1 Mbit/s); from t = 50 s to 100 s an extra receiver behind
+    a separate 200 kbit/s bottleneck is in the group.  TFMCC must elect
+    it as CLR within a few seconds, run at ~200 kbit/s, and recover after
+    it leaves.  The Fig. 16 variant adds a TCP flow on the slow link for
+    the whole run and checks that it recovers from the join-flood and
+    shares the tail with TFMCC. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list
+
+val run_with_tail_tcp : mode:Scenario.mode -> seed:int -> Series.t list

@@ -1,0 +1,26 @@
+let run ~mode:_ ~seed:_ =
+  let points = 81 in
+  (* log-spaced p from 1e-4 to 1 *)
+  let rows =
+    List.init points (fun i ->
+        let lg = -4. +. (4. *. float_of_int i /. float_of_int (points - 1)) in
+        let p = 10. ** lg in
+        let p = Float.min 1. p in
+        ( p,
+          [
+            Tcp_model.Padhye.loss_events_per_rtt ~b:2. p;
+            Tcp_model.Padhye.loss_events_per_rtt ~b:1. p;
+          ] ))
+  in
+  [
+    Series.make
+      ~title:"Fig. 17: loss events per RTT vs loss event rate"
+      ~xlabel:"loss event rate p"
+      ~ylabels:[ "L(p), b=2 (paper)"; "L(p), b=1" ]
+      ~notes:
+        [
+          "paper: maximum ~0.13 (curve matches the b=2 form of the \
+           equation); with b=1 the peak is ~0.19";
+        ]
+      rows;
+  ]

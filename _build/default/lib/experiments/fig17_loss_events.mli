@@ -1,0 +1,5 @@
+(** Fig. 17 (App. A): loss events per RTT as a function of the loss event
+    rate, under the control equation — the analytic curve whose ≈0.13
+    maximum justifies using a high initial RTT for loss aggregation. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

@@ -1,0 +1,75 @@
+open Tfmcc_core
+
+let run ~mode ~seed =
+  let t_end = Scenario.scale mode ~quick:80. ~full:120. in
+  let warmup = 20. in
+  let return_flows = [| 0; 1; 2; 4 |] in
+  let st =
+    Scenario.star ~seed ~uplink_bps:50e6 ~link_bps:2e6
+      ~link_delays:(Array.make 4 0.015) ~with_tcp:true ()
+  in
+  let sc = st.Scenario.s_sc in
+  let topo = sc.Scenario.topo in
+  (* Return-path TCP flows: data from receiver i's side toward sinks
+     behind the hub, congesting the rx -> hub direction. *)
+  Array.iteri
+    (fun i k ->
+      for j = 0 to k - 1 do
+        (* Each return flow exits through its own 0.4 Mbit/s link, so
+           four of them load the 2 Mbit/s receiver->hub direction to
+           ~80% without pinning its queue (a standing full reverse
+           queue would delay ACKs for reasons unrelated to the report
+           loss the figure studies). *)
+        let dst = Netsim.Topology.add_node topo in
+        ignore
+          (Netsim.Topology.connect topo ~bandwidth_bps:0.4e6 ~delay_s:0.001
+             st.Scenario.s_hub dst);
+        ignore
+          (Scenario.add_tcp sc
+             ~conn:(5000 + (10 * i) + j)
+             ~flow:(Scenario.tcp_flow (50 + (10 * i) + j))
+             ~src:st.Scenario.s_rx_nodes.(i) ~dst ~at:0.)
+      done)
+    return_flows;
+  Session.start st.Scenario.s_session ~at:0.;
+  Scenario.run_until sc t_end;
+  let bin = 1. in
+  let tf =
+    Scenario.throughput_series sc ~flow:Scenario.tfmcc_flow ~bin ~t_end
+    |> Array.map (fun (t, v) -> (t, v /. 4.))
+  in
+  let tcps =
+    Array.init 4 (fun i ->
+        Scenario.throughput_series sc ~flow:(Scenario.tcp_flow i) ~bin ~t_end)
+  in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i (t, v) ->
+           ( t,
+             v :: (Array.to_list tcps |> List.map (fun s -> snd s.(i))) ))
+         tf)
+  in
+  let mean flow =
+    Scenario.mean_throughput_kbps sc ~flow ~t_start:warmup ~t_end
+  in
+  [
+    Series.make
+      ~title:"Fig. 18: competing TCP traffic on return paths (kbit/s)"
+      ~xlabel:"time (s)"
+      ~ylabels:
+        ("TFMCC" :: (Array.to_list return_flows |> List.map (Printf.sprintf "TCP (%d)")))
+      ~notes:
+        [
+          Printf.sprintf
+            "steady means (kbit/s): TFMCC/4rx %.0f; forward TCP with \
+             0/1/2/4 return flows: %.0f %.0f %.0f %.0f — paper: none of \
+             the simulations differ from the no-return-traffic case"
+            (mean Scenario.tfmcc_flow /. 4.)
+            (mean (Scenario.tcp_flow 0))
+            (mean (Scenario.tcp_flow 1))
+            (mean (Scenario.tcp_flow 2))
+            (mean (Scenario.tcp_flow 3));
+        ]
+      rows;
+  ]

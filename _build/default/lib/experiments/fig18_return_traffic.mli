@@ -1,0 +1,7 @@
+(** Fig. 18 (App. D): competing TCP traffic on the return paths.  Four
+    receivers, each sharing its link with one forward TCP flow; 0, 1, 2
+    and 4 additional TCP flows congest the respective receiver→sender
+    directions.  Neither TFMCC (whose reports cross the congested
+    direction) nor the forward TCPs should be affected. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

@@ -1,0 +1,52 @@
+open Tfmcc_core
+
+let run ~mode ~seed =
+  let t_end = Scenario.scale mode ~quick:80. ~full:120. in
+  let warmup = 20. in
+  let return_losses = [| 0.; 0.10; 0.20; 0.30 |] in
+  let st =
+    Scenario.star ~seed ~uplink_bps:50e6 ~link_bps:4e6
+      ~link_delays:(Array.make 4 0.015) ~return_losses ~with_tcp:true ()
+  in
+  let sc = st.Scenario.s_sc in
+  Session.start st.Scenario.s_session ~at:0.;
+  Scenario.run_until sc t_end;
+  let bin = 1. in
+  let tf =
+    Scenario.throughput_series sc ~flow:Scenario.tfmcc_flow ~bin ~t_end
+    |> Array.map (fun (t, v) -> (t, v /. 4.))
+  in
+  let tcps =
+    Array.init 4 (fun i ->
+        Scenario.throughput_series sc ~flow:(Scenario.tcp_flow i) ~bin ~t_end)
+  in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i (t, v) ->
+           (t, v :: (Array.to_list tcps |> List.map (fun s -> snd s.(i)))))
+         tf)
+  in
+  let mean flow = Scenario.mean_throughput_kbps sc ~flow ~t_start:warmup ~t_end in
+  [
+    Series.make
+      ~title:"Fig. 19: lossy return paths (kbit/s)"
+      ~xlabel:"time (s)"
+      ~ylabels:
+        ("TFMCC"
+        :: (Array.to_list return_losses
+           |> List.map (fun l -> Printf.sprintf "TCP (%.0f%%)" (100. *. l))))
+      ~notes:
+        [
+          Printf.sprintf
+            "steady means (kbit/s): TFMCC/4rx %.0f; TCP at 0/10/20/30%% \
+             return loss: %.0f %.0f %.0f %.0f — paper: TFMCC unaffected by \
+             report loss; TCP degrades only at very high return loss"
+            (mean Scenario.tfmcc_flow /. 4.)
+            (mean (Scenario.tcp_flow 0))
+            (mean (Scenario.tcp_flow 1))
+            (mean (Scenario.tcp_flow 2))
+            (mean (Scenario.tcp_flow 3));
+        ]
+      rows;
+  ]

@@ -1,0 +1,7 @@
+(** Fig. 19 (App. D): lossy return paths.  Four receivers whose
+    receiver→sender directions lose 0 / 10 / 20 / 30 % of packets, a TCP
+    flow to each receiver for comparison.  TFMCC is insensitive to lost
+    receiver reports; TCP's cumulative ACKs keep it largely unaffected
+    too. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

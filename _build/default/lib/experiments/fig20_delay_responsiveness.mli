@@ -1,0 +1,7 @@
+(** Fig. 20 (App. D): responsiveness to network delay.  Like Fig. 11 but
+    the four receiver links differ in delay (RTTs 30/60/120/240 ms) at a
+    common configured loss rate; receivers join in RTT order and leave in
+    reverse, with a TCP flow to each receiver throughout.  TFMCC should
+    track the TCP rate of the largest-RTT member. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

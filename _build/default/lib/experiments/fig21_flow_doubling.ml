@@ -1,0 +1,75 @@
+open Tfmcc_core
+
+let run ~mode ~seed =
+  let interval = Scenario.scale mode ~quick:30. ~full:50. in
+  let t_end = 5. *. interval in
+  let d =
+    Scenario.dumbbell ~seed ~bottleneck_bps:16e6 ~delay_s:0.025 ~n_tfmcc_rx:1
+      ~n_tcp:0 ()
+  in
+  let sc = d.Scenario.sc in
+  let topo = sc.Scenario.topo in
+  (* Waves of TCP flows: 1 at t=interval, 2 at 2·interval, 4, then 8. *)
+  let waves = [ (1, 1.); (2, 2.); (4, 3.); (8, 4.) ] in
+  let flow_idx = ref 0 in
+  let groups =
+    List.map
+      (fun (count, mult) ->
+        let start = mult *. interval in
+        let flows =
+          List.init count (fun _ ->
+              let i = !flow_idx in
+              incr flow_idx;
+              let src = Netsim.Topology.add_node topo in
+              ignore
+                (Netsim.Topology.connect topo ~bandwidth_bps:160e6 ~delay_s:0.001
+                   src d.Scenario.left_router);
+              let dst = Netsim.Topology.add_node topo in
+              ignore
+                (Netsim.Topology.connect topo ~bandwidth_bps:160e6 ~delay_s:0.001
+                   d.Scenario.right_router dst);
+              ignore
+                (Scenario.add_tcp sc ~conn:(3000 + i) ~flow:(Scenario.tcp_flow i)
+                   ~src ~dst ~at:start);
+              Scenario.tcp_flow i)
+        in
+        (start, flows))
+      waves
+  in
+  Session.start d.Scenario.session ~at:0.;
+  Scenario.run_until sc t_end;
+  let bin = 1. in
+  let tf = Scenario.throughput_series sc ~flow:Scenario.tfmcc_flow ~bin ~t_end in
+  let group_series =
+    List.map
+      (fun (_, flows) ->
+        let per_flow =
+          List.map
+            (fun f -> Scenario.throughput_series sc ~flow:f ~bin ~t_end)
+            flows
+        in
+        Array.init (Array.length tf) (fun i ->
+            List.fold_left (fun acc s -> acc +. snd s.(i)) 0. per_flow))
+      groups
+  in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i (t, v) -> (t, List.map (fun g -> g.(i)) group_series @ [ v ]))
+         tf)
+  in
+  [
+    Series.make
+      ~title:
+        "Fig. 21: responsiveness to increased congestion (kbit/s); TCP flow \
+         count doubles at each interval"
+      ~xlabel:"time (s)"
+      ~ylabels:[ "TCP wave 1 (x1)"; "TCP wave 2 (x2)"; "TCP wave 3 (x4)"; "TCP wave 4 (x8)"; "TFMCC" ]
+      ~notes:
+        [
+          "paper: each doubling roughly halves the per-flow bandwidth; \
+           TFMCC adapts on a longer timescale than TCP, slightly \
+           aggressive overall";
+        ]
+      rows;
+  ]

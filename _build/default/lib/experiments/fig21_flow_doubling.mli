@@ -1,0 +1,7 @@
+(** Fig. 21 (App. D): responsiveness to increased congestion.  A TFMCC
+    flow on a 16 Mbit/s, 60 ms-RTT link; at 50 s intervals 1, then 2,
+    then 4, then 8 TCP flows start, doubling the total flow count each
+    time.  TFMCC and TCP should settle at roughly half the previous
+    bandwidth in each interval, TFMCC on a longer timescale. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

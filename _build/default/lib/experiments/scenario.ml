@@ -1,0 +1,176 @@
+type mode = Quick | Full
+
+let scale mode ~quick ~full = match mode with Quick -> quick | Full -> full
+
+type t = {
+  engine : Netsim.Engine.t;
+  topo : Netsim.Topology.t;
+  monitor : Netsim.Monitor.t;
+}
+
+let base ?(seed = 42) () =
+  let engine = Netsim.Engine.create ~seed () in
+  let topo = Netsim.Topology.create engine in
+  let monitor = Netsim.Monitor.create engine in
+  { engine; topo; monitor }
+
+let tfmcc_flow = 1
+
+let tcp_flow i = 100 + i
+
+type tcp_pair = { source : Tcp.Tcp_source.t; sink : Tcp.Tcp_sink.t; flow : int }
+
+let add_tcp sc ~conn ~flow ~src ~dst ~at =
+  let source = Tcp.Tcp_source.create sc.topo ~conn ~flow ~src ~dst () in
+  let sink = Tcp.Tcp_sink.create sc.topo ~conn ~node:dst () in
+  Netsim.Monitor.watch_node_flow sc.monitor dst ~flow;
+  Tcp.Tcp_source.start source ~at;
+  { source; sink; flow }
+
+(* ------------------------------------------------------------- dumbbell *)
+
+type dumbbell = {
+  sc : t;
+  session : Tfmcc_core.Session.t;
+  tcp : tcp_pair list;
+  bottleneck : Netsim.Link.t;
+  left_router : Netsim.Node.t;
+  right_router : Netsim.Node.t;
+}
+
+let dumbbell ?seed ?(cfg = Tfmcc_core.Config.default) ~bottleneck_bps ~delay_s
+    ?(queue_capacity = 50) ~n_tfmcc_rx ~n_tcp ?(tcp_start = 0.) () =
+  let sc = base ?seed () in
+  let left = Netsim.Topology.add_node sc.topo in
+  let right = Netsim.Topology.add_node sc.topo in
+  let bottleneck, _ =
+    Netsim.Topology.connect sc.topo ~queue_capacity ~bandwidth_bps:bottleneck_bps
+      ~delay_s left right
+  in
+  let access_bps = 10. *. bottleneck_bps in
+  let mk_left () =
+    let n = Netsim.Topology.add_node sc.topo in
+    ignore
+      (Netsim.Topology.connect sc.topo ~bandwidth_bps:access_bps ~delay_s:0.001 n left);
+    n
+  in
+  let mk_right () =
+    let n = Netsim.Topology.add_node sc.topo in
+    ignore
+      (Netsim.Topology.connect sc.topo ~bandwidth_bps:access_bps ~delay_s:0.001 right n);
+    n
+  in
+  let tfmcc_sender = mk_left () in
+  let rx_nodes = List.init n_tfmcc_rx (fun _ -> mk_right ()) in
+  let session =
+    Tfmcc_core.Session.create sc.topo ~cfg ~session:tfmcc_flow
+      ~sender_node:tfmcc_sender ~receiver_nodes:rx_nodes ()
+  in
+  List.iter (fun n -> Netsim.Monitor.watch_node_flow sc.monitor n ~flow:tfmcc_flow)
+    rx_nodes;
+  let tcp =
+    List.init n_tcp (fun i ->
+        let src = mk_left () and dst = mk_right () in
+        add_tcp sc ~conn:(1000 + i) ~flow:(tcp_flow i) ~src ~dst ~at:tcp_start)
+  in
+  { sc; session; tcp; bottleneck; left_router = left; right_router = right }
+
+(* ----------------------------------------------------------------- star *)
+
+type star = {
+  s_sc : t;
+  s_session : Tfmcc_core.Session.t;
+  s_hub : Netsim.Node.t;
+  s_rx_nodes : Netsim.Node.t array;
+  s_rx_links : (Netsim.Link.t * Netsim.Link.t) array;
+  s_tcp : tcp_pair array;
+}
+
+let star ?seed ?(cfg = Tfmcc_core.Config.default) ?uplink_bps
+    ?(uplink_delay = 0.005) ~link_bps ~link_delays ?link_losses ?return_losses
+    ?(queue_capacity = 50) ?(with_tcp = false) ?(tcp_start = 0.) () =
+  let n = Array.length link_delays in
+  if n = 0 then invalid_arg "Scenario.star: need at least one receiver";
+  (match link_losses with
+  | Some l when Array.length l <> n ->
+      invalid_arg "Scenario.star: link_losses length mismatch"
+  | _ -> ());
+  (match return_losses with
+  | Some l when Array.length l <> n ->
+      invalid_arg "Scenario.star: return_losses length mismatch"
+  | _ -> ());
+  let sc = base ?seed () in
+  let uplink_bps = Option.value uplink_bps ~default:(10. *. link_bps) in
+  let sender = Netsim.Topology.add_node sc.topo in
+  let hub = Netsim.Topology.add_node sc.topo in
+  ignore
+    (Netsim.Topology.connect sc.topo ~queue_capacity ~bandwidth_bps:uplink_bps
+       ~delay_s:uplink_delay sender hub);
+  let rng = Netsim.Engine.rng sc.engine in
+  let rx_nodes = Array.make n sender and rx_links = Array.make n None in
+  for i = 0 to n - 1 do
+    let rx = Netsim.Topology.add_node sc.topo in
+    let mk_loss = function
+      | Some l when l > 0. ->
+          Some (Netsim.Loss_model.bernoulli ~rng:(Stats.Rng.split rng) ~p:l)
+      | _ -> None
+    in
+    let loss_ab = mk_loss (Option.map (fun l -> l.(i)) link_losses) in
+    let loss_ba = mk_loss (Option.map (fun l -> l.(i)) return_losses) in
+    let ab, ba =
+      Netsim.Topology.connect sc.topo ~queue_capacity ?loss_ab ?loss_ba
+        ~bandwidth_bps:link_bps ~delay_s:link_delays.(i) hub rx
+    in
+    rx_nodes.(i) <- rx;
+    rx_links.(i) <- Some (ab, ba)
+  done;
+  let rx_links = Array.map Option.get rx_links in
+  let session =
+    Tfmcc_core.Session.create sc.topo ~cfg ~session:tfmcc_flow ~sender_node:sender
+      ~receiver_nodes:(Array.to_list rx_nodes) ()
+  in
+  Array.iter
+    (fun nd -> Netsim.Monitor.watch_node_flow sc.monitor nd ~flow:tfmcc_flow)
+    rx_nodes;
+  let tcp =
+    if not with_tcp then [||]
+    else
+      Array.init n (fun i ->
+          (* Each TCP source sits on its own node at the hub so its path
+             shares the receiver link. *)
+          let src = Netsim.Topology.add_node sc.topo in
+          ignore
+            (Netsim.Topology.connect sc.topo ~bandwidth_bps:uplink_bps
+               ~delay_s:0.001 src hub);
+          add_tcp sc ~conn:(2000 + i) ~flow:(tcp_flow i) ~src ~dst:rx_nodes.(i)
+            ~at:tcp_start)
+  in
+  {
+    s_sc = sc;
+    s_session = session;
+    s_hub = hub;
+    s_rx_nodes = rx_nodes;
+    s_rx_links = rx_links;
+    s_tcp = tcp;
+  }
+
+(* -------------------------------------------------------------- helpers *)
+
+let run_until sc t = Netsim.Engine.run ~until:t sc.engine
+
+let sample_every sc ~dt ~t_end f =
+  let rec schedule t =
+    if t <= t_end then
+      ignore
+        (Netsim.Engine.at sc.engine ~time:t (fun () ->
+             f t;
+             schedule (t +. dt)))
+  in
+  schedule dt
+
+let throughput_series sc ~flow ~bin ~t_end =
+  Netsim.Monitor.rate_series_bps sc.monitor ~flow ~bin ~t_end
+  |> Array.map (fun (t, bps) -> (t, bps /. 1000.))
+
+let mean_throughput_kbps sc ~flow ~t_start ~t_end =
+  Netsim.Monitor.throughput_bps sc.monitor ~flow ~t_start ~t_end /. 1000.

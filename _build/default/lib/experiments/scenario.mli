@@ -1,0 +1,102 @@
+(** Shared topology builders and helpers for the paper's packet-level
+    experiments (§4, App. D). *)
+
+(** Fidelity level: [Quick] runs shrunken receiver counts / durations so
+    the whole suite finishes in minutes; [Full] uses the paper's
+    parameters. *)
+type mode = Quick | Full
+
+val scale : mode -> quick:'a -> full:'a -> 'a
+
+type t = {
+  engine : Netsim.Engine.t;
+  topo : Netsim.Topology.t;
+  monitor : Netsim.Monitor.t;
+}
+
+val base : ?seed:int -> unit -> t
+
+val tfmcc_flow : int
+(** Accounting tag of TFMCC data in all scenarios (= session id). *)
+
+val tcp_flow : int -> int
+(** Accounting tag of the i-th TCP flow (0-based). *)
+
+(** A TCP connection bundled with its sink. *)
+type tcp_pair = { source : Tcp.Tcp_source.t; sink : Tcp.Tcp_sink.t; flow : int }
+
+val add_tcp :
+  t -> conn:int -> flow:int -> src:Netsim.Node.t -> dst:Netsim.Node.t ->
+  at:float -> tcp_pair
+(** Creates source+sink, watches the sink node for [flow], starts at
+    [at]. *)
+
+(** Dumbbell: TFMCC sender and [n_tcp] TCP senders on the left, the TFMCC
+    receivers and TCP sinks on the right, one shared bottleneck.  Access
+    links are 10× the bottleneck with 1 ms delay. *)
+type dumbbell = {
+  sc : t;
+  session : Tfmcc_core.Session.t;
+  tcp : tcp_pair list;
+  bottleneck : Netsim.Link.t;
+  left_router : Netsim.Node.t;
+  right_router : Netsim.Node.t;
+}
+
+val dumbbell :
+  ?seed:int ->
+  ?cfg:Tfmcc_core.Config.t ->
+  bottleneck_bps:float ->
+  delay_s:float ->
+  ?queue_capacity:int ->
+  n_tfmcc_rx:int ->
+  n_tcp:int ->
+  ?tcp_start:float ->
+  unit ->
+  dumbbell
+(** TCP flows start at [tcp_start] (default 0); TFMCC is created but not
+    started — call [Tfmcc_core.Session.start]. *)
+
+(** Star of per-receiver links: TFMCC sender behind a fat uplink to a hub;
+    receiver i sits behind its own link with the given loss model /
+    delay / bandwidth.  Optionally one TCP crosses each receiver link
+    (its source on a per-receiver side node). *)
+type star = {
+  s_sc : t;
+  s_session : Tfmcc_core.Session.t;
+  s_hub : Netsim.Node.t;
+  s_rx_nodes : Netsim.Node.t array;
+  s_rx_links : (Netsim.Link.t * Netsim.Link.t) array;  (** (hub→rx, rx→hub) *)
+  s_tcp : tcp_pair array;  (** empty if [with_tcp] is false *)
+}
+
+val star :
+  ?seed:int ->
+  ?cfg:Tfmcc_core.Config.t ->
+  ?uplink_bps:float ->
+  ?uplink_delay:float ->
+  link_bps:float ->
+  link_delays:float array ->
+  ?link_losses:float array ->
+  ?return_losses:float array ->
+  ?queue_capacity:int ->
+  ?with_tcp:bool ->
+  ?tcp_start:float ->
+  unit ->
+  star
+(** One receiver per entry of [link_delays].  [link_losses] (same length)
+    puts Bernoulli loss on the hub→receiver direction; [return_losses] on
+    the receiver→hub direction (lossy report/ACK paths, Fig. 19).  TFMCC
+    receivers are created but not joined. *)
+
+val run_until : t -> float -> unit
+
+val sample_every :
+  t -> dt:float -> t_end:float -> (float -> unit) -> unit
+(** Schedules [f now] at dt, 2dt, … ≤ t_end (call before running). *)
+
+val throughput_series :
+  t -> flow:int -> bin:float -> t_end:float -> (float * float) array
+(** Binned throughput in kbit/s (the unit of the paper's plots). *)
+
+val mean_throughput_kbps : t -> flow:int -> t_start:float -> t_end:float -> float

@@ -1,0 +1,1 @@
+lib/layered/receiver.ml: Array Float Netsim Stdlib Tcp_model Tfrc Wire

@@ -1,0 +1,1 @@
+lib/layered/receiver.mli: Netsim

@@ -1,0 +1,1 @@
+lib/layered/sender.ml: Array Netsim Option Stats Wire

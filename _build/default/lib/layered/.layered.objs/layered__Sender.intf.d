@@ -1,0 +1,1 @@
+lib/layered/sender.mli: Netsim

@@ -1,0 +1,1 @@
+lib/layered/wire.mli: Netsim

@@ -1,0 +1,13 @@
+type Netsim.Packet.payload +=
+  | Data of {
+      session : int;
+      layer : int;
+      seq : int;
+      ts : float;
+      cumulative_rate : float;
+      next_cumulative : float;
+    }
+
+let group_of ~session ~layer = (session * 64) + layer
+
+let data_size = 1000

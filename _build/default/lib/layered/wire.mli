@@ -1,0 +1,27 @@
+(** Layered-multicast packet format (extends {!Netsim.Packet.payload}).
+
+    The TFMCC paper closes by suggesting its equation-based rate
+    controller "would also appear to be suitable for use in
+    receiver-driven layered multicast" (§6.1).  This library is that
+    sketch made concrete: the sender stripes data over L layers, each a
+    multicast group of its own; receivers run the control equation
+    locally and join or leave layers — there is no feedback channel at
+    all. *)
+
+type Netsim.Packet.payload +=
+  | Data of {
+      session : int;
+      layer : int;  (** 0-based layer index *)
+      seq : int;  (** per-layer sequence number *)
+      ts : float;
+      cumulative_rate : float;
+          (** bytes/s received when subscribed up to this layer *)
+      next_cumulative : float;
+          (** bytes/s when also joining the next layer; nan at the top
+              layer (in-band rate announcement, as in FLID-DL) *)
+    }
+
+val group_of : session:int -> layer:int -> int
+(** The multicast group id carrying one layer. *)
+
+val data_size : int

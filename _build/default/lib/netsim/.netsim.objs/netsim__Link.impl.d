@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Engine Logs Loss_model Node Packet Queue_disc

@@ -1,0 +1,1 @@
+lib/netsim/link.mli: Engine Loss_model Node Packet Queue_disc

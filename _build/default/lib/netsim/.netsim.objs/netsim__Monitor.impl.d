@@ -1,0 +1,1 @@
+lib/netsim/monitor.ml: Array Engine Hashtbl List Node Packet Stats Stdlib

@@ -1,0 +1,1 @@
+lib/netsim/topo_gen.ml: Array List Node Stats Topology

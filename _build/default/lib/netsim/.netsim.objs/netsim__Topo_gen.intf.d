@@ -1,0 +1,1 @@
+lib/netsim/topo_gen.mli: Node Stats Topology

@@ -1,0 +1,1 @@
+lib/netsim/topology.ml: Array Engine Hashtbl Int Link List Logs Node Option Packet Printf Queue Queue_disc Seq

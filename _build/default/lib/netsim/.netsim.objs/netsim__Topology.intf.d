@@ -1,0 +1,1 @@
+lib/netsim/topology.mli: Engine Link Loss_model Node Packet Queue_disc

@@ -1,0 +1,1 @@
+lib/netsim/trace.ml: Array Buffer Format Link List Node Packet

@@ -1,0 +1,68 @@
+type t = {
+  heap : Event_heap.t;
+  mutable now : float;
+  rng : Stats.Rng.t;
+  mutable stopped : bool;
+  mutable processed : int;
+}
+
+type handle = Event_heap.handle
+
+let create ?(seed = 42) () =
+  {
+    heap = Event_heap.create ();
+    now = 0.;
+    rng = Stats.Rng.create seed;
+    stopped = false;
+    processed = 0;
+  }
+
+let now t = t.now
+
+let rng t = t.rng
+
+let split_rng t = Stats.Rng.split t.rng
+
+let at t ~time callback =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.at: time %g is in the past (now %g)" time t.now);
+  Event_heap.add t.heap ~time callback
+
+let after t ~delay callback =
+  if delay < 0. then invalid_arg "Engine.after: negative delay";
+  Event_heap.add t.heap ~time:(t.now +. delay) callback
+
+let cancel t handle = Event_heap.cancel t.heap handle
+
+let step t =
+  match Event_heap.pop t.heap with
+  | None -> false
+  | Some (time, callback) ->
+      t.now <- time;
+      t.processed <- t.processed + 1;
+      callback ();
+      true
+
+let run ?until t =
+  t.stopped <- false;
+  let continue () =
+    (not t.stopped)
+    &&
+    match (Event_heap.peek_time t.heap, until) with
+    | None, _ -> false
+    | Some _, None -> true
+    | Some time, Some limit -> time <= limit
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some limit when (not t.stopped) && t.now < limit -> t.now <- limit
+  | _ -> ()
+
+let stop t = t.stopped <- true
+
+let events_processed t = t.processed
+
+let pending_events t = Event_heap.size t.heap

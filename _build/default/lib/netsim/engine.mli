@@ -1,0 +1,47 @@
+(** Discrete-event simulation engine.
+
+    One [t] value owns simulated time, the event queue, and the master
+    random stream.  All other simulator objects (links, agents, monitors)
+    hold a reference to the engine and schedule callbacks on it. *)
+
+type t
+
+type handle
+(** A scheduled event; cancellable. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] makes an engine at time 0.  Default seed 42. *)
+
+val now : t -> float
+(** Current simulated time in seconds. *)
+
+val rng : t -> Stats.Rng.t
+(** The engine's master random stream.  Components that need their own
+    stream should [Stats.Rng.split] it at setup time. *)
+
+val split_rng : t -> Stats.Rng.t
+(** Convenience for [Stats.Rng.split (rng t)]. *)
+
+val at : t -> time:float -> (unit -> unit) -> handle
+(** Schedules a callback at an absolute time ≥ [now].  Raises
+    [Invalid_argument] on times in the past. *)
+
+val after : t -> delay:float -> (unit -> unit) -> handle
+(** Schedules a callback [delay] seconds from now (delay ≥ 0). *)
+
+val cancel : t -> handle -> unit
+
+val run : ?until:float -> t -> unit
+(** Processes events in time order until the queue empties, [until] is
+    reached (events at t > until stay queued and [now] becomes [until]),
+    or {!stop} is called from inside a callback. *)
+
+val step : t -> bool
+(** Processes a single event; [false] when the queue is empty. *)
+
+val stop : t -> unit
+(** Makes the innermost [run] return after the current callback. *)
+
+val events_processed : t -> int
+
+val pending_events : t -> int

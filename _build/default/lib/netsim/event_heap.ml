@@ -1,0 +1,112 @@
+type event = {
+  time : float;
+  seq : int;
+  callback : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = {
+  mutable heap : event array;
+  (* heap.(0) is unused padding when len = 0; we store the tree in
+     indices [0, len). *)
+  mutable len : int;
+  mutable live : int;
+  mutable next_seq : int;
+}
+
+let dummy_event = { time = 0.; seq = -1; callback = ignore; cancelled = true }
+
+let create () = { heap = Array.make 64 dummy_event; len = 0; live = 0; next_seq = 0 }
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.len && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let ensure_capacity t =
+  if t.len = Array.length t.heap then begin
+    let heap = Array.make (2 * Array.length t.heap) dummy_event in
+    Array.blit t.heap 0 heap 0 t.len;
+    t.heap <- heap
+  end
+
+let add t ~time callback =
+  if Float.is_nan time then invalid_arg "Event_heap.add: NaN time";
+  ensure_capacity t;
+  let ev = { time; seq = t.next_seq; callback; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.heap.(t.len) <- ev;
+  t.len <- t.len + 1;
+  t.live <- t.live + 1;
+  sift_up t (t.len - 1);
+  ev
+
+let cancel t ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let is_cancelled ev = ev.cancelled
+
+(* Callers observe only live events; cancelled entries are discarded as
+   they surface at the root. *)
+let rec pop t =
+  if t.len = 0 then None
+  else begin
+    let ev = t.heap.(0) in
+    t.len <- t.len - 1;
+    t.heap.(0) <- t.heap.(t.len);
+    t.heap.(t.len) <- dummy_event;
+    if t.len > 0 then sift_down t 0;
+    if ev.cancelled then pop t
+    else begin
+      t.live <- t.live - 1;
+      (* Mark fired events so cancelling them later is a no-op that does
+         not disturb the live count. *)
+      ev.cancelled <- true;
+      Some (ev.time, ev.callback)
+    end
+  end
+
+let rec peek_time t =
+  if t.len = 0 then None
+  else begin
+    let ev = t.heap.(0) in
+    if not ev.cancelled then Some ev.time
+    else begin
+      (* Drop the cancelled root and retry. *)
+      t.len <- t.len - 1;
+      t.heap.(0) <- t.heap.(t.len);
+      t.heap.(t.len) <- dummy_event;
+      if t.len > 0 then sift_down t 0;
+      peek_time t
+    end
+  end
+
+let size t = t.live
+
+let is_empty t = t.live = 0

@@ -1,0 +1,30 @@
+(** Binary min-heap of timed events with O(log n) insert / pop and O(1)
+    cancellation (lazy deletion).  Ties in time are broken by insertion
+    order so simulations are deterministic. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event for cancellation. *)
+
+val create : unit -> t
+
+val add : t -> time:float -> (unit -> unit) -> handle
+(** Schedules a callback.  [time] may equal the current minimum. *)
+
+val cancel : t -> handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val is_cancelled : handle -> bool
+
+val pop : t -> (float * (unit -> unit)) option
+(** Removes and returns the earliest live event, skipping cancelled ones.
+    [None] when no live events remain. *)
+
+val peek_time : t -> float option
+(** Time of the earliest live event without removing it. *)
+
+val size : t -> int
+(** Number of live (non-cancelled) events. *)
+
+val is_empty : t -> bool

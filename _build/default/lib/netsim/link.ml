@@ -1,0 +1,120 @@
+type t = {
+  engine : Engine.t;
+  mutable loss : Loss_model.t;
+  bandwidth_bps : float;
+  mutable delay_s : float;
+  queue : Queue_disc.t;
+  src : Node.t;
+  dst : Node.t;
+  mutable busy : bool;
+  mutable up : bool;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost : int;
+  mutable busy_time : float;
+  mutable tracer :
+    (time:float -> kind:[ `Tx | `Drop_queue | `Drop_loss | `Deliver ] -> Packet.t -> unit)
+    option;
+}
+
+let create engine ?(loss = Loss_model.none) ~bandwidth_bps ~delay_s ~queue ~src
+    ~dst () =
+  if bandwidth_bps <= 0. then invalid_arg "Link.create: bandwidth must be positive";
+  if delay_s < 0. then invalid_arg "Link.create: negative delay";
+  {
+    engine;
+    loss;
+    bandwidth_bps;
+    delay_s;
+    queue;
+    src;
+    dst;
+    busy = false;
+    up = true;
+    sent = 0;
+    delivered = 0;
+    lost = 0;
+    busy_time = 0.;
+    tracer = None;
+  }
+
+let tx_time t (p : Packet.t) = float_of_int p.size *. 8. /. t.bandwidth_bps
+
+let trace t ~kind p =
+  match t.tracer with
+  | Some f -> f ~time:(Engine.now t.engine) ~kind p
+  | None -> ()
+
+let deliver t p =
+  if Loss_model.drops_packet t.loss then begin
+    t.lost <- t.lost + 1;
+    trace t ~kind:`Drop_loss p
+  end
+  else begin
+    let arrive () =
+      t.delivered <- t.delivered + 1;
+      trace t ~kind:`Deliver p;
+      Node.receive t.dst p
+    in
+    ignore (Engine.after t.engine ~delay:t.delay_s arrive)
+  end
+
+(* Transmit [p] now; when the line frees up, pull the next queued packet. *)
+let rec transmit t p =
+  t.busy <- true;
+  let tx = tx_time t p in
+  t.busy_time <- t.busy_time +. tx;
+  let complete () =
+    t.sent <- t.sent + 1;
+    trace t ~kind:`Tx p;
+    deliver t p;
+    match Queue_disc.dequeue t.queue with
+    | Some next -> transmit t next
+    | None -> t.busy <- false
+  in
+  ignore (Engine.after t.engine ~delay:tx complete)
+
+let send t (p : Packet.t) =
+  p.hops <- p.hops + 1;
+  if not t.up then begin
+    t.lost <- t.lost + 1;
+    trace t ~kind:`Drop_loss p
+  end
+  else if p.hops > Packet.ttl_limit then
+    Logs.warn (fun m -> m "Link: TTL exceeded, dropping %a" Packet.pp p)
+  else if t.busy then begin
+    if not (Queue_disc.enqueue t.queue p) then trace t ~kind:`Drop_queue p
+  end
+  else transmit t p
+
+let src t = t.src
+
+let dst t = t.dst
+
+let bandwidth_bps t = t.bandwidth_bps
+
+let delay_s t = t.delay_s
+
+let set_delay t d =
+  if d < 0. then invalid_arg "Link.set_delay: negative delay";
+  t.delay_s <- d
+
+let queue t = t.queue
+
+let set_loss t loss = t.loss <- loss
+
+let packets_sent t = t.sent
+
+let packets_delivered t = t.delivered
+
+let packets_lost t = t.lost
+
+let busy t = t.busy
+
+let utilization t ~now = if now <= 0. then 0. else t.busy_time /. now
+
+let set_tracer t f = t.tracer <- Some f
+
+let set_up t up = t.up <- up
+
+let is_up t = t.up

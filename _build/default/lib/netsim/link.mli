@@ -1,0 +1,75 @@
+(** Unidirectional links: finite bandwidth, propagation delay, an egress
+    queue, and an optional stochastic loss model.
+
+    Transmission model (ns-2 style): a packet occupies the line for
+    [size * 8 / bandwidth] seconds; packets arriving while the line is
+    busy wait in the egress queue (or are dropped by the queue
+    discipline); after transmission the packet propagates for [delay]
+    seconds, is subjected to the loss model, and is handed to the
+    destination node. *)
+
+type t
+
+val create :
+  Engine.t ->
+  ?loss:Loss_model.t ->
+  bandwidth_bps:float ->
+  delay_s:float ->
+  queue:Queue_disc.t ->
+  src:Node.t ->
+  dst:Node.t ->
+  unit ->
+  t
+
+val send : t -> Packet.t -> unit
+(** Hands a packet to the link for transmission (may be queued/dropped). *)
+
+val src : t -> Node.t
+
+val dst : t -> Node.t
+
+val bandwidth_bps : t -> float
+
+val delay_s : t -> float
+
+val set_delay : t -> float -> unit
+(** Changes the propagation delay at runtime (experiments that alter a
+    receiver's RTT mid-run).  Packets already in flight keep the delay
+    they departed with. *)
+
+val queue : t -> Queue_disc.t
+
+val set_loss : t -> Loss_model.t -> unit
+(** Replace the loss model at runtime (experiments change loss rates
+    mid-run). *)
+
+val set_up : t -> bool -> unit
+(** Takes the link down (every packet handed to it is dropped and counted
+    under {!packets_lost}) or back up.  Models path failure without
+    touching routing state. *)
+
+val is_up : t -> bool
+
+val packets_sent : t -> int
+(** Packets fully transmitted onto the wire (before stochastic loss). *)
+
+val packets_delivered : t -> int
+
+val packets_lost : t -> int
+(** Dropped by the stochastic loss model (excludes queue drops; see
+    [Queue_disc.drops (queue link)] for those). *)
+
+val busy : t -> bool
+
+val utilization : t -> now:float -> float
+(** Fraction of wall-clock time the line has spent transmitting. *)
+
+val set_tracer :
+  t ->
+  (time:float ->
+  kind:[ `Tx | `Drop_queue | `Drop_loss | `Deliver ] ->
+  Packet.t ->
+  unit) ->
+  unit
+(** Installs a per-event callback (used by {!Trace}); replaces any
+    previous tracer. *)

@@ -1,0 +1,61 @@
+type ge_state = { mutable in_bad : bool }
+
+type t =
+  | None_
+  | Bernoulli of { rng : Stats.Rng.t; p : float }
+  | Gilbert of {
+      rng : Stats.Rng.t;
+      p_gb : float;
+      p_bg : float;
+      loss_good : float;
+      loss_bad : float;
+      state : ge_state;
+    }
+
+let none = None_
+
+let check_prob name p =
+  if p < 0. || p > 1. then invalid_arg (Printf.sprintf "Loss_model: %s out of [0,1]" name)
+
+let bernoulli ~rng ~p =
+  check_prob "p" p;
+  Bernoulli { rng; p }
+
+let gilbert_elliott ~rng ~p_good_to_bad ~p_bad_to_good ~loss_good ~loss_bad =
+  check_prob "p_good_to_bad" p_good_to_bad;
+  check_prob "p_bad_to_good" p_bad_to_good;
+  check_prob "loss_good" loss_good;
+  check_prob "loss_bad" loss_bad;
+  Gilbert
+    {
+      rng;
+      p_gb = p_good_to_bad;
+      p_bg = p_bad_to_good;
+      loss_good;
+      loss_bad;
+      state = { in_bad = false };
+    }
+
+let drops_packet = function
+  | None_ -> false
+  | Bernoulli { rng; p } -> p > 0. && Stats.Rng.uniform rng < p
+  | Gilbert g ->
+      (* Advance the chain, then draw loss for the current state. *)
+      let flip = Stats.Rng.uniform g.rng in
+      if g.state.in_bad then begin
+        if flip < g.p_bg then g.state.in_bad <- false
+      end
+      else if flip < g.p_gb then g.state.in_bad <- true;
+      let p = if g.state.in_bad then g.loss_bad else g.loss_good in
+      p > 0. && Stats.Rng.uniform g.rng < p
+
+let loss_rate_hint = function
+  | None_ -> 0.
+  | Bernoulli { p; _ } -> p
+  | Gilbert g ->
+      let denom = g.p_gb +. g.p_bg in
+      if denom = 0. then g.loss_good
+      else begin
+        let pi_bad = g.p_gb /. denom in
+        ((1. -. pi_bad) *. g.loss_good) +. (pi_bad *. g.loss_bad)
+      end

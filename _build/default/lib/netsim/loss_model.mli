@@ -1,0 +1,29 @@
+(** Stochastic packet-loss models applied on link traversal, independent
+    of queue overflow.  Used for the paper's lossy-link experiments
+    (Figs 11, 19) where links have configured loss rates. *)
+
+type t
+
+val none : t
+(** Never drops. *)
+
+val bernoulli : rng:Stats.Rng.t -> p:float -> t
+(** Drops each packet independently with probability [p] ∈ [0,1]. *)
+
+val gilbert_elliott :
+  rng:Stats.Rng.t ->
+  p_good_to_bad:float ->
+  p_bad_to_good:float ->
+  loss_good:float ->
+  loss_bad:float ->
+  t
+(** Two-state bursty loss: transition probabilities are evaluated per
+    packet; each state has its own loss probability.  Gives correlated
+    loss bursts (extension beyond the paper's iid model). *)
+
+val drops_packet : t -> bool
+(** Evaluates the model for one packet; [true] means drop. *)
+
+val loss_rate_hint : t -> float
+(** Long-run loss probability (exact for none/bernoulli, stationary
+    average for Gilbert–Elliott); used in reports only. *)

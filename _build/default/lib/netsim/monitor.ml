@@ -1,0 +1,86 @@
+let max_delay_samples = 100_000
+
+type flow_state = {
+  counter : Stats.Timeseries.Counter.t;
+  mutable packets : int;
+  mutable delays : float array;  (* ring buffer *)
+  mutable delay_len : int;  (* total recorded (may exceed buffer) *)
+}
+
+type t = { engine : Engine.t; flows : (int, flow_state) Hashtbl.t }
+
+let create engine = { engine; flows = Hashtbl.create 16 }
+
+let flow_state t flow =
+  match Hashtbl.find_opt t.flows flow with
+  | Some st -> st
+  | None ->
+      let st =
+        {
+          counter = Stats.Timeseries.Counter.create ();
+          packets = 0;
+          delays = Array.make 256 0.;
+          delay_len = 0;
+        }
+      in
+      Hashtbl.add t.flows flow st;
+      st
+
+let record_delay st d =
+  let cap = Array.length st.delays in
+  if st.delay_len >= cap && cap < max_delay_samples then begin
+    let bigger = Array.make (Stdlib.min max_delay_samples (2 * cap)) 0. in
+    Array.blit st.delays 0 bigger 0 cap;
+    st.delays <- bigger
+  end;
+  st.delays.(st.delay_len mod Array.length st.delays) <- d;
+  st.delay_len <- st.delay_len + 1
+
+let tap t (p : Packet.t) =
+  let st = flow_state t p.flow in
+  st.packets <- st.packets + 1;
+  let now = Engine.now t.engine in
+  record_delay st (now -. p.created);
+  Stats.Timeseries.Counter.record st.counter ~time:now ~bytes:p.size
+
+let watch_node t n = Node.attach n (tap t)
+
+let watch_node_flow t n ~flow =
+  Node.attach n (fun p -> if p.Packet.flow = flow then tap t p)
+
+let bytes t ~flow =
+  match Hashtbl.find_opt t.flows flow with
+  | None -> 0
+  | Some st -> Stats.Timeseries.Counter.total_bytes st.counter
+
+let packets t ~flow =
+  match Hashtbl.find_opt t.flows flow with None -> 0 | Some st -> st.packets
+
+let throughput_bps t ~flow ~t_start ~t_end =
+  match Hashtbl.find_opt t.flows flow with
+  | None -> 0.
+  | Some st -> Stats.Timeseries.Counter.throughput_bps st.counter ~t_start ~t_end
+
+let rate_series_bps t ~flow ~bin ~t_end =
+  match Hashtbl.find_opt t.flows flow with
+  | None -> [||]
+  | Some st -> Stats.Timeseries.Counter.rate_series_bps st.counter ~bin ~t_end
+
+let flows t = Hashtbl.to_seq_keys t.flows |> List.of_seq |> List.sort compare
+
+let delays t ~flow =
+  match Hashtbl.find_opt t.flows flow with
+  | None -> [||]
+  | Some st ->
+      let cap = Array.length st.delays in
+      let n = Stdlib.min st.delay_len cap in
+      if st.delay_len <= cap then Array.sub st.delays 0 n
+      else begin
+        (* Ring wrapped: oldest retained sample sits at delay_len mod cap. *)
+        let start = st.delay_len mod cap in
+        Array.init n (fun i -> st.delays.((start + i) mod cap))
+      end
+
+let delay_summary t ~flow =
+  let d = delays t ~flow in
+  if Array.length d = 0 then None else Some (Stats.Descriptive.summarize d)

@@ -1,0 +1,26 @@
+type t = {
+  id : int;
+  mutable handlers : (Packet.t -> unit) list;  (* reverse attachment order *)
+  mutable hook : (Packet.t -> unit) option;
+  mutable received : int;
+}
+
+let create ~id = { id; handlers = []; hook = None; received = 0 }
+
+let id t = t.id
+
+let attach t h = t.handlers <- h :: t.handlers
+
+let detach_all t = t.handlers <- []
+
+let handler_count t = List.length t.handlers
+
+let deliver_local t p = List.iter (fun h -> h p) (List.rev t.handlers)
+
+let receive t p =
+  t.received <- t.received + 1;
+  match t.hook with Some hook -> hook p | None -> deliver_local t p
+
+let set_receive_hook t hook = t.hook <- Some hook
+
+let packets_received t = t.received

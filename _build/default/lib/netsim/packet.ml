@@ -1,0 +1,39 @@
+type payload = ..
+
+type payload += Raw of int
+
+type dst = Unicast of int | Multicast of int
+
+type t = {
+  uid : int;
+  flow : int;
+  size : int;
+  src : int;
+  dst : dst;
+  payload : payload;
+  created : float;
+  mutable hops : int;
+}
+
+let next_uid = ref 0
+
+let fresh_uid () =
+  incr next_uid;
+  !next_uid
+
+let make ~flow ~size ~src ~dst ~created payload =
+  if size <= 0 then invalid_arg "Packet.make: size must be positive";
+  { uid = fresh_uid (); flow; size; src; dst; payload; created; hops = 0 }
+
+let clone p = { p with uid = fresh_uid () }
+
+let ttl_limit = 64
+
+let pp ppf p =
+  let dst =
+    match p.dst with
+    | Unicast n -> Printf.sprintf "n%d" n
+    | Multicast g -> Printf.sprintf "g%d" g
+  in
+  Format.fprintf ppf "#%d flow=%d %dB n%d->%s hops=%d" p.uid p.flow p.size
+    p.src dst p.hops

@@ -1,0 +1,37 @@
+(** Network packets.
+
+    The payload is an extensible variant: each protocol library adds its
+    own constructors (TCP segments, TFMCC data/feedback, ...), keeping the
+    simulator core protocol-agnostic. *)
+
+type payload = ..
+(** Protocol payloads.  Extended by [Tcp], [Tfrc] and [Tfmcc]. *)
+
+type payload += Raw of int  (** Opaque filler traffic with a tag. *)
+
+type dst =
+  | Unicast of int  (** destination node id *)
+  | Multicast of int  (** multicast group id *)
+
+type t = {
+  uid : int;  (** globally unique per packet copy *)
+  flow : int;  (** accounting tag; monitors aggregate by flow *)
+  size : int;  (** bytes on the wire, headers included *)
+  src : int;  (** originating node id *)
+  dst : dst;
+  payload : payload;
+  created : float;  (** send time at the origin *)
+  mutable hops : int;  (** incremented per link traversal; TTL guard *)
+}
+
+val make :
+  flow:int -> size:int -> src:int -> dst:dst -> created:float -> payload -> t
+(** Allocates a packet with a fresh uid.  [size] must be positive. *)
+
+val clone : t -> t
+(** A copy with a fresh uid (multicast duplication at branch points). *)
+
+val ttl_limit : int
+(** Packets are dropped after this many hops (routing-loop guard). *)
+
+val pp : Format.formatter -> t -> unit

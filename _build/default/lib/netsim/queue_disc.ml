@@ -1,0 +1,135 @@
+type red_state = {
+  rng : Stats.Rng.t;
+  min_thresh : float;
+  max_thresh : float;
+  max_p : float;
+  weight : float;
+  mutable avg : float;
+  mutable count : int;  (* packets since last early drop *)
+  mutable idle_since : float option;
+}
+
+type kind = Droptail | Droptail_bytes of int | Red of red_state
+
+type t = {
+  kind : kind;
+  capacity : int;
+  fifo : Packet.t Queue.t;
+  mutable bytes : int;
+  mutable drops : int;
+  mutable enqueued : int;
+}
+
+let droptail ~capacity_pkts =
+  if capacity_pkts <= 0 then invalid_arg "Queue_disc.droptail: capacity must be positive";
+  {
+    kind = Droptail;
+    capacity = capacity_pkts;
+    fifo = Queue.create ();
+    bytes = 0;
+    drops = 0;
+    enqueued = 0;
+  }
+
+let droptail_bytes ~capacity_bytes =
+  if capacity_bytes <= 0 then
+    invalid_arg "Queue_disc.droptail_bytes: capacity must be positive";
+  {
+    kind = Droptail_bytes capacity_bytes;
+    capacity = max_int;
+    fifo = Queue.create ();
+    bytes = 0;
+    drops = 0;
+    enqueued = 0;
+  }
+
+let red ~rng ~capacity_pkts ?min_thresh ?max_thresh ?(max_p = 0.1)
+    ?(weight = 0.002) () =
+  if capacity_pkts <= 0 then invalid_arg "Queue_disc.red: capacity must be positive";
+  let cap = float_of_int capacity_pkts in
+  let min_thresh = Option.value min_thresh ~default:(cap /. 4.) in
+  let max_thresh = Option.value max_thresh ~default:(3. *. cap /. 4.) in
+  if min_thresh >= max_thresh then
+    invalid_arg "Queue_disc.red: min_thresh must be below max_thresh";
+  {
+    kind =
+      Red
+        {
+          rng;
+          min_thresh;
+          max_thresh;
+          max_p;
+          weight;
+          avg = 0.;
+          count = -1;
+          idle_since = None;
+        };
+    capacity = capacity_pkts;
+    fifo = Queue.create ();
+    bytes = 0;
+    drops = 0;
+    enqueued = 0;
+  }
+
+let accept q p =
+  Queue.push p q.fifo;
+  q.bytes <- q.bytes + p.Packet.size;
+  q.enqueued <- q.enqueued + 1;
+  true
+
+let reject q =
+  q.drops <- q.drops + 1;
+  false
+
+let red_enqueue q s p =
+  let len = float_of_int (Queue.length q.fifo) in
+  s.avg <- ((1. -. s.weight) *. s.avg) +. (s.weight *. len);
+  if Queue.length q.fifo >= q.capacity then reject q
+  else if s.avg < s.min_thresh then begin
+    s.count <- -1;
+    accept q p
+  end
+  else if s.avg >= s.max_thresh then begin
+    s.count <- 0;
+    reject q
+  end
+  else begin
+    s.count <- s.count + 1;
+    let pb = s.max_p *. (s.avg -. s.min_thresh) /. (s.max_thresh -. s.min_thresh) in
+    let pa =
+      let denom = 1. -. (float_of_int s.count *. pb) in
+      if denom <= 0. then 1. else pb /. denom
+    in
+    if Stats.Rng.uniform s.rng < pa then begin
+      s.count <- 0;
+      reject q
+    end
+    else accept q p
+  end
+
+let enqueue q p =
+  match q.kind with
+  | Droptail ->
+      if Queue.length q.fifo >= q.capacity then reject q else accept q p
+  | Droptail_bytes cap ->
+      if q.bytes + p.Packet.size > cap then reject q else accept q p
+  | Red s -> red_enqueue q s p
+
+let dequeue q =
+  match Queue.pop q.fifo with
+  | p ->
+      q.bytes <- q.bytes - p.Packet.size;
+      Some p
+  | exception Queue.Empty -> None
+
+let peek q = Queue.peek_opt q.fifo
+
+let length q = Queue.length q.fifo
+
+let byte_length q = q.bytes
+
+let capacity q = q.capacity
+
+let drops q = q.drops
+
+let enqueued q = q.enqueued

@@ -1,0 +1,48 @@
+(** Queueing disciplines for link egress buffers.
+
+    The paper's simulations use drop-tail FIFO queues ("to ensure
+    acceptable behavior in the current Internet"); RED is provided for the
+    ablation the paper alludes to (fairness improves under RED). *)
+
+type t
+
+val droptail : capacity_pkts:int -> t
+(** FIFO with a hard limit of [capacity_pkts] packets (ns-2 style). *)
+
+val droptail_bytes : capacity_bytes:int -> t
+(** FIFO limited by queued bytes instead of packets (router-buffer
+    style): a packet is accepted iff it fits entirely. *)
+
+val red :
+  rng:Stats.Rng.t ->
+  capacity_pkts:int ->
+  ?min_thresh:float ->
+  ?max_thresh:float ->
+  ?max_p:float ->
+  ?weight:float ->
+  unit ->
+  t
+(** Random Early Detection (Floyd & Jacobson 1993) over a FIFO of
+    [capacity_pkts].  Thresholds are in packets; defaults
+    [min_thresh] = capacity/4, [max_thresh] = 3*capacity/4,
+    [max_p] = 0.1, EWMA [weight] = 0.002. *)
+
+val enqueue : t -> Packet.t -> bool
+(** [enqueue q p] accepts or drops [p]; [false] means dropped. *)
+
+val dequeue : t -> Packet.t option
+
+val peek : t -> Packet.t option
+
+val length : t -> int
+(** Current queue length in packets. *)
+
+val byte_length : t -> int
+
+val capacity : t -> int
+
+val drops : t -> int
+(** Cumulative count of packets dropped at enqueue. *)
+
+val enqueued : t -> int
+(** Cumulative count of packets accepted. *)

@@ -1,0 +1,266 @@
+module Int_tbl = Hashtbl.Make (Int)
+
+type t = {
+  engine : Engine.t;
+  mutable nodes : Node.t array;
+  mutable node_count : int;
+  (* adjacency.(id) = (neighbor id, outgoing link) in insertion order *)
+  mutable adjacency : (int * Link.t) list array;
+  links : (int * int, Link.t) Hashtbl.t;
+  groups : (int, unit Int_tbl.t) Hashtbl.t;  (* group -> member ids *)
+  (* dst id -> parent.(v) = next node from v toward dst (-1 at dst/unreachable) *)
+  route_cache : (int, int array) Hashtbl.t;
+  (* (group, src) -> node id -> child links *)
+  tree_cache : (int * int, Link.t list Int_tbl.t) Hashtbl.t;
+}
+
+let create engine =
+  {
+    engine;
+    nodes = Array.make 16 (Node.create ~id:(-1));
+    node_count = 0;
+    adjacency = Array.make 16 [];
+    links = Hashtbl.create 64;
+    groups = Hashtbl.create 8;
+    route_cache = Hashtbl.create 64;
+    tree_cache = Hashtbl.create 8;
+  }
+
+let engine t = t.engine
+
+let node_count t = t.node_count
+
+let node t id =
+  if id < 0 || id >= t.node_count then
+    invalid_arg (Printf.sprintf "Topology.node: unknown id %d" id);
+  t.nodes.(id)
+
+let invalidate_routes t =
+  Hashtbl.reset t.route_cache;
+  Hashtbl.reset t.tree_cache
+
+let invalidate_group_trees t group =
+  Hashtbl.to_seq_keys t.tree_cache
+  |> Seq.filter (fun (g, _) -> g = group)
+  |> List.of_seq
+  |> List.iter (Hashtbl.remove t.tree_cache)
+
+(* BFS rooted at [root]: parent.(v) is the neighbor of v on the shortest
+   path from v toward root (-1 for root itself and unreachable nodes).
+   Deterministic: neighbors expand in insertion order. *)
+let bfs t root =
+  let parent = Array.make t.node_count (-1) in
+  let visited = Array.make t.node_count false in
+  let q = Queue.create () in
+  visited.(root) <- true;
+  Queue.push root q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun (v, _link) ->
+        if not visited.(v) then begin
+          visited.(v) <- true;
+          parent.(v) <- u;
+          Queue.push v q
+        end)
+      (List.rev t.adjacency.(u))
+  done;
+  parent
+
+let parents_toward t dst_id =
+  match Hashtbl.find_opt t.route_cache dst_id with
+  | Some p -> p
+  | None ->
+      let p = bfs t dst_id in
+      Hashtbl.add t.route_cache dst_id p;
+      p
+
+let next_link t ~from_id ~dst_id =
+  let parent = parents_toward t dst_id in
+  let next = parent.(from_id) in
+  if next < 0 then None else Hashtbl.find_opt t.links (from_id, next)
+
+let group_table t group =
+  match Hashtbl.find_opt t.groups group with
+  | Some g -> g
+  | None ->
+      let g = Int_tbl.create 16 in
+      Hashtbl.add t.groups group g;
+      g
+
+let is_member t ~group n =
+  match Hashtbl.find_opt t.groups group with
+  | None -> false
+  | Some g -> Int_tbl.mem g (Node.id n)
+
+let members t ~group =
+  match Hashtbl.find_opt t.groups group with
+  | None -> []
+  | Some g ->
+      Int_tbl.to_seq_keys g |> List.of_seq |> List.sort compare
+      |> List.map (node t)
+
+(* Tree = union over members of the shortest path src -> member.  We walk
+   each member toward src using the BFS rooted at src (parent pointers go
+   toward src) and record the forward links. *)
+let build_tree t ~group ~src_id =
+  let children = Int_tbl.create 32 in
+  let parent = parents_toward t src_id in
+  let on_tree = Int_tbl.create 32 in
+  let add_edge u v =
+    (* edge u -> v, u is closer to src *)
+    match Hashtbl.find_opt t.links (u, v) with
+    | None -> ()
+    | Some link ->
+        let existing = Option.value ~default:[] (Int_tbl.find_opt children u) in
+        if not (List.memq link existing) then
+          Int_tbl.replace children u (link :: existing)
+  in
+  let rec walk v =
+    (* records path from v up to src (or an already-on-tree node) *)
+    if v <> src_id && not (Int_tbl.mem on_tree v) then begin
+      Int_tbl.replace on_tree v ();
+      let u = parent.(v) in
+      if u >= 0 then begin
+        add_edge u v;
+        walk u
+      end
+    end
+  in
+  (match Hashtbl.find_opt t.groups group with
+  | None -> ()
+  | Some g -> Int_tbl.iter (fun m () -> walk m) g);
+  children
+
+let tree_children t ~group ~src_id node_id =
+  let key = (group, src_id) in
+  let tree =
+    match Hashtbl.find_opt t.tree_cache key with
+    | Some tr -> tr
+    | None ->
+        let tr = build_tree t ~group ~src_id in
+        Hashtbl.add t.tree_cache key tr;
+        tr
+  in
+  Option.value ~default:[] (Int_tbl.find_opt tree node_id)
+
+let forward_multicast t ~at_id (p : Packet.t) ~group =
+  let links = tree_children t ~group ~src_id:p.src at_id in
+  match links with
+  | [] -> ()
+  | [ link ] -> Link.send link p
+  | links ->
+      (* Branch point: duplicate for every child beyond the first. *)
+      List.iteri
+        (fun i link -> Link.send link (if i = 0 then p else Packet.clone p))
+        links
+
+let route_from t node_obj (p : Packet.t) ~local =
+  let here = Node.id node_obj in
+  match p.dst with
+  | Packet.Unicast d when d = here -> if local then Node.deliver_local node_obj p
+  | Packet.Unicast d -> (
+      match next_link t ~from_id:here ~dst_id:d with
+      | Some link -> Link.send link p
+      | None ->
+          Logs.debug (fun m -> m "Topology: no route %d -> %d, dropping" here d))
+  | Packet.Multicast g ->
+      if local && is_member t ~group:g node_obj then Node.deliver_local node_obj p;
+      forward_multicast t ~at_id:here p ~group:g
+
+let install_hook t node_obj =
+  Node.set_receive_hook node_obj (fun p -> route_from t node_obj p ~local:true)
+
+let grow t =
+  let cap = Array.length t.nodes in
+  if t.node_count = cap then begin
+    let nodes = Array.make (2 * cap) t.nodes.(0) in
+    Array.blit t.nodes 0 nodes 0 t.node_count;
+    t.nodes <- nodes;
+    let adjacency = Array.make (2 * cap) [] in
+    Array.blit t.adjacency 0 adjacency 0 t.node_count;
+    t.adjacency <- adjacency
+  end
+
+let add_node t =
+  grow t;
+  let n = Node.create ~id:t.node_count in
+  t.nodes.(t.node_count) <- n;
+  t.adjacency.(t.node_count) <- [];
+  t.node_count <- t.node_count + 1;
+  install_hook t n;
+  invalidate_routes t;
+  n
+
+let add_nodes t n = Array.init n (fun _ -> add_node t)
+
+let connect t ?(queue_capacity = 50) ?queue_ab ?queue_ba ?loss_ab ?loss_ba
+    ~bandwidth_bps ~delay_s a b =
+  let ida = Node.id a and idb = Node.id b in
+  if ida = idb then invalid_arg "Topology.connect: self-loop";
+  if Hashtbl.mem t.links (ida, idb) then
+    invalid_arg (Printf.sprintf "Topology.connect: %d and %d already connected" ida idb);
+  let mk_queue q =
+    match q with
+    | Some q -> q
+    | None -> Queue_disc.droptail ~capacity_pkts:queue_capacity
+  in
+  let mk src dst queue loss =
+    Link.create t.engine
+      ?loss
+      ~bandwidth_bps ~delay_s ~queue:(mk_queue queue) ~src ~dst ()
+  in
+  let ab = mk a b queue_ab loss_ab in
+  let ba = mk b a queue_ba loss_ba in
+  Hashtbl.add t.links (ida, idb) ab;
+  Hashtbl.add t.links (idb, ida) ba;
+  t.adjacency.(ida) <- (idb, ab) :: t.adjacency.(ida);
+  t.adjacency.(idb) <- (ida, ba) :: t.adjacency.(idb);
+  invalidate_routes t;
+  (ab, ba)
+
+let link_between t a b = Hashtbl.find_opt t.links (Node.id a, Node.id b)
+
+let join t ~group n =
+  let g = group_table t group in
+  if not (Int_tbl.mem g (Node.id n)) then begin
+    Int_tbl.replace g (Node.id n) ();
+    invalidate_group_trees t group
+  end
+
+let leave t ~group n =
+  match Hashtbl.find_opt t.groups group with
+  | None -> ()
+  | Some g ->
+      if Int_tbl.mem g (Node.id n) then begin
+        Int_tbl.remove g (Node.id n);
+        invalidate_group_trees t group
+      end
+
+let inject t (p : Packet.t) =
+  let origin = node t p.src in
+  (* The origin never receives its own packet. *)
+  route_from t origin p ~local:false
+
+let path t ~src ~dst =
+  let src_id = Node.id src and dst_id = Node.id dst in
+  if src_id = dst_id then Some [ src ]
+  else begin
+    let parent = parents_toward t dst_id in
+    let rec walk v acc =
+      if v = dst_id then Some (List.rev (dst_id :: acc))
+      else begin
+        let next = parent.(v) in
+        if next < 0 then None else walk next (v :: acc)
+      end
+    in
+    walk src_id [] |> Option.map (List.map (node t))
+  end
+
+let hop_count t ~src ~dst =
+  path t ~src ~dst |> Option.map (fun p -> List.length p - 1)
+
+let multicast_tree_links t ~group ~src =
+  let src_id = Node.id src in
+  let tree = build_tree t ~group ~src_id in
+  Int_tbl.fold (fun _ links acc -> links @ acc) tree []

@@ -1,0 +1,75 @@
+type kind = Tx | Drop_queue | Drop_loss | Deliver
+
+type event = {
+  time : float;
+  kind : kind;
+  link_src : int;
+  link_dst : int;
+  uid : int;
+  flow : int;
+  size : int;
+}
+
+type t = {
+  capacity : int;
+  buffer : event option array;
+  mutable next : int;  (* write position *)
+  mutable recorded : int;
+}
+
+let create ?(capacity = 100_000) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; buffer = Array.make capacity None; next = 0; recorded = 0 }
+
+let record t ev =
+  t.buffer.(t.next) <- Some ev;
+  t.next <- (t.next + 1) mod t.capacity;
+  t.recorded <- t.recorded + 1
+
+let attach t link =
+  let link_src = Node.id (Link.src link) and link_dst = Node.id (Link.dst link) in
+  Link.set_tracer link (fun ~time ~kind:k (p : Packet.t) ->
+      let kind =
+        match k with
+        | `Tx -> Tx
+        | `Drop_queue -> Drop_queue
+        | `Drop_loss -> Drop_loss
+        | `Deliver -> Deliver
+      in
+      record t
+        { time; kind; link_src; link_dst; uid = p.uid; flow = p.flow; size = p.size })
+
+let events t =
+  (* Oldest first: from [next] around the ring. *)
+  let out = ref [] in
+  for i = 0 to t.capacity - 1 do
+    let idx = (t.next + i) mod t.capacity in
+    match t.buffer.(idx) with Some ev -> out := ev :: !out | None -> ()
+  done;
+  List.rev !out
+
+let count t ~kind =
+  Array.fold_left
+    (fun acc e -> match e with Some e when e.kind = kind -> acc + 1 | _ -> acc)
+    0 t.buffer
+
+let total_recorded t = t.recorded
+
+let clear t =
+  Array.fill t.buffer 0 t.capacity None;
+  t.next <- 0
+
+let kind_char = function Tx -> '+' | Drop_queue -> 'd' | Drop_loss -> 'x' | Deliver -> 'r'
+
+let pp_event ppf e =
+  Format.fprintf ppf "%c %.6f %d %d %d %d %d" (kind_char e.kind) e.time e.link_src
+    e.link_dst e.flow e.size e.uid
+
+let to_text t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Format.asprintf "%a" pp_event e);
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf

@@ -1,0 +1,122 @@
+type kind =
+  | Cbr of { jitter : float }
+  | Poisson
+  | On_off of { on_mean : float; off_mean : float }
+
+type t = {
+  topo : Topology.t;
+  engine : Engine.t;
+  rng : Stats.Rng.t;
+  kind : kind;
+  flow : int;
+  src : Node.t;
+  dst : Node.t;
+  rate_bps : float;
+  packet_size : int;
+  mutable running : bool;
+  mutable in_on_period : bool;
+  mutable period_ends : float;
+  mutable timer : Engine.handle option;
+  mutable sent : int;
+  mutable bytes : int;
+}
+
+let make topo ~kind ~flow ~src ~dst ~rate_bps ~packet_size =
+  if rate_bps <= 0. then invalid_arg "Traffic: rate must be positive";
+  if packet_size <= 0 then invalid_arg "Traffic: packet size must be positive";
+  let engine = Topology.engine topo in
+  {
+    topo;
+    engine;
+    rng = Engine.split_rng engine;
+    kind;
+    flow;
+    src;
+    dst;
+    rate_bps;
+    packet_size;
+    running = false;
+    in_on_period = true;
+    period_ends = 0.;
+    timer = None;
+    sent = 0;
+    bytes = 0;
+  }
+
+let cbr topo ~flow ~src ~dst ~rate_bps ?(packet_size = 1000) ?(jitter = 0.1) () =
+  if jitter < 0. || jitter >= 2. then invalid_arg "Traffic.cbr: jitter out of [0,2)";
+  make topo ~kind:(Cbr { jitter }) ~flow ~src ~dst ~rate_bps ~packet_size
+
+let poisson topo ~flow ~src ~dst ~rate_bps ?(packet_size = 1000) () =
+  make topo ~kind:Poisson ~flow ~src ~dst ~rate_bps ~packet_size
+
+let on_off topo ~flow ~src ~dst ~rate_bps ?(packet_size = 1000) ?(on_mean = 1.)
+    ?(off_mean = 1.) () =
+  if on_mean <= 0. || off_mean <= 0. then
+    invalid_arg "Traffic.on_off: period means must be positive";
+  make topo ~kind:(On_off { on_mean; off_mean }) ~flow ~src ~dst ~rate_bps
+    ~packet_size
+
+let gap t =
+  let nominal = float_of_int t.packet_size *. 8. /. t.rate_bps in
+  match t.kind with
+  | Cbr { jitter } ->
+      nominal *. (1. -. (jitter /. 2.) +. Stats.Rng.float t.rng jitter)
+  | Poisson -> Stats.Rng.exponential t.rng ~mean:nominal
+  | On_off _ -> nominal
+
+let emit t =
+  let p =
+    Packet.make ~flow:t.flow ~size:t.packet_size ~src:(Node.id t.src)
+      ~dst:(Packet.Unicast (Node.id t.dst))
+      ~created:(Engine.now t.engine) (Packet.Raw t.flow)
+  in
+  t.sent <- t.sent + 1;
+  t.bytes <- t.bytes + t.packet_size;
+  Topology.inject t.topo p
+
+let rec tick t =
+  t.timer <- None;
+  if t.running then begin
+    let now = Engine.now t.engine in
+    (match t.kind with
+    | On_off { on_mean; off_mean } ->
+        if now >= t.period_ends then begin
+          (* Flip phase. *)
+          t.in_on_period <- not t.in_on_period;
+          let mean = if t.in_on_period then on_mean else off_mean in
+          t.period_ends <- now +. Stats.Rng.exponential t.rng ~mean
+        end
+    | Cbr _ | Poisson -> ());
+    let delay =
+      match t.kind with
+      | On_off _ when not t.in_on_period ->
+          (* Sleep out the off period. *)
+          Float.max 1e-6 (t.period_ends -. now)
+      | _ ->
+          emit t;
+          gap t
+    in
+    t.timer <- Some (Engine.after t.engine ~delay (fun () -> tick t))
+  end
+
+let start t ~at =
+  t.running <- true;
+  (match t.kind with
+  | On_off { on_mean; _ } ->
+      t.in_on_period <- true;
+      t.period_ends <- at +. Stats.Rng.exponential t.rng ~mean:on_mean
+  | Cbr _ | Poisson -> ());
+  ignore (Engine.at t.engine ~time:at (fun () -> tick t))
+
+let stop t =
+  t.running <- false;
+  match t.timer with
+  | Some h ->
+      Engine.cancel t.engine h;
+      t.timer <- None
+  | None -> ()
+
+let packets_sent t = t.sent
+
+let bytes_sent t = t.bytes

@@ -1,0 +1,58 @@
+(** Background-traffic generators (the ns-2 CBR / Poisson / exponential
+    on-off sources used as cross traffic in congestion-control studies).
+
+    Generators inject unlabelled unicast packets ({!Packet.Raw}) between
+    two nodes at a configured average rate; they do not react to
+    congestion — that is their point. *)
+
+type t
+
+val cbr :
+  Topology.t ->
+  flow:int ->
+  src:Node.t ->
+  dst:Node.t ->
+  rate_bps:float ->
+  ?packet_size:int ->
+  ?jitter:float ->
+  unit ->
+  t
+(** Constant bit rate.  [jitter] (default 0.1) spreads each inter-packet
+    gap uniformly over ±jitter/2 of its nominal value, avoiding simulator
+    phase effects.  [packet_size] defaults to 1000 bytes. *)
+
+val poisson :
+  Topology.t ->
+  flow:int ->
+  src:Node.t ->
+  dst:Node.t ->
+  rate_bps:float ->
+  ?packet_size:int ->
+  unit ->
+  t
+(** Exponentially distributed inter-packet gaps with the given average
+    rate. *)
+
+val on_off :
+  Topology.t ->
+  flow:int ->
+  src:Node.t ->
+  dst:Node.t ->
+  rate_bps:float ->
+  ?packet_size:int ->
+  ?on_mean:float ->
+  ?off_mean:float ->
+  unit ->
+  t
+(** Exponential on/off source: bursts at [rate_bps] during on-periods
+    (mean [on_mean], default 1 s), silent during off-periods (mean
+    [off_mean], default 1 s).  The long-run average rate is
+    rate·on/(on+off). *)
+
+val start : t -> at:float -> unit
+
+val stop : t -> unit
+
+val packets_sent : t -> int
+
+val bytes_sent : t -> int

@@ -1,0 +1,1 @@
+lib/pgmcc/receiver.mli: Netsim

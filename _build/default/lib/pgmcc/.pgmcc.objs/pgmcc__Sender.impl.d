@@ -1,0 +1,1 @@
+lib/pgmcc/sender.ml: Float Hashtbl Netsim Option Wire

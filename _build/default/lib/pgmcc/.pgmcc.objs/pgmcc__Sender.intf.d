@@ -1,0 +1,1 @@
+lib/pgmcc/sender.mli: Netsim

@@ -1,0 +1,1 @@
+lib/pgmcc/wire.ml: Netsim

@@ -1,0 +1,1 @@
+lib/pgmcc/wire.mli: Netsim

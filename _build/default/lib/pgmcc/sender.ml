@@ -1,0 +1,220 @@
+type peer = { mutable p_rtt : float; mutable p_loss : float; mutable p_seen : float }
+
+type t = {
+  topo : Netsim.Topology.t;
+  engine : Netsim.Engine.t;
+  session : int;
+  node : Netsim.Node.t;
+  flow : int;
+  s : int;
+  hysteresis : float;
+  peers : (int, peer) Hashtbl.t;
+  mutable running : bool;
+  mutable seq : int;
+  mutable acked : int;  (* highest seq the acker has acked *)
+  mutable window : float;
+  mutable ssthresh : float;
+  mutable acker : int;  (* -1 none *)
+  mutable acker_rtt : float;
+  mutable last_halving : float;
+  mutable idle_timer : Netsim.Engine.handle option;
+  mutable sent : int;
+  mutable acker_changes : int;
+  mutable halvings : int;
+}
+
+let window t = t.window
+
+let acker t = if t.acker < 0 then None else Some t.acker
+
+let packets_sent t = t.sent
+
+let acker_changes t = t.acker_changes
+
+let halvings t = t.halvings
+
+let rate_estimate_bytes_per_s t =
+  if t.acker < 0 then 0.
+  else t.window *. float_of_int t.s /. Float.max 1e-3 t.acker_rtt
+
+(* Simplified model used for the election: T ∝ 1 / (R √p).  A receiver
+   with no measured loss is treated as very fast. *)
+let modelled_throughput ~rtt ~loss =
+  let rtt = Float.max 1e-3 rtt in
+  if loss <= 1e-6 then 1e12 else 1. /. (rtt *. sqrt loss)
+
+let cancel_idle t =
+  match t.idle_timer with
+  | Some h ->
+      Netsim.Engine.cancel t.engine h;
+      t.idle_timer <- None
+  | None -> ()
+
+let send_packet t =
+  let now = Netsim.Engine.now t.engine in
+  let payload =
+    Wire.Data { session = t.session; seq = t.seq; ts = now; acker = t.acker; window = t.window }
+  in
+  let p =
+    Netsim.Packet.make ~flow:t.flow ~size:t.s ~src:(Netsim.Node.id t.node)
+      ~dst:(Netsim.Packet.Multicast t.session) ~created:now payload
+  in
+  t.seq <- t.seq + 1;
+  t.sent <- t.sent + 1;
+  Netsim.Topology.inject t.topo p
+
+(* Idle/timeout guard: with no acks for a while (acker silent or not yet
+   elected), collapse the window and emit a probe so the session cannot
+   deadlock. *)
+let rec restart_idle t =
+  cancel_idle t;
+  let delay = Float.max 0.2 (4. *. t.acker_rtt) in
+  t.idle_timer <-
+    Some
+      (Netsim.Engine.after t.engine ~delay (fun () ->
+           t.idle_timer <- None;
+           if t.running then begin
+             if t.acker >= 0 then begin
+               t.ssthresh <- Float.max 2. (t.window /. 2.);
+               t.window <- 1.
+             end;
+             t.acked <- t.seq - 1;
+             send_packet t;
+             restart_idle t
+           end))
+
+let send_window t =
+  let inflight () = t.seq - 1 - t.acked in
+  while t.running && float_of_int (inflight ()) < t.window do
+    send_packet t
+  done
+
+let update_peer t ~rx ~echo_ts ~loss =
+  let now = Netsim.Engine.now t.engine in
+  let rtt = now -. echo_ts in
+  if rtt > 0. then begin
+    let peer =
+      match Hashtbl.find_opt t.peers rx with
+      | Some p -> p
+      | None ->
+          let p = { p_rtt = rtt; p_loss = loss; p_seen = now } in
+          Hashtbl.add t.peers rx p;
+          p
+    in
+    peer.p_rtt <- (0.7 *. peer.p_rtt) +. (0.3 *. rtt);
+    peer.p_loss <- loss;
+    peer.p_seen <- now
+  end
+
+let maybe_switch_acker t ~rx =
+  if rx <> t.acker then begin
+    match (Hashtbl.find_opt t.peers rx, Hashtbl.find_opt t.peers t.acker) with
+    | Some cand, Some cur ->
+        let t_cand = modelled_throughput ~rtt:cand.p_rtt ~loss:cand.p_loss in
+        let t_cur = modelled_throughput ~rtt:cur.p_rtt ~loss:cur.p_loss in
+        if t_cand < t.hysteresis *. t_cur then begin
+          t.acker <- rx;
+          t.acker_rtt <- cand.p_rtt;
+          t.acker_changes <- t.acker_changes + 1;
+          (* Catch up the ack clock so the new acker's acks take over. *)
+          t.acked <- t.seq - 1
+        end
+    | Some cand, None ->
+        t.acker <- rx;
+        t.acker_rtt <- cand.p_rtt;
+        t.acker_changes <- t.acker_changes + 1
+    | None, _ -> ()
+  end
+
+let halve t =
+  let now = Netsim.Engine.now t.engine in
+  if now -. t.last_halving >= t.acker_rtt then begin
+    t.ssthresh <- Float.max 2. (t.window /. 2.);
+    t.window <- t.ssthresh;
+    t.last_halving <- now;
+    t.halvings <- t.halvings + 1
+  end
+
+let on_ack t ~rx ~ack_seq ~echo_ts ~loss =
+  update_peer t ~rx ~echo_ts ~loss;
+  if t.acker < 0 then begin
+    (* First report elects the first acker. *)
+    t.acker <- rx;
+    t.acker_rtt <- (Hashtbl.find t.peers rx).p_rtt;
+    t.acker_changes <- t.acker_changes + 1
+  end
+  else maybe_switch_acker t ~rx;
+  if rx = t.acker then begin
+    (match Hashtbl.find_opt t.peers rx with
+    | Some p -> t.acker_rtt <- p.p_rtt
+    | None -> ());
+    if ack_seq > t.acked then begin
+      let newly = ack_seq - t.acked in
+      t.acked <- ack_seq;
+      for _ = 1 to newly do
+        if t.window < t.ssthresh then t.window <- t.window +. 1.
+        else t.window <- t.window +. (1. /. t.window)
+      done;
+      restart_idle t;
+      send_window t
+    end
+  end
+
+let on_nak t ~rx ~echo_ts ~loss =
+  update_peer t ~rx ~echo_ts ~loss;
+  if t.acker < 0 then on_ack t ~rx ~ack_seq:(-1) ~echo_ts ~loss
+  else begin
+    maybe_switch_acker t ~rx;
+    if rx = t.acker then begin
+      halve t;
+      send_window t
+    end
+  end
+
+let create topo ~session ~node ?flow ?(packet_size = 1000) ?(hysteresis = 0.75)
+    () =
+  let t =
+    {
+      topo;
+      engine = Netsim.Topology.engine topo;
+      session;
+      node;
+      flow = Option.value flow ~default:session;
+      s = packet_size;
+      hysteresis;
+      peers = Hashtbl.create 32;
+      running = false;
+      seq = 0;
+      acked = -1;
+      window = 1.;
+      ssthresh = 64.;
+      acker = -1;
+      acker_rtt = 0.2;
+      last_halving = neg_infinity;
+      idle_timer = None;
+      sent = 0;
+      acker_changes = 0;
+      halvings = 0;
+    }
+  in
+  Netsim.Node.attach node (fun p ->
+      match p.Netsim.Packet.payload with
+      | Wire.Ack { session; rx_id; ack_seq; ts = _; echo_ts; loss }
+        when session = t.session ->
+          if t.running then on_ack t ~rx:rx_id ~ack_seq ~echo_ts ~loss
+      | Wire.Nak { session; rx_id; lost_seq = _; ts = _; echo_ts; loss }
+        when session = t.session ->
+          if t.running then on_nak t ~rx:rx_id ~echo_ts ~loss
+      | _ -> ());
+  t
+
+let start t ~at =
+  t.running <- true;
+  ignore
+    (Netsim.Engine.at t.engine ~time:at (fun () ->
+         send_packet t;
+         restart_idle t))
+
+let stop t =
+  t.running <- false;
+  cancel_idle t

@@ -1,0 +1,28 @@
+type Netsim.Packet.payload +=
+  | Data of {
+      session : int;
+      seq : int;
+      ts : float;
+      acker : int;
+      window : float;
+    }
+  | Ack of {
+      session : int;
+      rx_id : int;
+      ack_seq : int;
+      ts : float;
+      echo_ts : float;
+      loss : float;
+    }
+  | Nak of {
+      session : int;
+      rx_id : int;
+      lost_seq : int;
+      ts : float;
+      echo_ts : float;
+      loss : float;
+    }
+
+let ack_size = 40
+
+let nak_size = 40

@@ -1,0 +1,36 @@
+(** PGMCC packet formats (extends {!Netsim.Packet.payload}).
+
+    PGMCC (Rizzo, SIGCOMM 2000) is the single-rate scheme the TFMCC paper
+    compares against in §5: the sender elects the worst receiver as the
+    group representative ("acker") and runs a TCP-like window between
+    itself and the acker; other receivers send occasional NAK-style
+    reports carrying the loss/RTT state the acker election needs. *)
+
+type Netsim.Packet.payload +=
+  | Data of {
+      session : int;
+      seq : int;
+      ts : float;  (** sender clock *)
+      acker : int;  (** node id of the current acker; -1 if none *)
+      window : float;  (** current window, for receiver-side report pacing *)
+    }
+  | Ack of {
+      session : int;
+      rx_id : int;
+      ack_seq : int;  (** highest in-order sequence received *)
+      ts : float;
+      echo_ts : float;  (** data timestamp echoed for sender-side RTT *)
+      loss : float;  (** receiver's smoothed loss fraction *)
+    }
+  | Nak of {
+      session : int;
+      rx_id : int;
+      lost_seq : int;
+      ts : float;
+      echo_ts : float;
+      loss : float;  (** smoothed loss fraction *)
+    }
+
+val ack_size : int
+
+val nak_size : int

@@ -1,0 +1,74 @@
+(** NAK-based reliable block transfer over a TFMCC session — the paper's
+    intended first deployment ("a multicast filesystem synchronization
+    application (e.g. rdist)", §6.1), with congestion control and
+    reliability kept separate exactly as §2 prescribes: TFMCC decides
+    when packets are sent; this layer decides which block rides in each
+    one.
+
+    Sender side: a first pass streams blocks 0..N-1 in order; receiver
+    NAKs (bounded lists of missing ids, rate-limited and jittered) feed a
+    repair queue that takes precedence over fresh data; once the first
+    pass is done and the repair queue is empty, packets carry filler
+    until new NAKs arrive.
+
+    Receiver side: a bitset over the N expected blocks (the block count
+    is known out-of-band, as a file manifest would be), NAKing missing
+    blocks that are provably transmitted (id below the highest block
+    seen) — or all missing ones when progress has stalled. *)
+
+type Netsim.Packet.payload +=
+  | Nak of { session : int; rx_id : int; missing : int list }
+        (** Receiver→sender negative acknowledgment: a bounded list of
+            missing block ids. *)
+
+module Sender : sig
+  type t
+
+  val create :
+    Tfmcc_core.Sender.t ->
+    node:Netsim.Node.t ->
+    session:int ->
+    blocks:int ->
+    t
+  (** Installs itself as the TFMCC sender's block source and attaches the
+      NAK handler at [node] (the node hosting the TFMCC sender). *)
+
+  val blocks : t -> int
+
+  val first_pass_done : t -> bool
+
+  val repair_queue_length : t -> int
+
+  val repairs_sent : t -> int
+
+  val naks_received : t -> int
+end
+
+module Receiver : sig
+  type t
+
+  val create :
+    Netsim.Topology.t ->
+    Tfmcc_core.Receiver.t ->
+    sender:Netsim.Node.t ->
+    session:int ->
+    blocks:int ->
+    ?nak_interval:float ->
+    ?max_nak_ids:int ->
+    unit ->
+    t
+  (** Hooks into the TFMCC receiver's block callback.  [nak_interval]
+      (default 0.5 s) rate-limits NAKs; [max_nak_ids] (default 64) bounds
+      the ids per NAK. *)
+
+  val received_blocks : t -> int
+
+  val complete : t -> bool
+
+  val completion_time : t -> float option
+
+  val naks_sent : t -> int
+
+  val missing : t -> int list
+  (** Currently missing block ids, ascending. *)
+end

@@ -1,0 +1,38 @@
+type t = { sorted : float array }
+
+let of_samples xs =
+  if Array.length xs = 0 then invalid_arg "Cdf.of_samples: empty array";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  { sorted }
+
+(* Binary search: number of samples <= x. *)
+let count_le sorted x =
+  let n = Array.length sorted in
+  let rec loop lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if sorted.(mid) <= x then loop (mid + 1) hi else loop lo mid
+    end
+  in
+  loop 0 n
+
+let eval t x =
+  float_of_int (count_le t.sorted x) /. float_of_int (Array.length t.sorted)
+
+let quantile t q =
+  if q <= 0. || q > 1. then invalid_arg "Cdf.quantile: q must be in (0,1]";
+  let n = Array.length t.sorted in
+  let idx = int_of_float (ceil (q *. float_of_int n)) - 1 in
+  t.sorted.(Stdlib.max 0 (Stdlib.min (n - 1) idx))
+
+let support t = (t.sorted.(0), t.sorted.(Array.length t.sorted - 1))
+
+let points t ~n =
+  if n < 2 then invalid_arg "Cdf.points: need at least 2 points";
+  let lo, hi = support t in
+  let step = (hi -. lo) /. float_of_int (n - 1) in
+  Array.init n (fun i ->
+      let x = lo +. (float_of_int i *. step) in
+      (x, eval t x))

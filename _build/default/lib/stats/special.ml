@@ -1,0 +1,77 @@
+(* Lanczos approximation, g = 7, n = 9 coefficients. *)
+let lanczos =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+let rec log_gamma x =
+  if x <= 0. then invalid_arg "Special.log_gamma: x must be positive";
+  if x < 0.5 then
+    (* Reflection formula keeps accuracy near zero. *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1. -. x)
+  else begin
+    let x = x -. 1. in
+    let a = ref lanczos.(0) in
+    let t = x +. 7.5 in
+    for i = 1 to 8 do
+      a := !a +. (lanczos.(i) /. (x +. float_of_int i))
+    done;
+    0.5 *. log (2. *. Float.pi) +. ((x +. 0.5) *. log t) -. t +. log !a
+  end
+
+(* Series expansion of P(a,x), converges quickly for x < a + 1. *)
+let gamma_p_series a x =
+  let rec loop n term sum =
+    if abs_float term < abs_float sum *. 1e-15 || n > 500 then sum
+    else
+      let term = term *. x /. (a +. float_of_int n) in
+      loop (n + 1) term (sum +. term)
+  in
+  let t0 = 1. /. a in
+  let sum = loop 1 t0 t0 in
+  sum *. exp ((a *. log x) -. x -. log_gamma a)
+
+(* Continued fraction for Q(a,x), converges quickly for x >= a + 1.
+   Modified Lentz algorithm. *)
+let gamma_q_cf a x =
+  let tiny = 1e-300 in
+  let b = ref (x +. 1. -. a) in
+  let c = ref (1. /. tiny) in
+  let d = ref (1. /. !b) in
+  let h = ref !d in
+  (try
+     for i = 1 to 500 do
+       let an = -.float_of_int i *. (float_of_int i -. a) in
+       b := !b +. 2.;
+       d := (an *. !d) +. !b;
+       if abs_float !d < tiny then d := tiny;
+       c := !b +. (an /. !c);
+       if abs_float !c < tiny then c := tiny;
+       d := 1. /. !d;
+       let del = !d *. !c in
+       h := !h *. del;
+       if abs_float (del -. 1.) < 1e-15 then raise Exit
+     done
+   with Exit -> ());
+  exp ((a *. log x) -. x -. log_gamma a) *. !h
+
+let gamma_p a x =
+  if a <= 0. then invalid_arg "Special.gamma_p: a must be positive";
+  if x < 0. then invalid_arg "Special.gamma_p: x must be non-negative";
+  if x = 0. then 0.
+  else if x < a +. 1. then gamma_p_series a x
+  else 1. -. gamma_q_cf a x
+
+let gamma_q a x = 1. -. gamma_p a x
+
+let erf x =
+  let sign = if x < 0. then -1. else 1. in
+  let x = abs_float x in
+  let t = 1. /. (1. +. (0.3275911 *. x)) in
+  let a1 = 0.254829592
+  and a2 = -0.284496736
+  and a3 = 1.421413741
+  and a4 = -1.453152027
+  and a5 = 1.061405429 in
+  let poly = ((((a5 *. t) +. a4) *. t +. a3) *. t +. a2) *. t +. a1 in
+  sign *. (1. -. (poly *. t *. exp (-.x *. x)))

@@ -1,0 +1,17 @@
+(** Special functions needed for the analytic parts of the reproduction
+    (gamma order statistics of Section 3, feedback-message expectations). *)
+
+val log_gamma : float -> float
+(** [log_gamma x] is ln Γ(x) for x > 0 (Lanczos approximation, accurate to
+    ~1e-13 over the range we use). *)
+
+val gamma_p : float -> float -> float
+(** [gamma_p a x] is the regularized lower incomplete gamma function
+    P(a, x) = γ(a,x)/Γ(a), for a > 0, x ≥ 0. *)
+
+val gamma_q : float -> float -> float
+(** [gamma_q a x] = 1 - P(a, x). *)
+
+val erf : float -> float
+(** Error function (Abramowitz–Stegun 7.1.26 style rational approximation,
+    |error| < 1.5e-7). *)

@@ -1,0 +1,1 @@
+lib/tcp/rto_estimator.ml: Float

@@ -1,0 +1,1 @@
+lib/tcp/tcp_sink.ml: Int Netsim Segment Set

@@ -1,0 +1,1 @@
+lib/tcp/tcp_source.ml: Float Netsim Rto_estimator Segment Stats Stdlib

@@ -1,0 +1,26 @@
+(** Jacobson/Karels retransmission-timeout estimation with exponential
+    backoff (as in BSD TCP / ns-2). *)
+
+type t
+
+val create : ?initial_rto:float -> ?min_rto:float -> ?max_rto:float -> unit -> t
+(** Defaults: initial 3 s, min 1 s (RFC 2988), max 60 s. *)
+
+val observe : t -> float -> unit
+(** Feed one RTT sample (seconds).  First sample initializes
+    srtt = sample, rttvar = sample/2; later samples use the standard
+    EWMAs (gains 1/8 and 1/4).  Resets backoff. *)
+
+val rto : t -> float
+(** Current timeout: clamp(srtt + 4·rttvar) × 2^backoff, clamped to
+    [min_rto, max_rto]. *)
+
+val backoff : t -> unit
+(** Doubles the timeout (cap 2^6). *)
+
+val reset_backoff : t -> unit
+
+val srtt : t -> float option
+(** [None] before the first sample. *)
+
+val rttvar : t -> float option

@@ -1,0 +1,7 @@
+type Netsim.Packet.payload +=
+  | Data of { conn : int; seq : int }
+  | Ack of { conn : int; ack : int }
+
+let data_size = 1000
+
+let ack_size = 40

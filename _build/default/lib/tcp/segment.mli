@@ -1,0 +1,14 @@
+(** TCP packet payloads (extends {!Netsim.Packet.payload}).
+
+    Sequence and acknowledgment numbers count whole segments, as in the
+    ns-2 TCP agents: [ack = k] acknowledges all segments with seq < k. *)
+
+type Netsim.Packet.payload +=
+  | Data of { conn : int; seq : int }
+  | Ack of { conn : int; ack : int }
+
+val data_size : int
+(** Wire size of a data segment in bytes (payload + headers): 1000. *)
+
+val ack_size : int
+(** Wire size of a pure ACK: 40. *)

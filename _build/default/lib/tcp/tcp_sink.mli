@@ -1,0 +1,27 @@
+(** TCP receiver: tracks in-order delivery and returns one cumulative ACK
+    per arriving data segment (no delayed ACKs, matching the paper's
+    setup where TCP sensitivity to nearly-full drop-tail queues stems
+    from back-to-back sends). *)
+
+type t
+
+val create :
+  Netsim.Topology.t ->
+  conn:int ->
+  node:Netsim.Node.t ->
+  ?ack_flow:int ->
+  unit ->
+  t
+(** Attaches the sink to [node].  ACK packets carry the accounting tag
+    [ack_flow] (default -1, i.e. ignored by experiment monitors). *)
+
+val next_expected : t -> int
+(** Lowest sequence number not yet received in order. *)
+
+val segments_received : t -> int
+(** Total data segments that arrived (in or out of order). *)
+
+val bytes_received : t -> int
+
+val out_of_order : t -> int
+(** Segments that arrived ahead of a hole. *)

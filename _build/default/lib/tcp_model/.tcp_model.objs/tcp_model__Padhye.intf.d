@@ -1,0 +1,1 @@
+lib/tcp_model/padhye.mli:

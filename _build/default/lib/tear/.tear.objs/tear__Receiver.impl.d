@@ -1,0 +1,1 @@
+lib/tear/receiver.ml: Array Float List Netsim Wire

@@ -1,0 +1,1 @@
+lib/tear/receiver.mli: Netsim

@@ -1,0 +1,1 @@
+lib/tear/sender.ml: Float Netsim Option Stats Wire

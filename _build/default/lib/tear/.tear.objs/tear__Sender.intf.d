@@ -1,0 +1,1 @@
+lib/tear/sender.mli: Netsim

@@ -1,0 +1,1 @@
+lib/tear/wire.ml: Netsim

@@ -1,0 +1,1 @@
+lib/tear/wire.mli: Netsim

@@ -1,0 +1,123 @@
+type t = {
+  topo : Netsim.Topology.t;
+  engine : Netsim.Engine.t;
+  conn : int;
+  flow : int;
+  src : Netsim.Node.t;
+  dst : Netsim.Node.t;
+  rng : Stats.Rng.t;
+  mutable running : bool;
+  mutable rate : float;
+  mutable srtt : float option;
+  mutable seq : int;
+  mutable send_timer : Netsim.Engine.handle option;
+  mutable nofeedback : Netsim.Engine.handle option;
+  mutable sent : int;
+}
+
+let min_rate = float_of_int Wire.data_size /. 64.
+
+let rtt_or_default t = Option.value t.srtt ~default:0.5
+
+let cancel t h =
+  match h with
+  | Some hd ->
+      Netsim.Engine.cancel t.engine hd;
+      None
+  | None -> None
+
+let rec send_packet t =
+  t.send_timer <- None;
+  if t.running then begin
+    let now = Netsim.Engine.now t.engine in
+    let payload =
+      Wire.Data { conn = t.conn; seq = t.seq; ts = now; rtt = rtt_or_default t }
+    in
+    t.seq <- t.seq + 1;
+    t.sent <- t.sent + 1;
+    let p =
+      Netsim.Packet.make ~flow:t.flow ~size:Wire.data_size
+        ~src:(Netsim.Node.id t.src)
+        ~dst:(Netsim.Packet.Unicast (Netsim.Node.id t.dst))
+        ~created:now payload
+    in
+    Netsim.Topology.inject t.topo p;
+    (* Pacing jitter, as for the other rate-based senders. *)
+    let jitter = 0.75 +. (0.5 *. Stats.Rng.uniform t.rng) in
+    let delay = jitter *. float_of_int Wire.data_size /. t.rate in
+    t.send_timer <- Some (Netsim.Engine.after t.engine ~delay (fun () -> send_packet t))
+  end
+
+let rec restart_nofeedback t =
+  t.nofeedback <- cancel t t.nofeedback;
+  let delay = Float.max (4. *. rtt_or_default t) (2. *. float_of_int Wire.data_size /. t.rate) in
+  t.nofeedback <-
+    Some
+      (Netsim.Engine.after t.engine ~delay (fun () ->
+           t.nofeedback <- None;
+           if t.running then begin
+             t.rate <- Float.max min_rate (t.rate /. 2.);
+             restart_nofeedback t
+           end))
+
+let on_feedback t ~ts:_ ~echo_ts ~echo_delay ~rate =
+  let now = Netsim.Engine.now t.engine in
+  (if not (Float.is_nan echo_ts) then begin
+     let sample = now -. echo_ts -. echo_delay in
+     if sample > 0. then
+       t.srtt <-
+         (match t.srtt with
+         | None -> Some sample
+         | Some srtt -> Some ((0.9 *. srtt) +. (0.1 *. sample)))
+   end);
+  if rate > 0. then t.rate <- Float.max min_rate rate;
+  restart_nofeedback t
+
+let create topo ~conn ~flow ~src ~dst ?initial_rate () =
+  let engine = Netsim.Topology.engine topo in
+  let initial_rate =
+    Option.value initial_rate ~default:(float_of_int Wire.data_size)
+  in
+  let t =
+    {
+      topo;
+      engine;
+      conn;
+      flow;
+      src;
+      dst;
+      rng = Netsim.Engine.split_rng engine;
+      running = false;
+      rate = initial_rate;
+      srtt = None;
+      seq = 0;
+      send_timer = None;
+      nofeedback = None;
+      sent = 0;
+    }
+  in
+  Netsim.Node.attach src (fun p ->
+      match p.Netsim.Packet.payload with
+      | Wire.Feedback { conn; ts; echo_ts; echo_delay; rate } when conn = t.conn
+        ->
+          if t.running then on_feedback t ~ts ~echo_ts ~echo_delay ~rate
+      | _ -> ());
+  t
+
+let start t ~at =
+  t.running <- true;
+  ignore
+    (Netsim.Engine.at t.engine ~time:at (fun () ->
+         send_packet t;
+         restart_nofeedback t))
+
+let stop t =
+  t.running <- false;
+  t.send_timer <- cancel t t.send_timer;
+  t.nofeedback <- cancel t t.nofeedback
+
+let rate_bytes_per_s t = t.rate
+
+let rtt t = t.srtt
+
+let packets_sent t = t.sent

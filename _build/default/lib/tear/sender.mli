@@ -1,0 +1,26 @@
+(** TEAR sender: a pure pacer.  All the intelligence lives at the
+    receiver; the sender stamps packets, measures the RTT from feedback
+    echoes (the receiver needs it to turn windows into rates and to pace
+    its feedback), and sets its sending rate to the advertised value. *)
+
+type t
+
+val create :
+  Netsim.Topology.t ->
+  conn:int ->
+  flow:int ->
+  src:Netsim.Node.t ->
+  dst:Netsim.Node.t ->
+  ?initial_rate:float ->
+  unit ->
+  t
+
+val start : t -> at:float -> unit
+
+val stop : t -> unit
+
+val rate_bytes_per_s : t -> float
+
+val rtt : t -> float option
+
+val packets_sent : t -> int

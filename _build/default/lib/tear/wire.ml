@@ -1,0 +1,13 @@
+type Netsim.Packet.payload +=
+  | Data of { conn : int; seq : int; ts : float; rtt : float }
+  | Feedback of {
+      conn : int;
+      ts : float;
+      echo_ts : float;
+      echo_delay : float;
+      rate : float;
+    }
+
+let data_size = 1000
+
+let feedback_size = 40

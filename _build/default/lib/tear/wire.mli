@@ -1,0 +1,27 @@
+(** TEAR packet formats (extends {!Netsim.Packet.payload}).
+
+    TEAR — TCP Emulation At Receivers (Rhee, Ozdemir & Yi 2000) — is the
+    §5 "window emulation" alternative: the receiver runs a shadow TCP
+    congestion window driven by packet arrivals, converts the smoothed
+    average window into a rate, and feeds that rate back; the sender
+    simply paces at it.  Only the unicast variant exists (as the paper
+    notes), which is what this library implements. *)
+
+type Netsim.Packet.payload +=
+  | Data of {
+      conn : int;
+      seq : int;
+      ts : float;  (** sender clock *)
+      rtt : float;  (** sender's RTT estimate, for receiver-side pacing *)
+    }
+  | Feedback of {
+      conn : int;
+      ts : float;
+      echo_ts : float;
+      echo_delay : float;
+      rate : float;  (** receiver-computed sending rate, bytes/s *)
+    }
+
+val data_size : int
+
+val feedback_size : int

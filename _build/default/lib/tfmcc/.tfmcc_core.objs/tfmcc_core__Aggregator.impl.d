@@ -1,0 +1,1 @@
+lib/tfmcc/aggregator.ml: Netsim Stdlib Wire

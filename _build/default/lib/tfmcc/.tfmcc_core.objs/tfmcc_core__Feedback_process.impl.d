@@ -1,0 +1,1 @@
+lib/tfmcc/feedback_process.ml: Array Config Feedback_timer Float Fun List Stats

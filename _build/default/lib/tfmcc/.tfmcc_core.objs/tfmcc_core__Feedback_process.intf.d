@@ -1,0 +1,1 @@
+lib/tfmcc/feedback_process.mli: Config Stats

@@ -1,0 +1,1 @@
+lib/tfmcc/feedback_timer.mli: Config Stats

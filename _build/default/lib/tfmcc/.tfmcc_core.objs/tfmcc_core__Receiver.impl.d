@@ -1,0 +1,1 @@
+lib/tfmcc/receiver.ml: Config Feedback_timer Float Lazy Netsim Option Rtt_estimator Stats Tcp_model Tfrc Wire

@@ -1,0 +1,1 @@
+lib/tfmcc/receiver.mli: Config Netsim

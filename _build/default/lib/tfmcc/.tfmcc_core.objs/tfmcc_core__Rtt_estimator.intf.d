@@ -1,0 +1,1 @@
+lib/tfmcc/rtt_estimator.mli: Config

@@ -1,0 +1,1 @@
+lib/tfmcc/scaling_model.ml: Array Float List Stats Stdlib Tcp_model

@@ -1,0 +1,1 @@
+lib/tfmcc/scaling_model.mli: Stats

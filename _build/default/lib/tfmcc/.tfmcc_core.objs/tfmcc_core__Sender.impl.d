@@ -1,0 +1,1 @@
+lib/tfmcc/sender.ml: Config Feedback_timer Float Hashtbl List Netsim Option Stats Wire

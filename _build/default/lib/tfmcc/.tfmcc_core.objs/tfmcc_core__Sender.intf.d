@@ -1,0 +1,1 @@
+lib/tfmcc/sender.mli: Config Netsim

@@ -1,0 +1,1 @@
+lib/tfmcc/session.ml: Config Float List Netsim Receiver Sender

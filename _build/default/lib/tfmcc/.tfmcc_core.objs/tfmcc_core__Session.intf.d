@@ -1,0 +1,1 @@
+lib/tfmcc/session.mli: Config Netsim Receiver Sender

@@ -1,0 +1,1 @@
+lib/tfmcc/wire.mli: Netsim

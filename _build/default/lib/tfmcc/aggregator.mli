@@ -1,0 +1,37 @@
+(** In-network feedback aggregation (paper §6.1, Future Work).
+
+    An aggregator sits on an interior node of the distribution tree.
+    Receivers in its subtree unicast their reports to it (via the
+    receiver's [report_to]); the aggregator retains only the most
+    restrictive report seen within a hold interval — loss reports
+    dominate rate-only reports, lower rates dominate higher — and
+    forwards that single report to its parent (another aggregator or the
+    sender).  Leave reports pass through immediately.
+
+    The forwarded report keeps the originating receiver's identity and
+    timestamps, so the sender's CLR election, echo-based RTT measurement
+    and rate rescaling work end-to-end unchanged.  With a tree in place,
+    end-to-end timer suppression becomes unnecessary
+    ([Config.use_suppression = false]). *)
+
+type t
+
+val create :
+  Netsim.Topology.t ->
+  session:int ->
+  node:Netsim.Node.t ->
+  parent:Netsim.Node.t ->
+  ?hold:float ->
+  unit ->
+  t
+(** [hold] is the aggregation interval (default 0.2 s): the best report
+    collected during it is forwarded when it expires.  The interval
+    should be well below the feedback round duration. *)
+
+val reports_in : t -> int
+(** Reports received from the subtree. *)
+
+val reports_out : t -> int
+(** Aggregated reports forwarded to the parent. *)
+
+val node_id : t -> int

@@ -1,0 +1,71 @@
+type bias = Unbiased | Offset | Modified_offset | Modified_n
+
+type t = {
+  packet_size : int;
+  n_intervals : int;
+  rtt_initial : float;
+  ewma_clr : float;
+  ewma_other : float;
+  ewma_oneway : float;
+  round_rtt_factor : float;
+  round_min_packets : int;
+  bias : bias;
+  fb_delta : float;
+  n_estimate : int;
+  zeta : float;
+  clr_timeout_rounds : float;
+  slowstart_multiplier : float;
+  increase_limit_packets : float;
+  use_suppression : bool;
+  remodel_on_first_rtt : bool;
+  remember_clr : bool;
+  remember_clr_rtts : float;
+  b : float;
+  max_rate : float;
+}
+
+let default =
+  {
+    packet_size = 1000;
+    n_intervals = 8;
+    rtt_initial = 0.5;
+    ewma_clr = 0.05;
+    ewma_other = 0.5;
+    ewma_oneway = 0.005;
+    round_rtt_factor = 6.;
+    round_min_packets = 3;
+    bias = Modified_offset;
+    fb_delta = 1. /. 3.;
+    n_estimate = 10_000;
+    zeta = 0.1;
+    clr_timeout_rounds = 10.;
+    slowstart_multiplier = 2.;
+    increase_limit_packets = 1.;
+    use_suppression = true;
+    remodel_on_first_rtt = false;
+    remember_clr = false;
+    remember_clr_rtts = 4.;
+    b = 2.;
+    max_rate = 1e9;
+  }
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.packet_size <= 0 then err "packet_size must be positive"
+  else if t.n_intervals < 2 then err "n_intervals must be at least 2"
+  else if t.rtt_initial <= 0. then err "rtt_initial must be positive"
+  else if not (t.ewma_clr > 0. && t.ewma_clr <= 1.) then err "ewma_clr out of (0,1]"
+  else if not (t.ewma_other > 0. && t.ewma_other <= 1.) then err "ewma_other out of (0,1]"
+  else if not (t.ewma_oneway > 0. && t.ewma_oneway <= 1.) then
+    err "ewma_oneway out of (0,1]"
+  else if t.round_rtt_factor < 1. then err "round_rtt_factor must be >= 1"
+  else if t.round_min_packets < 0 then err "round_min_packets must be >= 0"
+  else if not (t.fb_delta >= 0. && t.fb_delta < 1.) then err "fb_delta out of [0,1)"
+  else if t.n_estimate < 2 then err "n_estimate must be >= 2"
+  else if not (t.zeta >= 0. && t.zeta <= 1.) then err "zeta out of [0,1]"
+  else if t.clr_timeout_rounds <= 0. then err "clr_timeout_rounds must be positive"
+  else if t.slowstart_multiplier < 1. then err "slowstart_multiplier must be >= 1"
+  else if t.increase_limit_packets <= 0. then err "increase_limit_packets must be positive"
+  else if t.b <= 0. then err "b must be positive"
+  else if t.max_rate <= 0. then err "max_rate must be positive"
+  else Ok ()

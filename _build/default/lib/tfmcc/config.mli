@@ -1,0 +1,65 @@
+(** TFMCC protocol parameters.
+
+    Defaults follow the paper (§2) and, where the paper leaves a constant
+    open, RFC 4654.  Every constant that §2.5/§3 discusses as a design
+    choice is exposed here so the ablation benches can vary it. *)
+
+(** Feedback-timer biasing method (paper §2.5.1, Figs 1/5/6). *)
+type bias =
+  | Unbiased  (** plain exponential timers, Eq. (2) *)
+  | Offset  (** offset by the raw rate ratio, Eq. (3) *)
+  | Modified_offset
+      (** offset by the ratio truncated to [0.5, 0.9] and renormalized —
+          the method TFMCC adopts *)
+  | Modified_n  (** shrink the receiver-set bound N with the ratio *)
+
+type t = {
+  packet_size : int;  (** s, bytes; default 1000 *)
+  n_intervals : int;  (** WALI depth; default 8 *)
+  rtt_initial : float;  (** initial RTT estimate, s; default 0.5 *)
+  ewma_clr : float;  (** RTT EWMA gain for the CLR; 0.05 *)
+  ewma_other : float;  (** RTT EWMA gain for non-CLR receivers; 0.5 *)
+  ewma_oneway : float;
+      (** gain for one-way-delay adjustments; 0.005 — applied per data
+          packet, so it must be far below the per-measurement gains or
+          transient queueing delay sweeps straight into the calculated
+          rate *)
+  round_rtt_factor : float;
+      (** T = round_rtt_factor · R_max; default 6, so that the effective
+          suppression window T' = (1-δ)·T is the 4 RTTs that §2.5.4's
+          analysis calls for *)
+  round_min_packets : int;
+      (** k: T also ≥ (k+1)·s/X_send so the echo can outrun suppression at
+          low rates (§2.5.3); default 3 *)
+  bias : bias;  (** default Modified_offset *)
+  fb_delta : float;  (** δ, fraction of T used for the rate offset; 1/3 *)
+  n_estimate : int;  (** N, assumed receiver-set bound; 10,000 *)
+  zeta : float;  (** ζ, feedback cancellation threshold; 0.1 *)
+  clr_timeout_rounds : float;
+      (** drop the CLR after this many feedback delays of silence; 10 *)
+  slowstart_multiplier : float;  (** d: target = d · min X_recv; 2 *)
+  increase_limit_packets : float;
+      (** rate increase cap after a CLR switch, packets per RTT; 1 *)
+  use_suppression : bool;
+      (** when false, receivers ignore echoed feedback (no timer
+          cancellation) — for deployments where an aggregation tree
+          (§6.1, {!Aggregator}) absorbs the feedback volume instead *)
+  remodel_on_first_rtt : bool;
+      (** App. A's full loss-history remodel (re-aggregating logged loss
+          gaps with the measured RTT) instead of only rescaling the
+          synthetic first interval; default false (the simpler correction
+          is what the calibrated figures use) *)
+  remember_clr : bool;  (** keep the previous CLR for fast switch-back (App. C) *)
+  remember_clr_rtts : float;  (** how long, in CLR RTTs; a few *)
+  b : float;
+      (** packets-per-ACK parameter of the control equation; 2, the form
+          the paper itself evidently used (its App. A curve peaks at the
+          b = 2 value, see Fig. 17) and the value that makes the shared-
+          bottleneck fairness of Fig. 9 come out right against our Reno *)
+  max_rate : float;  (** hard rate cap, bytes/s (sender's line rate) *)
+}
+
+val default : t
+
+val validate : t -> (unit, string) result
+(** Checks ranges; used by property tests and the CLI. *)

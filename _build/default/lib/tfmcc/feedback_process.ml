@@ -1,0 +1,76 @@
+type cancel_policy = On_any | Rate_threshold of float
+
+type params = {
+  n_estimate : int;
+  t_max : float;
+  delay : float;
+  bias : Config.bias;
+  delta : float;
+  cancel : cancel_policy;
+}
+
+type event = { value : float; timer : float; sent : bool }
+
+type outcome = {
+  responses : int;
+  first_time : float;
+  best_value : float;
+  true_min : float;
+  events : event array;
+}
+
+let uniform_values rng ~n ~lo ~hi =
+  if n <= 0 then invalid_arg "Feedback_process.uniform_values: n must be positive";
+  Array.init n (fun _ -> Stats.Dist.uniform_sample rng ~lo ~hi)
+
+let timer_samples rng ~bias ~t_max ~delta ~n_estimate ~ratio ~samples =
+  Array.init samples (fun _ ->
+      Feedback_timer.draw rng ~bias ~t_max ~delta ~n_estimate ~ratio)
+
+let run_round rng params ~values =
+  let n = Array.length values in
+  if n = 0 then invalid_arg "Feedback_process.run_round: empty receiver set";
+  let timers =
+    Array.map
+      (fun v ->
+        Feedback_timer.draw rng ~bias:params.bias ~t_max:params.t_max
+          ~delta:params.delta ~n_estimate:params.n_estimate ~ratio:v)
+      values
+  in
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun i j ->
+      match compare timers.(i) timers.(j) with 0 -> compare i j | c -> c)
+    order;
+  (* Echoes from already-sent responses: (arrival time, value), kept in
+     send order (arrival order too, as delay is constant). *)
+  let echoes = ref [] in
+  let suppressed_by v t =
+    List.exists
+      (fun (arrival, ev) ->
+        arrival <= t
+        &&
+        match params.cancel with
+        | On_any -> true
+        | Rate_threshold zeta ->
+            Feedback_timer.should_cancel ~zeta ~own_rate:v ~echoed_rate:ev)
+      !echoes
+  in
+  let events =
+    Array.map
+      (fun i ->
+        let v = values.(i) and tm = timers.(i) in
+        let sent = not (suppressed_by v tm) in
+        if sent then echoes := (tm +. params.delay, v) :: !echoes;
+        { value = v; timer = tm; sent })
+      order
+  in
+  let sent = Array.to_list events |> List.filter (fun e -> e.sent) in
+  let responses = List.length sent in
+  let first_time = match sent with [] -> nan | e :: _ -> e.timer in
+  let best_value =
+    if responses = 0 then nan
+    else List.fold_left (fun acc e -> Float.min acc e.value) infinity sent
+  in
+  let true_min = Array.fold_left Float.min values.(0) values in
+  { responses; first_time; best_value; true_min; events }

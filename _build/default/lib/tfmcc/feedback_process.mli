@@ -1,0 +1,57 @@
+(** Abstract single-round model of the feedback process (paper §2.5,
+    Figs 1–6).
+
+    Strips the protocol down to what those figures study: [n] receivers
+    hold feedback values (rate ratios in [0,1]); each draws a (possibly
+    biased) exponential timer over one round of duration [t_max]; a
+    response sent at time t is echoed to everyone at t + [delay]; already
+    -echoed responses cancel pending timers according to the cancellation
+    policy.  Time is in whatever unit [t_max]/[delay] use (the paper uses
+    RTTs). *)
+
+type cancel_policy =
+  | On_any  (** cancel on the first echo heard (ζ = 1 extreme) *)
+  | Rate_threshold of float
+      (** ζ: cancel iff echoed − own ≤ ζ·echoed; ζ = 0 means only
+          equal-or-lower echoes suppress *)
+
+type params = {
+  n_estimate : int;  (** N used by the timers *)
+  t_max : float;  (** round duration T *)
+  delay : float;  (** one-way echo delay Δ *)
+  bias : Config.bias;
+  delta : float;  (** δ offset fraction *)
+  cancel : cancel_policy;
+}
+
+(** One receiver's fate in the round. *)
+type event = {
+  value : float;  (** its feedback value *)
+  timer : float;  (** when its timer would fire *)
+  sent : bool;  (** false = suppressed *)
+}
+
+type outcome = {
+  responses : int;
+  first_time : float;  (** time of the first response; nan if none *)
+  best_value : float;  (** lowest value among sent responses; nan if none *)
+  true_min : float;  (** lowest value in the receiver set *)
+  events : event array;  (** per receiver, in timer order (Fig. 2's scatter) *)
+}
+
+val run_round : Stats.Rng.t -> params -> values:float array -> outcome
+(** Raises on an empty receiver set. *)
+
+val uniform_values : Stats.Rng.t -> n:int -> lo:float -> hi:float -> float array
+
+val timer_samples :
+  Stats.Rng.t ->
+  bias:Config.bias ->
+  t_max:float ->
+  delta:float ->
+  n_estimate:int ->
+  ratio:float ->
+  samples:int ->
+  float array
+(** iid draws of the timer for a fixed rate ratio — the ingredients of
+    Fig. 1's CDFs. *)

@@ -1,0 +1,415 @@
+type t = {
+  topo : Netsim.Topology.t;
+  engine : Netsim.Engine.t;
+  cfg : Config.t;
+  session : int;
+  node : Netsim.Node.t;
+  sender : Netsim.Node.t;
+  report_to : Netsim.Node.t;  (* sender, or an aggregation-tree parent *)
+  ntp_error : float option;  (* clock-sync bound for 2.4.1 initialization *)
+  report_flow : int;
+  rng : Stats.Rng.t;
+  rtt_est : Rtt_estimator.t;
+  history : Tfrc.Loss_history.t;
+  meter : Tfrc.Rate_meter.t;
+  mutable joined : bool;
+  mutable left : bool;
+  (* Snapshot of the newest data packet. *)
+  mutable have_data : bool;
+  mutable last_ts : float;  (* sender timestamp *)
+  mutable last_arrival : float;  (* local clock *)
+  mutable sender_rate : float;
+  mutable sender_in_ss : bool;
+  mutable sender_clr : int;  (* CLR id from the newest data packet; -1 none *)
+  mutable round : int;
+  mutable round_duration : float;
+  mutable is_clr : bool;
+  (* Feedback round state. *)
+  mutable fb_timer : Netsim.Engine.handle option;
+  mutable fb_round : int;  (* round the pending timer belongs to *)
+  mutable clr_timer : Netsim.Engine.handle option;
+  (* App. B bookkeeping: RTT in use when the synthetic interval was made. *)
+  mutable rtt_at_first_loss : float;
+  mutable rate_at_loss : float;  (* x_recv when the first loss occurred *)
+  mutable received : int;
+  mutable reports : int;
+  mutable suppressed : int;
+  mutable block_cb : (int -> unit) option;
+}
+
+let node_id t = Netsim.Node.id t.node
+
+let joined t = t.joined
+
+let local_now t = Rtt_estimator.local_time t.rtt_est ~now:(Netsim.Engine.now t.engine)
+
+let rtt t = Rtt_estimator.estimate t.rtt_est
+
+let has_rtt_measurement t = Rtt_estimator.has_measurement t.rtt_est
+
+let rtt_measurements t = Rtt_estimator.measurements t.rtt_est
+
+let loss_event_rate t = Tfrc.Loss_history.loss_event_rate t.history
+
+let has_loss t = Tfrc.Loss_history.has_loss t.history
+
+let x_recv t =
+  Tfrc.Rate_meter.rate_bytes_per_s t.meter ~now:(Netsim.Engine.now t.engine)
+
+let calculated_rate t =
+  let p = loss_event_rate t in
+  if p <= 0. then infinity
+  else
+    Tcp_model.Padhye.throughput ~b:t.cfg.Config.b ~s:t.cfg.Config.packet_size
+      ~rtt:(rtt t) p
+
+let is_clr t = t.is_clr
+
+let packets_received t = t.received
+
+let reports_sent t = t.reports
+
+let timers_suppressed t = t.suppressed
+
+(* The rate this receiver would report right now: the calculated rate
+   once it has seen loss, the receive rate during slowstart. *)
+let report_rate t = if has_loss t then calculated_rate t else x_recv t
+
+let cancel_fb_timer t =
+  match t.fb_timer with
+  | Some h ->
+      Netsim.Engine.cancel t.engine h;
+      t.fb_timer <- None
+  | None -> ()
+
+let cancel_clr_timer t =
+  match t.clr_timer with
+  | Some h ->
+      Netsim.Engine.cancel t.engine h;
+      t.clr_timer <- None
+  | None -> ()
+
+let send_report t =
+  if t.joined && t.have_data then begin
+    let now_local = local_now t in
+    let rate = report_rate t in
+    let rate = if Float.is_finite rate then rate else t.sender_rate in
+    let payload =
+      Wire.Report
+        {
+          session = t.session;
+          rx_id = node_id t;
+          ts = now_local;
+          echo_ts = t.last_ts;
+          echo_delay = now_local -. t.last_arrival;
+          rate;
+          have_rtt = has_rtt_measurement t;
+          rtt = rtt t;
+          p = loss_event_rate t;
+          x_recv = x_recv t;
+          round = t.round;
+          has_loss = has_loss t;
+          leaving = false;
+        }
+    in
+    let p =
+      Netsim.Packet.make ~flow:t.report_flow ~size:Wire.report_size
+        ~src:(node_id t)
+        ~dst:(Netsim.Packet.Unicast (Netsim.Node.id t.report_to))
+        ~created:(Netsim.Engine.now t.engine)
+        payload
+    in
+    Netsim.Topology.inject t.topo p;
+    t.reports <- t.reports + 1
+  end
+
+let send_leave_report t =
+  if t.have_data then begin
+    let now_local = local_now t in
+    let payload =
+      Wire.Report
+        {
+          session = t.session;
+          rx_id = node_id t;
+          ts = now_local;
+          echo_ts = t.last_ts;
+          echo_delay = now_local -. t.last_arrival;
+          rate = report_rate t;
+          have_rtt = has_rtt_measurement t;
+          rtt = rtt t;
+          p = loss_event_rate t;
+          x_recv = x_recv t;
+          round = t.round;
+          has_loss = has_loss t;
+          leaving = true;
+        }
+    in
+    let p =
+      Netsim.Packet.make ~flow:t.report_flow ~size:Wire.report_size
+        ~src:(node_id t)
+        ~dst:(Netsim.Packet.Unicast (Netsim.Node.id t.report_to))
+        ~created:(Netsim.Engine.now t.engine)
+        payload
+    in
+    Netsim.Topology.inject t.topo p
+  end
+
+(* CLR duty: immediate unsuppressed feedback, once per RTT. *)
+let rec schedule_clr_report t =
+  cancel_clr_timer t;
+  let delay = Float.max 1e-3 (rtt t) in
+  t.clr_timer <-
+    Some
+      (Netsim.Engine.after t.engine ~delay (fun () ->
+           t.clr_timer <- None;
+           if t.is_clr && t.joined then begin
+             send_report t;
+             schedule_clr_report t
+           end))
+
+let become_clr t =
+  if not t.is_clr then begin
+    t.is_clr <- true;
+    cancel_fb_timer t;
+    send_report t;
+    schedule_clr_report t
+  end
+
+let stop_being_clr t =
+  if t.is_clr then begin
+    t.is_clr <- false;
+    cancel_clr_timer t
+  end
+
+(* Would this receiver report at all this round? *)
+let wants_to_report t =
+  if t.sender_in_ss || not (has_loss t) then
+    (* Slowstart: everyone reports its receive rate so the sender can
+       track the minimum. *)
+    t.sender_in_ss
+  else
+    report_rate t < t.sender_rate
+    (* The sender lost its CLR (leave/timeout): volunteer so it can pick
+       the new limiting receiver instead of ramping blindly. *)
+    || t.sender_clr < 0
+
+let bias_ratio t =
+  if t.sender_rate <= 0. then 1.
+  else begin
+    let r = report_rate t /. t.sender_rate in
+    Float.max 0. (Float.min 1. r)
+  end
+
+let start_round t ~round ~duration =
+  t.round <- round;
+  t.round_duration <- duration;
+  cancel_fb_timer t;
+  if (not t.is_clr) && wants_to_report t then begin
+    let delay =
+      Feedback_timer.draw t.rng ~bias:t.cfg.Config.bias ~t_max:duration
+        ~delta:t.cfg.Config.fb_delta ~n_estimate:t.cfg.Config.n_estimate
+        ~ratio:(bias_ratio t)
+    in
+    t.fb_round <- round;
+    t.fb_timer <-
+      Some
+        (Netsim.Engine.after t.engine ~delay (fun () ->
+             t.fb_timer <- None;
+             (* Re-check: conditions may have improved since round start. *)
+             if t.joined && (not t.is_clr) && wants_to_report t then send_report t))
+  end
+
+(* Suppression by the lowest feedback echoed so far this round. *)
+let consider_suppression t (fb : Wire.fb_echo) =
+  if not t.cfg.Config.use_suppression then ()
+  else
+  match t.fb_timer with
+  | None -> ()
+  | Some _ ->
+      let mine_has_loss = has_loss t in
+      (* During slowstart a loss report cannot be suppressed by a
+         rate-only report (§2.6). *)
+      if mine_has_loss && not fb.fb_has_loss then ()
+      else begin
+        let cancel =
+          (* A pure receive-rate report (slowstart, no loss yet) carries
+             no information beyond the minimum already echoed: any echo
+             suppresses it.  Loss reports use the ζ rule. *)
+          (not mine_has_loss)
+          || Feedback_timer.should_cancel ~zeta:t.cfg.Config.zeta
+               ~own_rate:(report_rate t) ~echoed_rate:fb.fb_rate
+        in
+        if cancel then begin
+          cancel_fb_timer t;
+          t.suppressed <- t.suppressed + 1
+        end
+      end
+
+let on_data t (p : Netsim.Packet.t) ~seq ~ts ~rate ~round ~round_duration
+    ~max_rtt:_ ~clr ~in_slowstart ~echo ~fb ~app =
+  if t.joined then begin
+    (match t.block_cb with Some f when app >= 0 -> f app | _ -> ());
+    (* 2.4.1: synchronized clocks give a first RTT estimate from the very
+       first packet's one-way delay. *)
+    (match t.ntp_error with
+    | Some eps when not t.have_data ->
+        let oneway = local_now t -. ts in
+        Rtt_estimator.init_from_oneway t.rtt_est ~oneway ~max_error:eps
+    | Some _ | None -> ());
+    let now_local = local_now t in
+    t.received <- t.received + 1;
+    t.have_data <- true;
+    t.last_ts <- ts;
+    t.last_arrival <- now_local;
+    t.sender_rate <- rate;
+    t.sender_in_ss <- in_slowstart;
+    t.sender_clr <- clr;
+    (* RTT machinery: echo measurement has priority over the one-way
+       adjustment from the same packet. *)
+    let had_measurement = has_rtt_measurement t in
+    (match (echo : Wire.echo option) with
+    | Some e when e.rx_id = node_id t ->
+        Rtt_estimator.on_echo t.rtt_est ~local_now:now_local ~rx_ts:e.rx_ts
+          ~echo_delay:e.echo_delay ~pkt_ts:ts ~is_clr:t.is_clr
+    | Some _ | None -> Rtt_estimator.on_data t.rtt_est ~local_now:now_local ~pkt_ts:ts);
+    (* App. B: rescale the synthetic first interval when the first real
+       RTT measurement replaces the estimate it was computed with. *)
+    if (not had_measurement) && has_rtt_measurement t then begin
+      if Tfrc.Loss_history.has_loss t.history && t.rtt_at_first_loss > 0. then begin
+        let factor =
+          let r = rtt t /. t.rtt_at_first_loss in
+          r *. r
+        in
+        Tfrc.Loss_history.rescale_synthetic t.history ~factor;
+        (* App. A's stronger correction: re-aggregate the logged loss gaps
+           with the real RTT. *)
+        if t.cfg.Config.remodel_on_first_rtt then
+          Tfrc.Loss_history.remodel t.history ~rtt:(rtt t)
+      end
+    end;
+    (* Receive rate over a few RTTs. *)
+    let now = Netsim.Engine.now t.engine in
+    let window =
+      Float.max (2. *. rtt t) (4. *. float_of_int t.cfg.Config.packet_size /. rate)
+    in
+    Tfrc.Rate_meter.set_window t.meter (Float.max 0.05 window);
+    Tfrc.Rate_meter.record t.meter ~now ~bytes:p.Netsim.Packet.size;
+    t.rate_at_loss <- Tfrc.Rate_meter.rate_bytes_per_s t.meter ~now;
+    (* Loss detection. *)
+    let had_loss = Tfrc.Loss_history.has_loss t.history in
+    Tfrc.Loss_history.on_packet t.history ~seq ~now ~rtt:(rtt t);
+    (* First loss while the sender is in slowstart: report within one
+       feedback delay (§2.6) even if this round's rate-based timer was
+       already suppressed — only other loss reports may suppress it. *)
+    if (not had_loss) && Tfrc.Loss_history.has_loss t.history && in_slowstart
+       && not t.is_clr
+    then begin
+      cancel_fb_timer t;
+      let delay =
+        Feedback_timer.draw t.rng ~bias:t.cfg.Config.bias ~t_max:round_duration
+          ~delta:t.cfg.Config.fb_delta ~n_estimate:t.cfg.Config.n_estimate
+          ~ratio:0.
+      in
+      t.fb_round <- round;
+      t.fb_timer <-
+        Some
+          (Netsim.Engine.after t.engine ~delay (fun () ->
+               t.fb_timer <- None;
+               if t.joined && not t.is_clr then send_report t))
+    end;
+    (* CLR status. *)
+    if clr = node_id t then become_clr t else stop_being_clr t;
+    (* Feedback rounds. *)
+    if round <> t.round then start_round t ~round ~duration:round_duration;
+    (match (fb : Wire.fb_echo option) with
+    | Some f when not t.is_clr -> consider_suppression t f
+    | Some _ | None -> ())
+  end
+
+let create topo ~cfg ~session ~node ~sender ?report_to ?(clock_offset = 0.)
+    ?ntp_error ?(report_flow = -1) () =
+  let report_to = Option.value report_to ~default:sender in
+  let engine = Netsim.Topology.engine topo in
+  let rec t =
+    lazy
+      {
+        topo;
+        engine;
+        cfg;
+        session;
+        node;
+        sender;
+        report_to;
+        ntp_error;
+        report_flow;
+        rng = Netsim.Engine.split_rng engine;
+        rtt_est = Rtt_estimator.create ~cfg ~clock_offset;
+        history =
+          Tfrc.Loss_history.create ~n_intervals:cfg.Config.n_intervals
+            ~first_interval:(fun () ->
+              let self = Lazy.force t in
+              (* App. B: seed from half the receive rate at first loss,
+                 remembering the RTT used. *)
+              self.rtt_at_first_loss <- Rtt_estimator.estimate self.rtt_est;
+              if self.rate_at_loss > 0. then
+                Some
+                  (Tcp_model.Mathis.initial_loss_interval
+                     ~s:cfg.Config.packet_size
+                     ~rtt:(Rtt_estimator.estimate self.rtt_est)
+                     ~rate:(self.rate_at_loss /. 2.))
+              else None)
+            ();
+        meter = Tfrc.Rate_meter.create ~window:1. ();
+        joined = false;
+        left = false;
+        have_data = false;
+        last_ts = nan;
+        last_arrival = nan;
+        sender_rate = float_of_int cfg.Config.packet_size;
+        sender_in_ss = true;
+        sender_clr = -1;
+        round = -1;
+        round_duration = cfg.Config.rtt_initial *. cfg.Config.round_rtt_factor;
+        is_clr = false;
+        fb_timer = None;
+        fb_round = -1;
+        clr_timer = None;
+        rtt_at_first_loss = 0.;
+        rate_at_loss = 0.;
+        received = 0;
+        reports = 0;
+        suppressed = 0;
+        block_cb = None;
+      }
+  in
+  let t = Lazy.force t in
+  Netsim.Node.attach node (fun p ->
+      match p.Netsim.Packet.payload with
+      | Wire.Data
+          { session; seq; ts; rate; round; round_duration; max_rtt; clr;
+            in_slowstart; echo; fb; app }
+        when session = t.session ->
+          on_data t p ~seq ~ts ~rate ~round ~round_duration ~max_rtt ~clr
+            ~in_slowstart ~echo ~fb ~app
+      | _ -> ());
+  t
+
+let join t =
+  if t.left then invalid_arg "Receiver.join: receiver has left the session";
+  if not t.joined then begin
+    t.joined <- true;
+    Netsim.Topology.join t.topo ~group:t.session t.node
+  end
+
+let set_block_callback t f = t.block_cb <- Some f
+
+let leave t ?(explicit_leave = true) () =
+  if t.joined then begin
+    t.joined <- false;
+    t.left <- true;
+    cancel_fb_timer t;
+    cancel_clr_timer t;
+    t.is_clr <- false;
+    Netsim.Topology.leave t.topo ~group:t.session t.node;
+    if explicit_leave then send_leave_report t
+  end

@@ -1,0 +1,77 @@
+(** TFMCC receiver.
+
+    Measures the loss event rate (WALI, App. B initialization), its RTT
+    (initial value, echo measurements, one-way adjustments) and receive
+    rate, computes the TCP-friendly calculated rate from the control
+    equation, and takes part in the biased feedback rounds: timers drawn
+    per §2.5.1, cancellation per §2.5.2, CLR duty (immediate periodic
+    reports) when elected, slowstart receive-rate reports before the
+    first loss. *)
+
+type t
+
+val create :
+  Netsim.Topology.t ->
+  cfg:Config.t ->
+  session:int ->
+  node:Netsim.Node.t ->
+  sender:Netsim.Node.t ->
+  ?report_to:Netsim.Node.t ->
+  ?clock_offset:float ->
+  ?ntp_error:float ->
+  ?report_flow:int ->
+  unit ->
+  t
+(** Attaches handlers at [node].  The receiver does not receive traffic
+    until {!join}.  [report_to] redirects reports to an aggregation-tree
+    parent instead of the sender (§6.1; default the sender itself).
+    [clock_offset] shifts this receiver's local clock to exercise the
+    skew-cancellation of §2.4.3 (default 0).  [ntp_error], when given,
+    enables §2.4.1's synchronized-clock RTT initialization: the receiver
+    treats its clock as synchronized to the sender's within that bound
+    and seeds its RTT estimate from the first packet's one-way delay
+    (callers should keep [clock_offset] within [ntp_error] for the model
+    to be meaningful).  [report_flow] is the accounting tag of report
+    packets (default -1). *)
+
+val join : t -> unit
+(** Joins the multicast group (idempotent). *)
+
+val leave : t -> ?explicit_leave:bool -> unit -> unit
+(** Leaves the group.  With [explicit_leave] (default true) a leave
+    report is unicast to the sender so it can react immediately; without
+    it the sender must rely on its CLR timeout. *)
+
+val node_id : t -> int
+
+val joined : t -> bool
+
+val calculated_rate : t -> float
+(** X_r in bytes/s from the control equation; [infinity] before the first
+    loss event. *)
+
+val loss_event_rate : t -> float
+
+val rtt : t -> float
+
+val has_rtt_measurement : t -> bool
+
+val rtt_measurements : t -> int
+
+val x_recv : t -> float
+(** Receive rate, bytes/s. *)
+
+val is_clr : t -> bool
+
+val has_loss : t -> bool
+
+val packets_received : t -> int
+
+val reports_sent : t -> int
+
+val timers_suppressed : t -> int
+(** Feedback timers cancelled by echoed feedback (diagnostic). *)
+
+val set_block_callback : t -> (int -> unit) -> unit
+(** Invoked with the application block id of every arriving data packet
+    that carries one (the {!Sender.set_block_source} counterpart). *)

@@ -1,0 +1,69 @@
+type t = {
+  cfg : Config.t;
+  clock_offset : float;
+  mutable rtt : float;
+  mutable measured : bool;
+  mutable ntp_init : bool;
+  mutable count : int;
+  (* Reverse-path delay estimate (receiver clock minus sender clock
+     convention), valid once measured. *)
+  mutable d_reverse : float;
+}
+
+let create ~cfg ~clock_offset =
+  {
+    cfg;
+    clock_offset;
+    rtt = cfg.Config.rtt_initial;
+    measured = false;
+    ntp_init = false;
+    count = 0;
+    d_reverse = nan;
+  }
+
+let local_time t ~now = now +. t.clock_offset
+
+let estimate t = t.rtt
+
+let has_measurement t = t.measured
+
+let measurements t = t.count
+
+let on_echo t ~local_now ~rx_ts ~echo_delay ~pkt_ts ~is_clr =
+  let inst = local_now -. rx_ts -. echo_delay in
+  if inst > 0. then begin
+    let alpha =
+      if not t.measured then 1.
+      else if is_clr then t.cfg.Config.ewma_clr
+      else t.cfg.Config.ewma_other
+    in
+    t.rtt <- (alpha *. inst) +. ((1. -. alpha) *. t.rtt);
+    (* Seed the one-way state from this measurement; interim one-way
+       adjustments are discarded. *)
+    let d_forward = local_now -. pkt_ts in
+    t.d_reverse <- inst -. d_forward;
+    t.measured <- true;
+    t.count <- t.count + 1
+  end
+
+let init_from_oneway t ~oneway ~max_error =
+  if max_error < 0. then invalid_arg "Rtt_estimator.init_from_oneway: negative error";
+  if not t.measured then begin
+    let estimate = 2. *. (Float.max 0. oneway +. max_error) in
+    if estimate > 0. && estimate < t.rtt then begin
+      t.rtt <- estimate;
+      t.ntp_init <- true
+    end
+  end
+
+let ntp_initialized t = t.ntp_init
+
+let on_data t ~local_now ~pkt_ts =
+  if t.measured then begin
+    let d_forward = local_now -. pkt_ts in
+    let inst = t.d_reverse +. d_forward in
+    if inst > 0. then begin
+      let alpha = t.cfg.Config.ewma_oneway in
+      t.rtt <- (alpha *. inst) +. ((1. -. alpha) *. t.rtt)
+    end
+  end

@@ -1,0 +1,58 @@
+(** Receiver-side RTT estimation (paper §2.4).
+
+    Starts from the configured initial value (500 ms).  A real measurement
+    happens when the sender echoes this receiver's report: the
+    instantaneous RTT is local-now − own-timestamp − sender-hold-time,
+    smoothed with an EWMA whose gain depends on whether the receiver is
+    the CLR (frequent measurements, gain 0.05) or not (rare measurements,
+    gain 0.5).
+
+    Between real measurements the estimate follows one-way-delay
+    adjustments (§2.4.3): at measurement time the receiver computes the
+    reverse-path delay d_r→s = RTT_inst − d_s→r (both terms include the
+    receiver's clock offset, which cancels); on every later data packet
+    an up-to-date RTT estimate d_r→s + d'_s→r is formed and folded in
+    with a small gain.  When a real measurement arrives, interim one-way
+    adjustments are discarded.
+
+    All times fed to this module are in the receiver's local clock; use
+    {!local_time} to convert engine time. *)
+
+type t
+
+val create : cfg:Config.t -> clock_offset:float -> t
+
+val local_time : t -> now:float -> float
+(** Engine time plus this receiver's clock offset. *)
+
+val estimate : t -> float
+(** Current estimate (the configured initial value before the first real
+    measurement). *)
+
+val has_measurement : t -> bool
+
+val measurements : t -> int
+(** Count of real (echo-based) measurements. *)
+
+val on_echo :
+  t -> local_now:float -> rx_ts:float -> echo_delay:float -> pkt_ts:float ->
+  is_clr:bool -> unit
+(** A data packet echoed this receiver's report: [rx_ts] is the timestamp
+    this receiver put in the report (local clock), [echo_delay] the
+    sender's hold time, [pkt_ts] the data packet's sender timestamp
+    (sender clock, used to seed the one-way state). *)
+
+val on_data : t -> local_now:float -> pkt_ts:float -> unit
+(** One-way-delay adjustment from a regular data packet; no-op before the
+    first real measurement. *)
+
+val init_from_oneway : t -> oneway:float -> max_error:float -> unit
+(** §2.4.1's synchronized-clock initialization: when sender and receiver
+    clocks are synchronized to within [max_error] (GPS: ~0; NTP: the
+    RTT+dispersion to the stratum-1 server), the first data packet's
+    one-way delay yields the conservative first estimate
+    RTT = 2·(oneway + max_error).  Only applies before any real
+    measurement and only if it is *tighter* than the configured initial
+    value; real echo measurements still replace it entirely. *)
+
+val ntp_initialized : t -> bool

@@ -1,0 +1,70 @@
+type loss_profile = Constant of float | Realistic of { c : float }
+
+let assign_loss_rates rng ~n ~profile =
+  if n <= 0 then invalid_arg "Scaling_model.assign_loss_rates: n must be positive";
+  match profile with
+  | Constant p ->
+      if p <= 0. || p >= 1. then
+        invalid_arg "Scaling_model.assign_loss_rates: p out of (0,1)";
+      Array.make n p
+  | Realistic { c } ->
+      let high = Stdlib.max 1 (int_of_float (ceil (c *. log (float_of_int n)))) in
+      let mid = Stdlib.max 1 (int_of_float (ceil (2. *. c *. log (float_of_int n)))) in
+      Array.init n (fun i ->
+          if i < Stdlib.min n high then Stats.Dist.uniform_sample rng ~lo:0.05 ~hi:0.10
+          else if i < Stdlib.min n (high + mid) then
+            Stats.Dist.uniform_sample rng ~lo:0.02 ~hi:0.05
+          else Stats.Dist.uniform_sample rng ~lo:0.005 ~hi:0.02)
+
+let wali_weights n_intervals =
+  Array.init n_intervals (fun i ->
+      Float.min 1.
+        (2. *. float_of_int (n_intervals - i) /. float_of_int (n_intervals + 2)))
+
+let expected_throughput rng ~n ~profile ~rtt ~s ~n_intervals ~trials =
+  if trials <= 0 then invalid_arg "Scaling_model.expected_throughput: trials";
+  let weights = wali_weights n_intervals in
+  let wsum = Array.fold_left ( +. ) 0. weights in
+  let total = ref 0. in
+  for _ = 1 to trials do
+    let rates = assign_loss_rates rng ~n ~profile in
+    let min_rate = ref infinity in
+    Array.iter
+      (fun p_true ->
+        (* WALI estimate from n_intervals iid exponential intervals with
+           mean 1/p_true, plus TFMCC's open-interval rule: the interval
+           since the most recent loss event (elapsed time of the current
+           interval, itself exponential by memorylessness) is included
+           when doing so lowers the estimate. *)
+        let draw () =
+          Float.max 1. (Stats.Rng.exponential rng ~mean:(1. /. p_true))
+        in
+        let intervals = Array.init n_intervals (fun _ -> draw ()) in
+        let avg offset_open =
+          let num = ref 0. in
+          (match offset_open with
+          | Some open_iv ->
+              num := weights.(0) *. open_iv;
+              for k = 1 to n_intervals - 1 do
+                num := !num +. (weights.(k) *. intervals.(k - 1))
+              done
+          | None ->
+              for k = 0 to n_intervals - 1 do
+                num := !num +. (weights.(k) *. intervals.(k))
+              done);
+          !num /. wsum
+        in
+        let open_iv = draw () in
+        let avg_interval = Float.max (avg None) (avg (Some open_iv)) in
+        let p_hat = Float.min 1. (1. /. avg_interval) in
+        let rate = Tcp_model.Padhye.throughput ~s ~rtt p_hat in
+        if rate < !min_rate then min_rate := rate)
+      rates;
+    total := !total +. !min_rate
+  done;
+  !total /. float_of_int trials
+
+let series rng ~ns ~profile ~rtt ~s ~n_intervals ~trials =
+  List.map
+    (fun n -> (n, expected_throughput rng ~n ~profile ~rtt ~s ~n_intervals ~trials))
+    ns

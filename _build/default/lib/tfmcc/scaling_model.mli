@@ -1,0 +1,43 @@
+(** The loss-path-multiplicity scaling model of Section 3 (Fig. 7).
+
+    With n receivers seeing independent loss, loss intervals are
+    exponentially distributed; TFMCC's WALI filter averages
+    [n_intervals] of them (approximately gamma), and the protocol tracks
+    the minimum calculated rate over receivers — so throughput degrades
+    with n even at a fixed loss probability.  This module Monte-Carlos
+    that minimum, for a constant per-receiver loss rate and for the
+    paper's more realistic skewed distribution (a few high-loss
+    receivers, a majority at low loss). *)
+
+type loss_profile =
+  | Constant of float  (** every receiver at this loss probability *)
+  | Realistic of { c : float }
+      (** ⌈c·ln n⌉ receivers at 5–10 % loss, ⌈2c·ln n⌉ at 2–5 %, the rest
+          at 0.5–2 % (Section 3's illustrative distribution) *)
+
+val assign_loss_rates : Stats.Rng.t -> n:int -> profile:loss_profile -> float array
+
+val expected_throughput :
+  Stats.Rng.t ->
+  n:int ->
+  profile:loss_profile ->
+  rtt:float ->
+  s:int ->
+  n_intervals:int ->
+  trials:int ->
+  float
+(** Average over [trials] of min over receivers of the equation rate
+    when each receiver's p estimate is the WALI average of
+    [n_intervals] iid exponential loss intervals at its true loss rate.
+    Bytes/s. *)
+
+val series :
+  Stats.Rng.t ->
+  ns:int list ->
+  profile:loss_profile ->
+  rtt:float ->
+  s:int ->
+  n_intervals:int ->
+  trials:int ->
+  (int * float) list
+(** (n, expected throughput) for each receiver count. *)

@@ -1,0 +1,489 @@
+(* Echo priority classes, §2.4.2 (lower = more urgent). *)
+let class_new_clr = 1
+
+let class_no_rtt = 2
+
+let class_non_clr = 3
+
+let class_clr = 4
+
+type pending_echo = {
+  pe_rx : int;
+  pe_ts : float;  (* receiver timestamp from the report *)
+  pe_arrival : float;  (* sender clock when the report arrived *)
+  pe_class : int;
+  pe_rate : float;  (* tie-break: lowest reported rate first *)
+}
+
+type clr_state = {
+  mutable clr_id : int;
+  mutable clr_rtt : float;
+  mutable clr_rate : float;  (* last (adjusted) rate the CLR reported *)
+  mutable clr_last_report : float;
+}
+
+type prev_clr = { prev_id : int; prev_rate : float; prev_until : float }
+
+type t = {
+  topo : Netsim.Topology.t;
+  engine : Netsim.Engine.t;
+  cfg : Config.t;
+  session : int;
+  node : Netsim.Node.t;
+  flow : int;
+  rng : Stats.Rng.t;
+  mutable running : bool;
+  mutable rate : float;  (* X_send, bytes/s *)
+  mutable in_ss : bool;
+  mutable ss_target : float;
+  mutable ss_min_xrecv : float;  (* min receive rate reported this round *)
+  mutable ss_round : int;  (* last round that raised the target (§2.6:
+                              the target grows once per feedback round,
+                              not per CLR report) *)
+  mutable seq : int;
+  mutable round : int;
+  mutable round_duration : float;
+  mutable round_started : float;
+  mutable max_rtt : float;
+  (* Last RTT sample and its arrival time per receiver; entries leave
+     with an explicit leave report, on CLR timeout, or by staleness. *)
+  rtt_table : (int, float * float) Hashtbl.t;
+  mutable clr : clr_state option;
+  mutable prev_clr : prev_clr option;
+  (* Lowest report seen this round, echoed in data packets. *)
+  mutable round_fb : Wire.fb_echo option;
+  mutable pending_echoes : pending_echo list;  (* sorted by (class, rate) *)
+  mutable clr_echo : pending_echo option;  (* CLR default echo *)
+  mutable last_rate_change : float;
+  mutable block_source : (unit -> int) option;
+  mutable send_timer : Netsim.Engine.handle option;
+  mutable round_timer : Netsim.Engine.handle option;
+  mutable sent : int;
+  mutable reports : int;
+  mutable clr_changes : int;
+  mutable clr_timeouts : int;
+}
+
+let min_rate t = float_of_int t.cfg.Config.packet_size /. 64.
+
+let s_float t = float_of_int t.cfg.Config.packet_size
+
+let rate_bytes_per_s t = t.rate
+
+let clr t = match t.clr with None -> None | Some c -> Some c.clr_id
+
+let in_slowstart t = t.in_ss
+
+let round t = t.round
+
+let round_duration t = t.round_duration
+
+let max_rtt t = t.max_rtt
+
+let packets_sent t = t.sent
+
+let reports_received t = t.reports
+
+let clr_changes t = t.clr_changes
+
+let clr_timeouts t = t.clr_timeouts
+
+let cancel t handle =
+  match handle with
+  | Some h ->
+      Netsim.Engine.cancel t.engine h;
+      None
+  | None -> None
+
+let clamp_rate t x = Float.min t.cfg.Config.max_rate (Float.max (min_rate t) x)
+
+(* ---------------------------------------------------------------- echoes *)
+
+let pop_echo t ~now =
+  match t.pending_echoes with
+  | pe :: rest ->
+      t.pending_echoes <- rest;
+      Some
+        { Wire.rx_id = pe.pe_rx; rx_ts = pe.pe_ts; echo_delay = now -. pe.pe_arrival }
+  | [] -> (
+      match t.clr_echo with
+      | Some pe ->
+          Some
+            { Wire.rx_id = pe.pe_rx; rx_ts = pe.pe_ts; echo_delay = now -. pe.pe_arrival }
+      | None -> None)
+
+let queue_echo t pe =
+  (* One pending echo per receiver: the newest report wins. *)
+  let rest = List.filter (fun e -> e.pe_rx <> pe.pe_rx) t.pending_echoes in
+  let cmp a b =
+    match compare a.pe_class b.pe_class with
+    | 0 -> compare a.pe_rate b.pe_rate
+    | c -> c
+  in
+  t.pending_echoes <- List.sort cmp (pe :: rest)
+
+(* ------------------------------------------------------------ rate moves *)
+
+let apply_decrease t new_rate =
+  t.rate <- clamp_rate t new_rate;
+  t.last_rate_change <- Netsim.Engine.now t.engine
+
+(* Increase toward [desired], at most [increase_limit_packets] packets per
+   RTT since the last change. *)
+let apply_capped_increase t ~desired ~rtt =
+  let now = Netsim.Engine.now t.engine in
+  let dt = Float.max 0. (now -. t.last_rate_change) in
+  let rtt = Float.max 1e-3 rtt in
+  let cap =
+    t.rate +. (t.cfg.Config.increase_limit_packets *. s_float t *. (dt /. rtt))
+  in
+  t.rate <- clamp_rate t (Float.min desired cap);
+  t.last_rate_change <- now
+
+(* -------------------------------------------------------------- the CLR *)
+
+let set_clr t ~rx ~rtt ~rate_adj =
+  let now = Netsim.Engine.now t.engine in
+  (match t.clr with
+  | Some c when c.clr_id = rx ->
+      c.clr_rtt <- rtt;
+      c.clr_rate <- rate_adj;
+      c.clr_last_report <- now
+  | Some c ->
+      (* Remember the outgoing CLR for conservative switch-back (App. C). *)
+      if t.cfg.Config.remember_clr then
+        t.prev_clr <-
+          Some
+            {
+              prev_id = c.clr_id;
+              prev_rate = c.clr_rate;
+              prev_until = now +. (t.cfg.Config.remember_clr_rtts *. Float.max c.clr_rtt 1e-3);
+            };
+      t.clr_changes <- t.clr_changes + 1;
+      t.clr <- Some { clr_id = rx; clr_rtt = rtt; clr_rate = rate_adj; clr_last_report = now }
+  | None ->
+      t.clr_changes <- t.clr_changes + 1;
+      t.clr <- Some { clr_id = rx; clr_rtt = rtt; clr_rate = rate_adj; clr_last_report = now })
+
+let drop_clr t =
+  (match t.clr with
+  | Some c -> Hashtbl.remove t.rtt_table c.clr_id
+  | None -> ());
+  t.clr <- None;
+  t.clr_echo <- None
+
+(* App. C: if the stored previous CLR's rate is lower than where the rate
+   is heading, switch back to it without waiting for feedback. *)
+let check_prev_clr t ~desired =
+  match t.prev_clr with
+  | Some p when Netsim.Engine.now t.engine <= p.prev_until ->
+      if desired > p.prev_rate then begin
+        (match t.clr with
+        | Some c ->
+            set_clr t ~rx:p.prev_id ~rtt:c.clr_rtt ~rate_adj:p.prev_rate
+        | None -> set_clr t ~rx:p.prev_id ~rtt:t.cfg.Config.rtt_initial ~rate_adj:p.prev_rate);
+        t.prev_clr <- None;
+        p.prev_rate
+      end
+      else desired
+  | Some _ ->
+      t.prev_clr <- None;
+      desired
+  | None -> desired
+
+(* --------------------------------------------------------------- reports *)
+
+let sender_side_rtt t ~echo_ts ~echo_delay =
+  let now = Netsim.Engine.now t.engine in
+  let sample = now -. echo_ts -. echo_delay in
+  if Float.is_nan sample || sample <= 0. then None else Some sample
+
+let on_report t ~rx ~ts ~echo_ts ~echo_delay ~rate ~have_rtt ~rtt ~p:_ ~x_recv
+    ~round:report_round ~has_loss ~leaving =
+  let now = Netsim.Engine.now t.engine in
+  t.reports <- t.reports + 1;
+  if leaving then begin
+    Hashtbl.remove t.rtt_table rx;
+    match t.clr with
+    | Some c when c.clr_id = rx ->
+        (* The limiting receiver left: drop it and let the capped ramp
+           find the next CLR. *)
+        drop_clr t;
+        t.clr_timeouts <- t.clr_timeouts + 1
+    | _ -> ()
+  end
+  else begin
+    (* Sender-side RTT: used to rescale rate reports that were computed
+       with the initial RTT (§2.4.4). *)
+    let rtt_sender = sender_side_rtt t ~echo_ts ~echo_delay in
+    let rtt_best =
+      if have_rtt then rtt else Option.value rtt_sender ~default:rtt
+    in
+    (* R_max must reflect the RTT the receiver itself operates with: a
+       receiver still using the 500 ms initial estimate draws feedback
+       timers from it, so rounds must stay that long until it has a real
+       measurement (paper footnote 7).  [rtt] is the receiver's own
+       current estimate. *)
+    let rtt_for_rmax = if have_rtt then rtt else Float.max rtt rtt_best in
+    Hashtbl.replace t.rtt_table rx (rtt_for_rmax, now);
+    let rate_adj =
+      if has_loss && not have_rtt then
+        match rtt_sender with
+        | Some r when r > 0. -> rate *. rtt /. r  (* X ∝ 1/R *)
+        | Some _ | None -> rate
+      else rate
+    in
+    (* Track the lowest report of this round for suppression echoing.
+       Loss reports dominate slowstart receive-rate reports. *)
+    let candidate = { Wire.fb_rx_id = rx; fb_rate = rate_adj; fb_has_loss = has_loss } in
+    (match t.round_fb with
+    | None -> t.round_fb <- Some candidate
+    | Some cur ->
+        let better =
+          if has_loss <> cur.Wire.fb_has_loss then has_loss
+          else rate_adj < cur.Wire.fb_rate
+        in
+        if better then t.round_fb <- Some candidate);
+    (* Slowstart bookkeeping. *)
+    if t.in_ss then begin
+      if has_loss then begin
+        (* First loss ends slowstart (§2.6). *)
+        t.in_ss <- false;
+        set_clr t ~rx ~rtt:rtt_best ~rate_adj;
+        apply_decrease t (Float.min t.rate rate_adj)
+      end
+      else begin
+        if x_recv < t.ss_min_xrecv then begin
+          t.ss_min_xrecv <- x_recv;
+          set_clr t ~rx ~rtt:rtt_best ~rate_adj:x_recv
+        end
+        else begin
+          match t.clr with
+          | Some c when c.clr_id = rx ->
+              c.clr_last_report <- now;
+              c.clr_rtt <- rtt_best;
+              (* CLR's fresh receive rate drives the target. *)
+              t.ss_min_xrecv <- x_recv
+          | _ -> ()
+        end;
+        let proposed =
+          clamp_rate t
+            (t.cfg.Config.slowstart_multiplier *. Float.max 1. t.ss_min_xrecv)
+        in
+        if proposed < t.ss_target then t.ss_target <- proposed
+        else if report_round > t.ss_round then begin
+          t.ss_round <- report_round;
+          t.ss_target <- proposed
+        end
+      end
+    end
+    else begin
+      (* Congestion-avoidance rate control. *)
+      match t.clr with
+      | None ->
+          if has_loss then begin
+            set_clr t ~rx ~rtt:rtt_best ~rate_adj;
+            if rate_adj < t.rate then apply_decrease t rate_adj
+            else apply_capped_increase t ~desired:(check_prev_clr t ~desired:rate_adj) ~rtt:rtt_best
+          end
+      | Some c ->
+          if rx = c.clr_id then begin
+            c.clr_last_report <- now;
+            c.clr_rtt <- rtt_best;
+            c.clr_rate <- rate_adj;
+            if rate_adj < t.rate then apply_decrease t rate_adj
+            else begin
+              let desired = check_prev_clr t ~desired:rate_adj in
+              apply_capped_increase t ~desired ~rtt:rtt_best
+            end
+          end
+          else if has_loss && rate_adj < t.rate then begin
+            (* A lower-rate receiver takes over as CLR. *)
+            set_clr t ~rx ~rtt:rtt_best ~rate_adj;
+            apply_decrease t rate_adj
+          end
+    end;
+    (* Echo scheduling. *)
+    let is_new_clr = match t.clr with Some c -> c.clr_id = rx | None -> false in
+    let pe_class =
+      if is_new_clr && (match t.clr_echo with Some e -> e.pe_rx <> rx | None -> true)
+      then class_new_clr
+      else if not have_rtt then class_no_rtt
+      else if match t.clr with Some c -> c.clr_id = rx | None -> false then class_clr
+      else class_non_clr
+    in
+    let pe = { pe_rx = rx; pe_ts = ts; pe_arrival = now; pe_class; pe_rate = rate_adj } in
+    if pe_class = class_clr then t.clr_echo <- Some pe else queue_echo t pe;
+    if is_new_clr then t.clr_echo <- Some pe
+  end
+
+(* ---------------------------------------------------------------- rounds *)
+
+let check_clr_timeout t =
+  match t.clr with
+  | Some c
+    when Netsim.Engine.now t.engine -. c.clr_last_report
+         > t.cfg.Config.clr_timeout_rounds *. t.round_duration ->
+      drop_clr t;
+      t.clr_timeouts <- t.clr_timeouts + 1
+  | _ -> ()
+
+let rec start_round t =
+  t.round_timer <- None;
+  if t.running then begin
+    let now = Netsim.Engine.now t.engine in
+    t.round <- t.round + 1;
+    t.round_started <- now;
+    t.round_fb <- None;
+    (* R_max: the maximum RTT over receivers heard from within the last
+       two rounds, falling back to the initial value when nobody
+       (recently) reported.  Stale entries are evicted so a departed
+       slow receiver stops inflating the round duration. *)
+    let horizon = now -. (2. *. t.round_duration) in
+    let stale =
+      Hashtbl.fold
+        (fun rx (_, seen) acc -> if seen < horizon then rx :: acc else acc)
+        t.rtt_table []
+    in
+    List.iter (Hashtbl.remove t.rtt_table) stale;
+    let observed =
+      Hashtbl.fold (fun _ (rtt, _) acc -> Float.max rtt acc) t.rtt_table 0.
+    in
+    t.max_rtt <- (if observed > 0. then observed else t.cfg.Config.rtt_initial);
+    t.round_duration <-
+      Feedback_timer.round_duration ~cfg:t.cfg ~max_rtt:t.max_rtt ~rate:t.rate;
+    check_clr_timeout t;
+    t.round_timer <-
+      Some (Netsim.Engine.after t.engine ~delay:t.round_duration (fun () -> start_round t))
+  end
+
+(* --------------------------------------------------------------- pacing *)
+
+let rec send_packet t =
+  t.send_timer <- None;
+  if t.running then begin
+    let now = Netsim.Engine.now t.engine in
+    (* Slowstart ramp: approach the target over roughly one RTT. *)
+    (if t.in_ss && t.ss_target > 0. then begin
+       let rtt = Float.max 1e-3 t.max_rtt in
+       let dt = float_of_int t.cfg.Config.packet_size /. Float.max t.rate 1. in
+       if t.ss_target < t.rate then t.rate <- clamp_rate t t.ss_target
+       else begin
+         let step = (t.ss_target -. t.rate) *. Float.min 1. (dt /. rtt) in
+         t.rate <- clamp_rate t (t.rate +. step)
+       end
+     end
+     else if (not t.in_ss) && t.clr = None then begin
+       (* No CLR (timeout/leave): ramp up at the capped rate until a
+          receiver objects and becomes CLR. *)
+       let rtt = Float.max 1e-3 t.max_rtt in
+       let dt = float_of_int t.cfg.Config.packet_size /. Float.max t.rate 1. in
+       t.rate <-
+         clamp_rate t
+           (t.rate +. (t.cfg.Config.increase_limit_packets *. s_float t *. (dt /. rtt)))
+     end);
+    let payload =
+      Wire.Data
+        {
+          session = t.session;
+          seq = t.seq;
+          ts = now;
+          rate = t.rate;
+          round = t.round;
+          round_duration = t.round_duration;
+          max_rtt = t.max_rtt;
+          clr = (match t.clr with Some c -> c.clr_id | None -> -1);
+          in_slowstart = t.in_ss;
+          echo = pop_echo t ~now;
+          fb = t.round_fb;
+          app = (match t.block_source with Some f -> f () | None -> -1);
+        }
+    in
+    let p =
+      Netsim.Packet.make ~flow:t.flow ~size:t.cfg.Config.packet_size
+        ~src:(Netsim.Node.id t.node)
+        ~dst:(Netsim.Packet.Multicast t.session) ~created:now payload
+    in
+    t.seq <- t.seq + 1;
+    t.sent <- t.sent + 1;
+    Netsim.Topology.inject t.topo p;
+    (* +-25% pacing jitter: breaks deterministic phase-locking between
+       the paced flow and drop-tail queue service (the classic simulator
+       phase effect that would otherwise concentrate drops on the paced
+       flow). *)
+    let jitter = 0.75 +. (0.5 *. Stats.Rng.uniform t.rng) in
+    let delay = jitter *. float_of_int t.cfg.Config.packet_size /. t.rate in
+    t.send_timer <- Some (Netsim.Engine.after t.engine ~delay (fun () -> send_packet t))
+  end
+
+let create topo ~cfg ~session ~node ?flow ?initial_rate () =
+  (match Config.validate cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Sender.create: bad config: " ^ msg));
+  let flow = Option.value flow ~default:session in
+  let initial_rate =
+    Option.value initial_rate
+      ~default:(float_of_int cfg.Config.packet_size /. cfg.Config.rtt_initial)
+  in
+  let t =
+    {
+      topo;
+      engine = Netsim.Topology.engine topo;
+      cfg;
+      session;
+      node;
+      flow;
+      rng = Netsim.Engine.split_rng (Netsim.Topology.engine topo);
+      running = false;
+      rate = initial_rate;
+      in_ss = true;
+      ss_target = initial_rate;
+      ss_min_xrecv = infinity;
+      ss_round = -1;
+      seq = 0;
+      round = -1;
+      round_duration = cfg.Config.rtt_initial *. cfg.Config.round_rtt_factor;
+      round_started = 0.;
+      max_rtt = cfg.Config.rtt_initial;
+      rtt_table = Hashtbl.create 64;
+      clr = None;
+      prev_clr = None;
+      round_fb = None;
+      pending_echoes = [];
+      clr_echo = None;
+      last_rate_change = 0.;
+      block_source = None;
+      send_timer = None;
+      round_timer = None;
+      sent = 0;
+      reports = 0;
+      clr_changes = 0;
+      clr_timeouts = 0;
+    }
+  in
+  Netsim.Node.attach node (fun p ->
+      match p.Netsim.Packet.payload with
+      | Wire.Report
+          { session; rx_id; ts; echo_ts; echo_delay; rate; have_rtt; rtt; p;
+            x_recv; round; has_loss; leaving }
+        when session = t.session ->
+          if t.running then
+            on_report t ~rx:rx_id ~ts ~echo_ts ~echo_delay ~rate ~have_rtt ~rtt
+              ~p ~x_recv ~round ~has_loss ~leaving
+      | _ -> ());
+  t
+
+let start t ~at =
+  t.running <- true;
+  ignore
+    (Netsim.Engine.at t.engine ~time:at (fun () ->
+         t.last_rate_change <- Netsim.Engine.now t.engine;
+         start_round t;
+         send_packet t))
+
+let stop t =
+  t.running <- false;
+  t.send_timer <- cancel t t.send_timer;
+  t.round_timer <- cancel t t.round_timer
+
+let set_block_source t f = t.block_source <- Some f

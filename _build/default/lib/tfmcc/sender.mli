@@ -1,0 +1,66 @@
+(** TFMCC sender.
+
+    Paces multicast data packets at rate X_send; every packet carries the
+    feedback-round bookkeeping, one receiver-report echo (priority order
+    of §2.4.2) and the lowest report echoed so far this round (for timer
+    suppression).
+
+    Rate control (§2.2): an incoming report below the current rate makes
+    its sender the current limiting receiver (CLR) and the rate drops to
+    it immediately; increases happen only on CLR feedback and are capped
+    at [increase_limit_packets] packets per CLR RTT.  Reports lacking a
+    valid RTT are rescaled using a sender-side RTT measurement (§2.4.4).
+    Slowstart (§2.6) targets twice the minimum reported receive rate,
+    approached over one RTT, and ends at the first loss report.  A CLR
+    silent for [clr_timeout_rounds] feedback rounds (or sending an
+    explicit leave) is dropped, after which the rate ramps up at the
+    capped rate until a new report arrives (so the correct new CLR
+    reveals itself).  Optionally the previous CLR is remembered for
+    conservative switch-back (App. C). *)
+
+type t
+
+val create :
+  Netsim.Topology.t ->
+  cfg:Config.t ->
+  session:int ->
+  node:Netsim.Node.t ->
+  ?flow:int ->
+  ?initial_rate:float ->
+  unit ->
+  t
+(** [flow] is the accounting tag on data packets (default = [session]).
+    [initial_rate] defaults to one packet per initial RTT. *)
+
+val start : t -> at:float -> unit
+
+val stop : t -> unit
+
+val rate_bytes_per_s : t -> float
+
+val clr : t -> int option
+(** Node id of the current limiting receiver. *)
+
+val in_slowstart : t -> bool
+
+val round : t -> int
+
+val round_duration : t -> float
+
+val max_rtt : t -> float
+(** Current R_max estimate used for round durations. *)
+
+val packets_sent : t -> int
+
+val reports_received : t -> int
+
+val clr_changes : t -> int
+
+val clr_timeouts : t -> int
+
+val set_block_source : t -> (unit -> int) -> unit
+(** Installs the application hook: called once per outgoing data packet
+    for the block id to carry (return -1 for filler).  Congestion control
+    decides *when* packets go out; the application decides *what* is in
+    them — reliability layers (see {!module:Repair} in [tfmcc.repair])
+    plug in here. *)

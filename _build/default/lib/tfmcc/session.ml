@@ -1,0 +1,60 @@
+type t = {
+  topo : Netsim.Topology.t;
+  cfg : Config.t;
+  session : int;
+  sender : Sender.t;
+  sender_node : Netsim.Node.t;
+  mutable receivers : Receiver.t list;
+}
+
+let create topo ?(cfg = Config.default) ~session ~sender_node ~receiver_nodes
+    ?clock_offsets () =
+  let offsets =
+    match clock_offsets with
+    | None -> List.map (fun _ -> 0.) receiver_nodes
+    | Some l ->
+        if List.length l <> List.length receiver_nodes then
+          invalid_arg "Session.create: clock_offsets length mismatch";
+        l
+  in
+  let sender = Sender.create topo ~cfg ~session ~node:sender_node () in
+  let receivers =
+    List.map2
+      (fun node clock_offset ->
+        Receiver.create topo ~cfg ~session ~node ~sender:sender_node
+          ~clock_offset ())
+      receiver_nodes offsets
+  in
+  { topo; cfg; session; sender; sender_node; receivers }
+
+let start ?(join_receivers = true) t ~at =
+  if join_receivers then List.iter Receiver.join t.receivers;
+  Sender.start t.sender ~at
+
+let stop t = Sender.stop t.sender
+
+let sender t = t.sender
+
+let receivers t = t.receivers
+
+let receiver t ~node_id =
+  List.find (fun r -> Receiver.node_id r = node_id) t.receivers
+
+let add_receiver t ~node ?(clock_offset = 0.) ~join_now () =
+  let r =
+    Receiver.create t.topo ~cfg:t.cfg ~session:t.session ~node
+      ~sender:t.sender_node ~clock_offset ()
+  in
+  t.receivers <- r :: t.receivers;
+  if join_now then Receiver.join r;
+  r
+
+let receivers_with_rtt t =
+  List.length (List.filter Receiver.has_rtt_measurement t.receivers)
+
+let min_calculated_rate t =
+  List.fold_left
+    (fun acc r -> Float.min acc (Receiver.calculated_rate r))
+    infinity t.receivers
+
+let current_rate t = Sender.rate_bytes_per_s t.sender

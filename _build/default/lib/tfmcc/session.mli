@@ -1,0 +1,43 @@
+(** Convenience wrapper: one TFMCC sender plus its receiver set on a
+    topology, with aggregate views used by the experiments. *)
+
+type t
+
+val create :
+  Netsim.Topology.t ->
+  ?cfg:Config.t ->
+  session:int ->
+  sender_node:Netsim.Node.t ->
+  receiver_nodes:Netsim.Node.t list ->
+  ?clock_offsets:float list ->
+  unit ->
+  t
+(** Builds the sender and one receiver per node.  Receivers are created
+    but not joined; {!start} joins them all.  [clock_offsets], when
+    given, must match [receiver_nodes] in length. *)
+
+val start : ?join_receivers:bool -> t -> at:float -> unit
+(** Starts the sender at [at]; joins every receiver first unless
+    [join_receivers] is false (experiments that stage joins manually). *)
+
+val stop : t -> unit
+
+val sender : t -> Sender.t
+
+val receivers : t -> Receiver.t list
+
+val receiver : t -> node_id:int -> Receiver.t
+(** Raises [Not_found] for unknown ids. *)
+
+val add_receiver :
+  t -> node:Netsim.Node.t -> ?clock_offset:float -> join_now:bool -> unit -> Receiver.t
+(** Late join (paper §4.5). *)
+
+val receivers_with_rtt : t -> int
+(** How many receivers hold a real RTT measurement (Fig. 12's metric). *)
+
+val min_calculated_rate : t -> float
+(** Minimum of the receivers' calculated rates; infinity if none has
+    loss. *)
+
+val current_rate : t -> float

@@ -1,0 +1,36 @@
+type echo = { rx_id : int; rx_ts : float; echo_delay : float }
+
+type fb_echo = { fb_rx_id : int; fb_rate : float; fb_has_loss : bool }
+
+type Netsim.Packet.payload +=
+  | Data of {
+      session : int;
+      seq : int;
+      ts : float;
+      rate : float;
+      round : int;
+      round_duration : float;
+      max_rtt : float;
+      clr : int;
+      in_slowstart : bool;
+      echo : echo option;
+      fb : fb_echo option;
+      app : int;
+    }
+  | Report of {
+      session : int;
+      rx_id : int;
+      ts : float;
+      echo_ts : float;
+      echo_delay : float;
+      rate : float;
+      have_rtt : bool;
+      rtt : float;
+      p : float;
+      x_recv : float;
+      round : int;
+      has_loss : bool;
+      leaving : bool;
+    }
+
+let report_size = 40

@@ -1,0 +1,61 @@
+(** TFMCC packet formats (extends {!Netsim.Packet.payload}).
+
+    One multicast data-packet header and one unicast receiver report,
+    mirroring §2.4–2.5 of the paper: data packets carry the sender
+    timestamp, current rate, feedback-round bookkeeping, one receiver-
+    report echo (for RTT measurement) and the lowest report echoed so far
+    this round (for suppression). *)
+
+(** Echo of one receiver's report inside a data packet: lets exactly that
+    receiver compute its instantaneous RTT. *)
+type echo = {
+  rx_id : int;  (** node id of the receiver whose report is echoed *)
+  rx_ts : float;  (** the receiver's own timestamp from its report *)
+  echo_delay : float;  (** sender hold time between report arrival and echo *)
+}
+
+(** Echo of the lowest-rate feedback of the current round, multicast to
+    everyone for timer suppression. *)
+type fb_echo = {
+  fb_rx_id : int;
+  fb_rate : float;  (** the reported (possibly sender-adjusted) rate, bytes/s *)
+  fb_has_loss : bool;  (** report came from a receiver that has seen loss *)
+}
+
+type Netsim.Packet.payload +=
+  | Data of {
+      session : int;
+      seq : int;
+      ts : float;  (** sender clock at transmission *)
+      rate : float;  (** current sending rate X_send, bytes/s *)
+      round : int;  (** feedback round number *)
+      round_duration : float;  (** T for the current round, seconds *)
+      max_rtt : float;  (** sender's current R_max estimate *)
+      clr : int;  (** node id of the current limiting receiver; -1 if none *)
+      in_slowstart : bool;
+      echo : echo option;
+      fb : fb_echo option;
+      app : int;
+          (** application block id carried by this packet, -1 for filler —
+              set through {!Sender.set_block_source} (congestion control
+              is payload-agnostic; reliability layers ride on this) *)
+    }
+  | Report of {
+      session : int;
+      rx_id : int;
+      ts : float;  (** receiver clock at transmission *)
+      echo_ts : float;  (** sender timestamp of the newest data packet seen *)
+      echo_delay : float;  (** receiver hold time since that packet *)
+      rate : float;  (** calculated rate X_r, bytes/s (receive-rate based
+                         during slowstart) *)
+      have_rtt : bool;  (** [rate] computed from a measured RTT? *)
+      rtt : float;  (** receiver's current RTT estimate *)
+      p : float;  (** loss event rate (diagnostics) *)
+      x_recv : float;  (** measured receive rate, bytes/s *)
+      round : int;  (** round this report answers *)
+      has_loss : bool;  (** receiver has experienced loss (ends slowstart) *)
+      leaving : bool;  (** explicit leave notification *)
+    }
+
+val report_size : int
+(** Receiver reports are 40 bytes on the wire. *)

@@ -1,0 +1,1 @@
+lib/tfrc/loss_history.ml: Array Float List Stdlib

@@ -1,0 +1,1 @@
+lib/tfrc/rate_meter.ml: Float Queue

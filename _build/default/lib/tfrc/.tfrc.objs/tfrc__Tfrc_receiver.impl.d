@@ -1,0 +1,1 @@
+lib/tfrc/tfrc_receiver.ml: Float Lazy Loss_history Netsim Rate_meter Tcp_model Wire

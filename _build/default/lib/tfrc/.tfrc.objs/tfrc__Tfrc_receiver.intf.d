@@ -1,0 +1,1 @@
+lib/tfrc/tfrc_receiver.mli: Netsim

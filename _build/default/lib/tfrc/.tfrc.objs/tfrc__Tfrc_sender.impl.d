@@ -1,0 +1,1 @@
+lib/tfrc/tfrc_sender.ml: Float Netsim Option Tcp_model Wire

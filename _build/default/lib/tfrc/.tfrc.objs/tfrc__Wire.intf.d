@@ -1,0 +1,1 @@
+lib/tfrc/wire.mli: Netsim

@@ -1,0 +1,63 @@
+type sample = { time : float; bytes : int }
+
+type t = {
+  mutable window : float;
+  samples : sample Queue.t;  (* oldest at front *)
+  mutable in_window_bytes : int;
+  mutable total : int;
+  mutable first_time : float option;
+  mutable last_time : float;
+}
+
+let create ?(window = 1.) () =
+  if window <= 0. then invalid_arg "Rate_meter.create: window must be positive";
+  {
+    window;
+    samples = Queue.create ();
+    in_window_bytes = 0;
+    total = 0;
+    first_time = None;
+    last_time = neg_infinity;
+  }
+
+let set_window t w =
+  if w <= 0. then invalid_arg "Rate_meter.set_window: window must be positive";
+  t.window <- w
+
+let window t = t.window
+
+let expire t ~now =
+  let horizon = now -. t.window in
+  let rec loop () =
+    match Queue.peek_opt t.samples with
+    | Some s when s.time < horizon ->
+        ignore (Queue.pop t.samples);
+        t.in_window_bytes <- t.in_window_bytes - s.bytes;
+        loop ()
+    | _ -> ()
+  in
+  loop ()
+
+let record t ~now ~bytes =
+  if now < t.last_time then invalid_arg "Rate_meter.record: time went backwards";
+  t.last_time <- now;
+  if t.first_time = None then t.first_time <- Some now;
+  Queue.push { time = now; bytes } t.samples;
+  t.in_window_bytes <- t.in_window_bytes + bytes;
+  t.total <- t.total + bytes;
+  expire t ~now
+
+let rate_bytes_per_s t ~now =
+  match t.first_time with
+  | None -> 0.
+  | Some first ->
+      expire t ~now;
+      (* Floor the averaging span at half the window: a couple of
+         back-to-back arrivals must not read as an enormous rate (the
+         slowstart target is twice this measurement). *)
+      let span =
+        Float.max (Float.min t.window (now -. first)) (t.window /. 2.)
+      in
+      float_of_int t.in_window_bytes /. span
+
+let total_bytes t = t.total

@@ -1,0 +1,25 @@
+(** Sliding-window receive-rate measurement (X_recv in TFRC/TFMCC).
+    Keeps the arrivals of the last [window] seconds and reports their
+    average rate.  The window is adjustable at runtime because TFMCC
+    measures the receive rate over a few RTTs and the RTT estimate
+    changes. *)
+
+type t
+
+val create : ?window:float -> unit -> t
+(** Default window 1 s. *)
+
+val set_window : t -> float -> unit
+(** Raises on non-positive windows. *)
+
+val window : t -> float
+
+val record : t -> now:float -> bytes:int -> unit
+(** Times must be non-decreasing. *)
+
+val rate_bytes_per_s : t -> now:float -> float
+(** Bytes/s over min(window, time since first arrival), floored at half
+    the window so that a burst of back-to-back arrivals cannot read as an
+    arbitrarily high rate; 0 before any arrival. *)
+
+val total_bytes : t -> int

@@ -1,0 +1,119 @@
+type t = {
+  topo : Netsim.Topology.t;
+  engine : Netsim.Engine.t;
+  conn : int;
+  node : Netsim.Node.t;
+  sender : Netsim.Node.t;
+  feedback_flow : int;
+  history : Loss_history.t;
+  meter : Rate_meter.t;
+  mutable sender_rtt : float;  (* sender's estimate from data packets *)
+  mutable last_data_ts : float;
+  mutable last_data_arrival : float;
+  mutable have_data : bool;
+  mutable fb_timer : Netsim.Engine.handle option;
+  mutable received : int;
+  mutable fb_sent : int;
+  (* Receive rate when the last (= first) loss occurred, for App. B
+     seeding: half the rate at first loss, through the inverse equation. *)
+  mutable rate_at_loss : float;
+}
+
+let send_feedback t =
+  let now = Netsim.Engine.now t.engine in
+  if t.have_data then begin
+    let payload =
+      Wire.Feedback
+        {
+          conn = t.conn;
+          ts = now;
+          echo_ts = t.last_data_ts;
+          echo_delay = now -. t.last_data_arrival;
+          p = Loss_history.loss_event_rate t.history;
+          x_recv = Rate_meter.rate_bytes_per_s t.meter ~now;
+        }
+    in
+    let p =
+      Netsim.Packet.make ~flow:t.feedback_flow ~size:Wire.feedback_size
+        ~src:(Netsim.Node.id t.node)
+        ~dst:(Netsim.Packet.Unicast (Netsim.Node.id t.sender))
+        ~created:now payload
+    in
+    Netsim.Topology.inject t.topo p;
+    t.fb_sent <- t.fb_sent + 1
+  end
+
+let rec schedule_feedback t =
+  let delay = Float.max 1e-3 t.sender_rtt in
+  t.fb_timer <-
+    Some
+      (Netsim.Engine.after t.engine ~delay (fun () ->
+           send_feedback t;
+           schedule_feedback t))
+
+let on_data t ~seq ~ts ~rtt ~size =
+  let now = Netsim.Engine.now t.engine in
+  t.received <- t.received + 1;
+  t.have_data <- true;
+  t.last_data_ts <- ts;
+  t.last_data_arrival <- now;
+  t.sender_rtt <- rtt;
+  Rate_meter.set_window t.meter (Float.max 0.5 (4. *. rtt));
+  Rate_meter.record t.meter ~now ~bytes:size;
+  t.rate_at_loss <- Rate_meter.rate_bytes_per_s t.meter ~now;
+  Loss_history.on_packet t.history ~seq ~now ~rtt;
+  if t.fb_timer = None then begin
+    (* First packet: give immediate feedback, then once per RTT. *)
+    send_feedback t;
+    schedule_feedback t
+  end
+
+let create topo ~conn ~node ~sender ?(feedback_flow = -1) () =
+  let engine = Netsim.Topology.engine topo in
+  let rec t =
+    lazy
+      {
+        topo;
+        engine;
+        conn;
+        node;
+        sender;
+        feedback_flow;
+        history =
+          Loss_history.create
+            ~first_interval:(fun () ->
+              let self = Lazy.force t in
+              if self.rate_at_loss > 0. then
+                Some
+                  (Tcp_model.Mathis.initial_loss_interval ~s:Wire.data_size
+                     ~rtt:(Float.max 1e-3 self.sender_rtt)
+                     ~rate:(self.rate_at_loss /. 2.))
+              else None)
+            ();
+        meter = Rate_meter.create ~window:2. ();
+        sender_rtt = 0.5;
+        last_data_ts = nan;
+        last_data_arrival = nan;
+        have_data = false;
+        fb_timer = None;
+        received = 0;
+        fb_sent = 0;
+        rate_at_loss = 0.;
+      }
+  in
+  let t = Lazy.force t in
+  Netsim.Node.attach node (fun p ->
+      match p.Netsim.Packet.payload with
+      | Wire.Data { conn; seq; ts; rtt; _ } when conn = t.conn ->
+          on_data t ~seq ~ts ~rtt ~size:p.Netsim.Packet.size
+      | _ -> ());
+  t
+
+let loss_event_rate t = Loss_history.loss_event_rate t.history
+
+let x_recv_bytes_per_s t =
+  Rate_meter.rate_bytes_per_s t.meter ~now:(Netsim.Engine.now t.engine)
+
+let packets_received t = t.received
+
+let feedback_sent t = t.fb_sent

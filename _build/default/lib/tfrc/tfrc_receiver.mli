@@ -1,0 +1,22 @@
+(** Unicast TFRC receiver: measures the loss event rate with the WALI
+    filter and the receive rate, and sends one feedback packet per RTT
+    (seeded with the sender's RTT estimate carried in data packets). *)
+
+type t
+
+val create :
+  Netsim.Topology.t ->
+  conn:int ->
+  node:Netsim.Node.t ->
+  sender:Netsim.Node.t ->
+  ?feedback_flow:int ->
+  unit ->
+  t
+
+val loss_event_rate : t -> float
+
+val x_recv_bytes_per_s : t -> float
+
+val packets_received : t -> int
+
+val feedback_sent : t -> int

@@ -1,0 +1,160 @@
+let t_mbi = 64.  (* max backoff interval, seconds (RFC 3448) *)
+
+type t = {
+  topo : Netsim.Topology.t;
+  engine : Netsim.Engine.t;
+  conn : int;
+  flow : int;
+  src : Netsim.Node.t;
+  dst : Netsim.Node.t;
+  s : int;  (* packet size *)
+  initial_rate : float;
+  mutable running : bool;
+  mutable rate : float;  (* X, bytes/s *)
+  mutable srtt : float option;
+  mutable seq : int;
+  mutable in_slowstart : bool;
+  mutable pending_echo : (float * float) option;  (* receiver ts, arrival time *)
+  mutable nofeedback : Netsim.Engine.handle option;
+  mutable send_timer : Netsim.Engine.handle option;
+  mutable sent : int;
+}
+
+let min_rate t = float_of_int t.s /. t_mbi
+
+let rtt_or_default t = Option.value t.srtt ~default:0.5
+
+let cancel t handle_field =
+  match handle_field with
+  | Some h ->
+      Netsim.Engine.cancel t.engine h;
+      None
+  | None -> None
+
+let rec send_packet t =
+  t.send_timer <- None;
+  if t.running then begin
+    let now = Netsim.Engine.now t.engine in
+    let echo_ts, echo_delay =
+      match t.pending_echo with
+      | Some (ts, arrived) -> (ts, now -. arrived)
+      | None -> (nan, 0.)
+    in
+    let payload =
+      Wire.Data
+        {
+          conn = t.conn;
+          seq = t.seq;
+          ts = now;
+          rtt = rtt_or_default t;
+          echo_ts;
+          echo_delay;
+        }
+    in
+    t.seq <- t.seq + 1;
+    t.sent <- t.sent + 1;
+    let p =
+      Netsim.Packet.make ~flow:t.flow ~size:t.s ~src:(Netsim.Node.id t.src)
+        ~dst:(Netsim.Packet.Unicast (Netsim.Node.id t.dst))
+        ~created:now payload
+    in
+    Netsim.Topology.inject t.topo p;
+    let delay = float_of_int t.s /. t.rate in
+    t.send_timer <- Some (Netsim.Engine.after t.engine ~delay (fun () -> send_packet t))
+  end
+
+let rec restart_nofeedback t =
+  t.nofeedback <- cancel t t.nofeedback;
+  let delay = Float.max (4. *. rtt_or_default t) (2. *. float_of_int t.s /. t.rate) in
+  t.nofeedback <-
+    Some
+      (Netsim.Engine.after t.engine ~delay (fun () ->
+           t.nofeedback <- None;
+           if t.running then begin
+             (* Halve the rate in the absence of feedback. *)
+             t.rate <- Float.max (min_rate t) (t.rate /. 2.);
+             restart_nofeedback t
+           end))
+
+let on_feedback t ~ts ~echo_ts ~echo_delay ~p ~x_recv =
+  let now = Netsim.Engine.now t.engine in
+  t.pending_echo <- Some (ts, now);
+  (if not (Float.is_nan echo_ts) then begin
+     let sample = now -. echo_ts -. echo_delay in
+     if sample > 0. then
+       t.srtt <-
+         (match t.srtt with
+         | None -> Some sample
+         | Some srtt -> Some ((0.9 *. srtt) +. (0.1 *. sample)))
+   end);
+  let r = rtt_or_default t in
+  (* A zero receive-rate report (the receiver's window saw no packets at
+     a very low sending rate) must not pin the rate at the floor: only
+     apply the 2·X_recv cap when it is meaningful. *)
+  let recv_cap = if x_recv > 0. then 2. *. x_recv else infinity in
+  (if p > 0. then begin
+     t.in_slowstart <- false;
+     let x_calc = Tcp_model.Padhye.throughput ~s:t.s ~rtt:r p in
+     t.rate <- Float.max (Float.min x_calc recv_cap) (min_rate t)
+   end
+   else begin
+     (* Slowstart: double, bounded by twice the receive rate. *)
+     let target = Float.min (2. *. t.rate) recv_cap in
+     t.rate <- Float.max (Float.max target t.initial_rate) (min_rate t)
+   end);
+  restart_nofeedback t
+
+let create topo ~conn ~flow ~src ~dst ?(packet_size = Wire.data_size)
+    ?initial_rate () =
+  if packet_size <= 0 then invalid_arg "Tfrc_sender.create: packet size";
+  let initial_rate =
+    Option.value initial_rate ~default:(float_of_int packet_size)
+  in
+  let t =
+    {
+      topo;
+      engine = Netsim.Topology.engine topo;
+      conn;
+      flow;
+      src;
+      dst;
+      s = packet_size;
+      initial_rate;
+      running = false;
+      rate = initial_rate;
+      srtt = None;
+      seq = 0;
+      in_slowstart = true;
+      pending_echo = None;
+      nofeedback = None;
+      send_timer = None;
+      sent = 0;
+    }
+  in
+  Netsim.Node.attach src (fun p ->
+      match p.Netsim.Packet.payload with
+      | Wire.Feedback { conn; ts; echo_ts; echo_delay; p; x_recv } when conn = t.conn
+        ->
+          if t.running then on_feedback t ~ts ~echo_ts ~echo_delay ~p ~x_recv
+      | _ -> ());
+  t
+
+let start t ~at =
+  t.running <- true;
+  ignore
+    (Netsim.Engine.at t.engine ~time:at (fun () ->
+         send_packet t;
+         restart_nofeedback t))
+
+let stop t =
+  t.running <- false;
+  t.send_timer <- cancel t t.send_timer;
+  t.nofeedback <- cancel t t.nofeedback
+
+let rate_bytes_per_s t = t.rate
+
+let rtt t = t.srtt
+
+let packets_sent t = t.sent
+
+let in_slowstart t = t.in_slowstart

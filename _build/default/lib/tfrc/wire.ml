@@ -1,0 +1,21 @@
+type Netsim.Packet.payload +=
+  | Data of {
+      conn : int;
+      seq : int;
+      ts : float;
+      rtt : float;
+      echo_ts : float;
+      echo_delay : float;
+    }
+  | Feedback of {
+      conn : int;
+      ts : float;
+      echo_ts : float;
+      echo_delay : float;
+      p : float;
+      x_recv : float;
+    }
+
+let data_size = 1000
+
+let feedback_size = 40

@@ -1,0 +1,25 @@
+(** TFRC packet payloads (extends {!Netsim.Packet.payload}). *)
+
+type Netsim.Packet.payload +=
+  | Data of {
+      conn : int;
+      seq : int;
+      ts : float;  (** sender clock at transmission *)
+      rtt : float;  (** sender's current RTT estimate (feedback-timer seed) *)
+      echo_ts : float;  (** receiver timestamp being echoed; nan if none *)
+      echo_delay : float;  (** sender hold time between report and echo *)
+    }
+  | Feedback of {
+      conn : int;
+      ts : float;  (** receiver clock at transmission *)
+      echo_ts : float;  (** data-packet timestamp being echoed *)
+      echo_delay : float;  (** receiver hold time since that packet *)
+      p : float;  (** measured loss event rate *)
+      x_recv : float;  (** receive rate in bytes/s *)
+    }
+
+val data_size : int
+(** 1000 bytes on the wire. *)
+
+val feedback_size : int
+(** 40 bytes. *)

@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest List Netsim Printf String Tcp_model Tfmcc_core

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Experiments Float Format List Netsim Printf Stats String Tfmcc_core

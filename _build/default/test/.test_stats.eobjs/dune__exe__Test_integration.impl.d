@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Experiments Float List Netsim Printf Stats Stdlib Tcp_model Tfmcc_core

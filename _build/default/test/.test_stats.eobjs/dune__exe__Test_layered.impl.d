@@ -1,0 +1,1 @@
+test/test_layered.ml: Alcotest Array Layered List Netsim Printf

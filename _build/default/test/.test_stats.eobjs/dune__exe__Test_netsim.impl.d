@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Fun Gen List Netsim Option Printf QCheck QCheck_alcotest Stats

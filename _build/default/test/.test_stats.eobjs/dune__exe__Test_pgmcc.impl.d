@@ -1,0 +1,1 @@
+test/test_pgmcc.ml: Alcotest Array Netsim Option Pgmcc Printf Stats

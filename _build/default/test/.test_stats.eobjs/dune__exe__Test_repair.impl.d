@@ -1,0 +1,1 @@
+test/test_repair.ml: Alcotest Gen List Netsim Printf QCheck QCheck_alcotest Repair Tfmcc_core

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Array List Netsim Printf QCheck QCheck_alcotest Tcp Tcp_model

@@ -1,0 +1,1 @@
+test/test_tear.ml: Alcotest Array Netsim Option Printf Stats Tear

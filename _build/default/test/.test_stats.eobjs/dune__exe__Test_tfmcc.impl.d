@@ -1,0 +1,1 @@
+test/test_tfmcc.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Stats Tfmcc_core

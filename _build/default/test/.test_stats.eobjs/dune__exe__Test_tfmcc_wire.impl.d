@@ -1,0 +1,1 @@
+test/test_tfmcc_wire.ml: Alcotest Netsim Printf Tfmcc_core

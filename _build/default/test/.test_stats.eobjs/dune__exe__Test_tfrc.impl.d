@@ -1,0 +1,1 @@
+test/test_tfrc.ml: Alcotest Array Gen List Netsim Printf QCheck QCheck_alcotest Tcp_model Tfrc

@@ -1,0 +1,1 @@
+test/test_traffic_trace.mli:

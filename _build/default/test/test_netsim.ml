@@ -1,0 +1,787 @@
+(* Unit tests for the Netsim substrate: event heap, engine, queues, links,
+   topology routing and multicast trees. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ----------------------------------------------------------- Event_heap *)
+
+let test_heap_order () =
+  let h = Netsim.Event_heap.create () in
+  let fired = ref [] in
+  let add time tag =
+    ignore (Netsim.Event_heap.add h ~time (fun () -> fired := tag :: !fired))
+  in
+  add 3.0 "c";
+  add 1.0 "a";
+  add 2.0 "b";
+  let rec drain () =
+    match Netsim.Event_heap.pop h with
+    | None -> ()
+    | Some (_, f) ->
+        f ();
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !fired)
+
+let test_heap_fifo_ties () =
+  let h = Netsim.Event_heap.create () in
+  let fired = ref [] in
+  for i = 0 to 9 do
+    ignore (Netsim.Event_heap.add h ~time:1.0 (fun () -> fired := i :: !fired))
+  done;
+  let rec drain () =
+    match Netsim.Event_heap.pop h with
+    | None -> ()
+    | Some (_, f) ->
+        f ();
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "insertion order on ties" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !fired)
+
+let test_heap_cancel () =
+  let h = Netsim.Event_heap.create () in
+  let fired = ref 0 in
+  let keep = Netsim.Event_heap.add h ~time:1.0 (fun () -> incr fired) in
+  let drop = Netsim.Event_heap.add h ~time:2.0 (fun () -> incr fired) in
+  ignore keep;
+  Netsim.Event_heap.cancel h drop;
+  Alcotest.(check int) "live size after cancel" 1 (Netsim.Event_heap.size h);
+  let rec drain () =
+    match Netsim.Event_heap.pop h with
+    | None -> ()
+    | Some (_, f) ->
+        f ();
+        drain ()
+  in
+  drain ();
+  Alcotest.(check int) "only live event fired" 1 !fired
+
+let test_heap_cancel_idempotent () =
+  let h = Netsim.Event_heap.create () in
+  let e = Netsim.Event_heap.add h ~time:1.0 ignore in
+  Netsim.Event_heap.cancel h e;
+  Netsim.Event_heap.cancel h e;
+  Alcotest.(check int) "size zero" 0 (Netsim.Event_heap.size h)
+
+let test_heap_grows () =
+  let h = Netsim.Event_heap.create () in
+  for i = 0 to 999 do
+    ignore (Netsim.Event_heap.add h ~time:(float_of_int (999 - i)) ignore)
+  done;
+  Alcotest.(check int) "all live" 1000 (Netsim.Event_heap.size h);
+  let prev = ref neg_infinity in
+  let rec drain n =
+    match Netsim.Event_heap.pop h with
+    | None -> n
+    | Some (t, _) ->
+        if t < !prev then Alcotest.fail "heap order violated";
+        prev := t;
+        drain (n + 1)
+  in
+  Alcotest.(check int) "popped all" 1000 (drain 0)
+
+(* --------------------------------------------------------------- Engine *)
+
+let test_engine_time_advances () =
+  let e = Netsim.Engine.create () in
+  let seen = ref [] in
+  ignore (Netsim.Engine.at e ~time:1.5 (fun () -> seen := Netsim.Engine.now e :: !seen));
+  ignore (Netsim.Engine.at e ~time:0.5 (fun () -> seen := Netsim.Engine.now e :: !seen));
+  Netsim.Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "times" [ 0.5; 1.5 ] (List.rev !seen)
+
+let test_engine_until () =
+  let e = Netsim.Engine.create () in
+  let fired = ref 0 in
+  ignore (Netsim.Engine.at e ~time:1.0 (fun () -> incr fired));
+  ignore (Netsim.Engine.at e ~time:5.0 (fun () -> incr fired));
+  Netsim.Engine.run ~until:2.0 e;
+  Alcotest.(check int) "only first fired" 1 !fired;
+  check_float "clock at until" 2.0 (Netsim.Engine.now e);
+  Netsim.Engine.run e;
+  Alcotest.(check int) "second fires on resume" 2 !fired
+
+let test_engine_stop () =
+  let e = Netsim.Engine.create () in
+  let fired = ref 0 in
+  ignore
+    (Netsim.Engine.at e ~time:1.0 (fun () ->
+         incr fired;
+         Netsim.Engine.stop e));
+  ignore (Netsim.Engine.at e ~time:2.0 (fun () -> incr fired));
+  Netsim.Engine.run e;
+  Alcotest.(check int) "stopped after first" 1 !fired
+
+let test_engine_rejects_past () =
+  let e = Netsim.Engine.create () in
+  ignore (Netsim.Engine.at e ~time:1.0 ignore);
+  Netsim.Engine.run e;
+  Alcotest.(check bool) "raises on past schedule" true
+    (try
+       ignore (Netsim.Engine.at e ~time:0.5 ignore);
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_nested_schedule () =
+  let e = Netsim.Engine.create () in
+  let log = ref [] in
+  ignore
+    (Netsim.Engine.at e ~time:1.0 (fun () ->
+         log := "outer" :: !log;
+         ignore (Netsim.Engine.after e ~delay:1.0 (fun () -> log := "inner" :: !log))));
+  Netsim.Engine.run e;
+  Alcotest.(check (list string)) "nested events run" [ "outer"; "inner" ] (List.rev !log);
+  check_float "final time" 2.0 (Netsim.Engine.now e)
+
+(* ----------------------------------------------------------- Queue_disc *)
+
+let test_droptail_fifo () =
+  let q = Netsim.Queue_disc.droptail ~capacity_pkts:10 in
+  let mk i =
+    Netsim.Packet.make ~flow:0 ~size:100 ~src:0 ~dst:(Netsim.Packet.Unicast 1)
+      ~created:0. (Netsim.Packet.Raw i)
+  in
+  List.iter (fun i -> ignore (Netsim.Queue_disc.enqueue q (mk i))) [ 1; 2; 3 ];
+  let pop () =
+    match Netsim.Queue_disc.dequeue q with
+    | Some { Netsim.Packet.payload = Netsim.Packet.Raw i; _ } -> i
+    | _ -> Alcotest.fail "expected Raw packet"
+  in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list int)) "FIFO order" [ 1; 2; 3 ] [ first; second; third ]
+
+let test_droptail_capacity () =
+  let q = Netsim.Queue_disc.droptail ~capacity_pkts:2 in
+  let mk () =
+    Netsim.Packet.make ~flow:0 ~size:100 ~src:0 ~dst:(Netsim.Packet.Unicast 1)
+      ~created:0. (Netsim.Packet.Raw 0)
+  in
+  Alcotest.(check bool) "1st accepted" true (Netsim.Queue_disc.enqueue q (mk ()));
+  Alcotest.(check bool) "2nd accepted" true (Netsim.Queue_disc.enqueue q (mk ()));
+  Alcotest.(check bool) "3rd dropped" false (Netsim.Queue_disc.enqueue q (mk ()));
+  Alcotest.(check int) "drop count" 1 (Netsim.Queue_disc.drops q);
+  Alcotest.(check int) "length" 2 (Netsim.Queue_disc.length q)
+
+let test_droptail_byte_accounting () =
+  let q = Netsim.Queue_disc.droptail ~capacity_pkts:10 in
+  let mk size =
+    Netsim.Packet.make ~flow:0 ~size ~src:0 ~dst:(Netsim.Packet.Unicast 1)
+      ~created:0. (Netsim.Packet.Raw 0)
+  in
+  ignore (Netsim.Queue_disc.enqueue q (mk 100));
+  ignore (Netsim.Queue_disc.enqueue q (mk 250));
+  Alcotest.(check int) "bytes" 350 (Netsim.Queue_disc.byte_length q);
+  ignore (Netsim.Queue_disc.dequeue q);
+  Alcotest.(check int) "bytes after dequeue" 250 (Netsim.Queue_disc.byte_length q)
+
+let test_red_drops_under_sustained_load () =
+  let rng = Stats.Rng.create 1 in
+  let q = Netsim.Queue_disc.red ~rng ~capacity_pkts:20 () in
+  let mk () =
+    Netsim.Packet.make ~flow:0 ~size:100 ~src:0 ~dst:(Netsim.Packet.Unicast 1)
+      ~created:0. (Netsim.Packet.Raw 0)
+  in
+  (* Fill and hold the queue deep; RED's average crosses min_thresh and
+     early drops must appear even though the instantaneous queue never
+     exceeds capacity. *)
+  let early_drops = ref 0 in
+  for _ = 1 to 2000 do
+    if not (Netsim.Queue_disc.enqueue q (mk ())) then incr early_drops;
+    if Netsim.Queue_disc.length q > 12 then ignore (Netsim.Queue_disc.dequeue q)
+  done;
+  Alcotest.(check bool) "RED produced drops" true (!early_drops > 0)
+
+let test_red_accepts_when_empty () =
+  let rng = Stats.Rng.create 2 in
+  let q = Netsim.Queue_disc.red ~rng ~capacity_pkts:20 () in
+  let mk () =
+    Netsim.Packet.make ~flow:0 ~size:100 ~src:0 ~dst:(Netsim.Packet.Unicast 1)
+      ~created:0. (Netsim.Packet.Raw 0)
+  in
+  Alcotest.(check bool) "accepts at low occupancy" true (Netsim.Queue_disc.enqueue q (mk ()))
+
+(* ----------------------------------------------------------- Loss_model *)
+
+let test_loss_none () =
+  for _ = 1 to 100 do
+    if Netsim.Loss_model.drops_packet Netsim.Loss_model.none then
+      Alcotest.fail "none dropped a packet"
+  done
+
+let test_loss_bernoulli_rate () =
+  let rng = Stats.Rng.create 3 in
+  let m = Netsim.Loss_model.bernoulli ~rng ~p:0.2 in
+  let drops = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Netsim.Loss_model.drops_packet m then incr drops
+  done;
+  Alcotest.(check (float 0.01)) "drop rate" 0.2 (float_of_int !drops /. float_of_int n)
+
+let test_loss_gilbert_bursty () =
+  let rng = Stats.Rng.create 4 in
+  let m =
+    Netsim.Loss_model.gilbert_elliott ~rng ~p_good_to_bad:0.01 ~p_bad_to_good:0.2
+      ~loss_good:0. ~loss_bad:0.5
+  in
+  let drops = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Netsim.Loss_model.drops_packet m then incr drops
+  done;
+  let rate = float_of_int !drops /. float_of_int n in
+  (* Stationary bad-state probability = 0.01/0.21; loss = 0.5 * that. *)
+  Alcotest.(check (float 0.01)) "long-run loss" (0.5 *. (0.01 /. 0.21)) rate
+
+(* ------------------------------------------------------ Link + Topology *)
+
+let two_node_topo ?loss_ab ?(bandwidth_bps = 1e6) ?(delay_s = 0.01) () =
+  let e = Netsim.Engine.create () in
+  let topo = Netsim.Topology.create e in
+  let a = Netsim.Topology.add_node topo in
+  let b = Netsim.Topology.add_node topo in
+  let _ =
+    Netsim.Topology.connect topo ?loss_ab ~bandwidth_bps ~delay_s a b
+  in
+  (e, topo, a, b)
+
+let test_link_delivery_latency () =
+  let e, topo, a, b = two_node_topo () in
+  let arrival = ref nan in
+  Netsim.Node.attach b (fun _ -> arrival := Netsim.Engine.now e);
+  let p =
+    Netsim.Packet.make ~flow:1 ~size:1000 ~src:(Netsim.Node.id a)
+      ~dst:(Netsim.Packet.Unicast (Netsim.Node.id b))
+      ~created:0. (Netsim.Packet.Raw 0)
+  in
+  Netsim.Topology.inject topo p;
+  Netsim.Engine.run e;
+  (* tx = 1000*8/1e6 = 8 ms; prop = 10 ms. *)
+  check_float "latency = tx + prop" 0.018 !arrival
+
+let test_link_serialization () =
+  (* Two packets injected back-to-back: second arrives one tx-time later. *)
+  let e, topo, a, b = two_node_topo () in
+  let arrivals = ref [] in
+  Netsim.Node.attach b (fun _ -> arrivals := Netsim.Engine.now e :: !arrivals);
+  let mk () =
+    Netsim.Packet.make ~flow:1 ~size:1000 ~src:(Netsim.Node.id a)
+      ~dst:(Netsim.Packet.Unicast (Netsim.Node.id b))
+      ~created:0. (Netsim.Packet.Raw 0)
+  in
+  Netsim.Topology.inject topo (mk ());
+  Netsim.Topology.inject topo (mk ());
+  Netsim.Engine.run e;
+  match List.rev !arrivals with
+  | [ t1; t2 ] ->
+      check_float "first" 0.018 t1;
+      check_float "second spaced by tx time" 0.026 t2
+  | l -> Alcotest.failf "expected 2 arrivals, got %d" (List.length l)
+
+let test_link_loss_applied () =
+  let rng = Stats.Rng.create 9 in
+  let e, topo, a, b =
+    two_node_topo ~loss_ab:(Netsim.Loss_model.bernoulli ~rng ~p:1.0) ()
+  in
+  let got = ref 0 in
+  Netsim.Node.attach b (fun _ -> incr got);
+  let p =
+    Netsim.Packet.make ~flow:1 ~size:1000 ~src:(Netsim.Node.id a)
+      ~dst:(Netsim.Packet.Unicast (Netsim.Node.id b))
+      ~created:0. (Netsim.Packet.Raw 0)
+  in
+  Netsim.Topology.inject topo p;
+  Netsim.Engine.run e;
+  Alcotest.(check int) "all lost" 0 !got;
+  let link = Option.get (Netsim.Topology.link_between topo a b) in
+  Alcotest.(check int) "loss counted" 1 (Netsim.Link.packets_lost link)
+
+let chain_topo n =
+  (* 0 - 1 - 2 - ... - (n-1) *)
+  let e = Netsim.Engine.create () in
+  let topo = Netsim.Topology.create e in
+  let nodes = Netsim.Topology.add_nodes topo n in
+  for i = 0 to n - 2 do
+    ignore
+      (Netsim.Topology.connect topo ~bandwidth_bps:1e7 ~delay_s:0.001 nodes.(i)
+         nodes.(i + 1))
+  done;
+  (e, topo, nodes)
+
+let test_unicast_multihop () =
+  let e, topo, nodes = chain_topo 5 in
+  let got = ref 0 in
+  Netsim.Node.attach nodes.(4) (fun _ -> incr got);
+  let p =
+    Netsim.Packet.make ~flow:1 ~size:500 ~src:0 ~dst:(Netsim.Packet.Unicast 4)
+      ~created:0. (Netsim.Packet.Raw 0)
+  in
+  Netsim.Topology.inject topo p;
+  Netsim.Engine.run e;
+  Alcotest.(check int) "delivered over 4 hops" 1 !got
+
+let test_no_delivery_at_intermediate () =
+  let e, topo, nodes = chain_topo 3 in
+  let mid = ref 0 and final = ref 0 in
+  Netsim.Node.attach nodes.(1) (fun _ -> incr mid);
+  Netsim.Node.attach nodes.(2) (fun _ -> incr final);
+  let p =
+    Netsim.Packet.make ~flow:1 ~size:500 ~src:0 ~dst:(Netsim.Packet.Unicast 2)
+      ~created:0. (Netsim.Packet.Raw 0)
+  in
+  Netsim.Topology.inject topo p;
+  Netsim.Engine.run e;
+  Alcotest.(check int) "not delivered at router" 0 !mid;
+  Alcotest.(check int) "delivered at destination" 1 !final
+
+let test_path_and_hops () =
+  let _, topo, nodes = chain_topo 4 in
+  (match Netsim.Topology.path topo ~src:nodes.(0) ~dst:nodes.(3) with
+  | Some p ->
+      Alcotest.(check (list int)) "path node ids" [ 0; 1; 2; 3 ]
+        (List.map Netsim.Node.id p)
+  | None -> Alcotest.fail "expected a path");
+  Alcotest.(check (option int)) "hops" (Some 3)
+    (Netsim.Topology.hop_count topo ~src:nodes.(0) ~dst:nodes.(3))
+
+let star_topo n_leaves =
+  let e = Netsim.Engine.create () in
+  let topo = Netsim.Topology.create e in
+  let hub = Netsim.Topology.add_node topo in
+  let leaves = Netsim.Topology.add_nodes topo n_leaves in
+  Array.iter
+    (fun leaf ->
+      ignore (Netsim.Topology.connect topo ~bandwidth_bps:1e7 ~delay_s:0.001 hub leaf))
+    leaves;
+  (e, topo, hub, leaves)
+
+let test_multicast_fanout () =
+  let e, topo, _hub, leaves = star_topo 5 in
+  let group = 1 in
+  let sender = leaves.(0) in
+  let received = Array.make 5 0 in
+  Array.iteri
+    (fun i leaf ->
+      Netsim.Topology.join topo ~group leaf;
+      Netsim.Node.attach leaf (fun _ -> received.(i) <- received.(i) + 1))
+    leaves;
+  let p =
+    Netsim.Packet.make ~flow:1 ~size:500 ~src:(Netsim.Node.id sender)
+      ~dst:(Netsim.Packet.Multicast group) ~created:0. (Netsim.Packet.Raw 0)
+  in
+  Netsim.Topology.inject topo p;
+  Netsim.Engine.run e;
+  Alcotest.(check int) "sender does not hear itself" 0 received.(0);
+  for i = 1 to 4 do
+    Alcotest.(check int) (Printf.sprintf "leaf %d got one copy" i) 1 received.(i)
+  done
+
+let test_multicast_shared_link_single_copy () =
+  (* sender - hub - {a, b}: the sender->hub link must carry ONE copy. *)
+  let e, topo, hub, leaves = star_topo 3 in
+  let group = 7 in
+  let sender = leaves.(0) in
+  Netsim.Topology.join topo ~group leaves.(1);
+  Netsim.Topology.join topo ~group leaves.(2);
+  let p =
+    Netsim.Packet.make ~flow:1 ~size:500 ~src:(Netsim.Node.id sender)
+      ~dst:(Netsim.Packet.Multicast group) ~created:0. (Netsim.Packet.Raw 0)
+  in
+  Netsim.Topology.inject topo p;
+  Netsim.Engine.run e;
+  let uplink = Option.get (Netsim.Topology.link_between topo sender hub) in
+  Alcotest.(check int) "one copy on shared uplink" 1 (Netsim.Link.packets_sent uplink);
+  let down1 = Option.get (Netsim.Topology.link_between topo hub leaves.(1)) in
+  let down2 = Option.get (Netsim.Topology.link_between topo hub leaves.(2)) in
+  Alcotest.(check int) "copy on branch 1" 1 (Netsim.Link.packets_sent down1);
+  Alcotest.(check int) "copy on branch 2" 1 (Netsim.Link.packets_sent down2)
+
+let test_multicast_join_leave () =
+  let e, topo, _hub, leaves = star_topo 3 in
+  let group = 2 in
+  let sender = leaves.(0) in
+  let got = ref 0 in
+  Netsim.Topology.join topo ~group leaves.(1);
+  Netsim.Node.attach leaves.(1) (fun _ -> incr got);
+  let send () =
+    let p =
+      Netsim.Packet.make ~flow:1 ~size:500 ~src:(Netsim.Node.id sender)
+        ~dst:(Netsim.Packet.Multicast group) ~created:(Netsim.Engine.now e)
+        (Netsim.Packet.Raw 0)
+    in
+    Netsim.Topology.inject topo p
+  in
+  send ();
+  Netsim.Engine.run e;
+  Alcotest.(check int) "received while joined" 1 !got;
+  Netsim.Topology.leave topo ~group leaves.(1);
+  send ();
+  Netsim.Engine.run e;
+  Alcotest.(check int) "not received after leave" 1 !got
+
+let test_multicast_membership_api () =
+  let _, topo, _hub, leaves = star_topo 3 in
+  Netsim.Topology.join topo ~group:5 leaves.(0);
+  Netsim.Topology.join topo ~group:5 leaves.(2);
+  Netsim.Topology.join topo ~group:5 leaves.(2);
+  Alcotest.(check bool) "member" true (Netsim.Topology.is_member topo ~group:5 leaves.(0));
+  Alcotest.(check bool) "non-member" false
+    (Netsim.Topology.is_member topo ~group:5 leaves.(1));
+  Alcotest.(check int) "join idempotent" 2
+    (List.length (Netsim.Topology.members topo ~group:5))
+
+(* -------------------------------------------------------------- Monitor *)
+
+let test_monitor_accounting () =
+  let e, topo, a, b = two_node_topo () in
+  let mon = Netsim.Monitor.create e in
+  Netsim.Monitor.watch_node mon b;
+  let mk flow =
+    Netsim.Packet.make ~flow ~size:1000 ~src:(Netsim.Node.id a)
+      ~dst:(Netsim.Packet.Unicast (Netsim.Node.id b))
+      ~created:0. (Netsim.Packet.Raw 0)
+  in
+  Netsim.Topology.inject topo (mk 1);
+  Netsim.Topology.inject topo (mk 1);
+  Netsim.Topology.inject topo (mk 2);
+  Netsim.Engine.run e;
+  Alcotest.(check int) "flow 1 bytes" 2000 (Netsim.Monitor.bytes mon ~flow:1);
+  Alcotest.(check int) "flow 2 bytes" 1000 (Netsim.Monitor.bytes mon ~flow:2);
+  Alcotest.(check int) "flow 1 packets" 2 (Netsim.Monitor.packets mon ~flow:1);
+  Alcotest.(check (list int)) "flows" [ 1; 2 ] (Netsim.Monitor.flows mon)
+
+(* ----------------------------------------------------------- Properties *)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 200) (float_bound_exclusive 1000.))
+    (fun times ->
+      let h = Netsim.Event_heap.create () in
+      List.iter (fun t -> ignore (Netsim.Event_heap.add h ~time:t ignore)) times;
+      let rec drain prev =
+        match Netsim.Event_heap.pop h with
+        | None -> true
+        | Some (t, _) -> t >= prev && drain t
+      in
+      drain neg_infinity)
+
+let prop_droptail_never_exceeds =
+  QCheck.Test.make ~name:"droptail length never exceeds capacity" ~count:100
+    QCheck.(pair (int_range 1 20) (list_of_size Gen.(int_range 0 100) bool))
+    (fun (cap, ops) ->
+      let q = Netsim.Queue_disc.droptail ~capacity_pkts:cap in
+      let mk () =
+        Netsim.Packet.make ~flow:0 ~size:10 ~src:0 ~dst:(Netsim.Packet.Unicast 1)
+          ~created:0. (Netsim.Packet.Raw 0)
+      in
+      List.for_all
+        (fun enq ->
+          if enq then ignore (Netsim.Queue_disc.enqueue q (mk ()))
+          else ignore (Netsim.Queue_disc.dequeue q);
+          Netsim.Queue_disc.length q <= cap)
+        ops)
+
+let test_link_down_up () =
+  let e, topo, a, b = two_node_topo () in
+  let got = ref 0 in
+  Netsim.Node.attach b (fun _ -> incr got);
+  let link = Option.get (Netsim.Topology.link_between topo a b) in
+  let send () =
+    Netsim.Topology.inject topo
+      (Netsim.Packet.make ~flow:1 ~size:100 ~src:(Netsim.Node.id a)
+         ~dst:(Netsim.Packet.Unicast (Netsim.Node.id b))
+         ~created:(Netsim.Engine.now e) (Netsim.Packet.Raw 0))
+  in
+  send ();
+  Netsim.Engine.run e;
+  Alcotest.(check int) "delivered while up" 1 !got;
+  Netsim.Link.set_up link false;
+  Alcotest.(check bool) "reports down" false (Netsim.Link.is_up link);
+  send ();
+  Netsim.Engine.run e;
+  Alcotest.(check int) "blackholed while down" 1 !got;
+  Alcotest.(check bool) "counted as lost" true (Netsim.Link.packets_lost link >= 1);
+  Netsim.Link.set_up link true;
+  send ();
+  Netsim.Engine.run e;
+  Alcotest.(check int) "resumes after up" 2 !got
+
+let test_droptail_bytes () =
+  let q = Netsim.Queue_disc.droptail_bytes ~capacity_bytes:2500 in
+  let mk size =
+    Netsim.Packet.make ~flow:0 ~size ~src:0 ~dst:(Netsim.Packet.Unicast 1)
+      ~created:0. (Netsim.Packet.Raw 0)
+  in
+  Alcotest.(check bool) "1000 fits" true (Netsim.Queue_disc.enqueue q (mk 1000));
+  Alcotest.(check bool) "another 1000 fits" true (Netsim.Queue_disc.enqueue q (mk 1000));
+  Alcotest.(check bool) "third 1000 rejected" false (Netsim.Queue_disc.enqueue q (mk 1000));
+  Alcotest.(check bool) "small packet still fits" true (Netsim.Queue_disc.enqueue q (mk 400));
+  Alcotest.(check int) "byte accounting" 2400 (Netsim.Queue_disc.byte_length q)
+
+(* ------------------------------------------------------------- Topo_gen *)
+
+let test_topo_gen_chain () =
+  let e = Netsim.Engine.create () in
+  let topo = Netsim.Topology.create e in
+  let nodes = Netsim.Topo_gen.chain topo ~n:5 () in
+  Alcotest.(check int) "5 nodes" 5 (Array.length nodes);
+  Alcotest.(check (option int)) "end-to-end hops" (Some 4)
+    (Netsim.Topology.hop_count topo ~src:nodes.(0) ~dst:nodes.(4))
+
+let test_topo_gen_star () =
+  let e = Netsim.Engine.create () in
+  let topo = Netsim.Topology.create e in
+  let hub, leaves = Netsim.Topo_gen.star topo ~leaves:6 () in
+  Alcotest.(check int) "6 leaves" 6 (Array.length leaves);
+  Array.iter
+    (fun leaf ->
+      Alcotest.(check (option int)) "leaf adjacent to hub" (Some 1)
+        (Netsim.Topology.hop_count topo ~src:hub ~dst:leaf))
+    leaves
+
+let test_topo_gen_binary_tree () =
+  let e = Netsim.Engine.create () in
+  let topo = Netsim.Topology.create e in
+  let root, leaves = Netsim.Topo_gen.binary_tree topo ~depth:3 () in
+  Alcotest.(check int) "8 leaves" 8 (Array.length leaves);
+  Array.iter
+    (fun leaf ->
+      Alcotest.(check (option int)) "leaf at depth 3" (Some 3)
+        (Netsim.Topology.hop_count topo ~src:root ~dst:leaf))
+    leaves
+
+let test_topo_gen_random_tree_connected () =
+  let e = Netsim.Engine.create () in
+  let topo = Netsim.Topology.create e in
+  let rng = Stats.Rng.create 9 in
+  let nodes = Netsim.Topo_gen.random_tree topo rng ~n:40 ~max_children:3 () in
+  (* A tree on n nodes: all reachable from the root. *)
+  Array.iter
+    (fun nd ->
+      match Netsim.Topology.hop_count topo ~src:nodes.(0) ~dst:nd with
+      | Some _ -> ()
+      | None -> Alcotest.fail "node unreachable from root")
+    nodes
+
+let test_topo_gen_transit_stub_shape () =
+  let e = Netsim.Engine.create () in
+  let topo = Netsim.Topology.create e in
+  let rng = Stats.Rng.create 10 in
+  let ts =
+    Netsim.Topo_gen.transit_stub topo rng ~transits:3 ~stubs_per_transit:2
+      ~hosts_per_stub:4 ()
+  in
+  Alcotest.(check int) "transits" 3 (Array.length ts.Netsim.Topo_gen.transits);
+  Alcotest.(check int) "stubs" 6 (Array.length ts.Netsim.Topo_gen.stubs);
+  Alcotest.(check int) "hosts" 24 (Array.length ts.Netsim.Topo_gen.hosts);
+  (* Any host can reach any other host. *)
+  let a = ts.Netsim.Topo_gen.hosts.(0) in
+  let b = ts.Netsim.Topo_gen.hosts.(23) in
+  Alcotest.(check bool) "hosts mutually reachable" true
+    (Netsim.Topology.hop_count topo ~src:a ~dst:b <> None)
+
+(* -------------------------------------------------------- Monitor delay *)
+
+let test_monitor_delays () =
+  let e, topo, a, b = two_node_topo () in
+  let mon = Netsim.Monitor.create e in
+  Netsim.Monitor.watch_node mon b;
+  let mk () =
+    Netsim.Packet.make ~flow:3 ~size:1000 ~src:(Netsim.Node.id a)
+      ~dst:(Netsim.Packet.Unicast (Netsim.Node.id b))
+      ~created:(Netsim.Engine.now e) (Netsim.Packet.Raw 0)
+  in
+  Netsim.Topology.inject topo (mk ());
+  Netsim.Engine.run e;
+  let d = Netsim.Monitor.delays mon ~flow:3 in
+  Alcotest.(check int) "one delay sample" 1 (Array.length d);
+  (* tx 8 ms + prop 10 ms *)
+  check_float "delay = tx + prop" 0.018 d.(0);
+  match Netsim.Monitor.delay_summary mon ~flow:3 with
+  | Some s -> check_float "summary mean" 0.018 s.Stats.Descriptive.mean
+  | None -> Alcotest.fail "expected a summary"
+
+let test_monitor_delay_ring_bound () =
+  let e, topo, a, b = two_node_topo ~bandwidth_bps:1e9 () in
+  let mon = Netsim.Monitor.create e in
+  Netsim.Monitor.watch_node mon b;
+  for i = 1 to 600 do
+    ignore
+      (Netsim.Engine.at e
+         ~time:(0.001 *. float_of_int i)
+         (fun () ->
+           let p =
+             Netsim.Packet.make ~flow:3 ~size:100 ~src:(Netsim.Node.id a)
+               ~dst:(Netsim.Packet.Unicast (Netsim.Node.id b))
+               ~created:(Netsim.Engine.now e) (Netsim.Packet.Raw 0)
+           in
+           Netsim.Topology.inject topo p))
+  done;
+  Netsim.Engine.run e;
+  Alcotest.(check int) "packets counted" 600 (Netsim.Monitor.packets mon ~flow:3);
+  Alcotest.(check bool) "delays retained" true
+    (Array.length (Netsim.Monitor.delays mon ~flow:3) = 600)
+
+(* Random connected graphs: build n nodes, a random spanning tree plus
+   extra random edges, then check routing and multicast invariants. *)
+let random_topology rng ~n ~extra =
+  let e = Netsim.Engine.create ~seed:(Stats.Rng.int rng 1_000_000) () in
+  let topo = Netsim.Topology.create e in
+  let nodes = Netsim.Topology.add_nodes topo n in
+  for i = 1 to n - 1 do
+    let parent = Stats.Rng.int rng i in
+    ignore
+      (Netsim.Topology.connect topo ~bandwidth_bps:1e8 ~delay_s:0.001
+         nodes.(parent) nodes.(i))
+  done;
+  for _ = 1 to extra do
+    let a = Stats.Rng.int rng n and b = Stats.Rng.int rng n in
+    if a <> b && Netsim.Topology.link_between topo nodes.(a) nodes.(b) = None
+    then
+      ignore
+        (Netsim.Topology.connect topo ~bandwidth_bps:1e8 ~delay_s:0.001
+           nodes.(a) nodes.(b))
+  done;
+  (e, topo, nodes)
+
+let prop_random_graph_all_reachable =
+  QCheck.Test.make ~name:"random connected graph: every pair routable" ~count:40
+    QCheck.(pair (int_range 2 25) (int_range 0 15))
+    (fun (n, extra) ->
+      let rng = Stats.Rng.create ((n * 1000) + extra) in
+      let _, topo, nodes = random_topology rng ~n ~extra in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          match Netsim.Topology.hop_count topo ~src:nodes.(i) ~dst:nodes.(j) with
+          | Some h -> if (i = j) <> (h = 0) then ok := false
+          | None -> ok := false
+        done
+      done;
+      !ok)
+
+let prop_random_graph_unicast_delivery =
+  QCheck.Test.make ~name:"random graph: unicast packet arrives exactly once"
+    ~count:40
+    QCheck.(triple (int_range 2 20) (int_range 0 10) (int_range 0 1_000_000))
+    (fun (n, extra, seed) ->
+      let rng = Stats.Rng.create seed in
+      let e, topo, nodes = random_topology rng ~n ~extra in
+      let src = Stats.Rng.int rng n in
+      let dst = (src + 1 + Stats.Rng.int rng (n - 1)) mod n in
+      let count = ref 0 in
+      Netsim.Node.attach nodes.(dst) (fun _ -> incr count);
+      let p =
+        Netsim.Packet.make ~flow:1 ~size:100 ~src:(Netsim.Node.id nodes.(src))
+          ~dst:(Netsim.Packet.Unicast (Netsim.Node.id nodes.(dst)))
+          ~created:0. (Netsim.Packet.Raw 0)
+      in
+      Netsim.Topology.inject topo p;
+      Netsim.Engine.run e;
+      (src = dst && !count = 0) || !count = 1)
+
+let prop_random_graph_multicast_exactly_once =
+  QCheck.Test.make
+    ~name:"random graph: multicast reaches every member exactly once" ~count:40
+    QCheck.(triple (int_range 3 20) (int_range 0 10) (int_range 0 1_000_000))
+    (fun (n, extra, seed) ->
+      let rng = Stats.Rng.create seed in
+      let e, topo, nodes = random_topology rng ~n ~extra in
+      let src = Stats.Rng.int rng n in
+      let counts = Array.make n 0 in
+      let members =
+        List.filter (fun i -> i <> src && Stats.Rng.bool rng) (List.init n Fun.id)
+      in
+      List.iter
+        (fun i ->
+          Netsim.Topology.join topo ~group:9 nodes.(i);
+          Netsim.Node.attach nodes.(i) (fun _ -> counts.(i) <- counts.(i) + 1))
+        members;
+      let p =
+        Netsim.Packet.make ~flow:1 ~size:100 ~src:(Netsim.Node.id nodes.(src))
+          ~dst:(Netsim.Packet.Multicast 9) ~created:0. (Netsim.Packet.Raw 0)
+      in
+      Netsim.Topology.inject topo p;
+      Netsim.Engine.run e;
+      List.for_all (fun i -> counts.(i) = 1) members
+      && Array.for_all (fun c -> c <= 1) counts)
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "event_heap",
+        [
+          Alcotest.test_case "time order" `Quick test_heap_order;
+          Alcotest.test_case "FIFO on ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_heap_cancel;
+          Alcotest.test_case "cancel idempotent" `Quick test_heap_cancel_idempotent;
+          Alcotest.test_case "growth + order" `Quick test_heap_grows;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "time advances" `Quick test_engine_time_advances;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "stop" `Quick test_engine_stop;
+          Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+          Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+        ] );
+      ( "queue_disc",
+        [
+          Alcotest.test_case "droptail FIFO" `Quick test_droptail_fifo;
+          Alcotest.test_case "droptail capacity" `Quick test_droptail_capacity;
+          Alcotest.test_case "byte accounting" `Quick test_droptail_byte_accounting;
+          Alcotest.test_case "RED early drops" `Quick test_red_drops_under_sustained_load;
+          Alcotest.test_case "RED accepts when empty" `Quick test_red_accepts_when_empty;
+          Alcotest.test_case "byte-mode droptail" `Quick test_droptail_bytes;
+        ] );
+      ( "loss_model",
+        [
+          Alcotest.test_case "none" `Quick test_loss_none;
+          Alcotest.test_case "bernoulli rate" `Slow test_loss_bernoulli_rate;
+          Alcotest.test_case "gilbert-elliott" `Slow test_loss_gilbert_bursty;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "delivery latency" `Quick test_link_delivery_latency;
+          Alcotest.test_case "serialization" `Quick test_link_serialization;
+          Alcotest.test_case "stochastic loss" `Quick test_link_loss_applied;
+          Alcotest.test_case "down/up" `Quick test_link_down_up;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "unicast multihop" `Quick test_unicast_multihop;
+          Alcotest.test_case "router transparency" `Quick test_no_delivery_at_intermediate;
+          Alcotest.test_case "path/hops" `Quick test_path_and_hops;
+          Alcotest.test_case "multicast fanout" `Quick test_multicast_fanout;
+          Alcotest.test_case "shared-link single copy" `Quick
+            test_multicast_shared_link_single_copy;
+          Alcotest.test_case "join/leave" `Quick test_multicast_join_leave;
+          Alcotest.test_case "membership api" `Quick test_multicast_membership_api;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "per-flow accounting" `Quick test_monitor_accounting;
+          Alcotest.test_case "delays" `Quick test_monitor_delays;
+          Alcotest.test_case "delay ring bound" `Quick test_monitor_delay_ring_bound;
+        ] );
+      ( "topo_gen",
+        [
+          Alcotest.test_case "chain" `Quick test_topo_gen_chain;
+          Alcotest.test_case "star" `Quick test_topo_gen_star;
+          Alcotest.test_case "binary tree" `Quick test_topo_gen_binary_tree;
+          Alcotest.test_case "random tree connected" `Quick test_topo_gen_random_tree_connected;
+          Alcotest.test_case "transit-stub shape" `Quick test_topo_gen_transit_stub_shape;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_heap_sorted; prop_droptail_never_exceeds;
+            prop_random_graph_all_reachable; prop_random_graph_unicast_delivery;
+            prop_random_graph_multicast_exactly_once;
+          ] );
+    ]

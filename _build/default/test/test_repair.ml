@@ -1,0 +1,232 @@
+(* Tests for the NAK-based repair layer over TFMCC. *)
+
+(* ------------------------------------------------- wire-level unit rig *)
+
+type rig = {
+  engine : Netsim.Engine.t;
+  topo : Netsim.Topology.t;
+  sender_node : Netsim.Node.t;
+  rx_node : Netsim.Node.t;
+}
+
+let make_rig () =
+  let engine = Netsim.Engine.create ~seed:97 () in
+  let topo = Netsim.Topology.create engine in
+  let sender_node = Netsim.Topology.add_node topo in
+  let rx_node = Netsim.Topology.add_node topo in
+  ignore
+    (Netsim.Topology.connect topo ~bandwidth_bps:1e7 ~delay_s:0.005 sender_node rx_node);
+  { engine; topo; sender_node; rx_node }
+
+let forge_data rig ~seq ~app =
+  let now = Netsim.Engine.now rig.engine in
+  let payload =
+    Tfmcc_core.Wire.Data
+      {
+        session = 1;
+        seq;
+        ts = now;
+        rate = 50_000.;
+        round = 0;
+        round_duration = 1.;
+        max_rtt = 0.5;
+        clr = -1;
+        in_slowstart = false;
+        echo = None;
+        fb = None;
+        app;
+      }
+  in
+  let p =
+    Netsim.Packet.make ~flow:1 ~size:1000
+      ~src:(Netsim.Node.id rig.sender_node)
+      ~dst:(Netsim.Packet.Multicast 1) ~created:now payload
+  in
+  Netsim.Node.deliver_local rig.rx_node p
+
+let make_rx rig ~blocks =
+  let r =
+    Tfmcc_core.Receiver.create rig.topo ~cfg:Tfmcc_core.Config.default
+      ~session:1 ~node:rig.rx_node ~sender:rig.sender_node ()
+  in
+  Tfmcc_core.Receiver.join r;
+  let rep =
+    Repair.Receiver.create rig.topo r ~sender:rig.sender_node ~session:1
+      ~blocks ~nak_interval:0.2 ()
+  in
+  (r, rep)
+
+let run_for rig dt =
+  Netsim.Engine.run ~until:(Netsim.Engine.now rig.engine +. dt) rig.engine
+
+let test_receiver_tracks_blocks () =
+  let rig = make_rig () in
+  let _, rep = make_rx rig ~blocks:5 in
+  forge_data rig ~seq:0 ~app:0;
+  forge_data rig ~seq:1 ~app:1;
+  forge_data rig ~seq:2 ~app:(-1) (* filler does not count *);
+  forge_data rig ~seq:3 ~app:1 (* duplicate does not double-count *);
+  run_for rig 0.01;
+  Alcotest.(check int) "two blocks" 2 (Repair.Receiver.received_blocks rep);
+  Alcotest.(check bool) "not complete" false (Repair.Receiver.complete rep);
+  Alcotest.(check (list int)) "missing" [ 2; 3; 4 ] (Repair.Receiver.missing rep)
+
+let test_receiver_naks_observed_hole () =
+  let rig = make_rig () in
+  let naks = ref [] in
+  Netsim.Node.attach rig.sender_node (fun p ->
+      match p.Netsim.Packet.payload with
+      | Repair.Nak { missing; _ } -> naks := missing :: !naks
+      | _ -> ());
+  let _, rep = make_rx rig ~blocks:5 in
+  ignore rep;
+  forge_data rig ~seq:0 ~app:0;
+  forge_data rig ~seq:1 ~app:2 (* block 1 missing, provably transmitted *);
+  run_for rig 0.6;
+  Alcotest.(check bool) "a NAK went out" true (!naks <> []);
+  Alcotest.(check bool) "it asks for block 1" true
+    (List.exists (fun l -> List.mem 1 l) !naks)
+
+let test_receiver_naks_tail_when_stalled () =
+  let rig = make_rig () in
+  let naks = ref [] in
+  Netsim.Node.attach rig.sender_node (fun p ->
+      match p.Netsim.Packet.payload with
+      | Repair.Nak { missing; _ } -> naks := missing :: !naks
+      | _ -> ());
+  let _, rep = make_rx rig ~blocks:3 in
+  ignore rep;
+  forge_data rig ~seq:0 ~app:0;
+  forge_data rig ~seq:1 ~app:1;
+  (* block 2 never arrives and nothing else does either: after the stall
+     threshold the tail must be NAKed although it was never observed. *)
+  run_for rig 2.0;
+  Alcotest.(check bool) "tail NAKed" true (List.exists (fun l -> List.mem 2 l) !naks)
+
+let test_completion () =
+  let rig = make_rig () in
+  let _, rep = make_rx rig ~blocks:3 in
+  forge_data rig ~seq:0 ~app:0;
+  forge_data rig ~seq:1 ~app:1;
+  forge_data rig ~seq:2 ~app:2;
+  run_for rig 0.01;
+  Alcotest.(check bool) "complete" true (Repair.Receiver.complete rep);
+  Alcotest.(check bool) "completion time set" true
+    (Repair.Receiver.completion_time rep <> None);
+  Alcotest.(check (list int)) "nothing missing" [] (Repair.Receiver.missing rep);
+  let naks0 = Repair.Receiver.naks_sent rep in
+  run_for rig 3.;
+  Alcotest.(check int) "no NAKs after completion" naks0 (Repair.Receiver.naks_sent rep)
+
+(* ----------------------------------------------------------- property *)
+
+let prop_missing_is_complement =
+  QCheck.Test.make ~name:"missing = exactly the undelivered blocks" ~count:50
+    QCheck.(pair (int_range 1 60) (list_of_size Gen.(int_range 0 30) (int_range 0 59)))
+    (fun (n, dropped) ->
+      let dropped = List.sort_uniq compare (List.filter (fun b -> b < n) dropped) in
+      let rig = make_rig () in
+      let _, rep = make_rx rig ~blocks:n in
+      let seq = ref 0 in
+      for b = 0 to n - 1 do
+        if not (List.mem b dropped) then begin
+          forge_data rig ~seq:!seq ~app:b;
+          incr seq
+        end
+      done;
+      run_for rig 0.01;
+      Repair.Receiver.missing rep = dropped
+      && Repair.Receiver.received_blocks rep = n - List.length dropped
+      && Repair.Receiver.complete rep = (dropped = []))
+
+(* ------------------------------------------------------ end-to-end run *)
+
+let test_reliable_transfer_over_lossy_link () =
+  let e = Netsim.Engine.create ~seed:101 () in
+  let topo = Netsim.Topology.create e in
+  let sn = Netsim.Topology.add_node topo in
+  let rn = Netsim.Topology.add_node topo in
+  ignore
+    (Netsim.Topology.connect topo
+       ~loss_ab:(Netsim.Loss_model.bernoulli ~rng:(Netsim.Engine.split_rng e) ~p:0.05)
+       ~bandwidth_bps:2e6 ~delay_s:0.02 sn rn);
+  let session =
+    Tfmcc_core.Session.create topo ~session:1 ~sender_node:sn ~receiver_nodes:[ rn ] ()
+  in
+  let blocks = 400 in
+  let rsnd =
+    Repair.Sender.create (Tfmcc_core.Session.sender session) ~node:sn ~session:1
+      ~blocks
+  in
+  let rx = List.hd (Tfmcc_core.Session.receivers session) in
+  let rrcv = Repair.Receiver.create topo rx ~sender:sn ~session:1 ~blocks () in
+  Tfmcc_core.Session.start session ~at:0.;
+  Netsim.Engine.run ~until:120. e;
+  Alcotest.(check bool)
+    (Printf.sprintf "transfer complete (%d/%d)"
+       (Repair.Receiver.received_blocks rrcv)
+       blocks)
+    true
+    (Repair.Receiver.complete rrcv);
+  Alcotest.(check bool) "losses forced repairs" true (Repair.Sender.repairs_sent rsnd > 0);
+  Alcotest.(check bool) "NAKs flowed" true (Repair.Sender.naks_received rsnd > 0);
+  Alcotest.(check bool) "first pass finished" true (Repair.Sender.first_pass_done rsnd)
+
+let test_multi_receiver_all_complete () =
+  let e = Netsim.Engine.create ~seed:103 () in
+  let topo = Netsim.Topology.create e in
+  let sn = Netsim.Topology.add_node topo in
+  let hub = Netsim.Topology.add_node topo in
+  ignore (Netsim.Topology.connect topo ~bandwidth_bps:5e6 ~delay_s:0.005 sn hub);
+  let rns =
+    List.init 4 (fun i ->
+        let rn = Netsim.Topology.add_node topo in
+        ignore
+          (Netsim.Topology.connect topo
+             ~loss_ab:
+               (Netsim.Loss_model.bernoulli ~rng:(Netsim.Engine.split_rng e)
+                  ~p:(0.01 +. (0.01 *. float_of_int i)))
+             ~bandwidth_bps:5e6 ~delay_s:0.02 hub rn);
+        rn)
+  in
+  let session =
+    Tfmcc_core.Session.create topo ~session:1 ~sender_node:sn ~receiver_nodes:rns ()
+  in
+  let blocks = 300 in
+  let _rsnd =
+    Repair.Sender.create (Tfmcc_core.Session.sender session) ~node:sn ~session:1 ~blocks
+  in
+  let reps =
+    List.map
+      (fun rx -> Repair.Receiver.create topo rx ~sender:sn ~session:1 ~blocks ())
+      (Tfmcc_core.Session.receivers session)
+  in
+  Tfmcc_core.Session.start session ~at:0.;
+  Netsim.Engine.run ~until:200. e;
+  List.iteri
+    (fun i rep ->
+      Alcotest.(check bool)
+        (Printf.sprintf "receiver %d complete (%d/%d)" i
+           (Repair.Receiver.received_blocks rep)
+           blocks)
+        true
+        (Repair.Receiver.complete rep))
+    reps
+
+let () =
+  Alcotest.run "repair"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "tracks blocks" `Quick test_receiver_tracks_blocks;
+          Alcotest.test_case "NAKs observed hole" `Quick test_receiver_naks_observed_hole;
+          Alcotest.test_case "NAKs stalled tail" `Quick test_receiver_naks_tail_when_stalled;
+          Alcotest.test_case "completion" `Quick test_completion;
+        ] );
+      ("property", List.map QCheck_alcotest.to_alcotest [ prop_missing_is_complement ]);
+      ( "end-to-end",
+        [
+          Alcotest.test_case "lossy link transfer" `Slow test_reliable_transfer_over_lossy_link;
+          Alcotest.test_case "multi-receiver sync" `Slow test_multi_receiver_all_complete;
+        ] );
+    ]

@@ -1,0 +1,407 @@
+(* Unit and property tests for the Stats library. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let check_close eps name expected actual = Alcotest.(check (float eps)) name expected actual
+
+(* ------------------------------------------------------------------ Rng *)
+
+let test_rng_determinism () =
+  let a = Stats.Rng.create 7 and b = Stats.Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Stats.Rng.bits64 a) (Stats.Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Stats.Rng.create 1 and b = Stats.Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Stats.Rng.bits64 a <> Stats.Rng.bits64 b)
+
+let test_rng_split_independence () =
+  let parent = Stats.Rng.create 3 in
+  let child = Stats.Rng.split parent in
+  let c1 = Stats.Rng.bits64 child in
+  let p1 = Stats.Rng.bits64 parent in
+  Alcotest.(check bool) "child differs from parent" true (c1 <> p1)
+
+let test_rng_copy () =
+  let a = Stats.Rng.create 11 in
+  ignore (Stats.Rng.bits64 a);
+  let b = Stats.Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Stats.Rng.bits64 a)
+    (Stats.Rng.bits64 b)
+
+let test_rng_uniform_range () =
+  let rng = Stats.Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let u = Stats.Rng.uniform rng in
+    if u < 0. || u >= 1. then Alcotest.failf "uniform out of range: %f" u
+  done
+
+let test_rng_uniform_mean () =
+  let rng = Stats.Rng.create 17 in
+  let n = 100_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Stats.Rng.uniform rng
+  done;
+  check_close 0.01 "mean ~ 0.5" 0.5 (!acc /. float_of_int n)
+
+let test_rng_int_bounds () =
+  let rng = Stats.Rng.create 23 in
+  for _ = 1 to 10_000 do
+    let v = Stats.Rng.int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "int out of range: %d" v
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Stats.Rng.create 29 in
+  let n = 100_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Stats.Rng.exponential rng ~mean:2.5
+  done;
+  check_close 0.1 "exponential mean" 2.5 (!acc /. float_of_int n)
+
+let test_rng_shuffle_permutation () =
+  let rng = Stats.Rng.create 31 in
+  let a = Array.init 50 Fun.id in
+  Stats.Rng.shuffle_in_place rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+(* -------------------------------------------------------------- Special *)
+
+let test_log_gamma_factorials () =
+  (* Γ(n) = (n-1)! *)
+  let fact n =
+    let rec go acc k = if k <= 1 then acc else go (acc *. float_of_int k) (k - 1) in
+    go 1. n
+  in
+  List.iter
+    (fun n ->
+      check_close 1e-9 (Printf.sprintf "log_gamma %d" n)
+        (log (fact (n - 1)))
+        (Stats.Special.log_gamma (float_of_int n)))
+    [ 1; 2; 3; 4; 5; 6; 10; 15 ]
+
+let test_log_gamma_half () =
+  (* Γ(1/2) = sqrt(pi) *)
+  check_close 1e-9 "log_gamma 0.5" (log (sqrt Float.pi)) (Stats.Special.log_gamma 0.5)
+
+let test_gamma_p_limits () =
+  check_float "P(a,0) = 0" 0. (Stats.Special.gamma_p 2.5 0.);
+  check_close 1e-6 "P(a,inf-ish) = 1" 1. (Stats.Special.gamma_p 2.5 200.)
+
+let test_gamma_p_exponential_case () =
+  (* P(1, x) = 1 - exp(-x) *)
+  List.iter
+    (fun x ->
+      check_close 1e-9
+        (Printf.sprintf "P(1,%g)" x)
+        (1. -. exp (-.x))
+        (Stats.Special.gamma_p 1. x))
+    [ 0.1; 0.5; 1.; 2.; 5. ]
+
+let test_erf_values () =
+  check_close 1e-6 "erf 0" 0. (Stats.Special.erf 0.);
+  check_close 1e-4 "erf 1" 0.8427007 (Stats.Special.erf 1.);
+  check_close 1e-4 "erf -1" (-0.8427007) (Stats.Special.erf (-1.))
+
+(* ----------------------------------------------------------------- Dist *)
+
+let test_gamma_sample_moments () =
+  let rng = Stats.Rng.create 101 in
+  let shape = 3. and scale = 2. in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Stats.Dist.gamma_sample rng ~shape ~scale) in
+  check_close 0.1 "gamma mean" (shape *. scale) (Stats.Descriptive.mean xs);
+  check_close 0.5 "gamma variance" (shape *. scale *. scale) (Stats.Descriptive.variance xs)
+
+let test_gamma_sample_small_shape () =
+  let rng = Stats.Rng.create 103 in
+  let shape = 0.5 and scale = 1. in
+  let xs = Array.init 50_000 (fun _ -> Stats.Dist.gamma_sample rng ~shape ~scale) in
+  check_close 0.05 "gamma mean (shape<1)" 0.5 (Stats.Descriptive.mean xs);
+  Array.iter (fun x -> if x <= 0. then Alcotest.fail "gamma sample not positive") xs
+
+let test_gamma_cdf_median () =
+  (* CDF evaluated at empirical median should be ~0.5 *)
+  let rng = Stats.Rng.create 107 in
+  let xs = Array.init 20_000 (fun _ -> Stats.Dist.gamma_sample rng ~shape:4. ~scale:1.) in
+  let med = Stats.Descriptive.median xs in
+  check_close 0.02 "cdf at median" 0.5 (Stats.Dist.gamma_cdf ~shape:4. ~scale:1. med)
+
+let test_exponential_cdf () =
+  check_float "cdf 0" 0. (Stats.Dist.exponential_cdf ~mean:2. 0.);
+  check_close 1e-9 "cdf mean" (1. -. exp (-1.)) (Stats.Dist.exponential_cdf ~mean:2. 2.)
+
+let test_min_of_gamma_decreases () =
+  let rng = Stats.Rng.create 109 in
+  let m1 = Stats.Dist.gamma_mean_of_min ~shape:8. ~scale:1. ~n:1 ~samples:2000 rng in
+  let m10 = Stats.Dist.gamma_mean_of_min ~shape:8. ~scale:1. ~n:10 ~samples:2000 rng in
+  let m100 = Stats.Dist.gamma_mean_of_min ~shape:8. ~scale:1. ~n:100 ~samples:2000 rng in
+  Alcotest.(check bool) "min decreases in n" true (m1 > m10 && m10 > m100)
+
+let test_bernoulli_rate () =
+  let rng = Stats.Rng.create 113 in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Stats.Dist.bernoulli rng ~p:0.3 then incr hits
+  done;
+  check_close 0.01 "bernoulli rate" 0.3 (float_of_int !hits /. float_of_int n)
+
+(* ---------------------------------------------------------- Descriptive *)
+
+let test_mean_var () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "mean" 3. (Stats.Descriptive.mean xs);
+  check_float "variance" 2.5 (Stats.Descriptive.variance xs);
+  check_close 1e-9 "stddev" (sqrt 2.5) (Stats.Descriptive.stddev xs)
+
+let test_mean_empty () = check_float "mean of empty" 0. (Stats.Descriptive.mean [||])
+
+let test_percentiles () =
+  let xs = [| 5.; 1.; 3.; 2.; 4. |] in
+  check_float "median" 3. (Stats.Descriptive.median xs);
+  check_float "p0" 1. (Stats.Descriptive.percentile xs 0.);
+  check_float "p100" 5. (Stats.Descriptive.percentile xs 100.);
+  check_float "p25" 2. (Stats.Descriptive.percentile xs 25.)
+
+let test_percentile_interpolation () =
+  let xs = [| 0.; 10. |] in
+  check_float "p50 interpolates" 5. (Stats.Descriptive.percentile xs 50.)
+
+let test_summarize () =
+  let s = Stats.Descriptive.summarize [| 2.; 4.; 6.; 8. |] in
+  Alcotest.(check int) "n" 4 s.Stats.Descriptive.n;
+  check_float "mean" 5. s.Stats.Descriptive.mean;
+  check_float "min" 2. s.Stats.Descriptive.min;
+  check_float "max" 8. s.Stats.Descriptive.max
+
+let test_cov () =
+  check_float "cov of constant" 0.
+    (Stats.Descriptive.coefficient_of_variation [| 3.; 3.; 3. |])
+
+let test_jain_index () =
+  check_float "equal shares are fair" 1. (Stats.Descriptive.jain_index [| 2.; 2.; 2. |]);
+  check_close 1e-9 "one hog" (1. /. 4.)
+    (Stats.Descriptive.jain_index [| 1.; 0.; 0.; 0. |]);
+  (* sum = 5, sum of squares = 7: index = 25 / (4*7) *)
+  check_close 1e-9 "known mixed case" (25. /. 28.)
+    (Stats.Descriptive.jain_index [| 1.; 1.; 1.; 2. |])
+
+(* ----------------------------------------------------------- Timeseries *)
+
+let test_timeseries_binning () =
+  let s = Stats.Timeseries.create () in
+  Stats.Timeseries.add s ~time:0.5 ~value:10.;
+  Stats.Timeseries.add s ~time:1.5 ~value:20.;
+  Stats.Timeseries.add s ~time:1.7 ~value:5.;
+  let bins = Stats.Timeseries.bin_sum s ~bin:1.0 ~t_end:3.0 in
+  Alcotest.(check int) "3 bins" 3 (Array.length bins);
+  check_float "bin0" 10. (snd bins.(0));
+  check_float "bin1" 25. (snd bins.(1));
+  check_float "bin2" 0. (snd bins.(2))
+
+let test_timeseries_rate () =
+  let s = Stats.Timeseries.create () in
+  Stats.Timeseries.add s ~time:0.1 ~value:100.;
+  let r = Stats.Timeseries.bin_rate s ~bin:0.5 ~t_end:0.5 in
+  check_float "rate = sum / width" 200. (snd r.(0))
+
+let test_timeseries_monotonic_guard () =
+  let s = Stats.Timeseries.create () in
+  Stats.Timeseries.add s ~time:1.0 ~value:1.;
+  Alcotest.check_raises "rejects going backwards"
+    (Invalid_argument "Timeseries.add: time must be non-decreasing") (fun () ->
+      Stats.Timeseries.add s ~time:0.5 ~value:1.)
+
+let test_counter_throughput () =
+  let c = Stats.Timeseries.Counter.create () in
+  Stats.Timeseries.Counter.record c ~time:1.0 ~bytes:1000;
+  Stats.Timeseries.Counter.record c ~time:2.0 ~bytes:1000;
+  Alcotest.(check int) "total" 2000 (Stats.Timeseries.Counter.total_bytes c);
+  (* 2000 bytes in [0,4) -> 4000 bits/s *)
+  check_float "bps" 4000.
+    (Stats.Timeseries.Counter.throughput_bps c ~t_start:0. ~t_end:4.)
+
+(* ------------------------------------------------------------------ Cdf *)
+
+let test_cdf_eval () =
+  let c = Stats.Cdf.of_samples [| 1.; 2.; 3.; 4. |] in
+  check_float "below" 0. (Stats.Cdf.eval c 0.5);
+  check_float "mid" 0.5 (Stats.Cdf.eval c 2.);
+  check_float "mid2" 0.5 (Stats.Cdf.eval c 2.5);
+  check_float "top" 1. (Stats.Cdf.eval c 4.)
+
+let test_cdf_quantile () =
+  let c = Stats.Cdf.of_samples [| 10.; 20.; 30.; 40.; 50. |] in
+  check_float "q 0.2" 10. (Stats.Cdf.quantile c 0.2);
+  check_float "q 1.0" 50. (Stats.Cdf.quantile c 1.0)
+
+let test_cdf_points_monotone () =
+  let rng = Stats.Rng.create 211 in
+  let samples = Array.init 500 (fun _ -> Stats.Rng.uniform rng) in
+  let c = Stats.Cdf.of_samples samples in
+  let pts = Stats.Cdf.points c ~n:50 in
+  Array.iteri
+    (fun i (_, y) ->
+      if i > 0 && y < snd pts.(i - 1) then Alcotest.fail "CDF not monotone")
+    pts
+
+(* -------------------------------------------------- more distributions *)
+
+let test_pareto_bounds_and_mean () =
+  let rng = Stats.Rng.create 401 in
+  let shape = 3. and scale = 2. in
+  let xs = Array.init 50_000 (fun _ -> Stats.Dist.pareto_sample rng ~shape ~scale) in
+  Array.iter (fun x -> if x < scale then Alcotest.fail "pareto below scale") xs;
+  (* mean = shape*scale/(shape-1) = 3 *)
+  check_close 0.1 "pareto mean" 3. (Stats.Descriptive.mean xs)
+
+let test_gamma_q_complement () =
+  List.iter
+    (fun (a, x) ->
+      check_close 1e-9 "P + Q = 1" 1.
+        (Stats.Special.gamma_p a x +. Stats.Special.gamma_q a x))
+    [ (0.5, 0.2); (1., 1.); (3.5, 2.); (8., 20.) ]
+
+let test_erf_odd () =
+  List.iter
+    (fun x -> check_close 1e-7 "erf odd" (-.Stats.Special.erf x) (Stats.Special.erf (-.x)))
+    [ 0.2; 0.7; 1.5; 2.5 ]
+
+let test_timeseries_between () =
+  let s = Stats.Timeseries.create () in
+  List.iter
+    (fun (t, v) -> Stats.Timeseries.add s ~time:t ~value:v)
+    [ (0.5, 1.); (1.5, 2.); (2.5, 3.); (3.5, 4.) ];
+  let w = Stats.Timeseries.between s ~t_start:1.0 ~t_end:3.0 in
+  Alcotest.(check int) "two points in window" 2 (Array.length w);
+  check_float "first" 2. (snd w.(0));
+  check_float "second" 3. (snd w.(1))
+
+let test_counter_rate_series () =
+  let c = Stats.Timeseries.Counter.create () in
+  Stats.Timeseries.Counter.record c ~time:0.25 ~bytes:500;
+  Stats.Timeseries.Counter.record c ~time:1.25 ~bytes:1500;
+  let series = Stats.Timeseries.Counter.rate_series_bps c ~bin:1. ~t_end:2. in
+  Alcotest.(check int) "two bins" 2 (Array.length series);
+  check_float "bin0 bps" 4000. (snd series.(0));
+  check_float "bin1 bps" 12000. (snd series.(1))
+
+let test_shuffle_deterministic () =
+  let mk () =
+    let rng = Stats.Rng.create 77 in
+    let a = Array.init 20 Fun.id in
+    Stats.Rng.shuffle_in_place rng a;
+    a
+  in
+  Alcotest.(check (array int)) "same seed, same shuffle" (mk ()) (mk ())
+
+(* ----------------------------------------------------------- Properties *)
+
+let prop_percentile_bounded =
+  QCheck.Test.make ~name:"percentile lies within [min,max]" ~count:200
+    QCheck.(pair (array_of_size Gen.(int_range 1 50) (float_bound_exclusive 1000.)) (float_bound_inclusive 100.))
+    (fun (xs, q) ->
+      QCheck.assume (Array.length xs > 0);
+      let p = Stats.Descriptive.percentile xs q in
+      p >= Stats.Descriptive.min xs -. 1e-9 && p <= Stats.Descriptive.max xs +. 1e-9)
+
+let prop_cdf_monotone =
+  QCheck.Test.make ~name:"empirical CDF is monotone" ~count:100
+    QCheck.(array_of_size Gen.(int_range 1 100) (float_bound_exclusive 100.))
+    (fun xs ->
+      QCheck.assume (Array.length xs > 0);
+      let c = Stats.Cdf.of_samples xs in
+      let lo, hi = Stats.Cdf.support c in
+      let n = 20 in
+      let ok = ref true in
+      let prev = ref (-1.) in
+      for i = 0 to n do
+        let x = lo +. ((hi -. lo) *. float_of_int i /. float_of_int n) in
+        let y = Stats.Cdf.eval c x in
+        if y < !prev then ok := false;
+        prev := y
+      done;
+      !ok)
+
+let prop_exponential_positive =
+  QCheck.Test.make ~name:"exponential samples are positive" ~count:500
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let rng = Stats.Rng.create seed in
+      Stats.Rng.exponential rng ~mean:1.0 > 0.)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independence;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
+          Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "special",
+        [
+          Alcotest.test_case "log_gamma at integers" `Quick test_log_gamma_factorials;
+          Alcotest.test_case "log_gamma at 1/2" `Quick test_log_gamma_half;
+          Alcotest.test_case "gamma_p limits" `Quick test_gamma_p_limits;
+          Alcotest.test_case "gamma_p a=1 is exponential" `Quick test_gamma_p_exponential_case;
+          Alcotest.test_case "erf known values" `Quick test_erf_values;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "gamma moments" `Slow test_gamma_sample_moments;
+          Alcotest.test_case "gamma shape<1" `Slow test_gamma_sample_small_shape;
+          Alcotest.test_case "gamma cdf at median" `Slow test_gamma_cdf_median;
+          Alcotest.test_case "exponential cdf" `Quick test_exponential_cdf;
+          Alcotest.test_case "E[min of gammas] decreases" `Slow test_min_of_gamma_decreases;
+          Alcotest.test_case "bernoulli rate" `Slow test_bernoulli_rate;
+        ] );
+      ( "descriptive",
+        [
+          Alcotest.test_case "mean/var" `Quick test_mean_var;
+          Alcotest.test_case "mean of empty" `Quick test_mean_empty;
+          Alcotest.test_case "percentiles" `Quick test_percentiles;
+          Alcotest.test_case "percentile interpolation" `Quick test_percentile_interpolation;
+          Alcotest.test_case "summarize" `Quick test_summarize;
+          Alcotest.test_case "cov of constant" `Quick test_cov;
+          Alcotest.test_case "jain index" `Quick test_jain_index;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "binning" `Quick test_timeseries_binning;
+          Alcotest.test_case "rate" `Quick test_timeseries_rate;
+          Alcotest.test_case "monotonic guard" `Quick test_timeseries_monotonic_guard;
+          Alcotest.test_case "counter throughput" `Quick test_counter_throughput;
+        ] );
+      ( "more-dist",
+        [
+          Alcotest.test_case "pareto bounds + mean" `Slow test_pareto_bounds_and_mean;
+          Alcotest.test_case "gamma P+Q=1" `Quick test_gamma_q_complement;
+          Alcotest.test_case "erf odd" `Quick test_erf_odd;
+          Alcotest.test_case "timeseries between" `Quick test_timeseries_between;
+          Alcotest.test_case "counter rate series" `Quick test_counter_rate_series;
+          Alcotest.test_case "shuffle deterministic" `Quick test_shuffle_deterministic;
+        ] );
+      ( "cdf",
+        [
+          Alcotest.test_case "eval" `Quick test_cdf_eval;
+          Alcotest.test_case "quantile" `Quick test_cdf_quantile;
+          Alcotest.test_case "points monotone" `Quick test_cdf_points_monotone;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_percentile_bounded; prop_cdf_monotone; prop_exponential_positive ] );
+    ]

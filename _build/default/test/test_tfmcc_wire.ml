@@ -1,0 +1,494 @@
+(* Wire-level unit tests of the TFMCC sender and receiver: hand-built
+   packets are injected through a minimal topology so each §2 rule can be
+   checked deterministically (no competing traffic, no loss randomness
+   unless constructed). *)
+
+let cfg = Tfmcc_core.Config.default
+
+(* sender -- rx, plus a spare node for forged reports. *)
+type rig = {
+  engine : Netsim.Engine.t;
+  topo : Netsim.Topology.t;
+  sender_node : Netsim.Node.t;
+  rx_node : Netsim.Node.t;
+  rx2_node : Netsim.Node.t;
+}
+
+let make_rig ?(bandwidth_bps = 1e7) () =
+  let engine = Netsim.Engine.create ~seed:71 () in
+  let topo = Netsim.Topology.create engine in
+  let sender_node = Netsim.Topology.add_node topo in
+  let rx_node = Netsim.Topology.add_node topo in
+  let rx2_node = Netsim.Topology.add_node topo in
+  ignore (Netsim.Topology.connect topo ~bandwidth_bps ~delay_s:0.01 sender_node rx_node);
+  ignore (Netsim.Topology.connect topo ~bandwidth_bps ~delay_s:0.01 sender_node rx2_node);
+  { engine; topo; sender_node; rx_node; rx2_node }
+
+(* Forge a receiver report and deliver it directly to the sender node. *)
+let forge_report rig ~rx_id ?(rate = 50_000.) ?(have_rtt = true) ?(rtt = 0.05)
+    ?(p = 0.01) ?(x_recv = 50_000.) ?(round = 1) ?(has_loss = true)
+    ?(leaving = false) () =
+  let now = Netsim.Engine.now rig.engine in
+  let payload =
+    Tfmcc_core.Wire.Report
+      {
+        session = 1;
+        rx_id;
+        ts = now;
+        echo_ts = now -. 0.02;
+        echo_delay = 0.;
+        rate;
+        have_rtt;
+        rtt;
+        p;
+        x_recv;
+        round;
+        has_loss;
+        leaving;
+      }
+  in
+  let p =
+    Netsim.Packet.make ~flow:(-1) ~size:40 ~src:rx_id
+      ~dst:(Netsim.Packet.Unicast (Netsim.Node.id rig.sender_node))
+      ~created:now payload
+  in
+  Netsim.Node.deliver_local rig.sender_node p
+
+let run_for rig dt =
+  Netsim.Engine.run ~until:(Netsim.Engine.now rig.engine +. dt) rig.engine
+
+(* -------------------------------------------------------------- Sender *)
+
+let started_sender ?initial_rate rig =
+  let snd =
+    Tfmcc_core.Sender.create rig.topo ~cfg ~session:1 ~node:rig.sender_node
+      ?initial_rate ()
+  in
+  Tfmcc_core.Sender.start snd ~at:0.;
+  (* let the first packet and round start *)
+  run_for rig 0.1;
+  snd
+
+let test_sender_decreases_immediately () =
+  let rig = make_rig () in
+  let snd = started_sender ~initial_rate:100_000. rig in
+  (* Out of slowstart via a loss report well below the current rate. *)
+  forge_report rig ~rx_id:(Netsim.Node.id rig.rx_node) ~rate:20_000. ();
+  run_for rig 0.01;
+  Alcotest.(check bool) "slowstart ended" false (Tfmcc_core.Sender.in_slowstart snd);
+  Alcotest.(check (float 1.)) "rate dropped to the report" 20_000.
+    (Tfmcc_core.Sender.rate_bytes_per_s snd);
+  Alcotest.(check (option int)) "reporter became CLR"
+    (Some (Netsim.Node.id rig.rx_node))
+    (Tfmcc_core.Sender.clr snd)
+
+let test_sender_increase_capped () =
+  let rig = make_rig () in
+  let snd = started_sender ~initial_rate:100_000. rig in
+  let clr = Netsim.Node.id rig.rx_node in
+  forge_report rig ~rx_id:clr ~rate:20_000. ();
+  run_for rig 0.01;
+  (* CLR now asks for a much higher rate; the increase must be capped at
+     ~1 packet per RTT per elapsed RTT. *)
+  run_for rig 0.05 (* one RTT at rtt=0.05 *);
+  forge_report rig ~rx_id:clr ~rate:1_000_000. ();
+  run_for rig 0.01;
+  let x = Tfmcc_core.Sender.rate_bytes_per_s snd in
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded increase (got %.0f)" x)
+    true
+    (x < 20_000. +. (3. *. 1000.))
+
+let test_sender_lower_report_steals_clr () =
+  let rig = make_rig () in
+  let snd = started_sender ~initial_rate:100_000. rig in
+  forge_report rig ~rx_id:(Netsim.Node.id rig.rx_node) ~rate:50_000. ();
+  run_for rig 0.01;
+  forge_report rig ~rx_id:(Netsim.Node.id rig.rx2_node) ~rate:30_000. ();
+  run_for rig 0.01;
+  Alcotest.(check (option int)) "lower receiver takes over"
+    (Some (Netsim.Node.id rig.rx2_node))
+    (Tfmcc_core.Sender.clr snd);
+  Alcotest.(check (float 1.)) "rate follows" 30_000.
+    (Tfmcc_core.Sender.rate_bytes_per_s snd)
+
+let test_sender_higher_non_clr_ignored () =
+  let rig = make_rig () in
+  let snd = started_sender ~initial_rate:100_000. rig in
+  forge_report rig ~rx_id:(Netsim.Node.id rig.rx_node) ~rate:30_000. ();
+  run_for rig 0.01;
+  forge_report rig ~rx_id:(Netsim.Node.id rig.rx2_node) ~rate:80_000. ();
+  run_for rig 0.01;
+  Alcotest.(check (option int)) "CLR unchanged"
+    (Some (Netsim.Node.id rig.rx_node))
+    (Tfmcc_core.Sender.clr snd);
+  Alcotest.(check (float 1.)) "rate unchanged" 30_000.
+    (Tfmcc_core.Sender.rate_bytes_per_s snd)
+
+let test_sender_leave_drops_clr () =
+  let rig = make_rig () in
+  let snd = started_sender ~initial_rate:100_000. rig in
+  let clr = Netsim.Node.id rig.rx_node in
+  forge_report rig ~rx_id:clr ~rate:30_000. ();
+  run_for rig 0.01;
+  forge_report rig ~rx_id:clr ~leaving:true ();
+  run_for rig 0.01;
+  Alcotest.(check (option int)) "CLR dropped" None (Tfmcc_core.Sender.clr snd);
+  Alcotest.(check int) "counted as timeout/leave" 1 (Tfmcc_core.Sender.clr_timeouts snd)
+
+let test_sender_no_rtt_report_rescaled () =
+  let rig = make_rig () in
+  let snd = started_sender ~initial_rate:100_000. rig in
+  (* The forged report claims rate 10_000 computed with the 500 ms
+     initial RTT; echo_ts is 20 ms ago, so the sender-side RTT is
+     ~20 ms and the adjusted rate should be ~ 10_000 * 0.5/0.02 = 250_000
+     — above the current rate, so the rate must NOT crash to 10_000. *)
+  forge_report rig ~rx_id:(Netsim.Node.id rig.rx_node) ~rate:10_000.
+    ~have_rtt:false ~rtt:0.5 ();
+  run_for rig 0.01;
+  Alcotest.(check bool)
+    (Printf.sprintf "rate not crashed (got %.0f)"
+       (Tfmcc_core.Sender.rate_bytes_per_s snd))
+    true
+    (Tfmcc_core.Sender.rate_bytes_per_s snd > 50_000.)
+
+let test_sender_round_advances () =
+  let rig = make_rig () in
+  let snd = started_sender rig in
+  let r0 = Tfmcc_core.Sender.round snd in
+  run_for rig (2.5 *. Tfmcc_core.Sender.round_duration snd);
+  Alcotest.(check bool) "rounds advance" true (Tfmcc_core.Sender.round snd >= r0 + 2)
+
+(* ------------------------------------------------------------ Receiver *)
+
+(* Deliver a forged data packet locally to the receiver. *)
+let forge_data rig ~seq ?(rate = 50_000.) ?(round = 0) ?(round_duration = 1.)
+    ?(clr = -1) ?(in_slowstart = false) ?echo ?fb () =
+  let now = Netsim.Engine.now rig.engine in
+  let payload =
+    Tfmcc_core.Wire.Data
+      {
+        session = 1;
+        seq;
+        ts = now;
+        rate;
+        round;
+        round_duration;
+        max_rtt = 0.5;
+        clr;
+        in_slowstart;
+        echo;
+        fb;
+        app = -1;
+      }
+  in
+  let p =
+    Netsim.Packet.make ~flow:1 ~size:1000
+      ~src:(Netsim.Node.id rig.sender_node)
+      ~dst:(Netsim.Packet.Multicast 1) ~created:now payload
+  in
+  Netsim.Node.deliver_local rig.rx_node p
+
+let make_receiver rig =
+  let r =
+    Tfmcc_core.Receiver.create rig.topo ~cfg ~session:1 ~node:rig.rx_node
+      ~sender:rig.sender_node ()
+  in
+  Tfmcc_core.Receiver.join r;
+  r
+
+let test_receiver_initial_rtt () =
+  let rig = make_rig () in
+  let r = make_receiver rig in
+  forge_data rig ~seq:0 ();
+  run_for rig 0.01;
+  Alcotest.(check (float 1e-9)) "initial RTT" 0.5 (Tfmcc_core.Receiver.rtt r);
+  Alcotest.(check bool) "no measurement" false
+    (Tfmcc_core.Receiver.has_rtt_measurement r)
+
+let test_receiver_echo_measures_rtt () =
+  let rig = make_rig () in
+  let r = make_receiver rig in
+  forge_data rig ~seq:0 ();
+  run_for rig 0.1;
+  (* Echo a pretended report this receiver sent 60 ms ago. *)
+  let now = Netsim.Engine.now rig.engine in
+  forge_data rig ~seq:1
+    ~echo:
+      {
+        Tfmcc_core.Wire.rx_id = Netsim.Node.id rig.rx_node;
+        rx_ts = now -. 0.06;
+        echo_delay = 0.01;
+      }
+    ();
+  run_for rig 0.01;
+  Alcotest.(check bool) "measured" true (Tfmcc_core.Receiver.has_rtt_measurement r);
+  Alcotest.(check (float 1e-6)) "RTT = now - rx_ts - hold" 0.05
+    (Tfmcc_core.Receiver.rtt r)
+
+let test_receiver_echo_for_other_ignored () =
+  let rig = make_rig () in
+  let r = make_receiver rig in
+  forge_data rig ~seq:0 ();
+  run_for rig 0.1;
+  let now = Netsim.Engine.now rig.engine in
+  forge_data rig ~seq:1
+    ~echo:{ Tfmcc_core.Wire.rx_id = 999; rx_ts = now -. 0.06; echo_delay = 0.01 }
+    ();
+  run_for rig 0.01;
+  Alcotest.(check bool) "not measured" false
+    (Tfmcc_core.Receiver.has_rtt_measurement r)
+
+let test_receiver_detects_loss () =
+  let rig = make_rig () in
+  let r = make_receiver rig in
+  forge_data rig ~seq:0 ();
+  run_for rig 0.01;
+  forge_data rig ~seq:1 ();
+  run_for rig 0.01;
+  forge_data rig ~seq:5 ();
+  run_for rig 0.01;
+  Alcotest.(check bool) "loss detected" true (Tfmcc_core.Receiver.has_loss r);
+  Alcotest.(check bool) "p > 0" true (Tfmcc_core.Receiver.loss_event_rate r > 0.)
+
+let test_receiver_becomes_clr_and_reports_periodically () =
+  let rig = make_rig () in
+  let r = make_receiver rig in
+  forge_data rig ~seq:0 ~clr:(Netsim.Node.id rig.rx_node) ();
+  run_for rig 0.01;
+  Alcotest.(check bool) "knows it is CLR" true (Tfmcc_core.Receiver.is_clr r);
+  let before = Tfmcc_core.Receiver.reports_sent r in
+  (* CLR reports once per RTT (initially 500 ms). *)
+  run_for rig 2.0;
+  let sent = Tfmcc_core.Receiver.reports_sent r - before in
+  Alcotest.(check bool)
+    (Printf.sprintf "periodic CLR reports (%d in 2s)" sent)
+    true
+    (sent >= 3 && sent <= 6)
+
+let test_receiver_demoted_clr_stops () =
+  let rig = make_rig () in
+  let r = make_receiver rig in
+  forge_data rig ~seq:0 ~clr:(Netsim.Node.id rig.rx_node) ();
+  run_for rig 0.6;
+  forge_data rig ~seq:1 ~clr:12345 ();
+  run_for rig 0.01;
+  Alcotest.(check bool) "demoted" false (Tfmcc_core.Receiver.is_clr r);
+  let before = Tfmcc_core.Receiver.reports_sent r in
+  run_for rig 2.0;
+  Alcotest.(check int) "no more periodic reports" before
+    (Tfmcc_core.Receiver.reports_sent r)
+
+let test_receiver_reports_during_slowstart_round () =
+  let rig = make_rig () in
+  let r = make_receiver rig in
+  (* Slowstart data in round 0, then a new round 1 to arm the timer. *)
+  forge_data rig ~seq:0 ~in_slowstart:true ();
+  run_for rig 0.05;
+  forge_data rig ~seq:1 ~in_slowstart:true ~round:1 ~round_duration:0.5 ();
+  run_for rig 1.0;
+  Alcotest.(check bool) "slowstart report sent" true
+    (Tfmcc_core.Receiver.reports_sent r >= 1)
+
+let test_receiver_suppressed_by_echo () =
+  let rig = make_rig () in
+  let r = make_receiver rig in
+  (* Arm a slowstart round timer, then echo feedback: a rate report must
+     cancel (slowstart reports cancel on any echo). *)
+  forge_data rig ~seq:0 ~in_slowstart:true ();
+  run_for rig 0.05;
+  forge_data rig ~seq:1 ~in_slowstart:true ~round:1 ~round_duration:5. ();
+  run_for rig 0.01;
+  forge_data rig ~seq:2 ~in_slowstart:true ~round:1 ~round_duration:5.
+    ~fb:{ Tfmcc_core.Wire.fb_rx_id = 999; fb_rate = 1.; fb_has_loss = false }
+    ();
+  run_for rig 6.;
+  Alcotest.(check int) "timer was suppressed" 1
+    (Tfmcc_core.Receiver.timers_suppressed r)
+
+let test_receiver_not_suppressed_when_left () =
+  let rig = make_rig () in
+  let r = make_receiver rig in
+  forge_data rig ~seq:0 ();
+  Tfmcc_core.Receiver.leave r ();
+  forge_data rig ~seq:1 ();
+  run_for rig 0.1;
+  Alcotest.(check int) "no packets counted after leave" 1
+    (Tfmcc_core.Receiver.packets_received r)
+
+(* ----------------------------------------------------------- Aggregator *)
+
+(* Forge a report addressed to the aggregator node (rx_node hosts it). *)
+let forge_report_to rig ~dst ~rx_id ~rate ~round ~has_loss ?(leaving = false) () =
+  let now = Netsim.Engine.now rig.engine in
+  let payload =
+    Tfmcc_core.Wire.Report
+      {
+        session = 1;
+        rx_id;
+        ts = now;
+        echo_ts = now -. 0.02;
+        echo_delay = 0.;
+        rate;
+        have_rtt = true;
+        rtt = 0.05;
+        p = 0.01;
+        x_recv = rate;
+        round;
+        has_loss;
+        leaving;
+      }
+  in
+  let p =
+    Netsim.Packet.make ~flow:(-1) ~size:40 ~src:rx_id
+      ~dst:(Netsim.Packet.Unicast (Netsim.Node.id dst))
+      ~created:now payload
+  in
+  Netsim.Node.deliver_local dst p
+
+let count_reports_at node =
+  let n = ref 0 in
+  Netsim.Node.attach node (fun p ->
+      match p.Netsim.Packet.payload with
+      | Tfmcc_core.Wire.Report _ -> incr n
+      | _ -> ());
+  n
+
+let test_aggregator_forwards_minimum () =
+  let rig = make_rig () in
+  let agg =
+    Tfmcc_core.Aggregator.create rig.topo ~session:1 ~node:rig.rx_node
+      ~parent:rig.sender_node ~hold:0.1 ()
+  in
+  let seen = ref None in
+  Netsim.Node.attach rig.sender_node (fun p ->
+      match p.Netsim.Packet.payload with
+      | Tfmcc_core.Wire.Report { rate; _ } -> seen := Some rate
+      | _ -> ());
+  forge_report_to rig ~dst:rig.rx_node ~rx_id:101 ~rate:50_000. ~round:1
+    ~has_loss:true ();
+  forge_report_to rig ~dst:rig.rx_node ~rx_id:102 ~rate:20_000. ~round:1
+    ~has_loss:true ();
+  forge_report_to rig ~dst:rig.rx_node ~rx_id:103 ~rate:80_000. ~round:1
+    ~has_loss:true ();
+  run_for rig 0.5;
+  Alcotest.(check int) "three in" 3 (Tfmcc_core.Aggregator.reports_in agg);
+  Alcotest.(check int) "one out" 1 (Tfmcc_core.Aggregator.reports_out agg);
+  Alcotest.(check (option (float 1.))) "minimum forwarded" (Some 20_000.) !seen
+
+let test_aggregator_loss_dominates () =
+  let rig = make_rig () in
+  let _agg =
+    Tfmcc_core.Aggregator.create rig.topo ~session:1 ~node:rig.rx_node
+      ~parent:rig.sender_node ~hold:0.1 ()
+  in
+  let seen = ref None in
+  Netsim.Node.attach rig.sender_node (fun p ->
+      match p.Netsim.Packet.payload with
+      | Tfmcc_core.Wire.Report { rate; has_loss; _ } -> seen := Some (rate, has_loss)
+      | _ -> ());
+  (* a lower rate-only report must lose to a loss report *)
+  forge_report_to rig ~dst:rig.rx_node ~rx_id:101 ~rate:10_000. ~round:1
+    ~has_loss:false ();
+  forge_report_to rig ~dst:rig.rx_node ~rx_id:102 ~rate:30_000. ~round:1
+    ~has_loss:true ();
+  run_for rig 0.5;
+  Alcotest.(check (option (pair (float 1.) bool))) "loss report wins"
+    (Some (30_000., true))
+    !seen
+
+let test_aggregator_one_per_round () =
+  let rig = make_rig () in
+  let agg =
+    Tfmcc_core.Aggregator.create rig.topo ~session:1 ~node:rig.rx_node
+      ~parent:rig.sender_node ~hold:0.05 ()
+  in
+  (* Ten reports of the same round from distinct receivers, spaced wider
+     than the hold: only the first flush (plus more-restrictive upgrades)
+     may pass. *)
+  for i = 0 to 9 do
+    ignore
+      (Netsim.Engine.at rig.engine
+         ~time:(0.2 *. float_of_int (i + 1))
+         (fun () ->
+           forge_report_to rig ~dst:rig.rx_node
+             ~rx_id:(200 + i)
+             ~rate:(50_000. +. (1000. *. float_of_int i))
+             ~round:1 ~has_loss:true ()));
+    ()
+  done;
+  run_for rig 3.;
+  Alcotest.(check int) "ten in" 10 (Tfmcc_core.Aggregator.reports_in agg);
+  Alcotest.(check bool)
+    (Printf.sprintf "throttled to ~1 (got %d)" (Tfmcc_core.Aggregator.reports_out agg))
+    true
+    (Tfmcc_core.Aggregator.reports_out agg <= 2)
+
+let test_aggregator_leave_passes_through () =
+  let rig = make_rig () in
+  let agg =
+    Tfmcc_core.Aggregator.create rig.topo ~session:1 ~node:rig.rx_node
+      ~parent:rig.sender_node ~hold:0.1 ()
+  in
+  let n = count_reports_at rig.sender_node in
+  forge_report_to rig ~dst:rig.rx_node ~rx_id:101 ~rate:50_000. ~round:1
+    ~has_loss:true ~leaving:true ();
+  (* hold is 0.1 s: arrival well before it proves pass-through *)
+  run_for rig 0.05;
+  Alcotest.(check int) "forwarded immediately" 1 !n;
+  Alcotest.(check int) "counted" 1 (Tfmcc_core.Aggregator.reports_out agg)
+
+let test_aggregator_clr_passthrough () =
+  let rig = make_rig () in
+  let agg =
+    Tfmcc_core.Aggregator.create rig.topo ~session:1 ~node:rig.rx_node
+      ~parent:rig.sender_node ~hold:0.05 ()
+  in
+  (* Establish rx 101 as the subtree's spoken-for receiver... *)
+  forge_report_to rig ~dst:rig.rx_node ~rx_id:101 ~rate:50_000. ~round:1
+    ~has_loss:true ();
+  run_for rig 0.2;
+  let out0 = Tfmcc_core.Aggregator.reports_out agg in
+  (* ...then its repeated same-round reports pass through unthrottled. *)
+  for _ = 1 to 5 do
+    forge_report_to rig ~dst:rig.rx_node ~rx_id:101 ~rate:51_000. ~round:1
+      ~has_loss:true ();
+    run_for rig 0.05
+  done;
+  Alcotest.(check int) "CLR reports pass" (out0 + 5)
+    (Tfmcc_core.Aggregator.reports_out agg)
+
+let () =
+  Alcotest.run "tfmcc_wire"
+    [
+      ( "sender",
+        [
+          Alcotest.test_case "immediate decrease" `Quick test_sender_decreases_immediately;
+          Alcotest.test_case "capped increase" `Quick test_sender_increase_capped;
+          Alcotest.test_case "lower report steals CLR" `Quick test_sender_lower_report_steals_clr;
+          Alcotest.test_case "higher non-CLR ignored" `Quick test_sender_higher_non_clr_ignored;
+          Alcotest.test_case "leave drops CLR" `Quick test_sender_leave_drops_clr;
+          Alcotest.test_case "no-RTT report rescaled" `Quick test_sender_no_rtt_report_rescaled;
+          Alcotest.test_case "rounds advance" `Quick test_sender_round_advances;
+        ] );
+      ( "receiver",
+        [
+          Alcotest.test_case "initial RTT" `Quick test_receiver_initial_rtt;
+          Alcotest.test_case "echo measures RTT" `Quick test_receiver_echo_measures_rtt;
+          Alcotest.test_case "foreign echo ignored" `Quick test_receiver_echo_for_other_ignored;
+          Alcotest.test_case "detects loss" `Quick test_receiver_detects_loss;
+          Alcotest.test_case "CLR duty" `Quick test_receiver_becomes_clr_and_reports_periodically;
+          Alcotest.test_case "CLR demotion" `Quick test_receiver_demoted_clr_stops;
+          Alcotest.test_case "slowstart report" `Quick test_receiver_reports_during_slowstart_round;
+          Alcotest.test_case "echo suppression" `Quick test_receiver_suppressed_by_echo;
+          Alcotest.test_case "leave stops accounting" `Quick test_receiver_not_suppressed_when_left;
+        ] );
+      ( "aggregator",
+        [
+          Alcotest.test_case "forwards minimum" `Quick test_aggregator_forwards_minimum;
+          Alcotest.test_case "loss dominates" `Quick test_aggregator_loss_dominates;
+          Alcotest.test_case "one per round" `Quick test_aggregator_one_per_round;
+          Alcotest.test_case "leave passthrough" `Quick test_aggregator_leave_passes_through;
+          Alcotest.test_case "CLR passthrough" `Quick test_aggregator_clr_passthrough;
+        ] );
+    ]
