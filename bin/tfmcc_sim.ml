@@ -72,6 +72,33 @@ let all_cmd =
   in
   Cmd.v (Cmd.info "all" ~doc) Term.(const run $ full_arg $ seed_arg $ csv_arg)
 
+let chaos_cmd =
+  let doc =
+    "Run the robustness suite (rob01 CLR crash, rob02 partition, rob03 \
+     corruption) back to back and summarize the injected damage."
+  in
+  let plot_arg =
+    let doc = "Also render each series' rate column as a terminal plot." in
+    Arg.(value & flag & info [ "plot" ] ~doc)
+  in
+  let run full seed csv plot =
+    List.iter
+      (fun id ->
+        match Experiments.Registry.find id with
+        | None -> assert false
+        | Some e ->
+            Printf.printf "--- %s: %s ---\n%!" id e.Experiments.Registry.title;
+            let series = e.Experiments.Registry.run ~mode:(mode_of_full full) ~seed in
+            print_series ~csv series;
+            if plot then
+              List.iter
+                (fun s -> print_string (Experiments.Series.render_ascii s ~col:0))
+                series)
+      [ "rob01"; "rob02"; "rob03" ]
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ full_arg $ seed_arg $ csv_arg $ plot_arg)
+
 let scatter_cmd =
   let doc = "Dump the raw (time, value, sent) scatter of Fig. 2." in
   let n_arg =
@@ -180,4 +207,5 @@ let () =
   let info = Cmd.info "tfmcc-sim" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; all_cmd; scatter_cmd; trace_cmd; dot_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; all_cmd; chaos_cmd; scatter_cmd; trace_cmd; dot_cmd ]))

@@ -211,6 +211,24 @@ let all =
       title = "Initial RTT value";
       run = Abl06_initial_rtt.run;
     };
+    {
+      id = "rob01";
+      figure = "Robustness";
+      title = "CLR crash (silent leave) and sender failover";
+      run = Rob01_clr_crash.run;
+    };
+    {
+      id = "rob02";
+      figure = "Robustness";
+      title = "Subtree partition: starvation decay and recovery";
+      run = Rob02_partition.run;
+    };
+    {
+      id = "rob03";
+      figure = "Robustness";
+      title = "Corrupted / duplicated / reordered packets";
+      run = Rob03_corruption.run;
+    };
   ]
 
 let find id =

@@ -1,0 +1,4 @@
+(** Robustness: silent crash of the current limiting receiver; the sender
+    must time the CLR out and fail over to the next limiting receiver. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

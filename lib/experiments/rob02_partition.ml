@@ -1,0 +1,75 @@
+open Tfmcc_core
+
+(* Robustness: transient full partition of the receiver subtree.
+
+   Every per-receiver link is cut in both directions for a window in the
+   middle of the run, so the sender hears nothing at all — no reports,
+   no leave, nothing.  The required behaviour is the feedback-starvation
+   degradation: after starvation_rounds feedback rounds of total silence
+   the sender decays its rate multiplicatively down to the one-packet
+   floor instead of free-running at the last CLR-approved rate, and
+   recovers cleanly (starved flag cleared, normal rate control resumes)
+   once the partition heals and the first valid report gets through. *)
+
+let run ~mode ~seed =
+  let t_end = Scenario.scale mode ~quick:90. ~full:180. in
+  let part_from = t_end /. 3. in
+  let part_until = 2. *. t_end /. 3. in
+  let st =
+    Scenario.star ~seed ~link_bps:20e6
+      ~link_delays:[| 0.02; 0.03; 0.04 |]
+      ~link_losses:[| 0.005; 0.01; 0.02 |]
+      ()
+  in
+  let sess = st.Scenario.s_session in
+  let eng = st.Scenario.s_sc.Scenario.engine in
+  let fault = Netsim.Fault.create eng in
+  Session.start sess ~at:0.;
+  let links =
+    Array.to_list st.Scenario.s_rx_links
+    |> List.concat_map (fun (fwd, rev) -> [ fwd; rev ])
+  in
+  Netsim.Fault.partition fault ~links ~from_:part_from ~until:part_until;
+  let samples = ref [] in
+  let min_rate_in_partition = ref infinity in
+  let recovered_at = ref nan in
+  let pre_partition_rate = ref 0. in
+  Scenario.sample_every st.Scenario.s_sc ~dt:0.25 ~t_end (fun now ->
+      let s = Session.sender sess in
+      let rate = Sender.rate_bytes_per_s s in
+      if now < part_from then pre_partition_rate := rate;
+      if now >= part_from && now <= part_until then
+        min_rate_in_partition := Float.min !min_rate_in_partition rate;
+      if now > part_until && Float.is_nan !recovered_at
+         && (not (Sender.is_starved s))
+         && rate >= 0.5 *. !pre_partition_rate
+      then recovered_at := now;
+      samples :=
+        ( now,
+          [ rate *. 8. /. 1e6; (if Sender.is_starved s then 1. else 0.) ] )
+        :: !samples);
+  Scenario.run_until st.Scenario.s_sc t_end;
+  let s = Session.sender sess in
+  [
+    Series.make
+      ~title:"rob02: subtree partition, starvation decay and recovery"
+      ~xlabel:"time (s)"
+      ~ylabels:[ "X_send (Mbit/s)"; "starved (0/1)" ]
+      ~notes:
+        [
+          Printf.sprintf
+            "partition [%.0f, %.0f]s: starvations=%d, min rate inside = %.1f \
+             kbit/s (floor = one packet per 64 s)"
+            part_from part_until
+            (Sender.feedback_starvations s)
+            (!min_rate_in_partition *. 8. /. 1e3);
+          (if Float.is_nan !recovered_at then
+             "did NOT recover to 50% of the pre-partition rate"
+           else
+             Printf.sprintf
+               "recovered to 50%% of the pre-partition rate %.1f s after heal"
+               (!recovered_at -. part_until));
+          Netsim.Fault.describe fault;
+        ]
+      (List.rev !samples);
+  ]

@@ -1,0 +1,5 @@
+(** Robustness: transient full partition of the receiver subtree; the
+    sender must enter the feedback-starvation decay down to the one-packet
+    floor and recover cleanly after the heal. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

@@ -1,0 +1,5 @@
+(** Robustness: corrupted / duplicated / reordered packets on every
+    receiver link; malformed packets must all be contained at validation
+    and the sender's rate stay finite. *)
+
+val run : mode:Scenario.mode -> seed:int -> Series.t list

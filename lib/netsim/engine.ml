@@ -35,6 +35,20 @@ let after t ~delay callback =
 
 let cancel t handle = Event_heap.cancel t.heap handle
 
+let every t ?start ?until ~interval callback =
+  if interval <= 0. then invalid_arg "Engine.every: interval must be positive";
+  let start = Option.value start ~default:(t.now +. interval) in
+  let rec tick time =
+    match until with
+    | Some limit when time > limit -> ()
+    | _ ->
+        ignore
+          (Event_heap.add t.heap ~time (fun () ->
+               callback ();
+               tick (time +. interval)))
+  in
+  tick (Float.max t.now start)
+
 let step t =
   match Event_heap.pop t.heap with
   | None -> false

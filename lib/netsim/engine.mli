@@ -31,6 +31,13 @@ val after : t -> delay:float -> (unit -> unit) -> handle
 
 val cancel : t -> handle -> unit
 
+val every :
+  t -> ?start:float -> ?until:float -> interval:float -> (unit -> unit) -> unit
+(** Schedules [callback] at [start] (default now + interval) and every
+    [interval] seconds thereafter, stopping after [until] if given —
+    without [until] the schedule is unbounded, so drive the engine with
+    [run ~until].  Used by periodic fault schedules ({!Fault}). *)
+
 val run : ?until:float -> t -> unit
 (** Processes events in time order until the queue empties, [until] is
     reached (events at t > until stay queued and [now] becomes [until]),

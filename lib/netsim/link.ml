@@ -1,3 +1,6 @@
+type fault_action =
+  [ `Pass | `Drop | `Replace of Packet.t | `Duplicate | `Delay of float ]
+
 type t = {
   engine : Engine.t;
   mutable loss : Loss_model.t;
@@ -11,7 +14,9 @@ type t = {
   mutable sent : int;
   mutable delivered : int;
   mutable lost : int;
+  mutable flaps : int;
   mutable busy_time : float;
+  mutable fault : (Packet.t -> fault_action) option;
   mutable tracer :
     (time:float -> kind:[ `Tx | `Drop_queue | `Drop_loss | `Deliver ] -> Packet.t -> unit)
     option;
@@ -34,7 +39,9 @@ let create engine ?(loss = Loss_model.none) ~bandwidth_bps ~delay_s ~queue ~src
     sent = 0;
     delivered = 0;
     lost = 0;
+    flaps = 0;
     busy_time = 0.;
+    fault = None;
     tracer = None;
   }
 
@@ -74,8 +81,7 @@ let rec transmit t p =
   in
   ignore (Engine.after t.engine ~delay:tx complete)
 
-let send t (p : Packet.t) =
-  p.hops <- p.hops + 1;
+let forward t (p : Packet.t) =
   if not t.up then begin
     t.lost <- t.lost + 1;
     trace t ~kind:`Drop_loss p
@@ -86,6 +92,22 @@ let send t (p : Packet.t) =
     if not (Queue_disc.enqueue t.queue p) then trace t ~kind:`Drop_queue p
   end
   else transmit t p
+
+let send t (p : Packet.t) =
+  p.hops <- p.hops + 1;
+  match t.fault with
+  | None -> forward t p
+  | Some f -> (
+      match f p with
+      | `Pass -> forward t p
+      | `Drop ->
+          t.lost <- t.lost + 1;
+          trace t ~kind:`Drop_loss p
+      | `Replace p' -> forward t p'
+      | `Duplicate ->
+          forward t p;
+          forward t (Packet.clone p)
+      | `Delay d -> ignore (Engine.after t.engine ~delay:d (fun () -> forward t p)))
 
 let src t = t.src
 
@@ -115,6 +137,12 @@ let utilization t ~now = if now <= 0. then 0. else t.busy_time /. now
 
 let set_tracer t f = t.tracer <- Some f
 
-let set_up t up = t.up <- up
+let set_fault t f = t.fault <- f
+
+let set_up t up =
+  if t.up <> up then t.flaps <- t.flaps + 1;
+  t.up <- up
 
 let is_up t = t.up
+
+let flaps t = t.flaps

@@ -10,6 +10,13 @@
 
 type t
 
+(** What a fault injector may do with a packet entering the link (see
+    {!set_fault} and {!Fault}): pass it through, drop it, substitute a
+    (corrupted) replacement, transmit it twice, or hold it back for some
+    extra seconds so later packets overtake it (reordering). *)
+type fault_action =
+  [ `Pass | `Drop | `Replace of Packet.t | `Duplicate | `Delay of float ]
+
 val create :
   Engine.t ->
   ?loss:Loss_model.t ->
@@ -46,9 +53,19 @@ val set_loss : t -> Loss_model.t -> unit
 val set_up : t -> bool -> unit
 (** Takes the link down (every packet handed to it is dropped and counted
     under {!packets_lost}) or back up.  Models path failure without
-    touching routing state. *)
+    touching routing state.  Each up/down transition counts as one
+    {!flaps} entry. *)
 
 val is_up : t -> bool
+
+val flaps : t -> int
+(** Number of up/down state transitions so far. *)
+
+val set_fault : t -> (Packet.t -> fault_action) option -> unit
+(** Installs (or with [None] removes) the fault injector consulted for
+    every packet handed to {!send}.  [`Drop]s count under
+    {!packets_lost}.  At most one injector is installed at a time —
+    {!Fault} multiplexes several behaviours through one hook. *)
 
 val packets_sent : t -> int
 (** Packets fully transmitted onto the wire (before stochastic loss). *)

@@ -11,6 +11,9 @@ type t =
       loss_bad : float;
       state : ge_state;
     }
+  | Dynamic of dyn
+
+and dyn = { mutable current : t }
 
 let none = None_
 
@@ -36,7 +39,18 @@ let gilbert_elliott ~rng ~p_good_to_bad ~p_bad_to_good ~loss_good ~loss_bad =
       state = { in_bad = false };
     }
 
-let drops_packet = function
+let dynamic initial = Dynamic { current = initial }
+
+let set_dynamic t m =
+  match t with
+  | Dynamic d ->
+      (match m with
+      | Dynamic _ -> invalid_arg "Loss_model.set_dynamic: nested dynamic model"
+      | _ -> ());
+      d.current <- m
+  | _ -> invalid_arg "Loss_model.set_dynamic: not a dynamic model"
+
+let rec drops_packet = function
   | None_ -> false
   | Bernoulli { rng; p } -> p > 0. && Stats.Rng.uniform rng < p
   | Gilbert g ->
@@ -48,14 +62,40 @@ let drops_packet = function
       else if flip < g.p_gb then g.state.in_bad <- true;
       let p = if g.state.in_bad then g.loss_bad else g.loss_good in
       p > 0. && Stats.Rng.uniform g.rng < p
+  | Dynamic d -> drops_packet d.current
 
-let loss_rate_hint = function
+let rec loss_rate_hint = function
   | None_ -> 0.
   | Bernoulli { p; _ } -> p
   | Gilbert g ->
       let denom = g.p_gb +. g.p_bg in
-      if denom = 0. then g.loss_good
+      if denom = 0. then
+        (* Frozen chain: with both transition probabilities zero the
+           process never leaves its initial (good) state, so there is no
+           stationary mix to average — the long-run loss rate is exactly
+           the good-state loss.  (With p_bg = 0 but p_gb > 0 the formula
+           below correctly yields loss_bad: the chain is absorbed in the
+           bad state.) *)
+        g.loss_good
       else begin
         let pi_bad = g.p_gb /. denom in
         ((1. -. pi_bad) *. g.loss_good) +. (pi_bad *. g.loss_bad)
       end
+  | Dynamic d -> loss_rate_hint d.current
+
+let rec in_bad = function
+  | None_ | Bernoulli _ -> false
+  | Gilbert g -> g.state.in_bad
+  | Dynamic d -> in_bad d.current
+
+let rec describe = function
+  | None_ -> "none"
+  | Bernoulli { p; _ } -> Printf.sprintf "bernoulli(p=%g)" p
+  | Gilbert g ->
+      Printf.sprintf
+        "gilbert-elliott(p_gb=%g, p_bg=%g, loss_good=%g, loss_bad=%g, \
+         stationary=%g%s)"
+        g.p_gb g.p_bg g.loss_good g.loss_bad
+        (loss_rate_hint (Gilbert g))
+        (if g.state.in_bad then ", in bad state" else "")
+  | Dynamic d -> Printf.sprintf "dynamic(%s)" (describe d.current)

@@ -14,6 +14,8 @@ type t = {
   n_estimate : int;
   zeta : float;
   clr_timeout_rounds : float;
+  starvation_rounds : float;
+  starvation_decay : float;
   slowstart_multiplier : float;
   increase_limit_packets : float;
   use_suppression : bool;
@@ -39,6 +41,8 @@ let default =
     n_estimate = 10_000;
     zeta = 0.1;
     clr_timeout_rounds = 10.;
+    starvation_rounds = 2.;
+    starvation_decay = 0.5;
     slowstart_multiplier = 2.;
     increase_limit_packets = 1.;
     use_suppression = true;
@@ -64,6 +68,9 @@ let validate t =
   else if t.n_estimate < 2 then err "n_estimate must be >= 2"
   else if not (t.zeta >= 0. && t.zeta <= 1.) then err "zeta out of [0,1]"
   else if t.clr_timeout_rounds <= 0. then err "clr_timeout_rounds must be positive"
+  else if t.starvation_rounds <= 0. then err "starvation_rounds must be positive"
+  else if not (t.starvation_decay > 0. && t.starvation_decay < 1.) then
+    err "starvation_decay out of (0,1)"
   else if t.slowstart_multiplier < 1. then err "slowstart_multiplier must be >= 1"
   else if t.increase_limit_packets <= 0. then err "increase_limit_packets must be positive"
   else if t.b <= 0. then err "b must be positive"

@@ -37,6 +37,16 @@ type t = {
   zeta : float;  (** ζ, feedback cancellation threshold; 0.1 *)
   clr_timeout_rounds : float;
       (** drop the CLR after this many feedback delays of silence; 10 *)
+  starvation_rounds : float;
+      (** feedback starvation: when *no* receiver at all has been heard
+          for this many feedback rounds the sender enters a bounded rate
+          decay instead of free-running — the multicast analogue of
+          TFRC's no-feedback timer (partition, total report loss, or an
+          empty group); default 2 *)
+  starvation_decay : float;
+      (** multiplicative rate decay applied once per feedback round while
+          starved, down to the one-packet floor; default 0.5 (halving,
+          as TFRC's no-feedback rule) *)
   slowstart_multiplier : float;  (** d: target = d · min X_recv; 2 *)
   increase_limit_packets : float;
       (** rate increase cap after a CLR switch, packets per RTT; 1 *)

@@ -34,6 +34,7 @@ type t = {
   mutable received : int;
   mutable reports : int;
   mutable suppressed : int;
+  mutable malformed_data : int;
   mutable block_cb : (int -> unit) option;
 }
 
@@ -70,6 +71,8 @@ let packets_received t = t.received
 let reports_sent t = t.reports
 
 let timers_suppressed t = t.suppressed
+
+let malformed_data_dropped t = t.malformed_data
 
 (* The rate this receiver would report right now: the calculated rate
    once it has seen loss, the receive rate during slowstart. *)
@@ -183,10 +186,17 @@ let stop_being_clr t =
 
 (* Would this receiver report at all this round? *)
 let wants_to_report t =
-  if t.sender_in_ss || not (has_loss t) then
+  if t.sender_in_ss then
     (* Slowstart: everyone reports its receive rate so the sender can
        track the minimum. *)
-    t.sender_in_ss
+    true
+  else if not (has_loss t) then
+    (* No loss seen: normally silent, but when the sender lost its CLR
+       (header advertises clr = -1: leave, timeout, or it is recovering
+       from feedback starvation) even loss-free receivers volunteer their
+       receive rate so the sender knows the group is still populated and
+       the channel alive. *)
+    t.sender_clr < 0
   else
     report_rate t < t.sender_rate
     (* The sender lost its CLR (leave/timeout): volunteer so it can pick
@@ -379,6 +389,7 @@ let create topo ~cfg ~session ~node ~sender ?report_to ?(clock_offset = 0.)
         received = 0;
         reports = 0;
         suppressed = 0;
+        malformed_data = 0;
         block_cb = None;
       }
   in
@@ -389,8 +400,12 @@ let create topo ~cfg ~session ~node ~sender ?report_to ?(clock_offset = 0.)
           { session; seq; ts; rate; round; round_duration; max_rtt; clr;
             in_slowstart; echo; fb; app }
         when session = t.session ->
-          on_data t p ~seq ~ts ~rate ~round ~round_duration ~max_rtt ~clr
-            ~in_slowstart ~echo ~fb ~app
+          if Wire.data_fields_valid ~seq ~ts ~rate ~round ~round_duration
+               ~max_rtt ~clr ~echo ~fb
+          then
+            on_data t p ~seq ~ts ~rate ~round ~round_duration ~max_rtt ~clr
+              ~in_slowstart ~echo ~fb ~app
+          else if t.joined then t.malformed_data <- t.malformed_data + 1
       | _ -> ());
   t
 

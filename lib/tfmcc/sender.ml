@@ -62,6 +62,15 @@ type t = {
   mutable reports : int;
   mutable clr_changes : int;
   mutable clr_timeouts : int;
+  (* Degradation state machine (see DESIGN.md §7): [last_report_arrival]
+     feeds starvation detection; [clr_lost] is set when the CLR vanished
+     (timeout or leave) and cleared when a replacement is installed. *)
+  mutable last_report_arrival : float;
+  mutable starved : bool;
+  mutable starvations : int;
+  mutable malformed_dropped : int;
+  mutable clr_lost : bool;
+  mutable clr_failovers_n : int;
 }
 
 let min_rate t = float_of_int t.cfg.Config.packet_size /. 64.
@@ -88,6 +97,14 @@ let clr_changes t = t.clr_changes
 
 let clr_timeouts t = t.clr_timeouts
 
+let is_starved t = t.starved
+
+let feedback_starvations t = t.starvations
+
+let malformed_reports_dropped t = t.malformed_dropped
+
+let clr_failovers t = t.clr_failovers_n
+
 let cancel t handle =
   match handle with
   | Some h ->
@@ -95,7 +112,12 @@ let cancel t handle =
       None
   | None -> None
 
-let clamp_rate t x = Float.min t.cfg.Config.max_rate (Float.max (min_rate t) x)
+(* NaN-safe: validation keeps NaN out of the inputs, but the rate is the
+   one value that must never be poisoned, so the clamp itself is the last
+   line of defence (Float.max propagates NaN). *)
+let clamp_rate t x =
+  if Float.is_nan x then min_rate t
+  else Float.min t.cfg.Config.max_rate (Float.max (min_rate t) x)
 
 (* ---------------------------------------------------------------- echoes *)
 
@@ -144,6 +166,12 @@ let apply_capped_increase t ~desired ~rtt =
 
 let set_clr t ~rx ~rtt ~rate_adj =
   let now = Netsim.Engine.now t.engine in
+  (* Installing any CLR while the previous one is known lost completes a
+     failover: the session found its new limiting receiver. *)
+  if t.clr_lost then begin
+    t.clr_lost <- false;
+    t.clr_failovers_n <- t.clr_failovers_n + 1
+  end;
   (match t.clr with
   | Some c when c.clr_id = rx ->
       c.clr_rtt <- rtt;
@@ -167,7 +195,9 @@ let set_clr t ~rx ~rtt ~rate_adj =
 
 let drop_clr t =
   (match t.clr with
-  | Some c -> Hashtbl.remove t.rtt_table c.clr_id
+  | Some c ->
+      Hashtbl.remove t.rtt_table c.clr_id;
+      t.clr_lost <- true
   | None -> ());
   t.clr <- None;
   t.clr_echo <- None
@@ -202,6 +232,11 @@ let on_report t ~rx ~ts ~echo_ts ~echo_delay ~rate ~have_rtt ~rtt ~p:_ ~x_recv
     ~round:report_round ~has_loss ~leaving =
   let now = Netsim.Engine.now t.engine in
   t.reports <- t.reports + 1;
+  (* Any validated report proves the feedback channel is alive: leave the
+     starved state (the decayed rate recovers through the normal capped
+     increase once a CLR re-establishes itself). *)
+  t.last_report_arrival <- now;
+  t.starved <- false;
   if leaving then begin
     Hashtbl.remove t.rtt_table rx;
     match t.clr with
@@ -328,6 +363,39 @@ let check_clr_timeout t =
       t.clr_timeouts <- t.clr_timeouts + 1
   | _ -> ()
 
+(* Total feedback starvation (paper's feedback-timeout rule, extended to
+   the no-feedback-at-all case): when not a single receiver has been
+   heard for [starvation_rounds] rounds — partition, dead return path,
+   everyone crashed — the last-reported rate is stale and free-running at
+   it (or worse, ramping) would dump traffic into a black hole.  Decay
+   multiplicatively once per round down to the one-packet floor; any
+   valid report ends the state immediately. *)
+let check_starvation t =
+  let now = Netsim.Engine.now t.engine in
+  if now -. t.last_report_arrival
+     > t.cfg.Config.starvation_rounds *. t.round_duration
+  then begin
+    if not t.starved then begin
+      t.starved <- true;
+      t.starvations <- t.starvations + 1;
+      (* Growth phases assume a live feedback loop. *)
+      t.in_ss <- false;
+      (* Starvation subsumes the CLR timeout: silence from everyone
+         includes the CLR, and waiting the full clr_timeout_rounds is
+         futile once rounds stretch with the decaying rate.  Dropping it
+         here makes the data header advertise clr = -1, which is what
+         tells surviving receivers to volunteer — the failover path. *)
+      match t.clr with
+      | Some _ ->
+          drop_clr t;
+          t.clr_timeouts <- t.clr_timeouts + 1
+      | None -> ()
+    end;
+    t.rate <- clamp_rate t (t.rate *. t.cfg.Config.starvation_decay);
+    t.ss_target <- Float.min t.ss_target t.rate;
+    t.last_rate_change <- now
+  end
+
 let rec start_round t =
   t.round_timer <- None;
   if t.running then begin
@@ -353,6 +421,7 @@ let rec start_round t =
     t.round_duration <-
       Feedback_timer.round_duration ~cfg:t.cfg ~max_rtt:t.max_rtt ~rate:t.rate;
     check_clr_timeout t;
+    check_starvation t;
     t.round_timer <-
       Some (Netsim.Engine.after t.engine ~delay:t.round_duration (fun () -> start_round t))
   end
@@ -373,9 +442,10 @@ let rec send_packet t =
          t.rate <- clamp_rate t (t.rate +. step)
        end
      end
-     else if (not t.in_ss) && t.clr = None then begin
-       (* No CLR (timeout/leave): ramp up at the capped rate until a
-          receiver objects and becomes CLR. *)
+     else if (not t.in_ss) && t.clr = None && not t.starved then begin
+       (* No CLR (timeout/leave) but feedback is flowing: ramp up at the
+          capped rate until a receiver objects and becomes CLR.  While
+          starved the rate only decays (see check_starvation). *)
        let rtt = Float.max 1e-3 t.max_rtt in
        let dt = float_of_int t.cfg.Config.packet_size /. Float.max t.rate 1. in
        t.rate <-
@@ -459,6 +529,12 @@ let create topo ~cfg ~session ~node ?flow ?initial_rate () =
       reports = 0;
       clr_changes = 0;
       clr_timeouts = 0;
+      last_report_arrival = 0.;
+      starved = false;
+      starvations = 0;
+      malformed_dropped = 0;
+      clr_lost = false;
+      clr_failovers_n = 0;
     }
   in
   Netsim.Node.attach node (fun p ->
@@ -467,9 +543,26 @@ let create topo ~cfg ~session ~node ?flow ?initial_rate () =
           { session; rx_id; ts; echo_ts; echo_delay; rate; have_rtt; rtt; p;
             x_recv; round; has_loss; leaving }
         when session = t.session ->
-          if t.running then
-            on_report t ~rx:rx_id ~ts ~echo_ts ~echo_delay ~rate ~have_rtt ~rtt
-              ~p ~x_recv ~round ~has_loss ~leaving
+          if t.running then begin
+            (* Field validation plus round staleness: a report more than
+               the CLR timeout behind the current round carries dead
+               state (a receiver that far out of sync is about to be
+               timed out anyway) and must not refresh the CLR. *)
+            let stale_limit =
+              int_of_float (Float.ceil t.cfg.Config.clr_timeout_rounds)
+            in
+            if
+              Wire.report_fields_valid ~rx_id ~ts ~echo_ts ~echo_delay ~rate
+                ~rtt ~p ~x_recv ~round
+              && round >= t.round - stale_limit
+            then
+              on_report t ~rx:rx_id ~ts ~echo_ts ~echo_delay ~rate ~have_rtt
+                ~rtt ~p ~x_recv ~round ~has_loss ~leaving
+            else t.malformed_dropped <- t.malformed_dropped + 1
+          end
+      | Wire.Report _ ->
+          (* Unknown session id: never let it near this sender's state. *)
+          if t.running then t.malformed_dropped <- t.malformed_dropped + 1
       | _ -> ());
   t
 
@@ -478,6 +571,7 @@ let start t ~at =
   ignore
     (Netsim.Engine.at t.engine ~time:at (fun () ->
          t.last_rate_change <- Netsim.Engine.now t.engine;
+         t.last_report_arrival <- Netsim.Engine.now t.engine;
          start_round t;
          send_packet t))
 

@@ -53,10 +53,29 @@ val max_rtt : t -> float
 val packets_sent : t -> int
 
 val reports_received : t -> int
+(** Validated reports accepted (malformed ones are counted separately). *)
 
 val clr_changes : t -> int
 
 val clr_timeouts : t -> int
+
+val is_starved : t -> bool
+(** Whether the sender currently sits in the feedback-starvation decay
+    (no receiver heard for [starvation_rounds] feedback rounds). *)
+
+val feedback_starvations : t -> int
+(** Transitions into the starved state so far. *)
+
+val malformed_reports_dropped : t -> int
+(** Inbound reports rejected before touching any sender state: invalid
+    field values (NaN/negative RTT, p outside [0,1], non-finite rates),
+    implausible rounds (future, or older than the CLR timeout) and
+    unknown session ids. *)
+
+val clr_failovers : t -> int
+(** Times a replacement CLR was installed after the previous one was lost
+    to silence (timeout) or an explicit leave — i.e. completed
+    failovers, as opposed to {!clr_timeouts} which counts the losses. *)
 
 val set_block_source : t -> (unit -> int) -> unit
 (** Installs the application hook: called once per outgoing data packet

@@ -34,3 +34,85 @@ type Netsim.Packet.payload +=
     }
 
 let report_size = 40
+
+(* ------------------------------------------------------------ validation *)
+
+(* A corrupted report must never poison sender state: every float field
+   the sender feeds into its rate machinery has to be finite and inside
+   its physical range.  Round plausibility (stale/future) is checked by
+   the sender against its own round counter. *)
+let report_fields_valid ~rx_id ~ts ~echo_ts ~echo_delay ~rate ~rtt ~p ~x_recv
+    ~round =
+  rx_id >= 0
+  && Float.is_finite ts
+  && Float.is_finite echo_ts
+  && Float.is_finite echo_delay
+  && echo_delay >= 0.
+  && Float.is_finite rate
+  && rate >= 0.
+  && Float.is_finite rtt
+  && rtt > 0.
+  && (not (Float.is_nan p))
+  && p >= 0.
+  && p <= 1.
+  && Float.is_finite x_recv
+  && x_recv >= 0.
+  && round >= -1
+
+let data_fields_valid ~seq ~ts ~rate ~round ~round_duration ~max_rtt ~clr
+    ~echo ~fb =
+  seq >= 0
+  && Float.is_finite ts
+  && Float.is_finite rate
+  && rate > 0.
+  && round >= 0
+  && Float.is_finite round_duration
+  && round_duration > 0.
+  && Float.is_finite max_rtt
+  && max_rtt > 0.
+  && clr >= -1
+  && (match echo with
+     | None -> true
+     | Some e ->
+         e.rx_id >= 0 && Float.is_finite e.rx_ts
+         && Float.is_finite e.echo_delay
+         && e.echo_delay >= 0.)
+  && (match fb with
+     | None -> true
+     | Some f -> f.fb_rx_id >= 0 && Float.is_finite f.fb_rate && f.fb_rate >= 0.)
+
+(* ------------------------------------------------------------ corruption *)
+
+(* Mangle one field of a TFMCC payload into a hostile value (NaN, negative,
+   out-of-range, nonsense round, foreign session).  Matches the mangle
+   signature of [Netsim.Fault.corrupt]; non-TFMCC payloads pass through
+   untouched.  Deliberately produces exactly the malformed inputs the
+   validators above reject, so chaos runs exercise every guard. *)
+let corrupt_packet rng (pkt : Netsim.Packet.t) =
+  let pick n = Stats.Rng.int rng n in
+  let payload =
+    match pkt.Netsim.Packet.payload with
+    | Report r -> (
+        match pick 9 with
+        | 0 -> Report { r with rate = Float.nan }
+        | 1 -> Report { r with rate = -1e12 }
+        | 2 -> Report { r with rtt = -0.5 }
+        | 3 -> Report { r with rtt = Float.nan }
+        | 4 -> Report { r with p = 7.5 }
+        | 5 -> Report { r with x_recv = Float.neg_infinity }
+        | 6 -> Report { r with round = -1000 }
+        | 7 -> Report { r with session = r.session + 977 }
+        | _ -> Report { r with echo_delay = Float.nan; ts = Float.infinity })
+    | Data d -> (
+        match pick 7 with
+        | 0 -> Data { d with rate = Float.nan }
+        | 1 -> Data { d with rate = -4096. }
+        | 2 -> Data { d with round_duration = -1. }
+        | 3 -> Data { d with max_rtt = Float.nan }
+        | 4 -> Data { d with round = -5 }
+        | 5 -> Data { d with session = d.session + 977 }
+        | _ -> Data { d with ts = Float.nan; clr = -42 })
+    | other -> other
+  in
+  { pkt with Netsim.Packet.payload }
+

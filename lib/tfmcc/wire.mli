@@ -59,3 +59,44 @@ type Netsim.Packet.payload +=
 
 val report_size : int
 (** Receiver reports are 40 bytes on the wire. *)
+
+val report_fields_valid :
+  rx_id:int ->
+  ts:float ->
+  echo_ts:float ->
+  echo_delay:float ->
+  rate:float ->
+  rtt:float ->
+  p:float ->
+  x_recv:float ->
+  round:int ->
+  bool
+(** Field-level sanity of an inbound receiver report: all floats finite,
+    [rate]/[x_recv] ≥ 0, [rtt] > 0, [p] ∈ [0,1], [echo_delay] ≥ 0,
+    [round] ≥ -1 (a receiver that became CLR before its first feedback
+    round legitimately reports round -1).  The sender drops reports that
+    fail this (counted by {!Sender.malformed_reports_dropped}); round
+    staleness is checked separately against the sender's round counter. *)
+
+val data_fields_valid :
+  seq:int ->
+  ts:float ->
+  rate:float ->
+  round:int ->
+  round_duration:float ->
+  max_rtt:float ->
+  clr:int ->
+  echo:echo option ->
+  fb:fb_echo option ->
+  bool
+(** Field-level sanity of an inbound data-packet header; receivers drop
+    packets that fail this (counted by
+    {!Receiver.malformed_data_dropped}) instead of feeding NaN rates or
+    negative round durations into their timers. *)
+
+val corrupt_packet : Stats.Rng.t -> Netsim.Packet.t -> Netsim.Packet.t
+(** Returns a copy of the packet with one randomly chosen payload field
+    mangled into a hostile value (NaN, negative, out-of-range, foreign
+    session, stale/future round); non-TFMCC payloads are returned
+    unchanged.  Plugs straight into [Netsim.Fault.corrupt]'s [mangle]
+    argument and into property tests. *)

@@ -238,6 +238,97 @@ let test_loss_gilbert_bursty () =
   (* Stationary bad-state probability = 0.01/0.21; loss = 0.5 * that. *)
   Alcotest.(check (float 0.01)) "long-run loss" (0.5 *. (0.01 /. 0.21)) rate
 
+let test_loss_gilbert_empirical_matches_hint () =
+  (* Both states lossy: the empirical drop rate over 100k draws must
+     match the stationary average that loss_rate_hint advertises. *)
+  let rng = Stats.Rng.create 5 in
+  let m =
+    Netsim.Loss_model.gilbert_elliott ~rng ~p_good_to_bad:0.02 ~p_bad_to_good:0.1
+      ~loss_good:0.01 ~loss_bad:0.5
+  in
+  let drops = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Netsim.Loss_model.drops_packet m then incr drops
+  done;
+  Alcotest.(check (float 0.01)) "empirical = hint"
+    (Netsim.Loss_model.loss_rate_hint m)
+    (float_of_int !drops /. float_of_int n)
+
+let test_loss_gilbert_chain_transitions () =
+  (* Deterministic chain: p_gb = p_bg = 1 alternates state every draw,
+     starting in good. *)
+  let rng = Stats.Rng.create 6 in
+  let m =
+    Netsim.Loss_model.gilbert_elliott ~rng ~p_good_to_bad:1. ~p_bad_to_good:1.
+      ~loss_good:0. ~loss_bad:0.
+  in
+  Alcotest.(check bool) "starts good" false (Netsim.Loss_model.in_bad m);
+  ignore (Netsim.Loss_model.drops_packet m);
+  Alcotest.(check bool) "first draw flips to bad" true (Netsim.Loss_model.in_bad m);
+  ignore (Netsim.Loss_model.drops_packet m);
+  Alcotest.(check bool) "second draw flips back" false (Netsim.Loss_model.in_bad m)
+
+let test_loss_gilbert_hint_degenerate () =
+  let rng = Stats.Rng.create 7 in
+  (* Frozen chain: both transition probabilities zero — the process never
+     leaves its initial good state, so the hint is loss_good. *)
+  let frozen =
+    Netsim.Loss_model.gilbert_elliott ~rng ~p_good_to_bad:0. ~p_bad_to_good:0.
+      ~loss_good:0.05 ~loss_bad:0.9
+  in
+  Alcotest.(check (float 1e-12)) "frozen chain" 0.05
+    (Netsim.Loss_model.loss_rate_hint frozen);
+  (* Absorbing bad state: p_bad_to_good = 0 with p_good_to_bad > 0. *)
+  let absorbed =
+    Netsim.Loss_model.gilbert_elliott ~rng ~p_good_to_bad:1. ~p_bad_to_good:0.
+      ~loss_good:0.05 ~loss_bad:0.9
+  in
+  Alcotest.(check (float 1e-12)) "absorbed in bad" 0.9
+    (Netsim.Loss_model.loss_rate_hint absorbed)
+
+let test_loss_describe () =
+  let rng = Stats.Rng.create 8 in
+  Alcotest.(check string) "none" "none" (Netsim.Loss_model.describe Netsim.Loss_model.none);
+  Alcotest.(check string) "bernoulli" "bernoulli(p=0.1)"
+    (Netsim.Loss_model.describe (Netsim.Loss_model.bernoulli ~rng ~p:0.1));
+  let ge =
+    Netsim.Loss_model.gilbert_elliott ~rng ~p_good_to_bad:0.02 ~p_bad_to_good:0.1
+      ~loss_good:0. ~loss_bad:0.5
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let s = Netsim.Loss_model.describe ge in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S mentions %S" s sub)
+        true (contains s sub))
+    [ "gilbert-elliott"; "p_gb=0.02"; "stationary=" ];
+  let d = Netsim.Loss_model.describe (Netsim.Loss_model.dynamic ge) in
+  Alcotest.(check bool) "dynamic wraps inner" true
+    (String.length d > 8 && String.sub d 0 8 = "dynamic(")
+
+let test_loss_dynamic_switch () =
+  let rng = Stats.Rng.create 9 in
+  let d = Netsim.Loss_model.dynamic Netsim.Loss_model.none in
+  for _ = 1 to 50 do
+    if Netsim.Loss_model.drops_packet d then Alcotest.fail "none must not drop"
+  done;
+  Netsim.Loss_model.set_dynamic d (Netsim.Loss_model.bernoulli ~rng ~p:1.);
+  Alcotest.(check (float 1e-12)) "hint follows inner" 1.
+    (Netsim.Loss_model.loss_rate_hint d);
+  Alcotest.(check bool) "drops after switch" true (Netsim.Loss_model.drops_packet d);
+  Alcotest.check_raises "non-dynamic target rejected"
+    (Invalid_argument "Loss_model.set_dynamic: not a dynamic model") (fun () ->
+      Netsim.Loss_model.set_dynamic Netsim.Loss_model.none Netsim.Loss_model.none);
+  Alcotest.check_raises "nested dynamic rejected"
+    (Invalid_argument "Loss_model.set_dynamic: nested dynamic model") (fun () ->
+      Netsim.Loss_model.set_dynamic d (Netsim.Loss_model.dynamic Netsim.Loss_model.none))
+
 (* ------------------------------------------------------ Link + Topology *)
 
 let two_node_topo ?loss_ab ?(bandwidth_bps = 1e6) ?(delay_s = 0.01) () =
@@ -744,6 +835,14 @@ let () =
           Alcotest.test_case "none" `Quick test_loss_none;
           Alcotest.test_case "bernoulli rate" `Slow test_loss_bernoulli_rate;
           Alcotest.test_case "gilbert-elliott" `Slow test_loss_gilbert_bursty;
+          Alcotest.test_case "gilbert empirical = hint" `Slow
+            test_loss_gilbert_empirical_matches_hint;
+          Alcotest.test_case "gilbert chain transitions" `Quick
+            test_loss_gilbert_chain_transitions;
+          Alcotest.test_case "gilbert degenerate hints" `Quick
+            test_loss_gilbert_hint_degenerate;
+          Alcotest.test_case "describe" `Quick test_loss_describe;
+          Alcotest.test_case "dynamic switch" `Quick test_loss_dynamic_switch;
         ] );
       ( "link",
         [
