@@ -73,10 +73,13 @@ let bench_feedback_round =
     ignore (Tfmcc_core.Feedback_process.run_round rng params ~values)
 
 (* One simulated second of a live 4-receiver TFMCC session at ~1 Mbit/s:
-   the end-to-end cost of the whole stack. *)
-let bench_simulated_second =
+   the end-to-end cost of the whole stack.  The null sink keeps the
+   number comparable with pre-observability baselines; the second
+   variant runs the identical session with collection enabled, so the
+   pair bounds the cost of the observability layer itself. *)
+let simulated_second_session ~obs =
   let st =
-    Experiments.Scenario.star ~seed:77 ~link_bps:1e6
+    Experiments.Scenario.star ~seed:77 ~obs ~link_bps:1e6
       ~link_delays:(Array.make 4 0.02) ()
   in
   Tfmcc_core.Session.start st.Experiments.Scenario.s_session ~at:0.;
@@ -85,6 +88,11 @@ let bench_simulated_second =
   fun () ->
     now := !now +. 1.;
     Experiments.Scenario.run_until st.Experiments.Scenario.s_sc !now
+
+let bench_simulated_second = simulated_second_session ~obs:Obs.Sink.null
+
+let bench_simulated_second_obs =
+  simulated_second_session ~obs:(Obs.Sink.create ())
 
 let bench_jain =
   let rng = Stats.Rng.create 5 in
@@ -147,7 +155,21 @@ let micro_tests =
     t "topo_gen: 27-node transit-stub" bench_topo_gen;
     t "layered: 1 simulated second" bench_layered_second;
     t "full stack: 1 simulated second" bench_simulated_second;
+    t "full stack +obs: 1 simulated second" bench_simulated_second_obs;
   ]
+
+let results_file = "BENCH_results.json"
+
+let write_results results =
+  (* Flat name -> ns/op object, machine-readable for CI trend tracking. *)
+  let fields =
+    List.rev_map (fun (name, ns) -> (name, Obs.Json.Float ns)) results
+  in
+  let oc = open_out results_file in
+  output_string oc (Obs.Json.to_string (Obs.Json.Obj fields));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d entries)\n%!" results_file (List.length fields)
 
 let run_micro () =
   print_endline "=== Micro-benchmarks (Bechamel, monotonic clock) ===";
@@ -159,6 +181,7 @@ let run_micro () =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
   in
+  let collected = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"" [ test ]) in
@@ -167,12 +190,15 @@ let run_micro () =
         (fun name ols_result ->
           let estimate =
             match Analyze.OLS.estimates ols_result with
-            | Some [ e ] -> Printf.sprintf "%12.1f ns/run" e
+            | Some [ e ] ->
+                collected := (name, e) :: !collected;
+                Printf.sprintf "%12.1f ns/run" e
             | _ -> "(no estimate)"
           in
           Printf.printf "%-40s %s\n%!" name estimate)
         analyzed)
-    micro_tests
+    micro_tests;
+  write_results !collected
 
 (* ------------------------------------------------------ figure harnesses *)
 

@@ -34,6 +34,45 @@ let csv_arg =
   let doc = "Emit CSV instead of aligned tables." in
   Arg.(value & flag & info [ "csv" ] ~doc)
 
+let json_arg =
+  let doc =
+    "Emit one JSON document (series, metric snapshot, protocol journal) \
+     instead of tables."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "Write the run's metric snapshot and protocol journal as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~doc ~docv:"FILE")
+
+(* Run one experiment with a fresh sink installed, so every engine the
+   experiment builds reports into it. *)
+let run_with_sink e ~mode ~seed =
+  let sink = Obs.Sink.create () in
+  let series =
+    Experiments.Scenario.with_obs sink (fun () ->
+        e.Experiments.Registry.run ~mode ~seed)
+  in
+  (sink, series)
+
+let write_metrics_out ~file sink =
+  let oc = open_out file in
+  output_string oc (Obs.Json.to_string (Obs.Sink.to_json sink));
+  output_char oc '\n';
+  close_out oc
+
+let json_document ~id sink series =
+  Obs.Json.Obj
+    [
+      ("experiment", Obs.Json.Str id);
+      ( "series",
+        Obs.Json.Arr (List.map Experiments.Series.to_json series) );
+      ("metrics", Obs.Metrics.to_json sink.Obs.Sink.metrics);
+      ("journal", Obs.Journal.to_json sink.Obs.Sink.journal);
+    ]
+
 let run_cmd =
   let doc = "Run one experiment by id (e.g. fig09)." in
   let id_arg =
@@ -43,21 +82,29 @@ let run_cmd =
     let doc = "Also render each series' first column as a terminal plot." in
     Arg.(value & flag & info [ "plot" ] ~doc)
   in
-  let run id full seed csv plot =
+  let run id full seed csv plot json metrics_out =
     match Experiments.Registry.find id with
     | None ->
         Printf.eprintf "unknown experiment %s; try `tfmcc-sim list'\n" id;
         exit 1
     | Some e ->
-        let series = e.Experiments.Registry.run ~mode:(mode_of_full full) ~seed in
-        print_series ~csv series;
-        if plot then
-          List.iter
-            (fun s -> print_string (Experiments.Series.render_ascii s ~col:(List.length s.Experiments.Series.ylabels - 1)))
-            series
+        let sink, series = run_with_sink e ~mode:(mode_of_full full) ~seed in
+        if json then
+          print_endline (Obs.Json.to_string (json_document ~id sink series))
+        else begin
+          print_series ~csv series;
+          if plot then
+            List.iter
+              (fun s -> print_string (Experiments.Series.render_ascii s ~col:(List.length s.Experiments.Series.ylabels - 1)))
+              series
+        end;
+        match metrics_out with
+        | Some file -> write_metrics_out ~file sink
+        | None -> ()
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ id_arg $ full_arg $ seed_arg $ csv_arg $ plot_arg)
+    Term.(const run $ id_arg $ full_arg $ seed_arg $ csv_arg $ plot_arg
+          $ json_arg $ metrics_out_arg)
 
 let all_cmd =
   let doc = "Run every experiment in figure order." in
@@ -88,12 +135,33 @@ let chaos_cmd =
         | None -> assert false
         | Some e ->
             Printf.printf "--- %s: %s ---\n%!" id e.Experiments.Registry.title;
-            let series = e.Experiments.Registry.run ~mode:(mode_of_full full) ~seed in
+            let sink, series = run_with_sink e ~mode:(mode_of_full full) ~seed in
             print_series ~csv series;
             if plot then
               List.iter
                 (fun s -> print_string (Experiments.Series.render_ascii s ~col:0))
-                series)
+                series;
+            (* Damage summary straight from the shared registry/journal. *)
+            let metrics = sink.Obs.Sink.metrics in
+            let journal = sink.Obs.Sink.journal in
+            Printf.printf "[obs] %s\n"
+              (Obs.Metrics.describe ~prefix:"netsim_fault_" metrics);
+            Printf.printf
+              "[obs] drops: %d queue, %d loss, %d link-down; malformed \
+               rejected: %d reports + %d data\n"
+              (Obs.Metrics.sum_counters metrics "netsim_link_drop_queue_total")
+              (Obs.Metrics.sum_counters metrics "netsim_link_drop_loss_total")
+              (Obs.Metrics.sum_counters metrics "netsim_link_drop_down_total")
+              (Obs.Metrics.sum_counters metrics
+                 "tfmcc_sender_malformed_drops_total")
+              (Obs.Metrics.sum_counters metrics
+                 "tfmcc_receiver_malformed_drops_total");
+            Printf.printf
+              "[obs] journal: %d events recorded, %d retained (%d at warn or \
+               above)\n%!"
+              (Obs.Journal.total_recorded journal)
+              (Obs.Journal.count journal ())
+              (Obs.Journal.count journal ~min_severity:Obs.Journal.Warn ()))
       [ "rob01"; "rob02"; "rob03" ]
   in
   Cmd.v (Cmd.info "chaos" ~doc)

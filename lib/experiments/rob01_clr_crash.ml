@@ -48,6 +48,10 @@ let run ~mode ~seed =
       !crashed crash_at (Sender.clr_timeouts s) (Sender.clr_failovers s)
       Config.default.Config.clr_timeout_rounds
   in
+  (* Summaries come from the shared observability plane, not per-object
+     accessors: the same counters any other consumer of the sink sees. *)
+  let metrics = st.Scenario.s_sc.Scenario.obs.Obs.Sink.metrics in
+  let journal = st.Scenario.s_sc.Scenario.obs.Obs.Sink.journal in
   [
     Series.make
       ~title:"rob01: CLR crash (silent leave) and sender failover"
@@ -56,9 +60,16 @@ let run ~mode ~seed =
       ~notes:
         [
           failover_note;
-          Netsim.Fault.describe fault;
+          Obs.Metrics.describe ~prefix:"netsim_fault_" metrics;
           Printf.sprintf "malformed reports dropped: %d"
-            (Sender.malformed_reports_dropped s);
+            (Obs.Metrics.sum_counters metrics "tfmcc_sender_malformed_drops_total");
+          Printf.sprintf "journal: %d CLR changes, %d CLR drops"
+            (Obs.Journal.count_events journal (function
+              | Obs.Journal.Clr_change _ -> true
+              | _ -> false))
+            (Obs.Journal.count_events journal (function
+              | Obs.Journal.Clr_drop _ -> true
+              | _ -> false));
         ]
       (List.rev !samples);
   ]

@@ -49,7 +49,8 @@ let run ~mode ~seed =
           [ rate *. 8. /. 1e6; (if Sender.is_starved s then 1. else 0.) ] )
         :: !samples);
   Scenario.run_until st.Scenario.s_sc t_end;
-  let s = Session.sender sess in
+  let metrics = st.Scenario.s_sc.Scenario.obs.Obs.Sink.metrics in
+  let journal = st.Scenario.s_sc.Scenario.obs.Obs.Sink.journal in
   [
     Series.make
       ~title:"rob02: subtree partition, starvation decay and recovery"
@@ -61,7 +62,7 @@ let run ~mode ~seed =
             "partition [%.0f, %.0f]s: starvations=%d, min rate inside = %.1f \
              kbit/s (floor = one packet per 64 s)"
             part_from part_until
-            (Sender.feedback_starvations s)
+            (Obs.Metrics.sum_counters metrics "tfmcc_sender_starvations_total")
             (!min_rate_in_partition *. 8. /. 1e3);
           (if Float.is_nan !recovered_at then
              "did NOT recover to 50% of the pre-partition rate"
@@ -69,7 +70,14 @@ let run ~mode ~seed =
              Printf.sprintf
                "recovered to 50%% of the pre-partition rate %.1f s after heal"
                (!recovered_at -. part_until));
-          Netsim.Fault.describe fault;
+          Obs.Metrics.describe ~prefix:"netsim_fault_" metrics;
+          Printf.sprintf "journal: %d starvation entries, %d fault events"
+            (Obs.Journal.count_events journal (function
+              | Obs.Journal.Starvation _ -> true
+              | _ -> false))
+            (Obs.Journal.count_events journal (function
+              | Obs.Journal.Fault _ -> true
+              | _ -> false));
         ]
       (List.rev !samples);
   ]

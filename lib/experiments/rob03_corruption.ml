@@ -39,12 +39,8 @@ let run ~mode ~seed =
       if not (Float.is_finite rate && rate > 0.) then rate_ok := false;
       samples := (now, [ rate *. 8. /. 1e6 ]) :: !samples);
   Scenario.run_until st.Scenario.s_sc t_end;
-  let s = Session.sender sess in
-  let rx_malformed =
-    List.fold_left
-      (fun acc r -> acc + Receiver.malformed_data_dropped r)
-      0 (Session.receivers sess)
-  in
+  let metrics = st.Scenario.s_sc.Scenario.obs.Obs.Sink.metrics in
+  let journal = st.Scenario.s_sc.Scenario.obs.Obs.Sink.journal in
   [
     Series.make
       ~title:"rob03: corrupted / duplicated / reordered packets"
@@ -52,12 +48,17 @@ let run ~mode ~seed =
       ~ylabels:[ "X_send (Mbit/s)" ]
       ~notes:
         [
-          Netsim.Fault.describe fault;
+          Obs.Metrics.describe ~prefix:"netsim_fault_" metrics;
           Printf.sprintf
             "rejected at validation: %d reports (sender), %d data packets \
              (receivers)"
-            (Sender.malformed_reports_dropped s)
-            rx_malformed;
+            (Obs.Metrics.sum_counters metrics "tfmcc_sender_malformed_drops_total")
+            (Obs.Metrics.sum_counters metrics
+               "tfmcc_receiver_malformed_drops_total");
+          Printf.sprintf "journal: %d malformed-drop entries retained"
+            (Obs.Journal.count_events journal (function
+              | Obs.Journal.Malformed_drop _ -> true
+              | _ -> false));
           (if !rate_ok then "sender rate stayed finite and positive throughout"
            else "FAIL: sender rate went non-finite or non-positive");
         ]

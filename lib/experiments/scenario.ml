@@ -6,13 +6,30 @@ type t = {
   engine : Netsim.Engine.t;
   topo : Netsim.Topology.t;
   monitor : Netsim.Monitor.t;
+  obs : Obs.Sink.t;
 }
 
-let base ?(seed = 42) () =
-  let engine = Netsim.Engine.create ~seed () in
+(* Sink installed for scenarios built while a [with_obs] callback runs.
+   Experiment entry points have a fixed signature (Registry.run), so the
+   CLI threads its sink through here instead of through every builder. *)
+let installed_obs : Obs.Sink.t option ref = ref None
+
+let with_obs sink f =
+  let saved = !installed_obs in
+  installed_obs := Some sink;
+  Fun.protect ~finally:(fun () -> installed_obs := saved) f
+
+let base ?(seed = 42) ?obs () =
+  let obs =
+    match obs with
+    | Some s -> s
+    | None -> (
+        match !installed_obs with Some s -> s | None -> Obs.Sink.create ())
+  in
+  let engine = Netsim.Engine.create ~seed ~obs () in
   let topo = Netsim.Topology.create engine in
   let monitor = Netsim.Monitor.create engine in
-  { engine; topo; monitor }
+  { engine; topo; monitor; obs }
 
 let tfmcc_flow = 1
 
@@ -38,9 +55,9 @@ type dumbbell = {
   right_router : Netsim.Node.t;
 }
 
-let dumbbell ?seed ?(cfg = Tfmcc_core.Config.default) ~bottleneck_bps ~delay_s
-    ?(queue_capacity = 50) ~n_tfmcc_rx ~n_tcp ?(tcp_start = 0.) () =
-  let sc = base ?seed () in
+let dumbbell ?seed ?obs ?(cfg = Tfmcc_core.Config.default) ~bottleneck_bps
+    ~delay_s ?(queue_capacity = 50) ~n_tfmcc_rx ~n_tcp ?(tcp_start = 0.) () =
+  let sc = base ?seed ?obs () in
   let left = Netsim.Topology.add_node sc.topo in
   let right = Netsim.Topology.add_node sc.topo in
   let bottleneck, _ =
@@ -86,7 +103,7 @@ type star = {
   s_tcp : tcp_pair array;
 }
 
-let star ?seed ?(cfg = Tfmcc_core.Config.default) ?uplink_bps
+let star ?seed ?obs ?(cfg = Tfmcc_core.Config.default) ?uplink_bps
     ?(uplink_delay = 0.005) ~link_bps ~link_delays ?link_losses ?return_losses
     ?(queue_capacity = 50) ?(with_tcp = false) ?(tcp_start = 0.) () =
   let n = Array.length link_delays in
@@ -99,7 +116,7 @@ let star ?seed ?(cfg = Tfmcc_core.Config.default) ?uplink_bps
   | Some l when Array.length l <> n ->
       invalid_arg "Scenario.star: return_losses length mismatch"
   | _ -> ());
-  let sc = base ?seed () in
+  let sc = base ?seed ?obs () in
   let uplink_bps = Option.value uplink_bps ~default:(10. *. link_bps) in
   let sender = Netsim.Topology.add_node sc.topo in
   let hub = Netsim.Topology.add_node sc.topo in

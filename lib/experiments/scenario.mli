@@ -12,9 +12,21 @@ type t = {
   engine : Netsim.Engine.t;
   topo : Netsim.Topology.t;
   monitor : Netsim.Monitor.t;
+  obs : Obs.Sink.t;  (** the sink every component of this scenario reports into *)
 }
 
-val base : ?seed:int -> unit -> t
+val with_obs : Obs.Sink.t -> (unit -> 'a) -> 'a
+(** [with_obs sink f] runs [f]; scenarios built inside it (without an
+    explicit [?obs]) attach [sink] to their engine.  Lets callers with a
+    fixed entry-point signature (e.g. {!Registry.run}) collect metrics
+    and journal entries without widening every experiment.  Restores the
+    previous installation on return or exception. *)
+
+val base : ?seed:int -> ?obs:Obs.Sink.t -> unit -> t
+(** Fresh engine + topology + monitor.  [obs] defaults to the sink
+    installed by {!with_obs}, else a private enabled sink (so protocol
+    journals and registry metrics are always being collected; pass
+    [Obs.Sink.null] explicitly to opt out, e.g. in benchmarks). *)
 
 val tfmcc_flow : int
 (** Accounting tag of TFMCC data in all scenarios (= session id). *)
@@ -45,6 +57,7 @@ type dumbbell = {
 
 val dumbbell :
   ?seed:int ->
+  ?obs:Obs.Sink.t ->
   ?cfg:Tfmcc_core.Config.t ->
   bottleneck_bps:float ->
   delay_s:float ->
@@ -72,6 +85,7 @@ type star = {
 
 val star :
   ?seed:int ->
+  ?obs:Obs.Sink.t ->
   ?cfg:Tfmcc_core.Config.t ->
   ?uplink_bps:float ->
   ?uplink_delay:float ->

@@ -62,6 +62,21 @@ let to_csv t =
     t.rows;
   Buffer.contents buf
 
+let to_json t =
+  Obs.Json.Obj
+    [
+      ("title", Obs.Json.Str t.title);
+      ("xlabel", Obs.Json.Str t.xlabel);
+      ("ylabels", Obs.Json.Arr (List.map (fun l -> Obs.Json.Str l) t.ylabels));
+      ( "rows",
+        Obs.Json.Arr
+          (List.map
+             (fun (x, ys) ->
+               Obs.Json.Arr (List.map (fun v -> Obs.Json.Float v) (x :: ys)))
+             t.rows) );
+      ("notes", Obs.Json.Arr (List.map (fun n -> Obs.Json.Str n) t.notes));
+    ]
+
 let render_ascii ?(width = 72) ?(height = 12) t ~col =
   if col < 0 || col >= List.length t.ylabels then
     invalid_arg "Series.render_ascii: column out of range";

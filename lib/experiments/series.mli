@@ -23,6 +23,10 @@ val pp : Format.formatter -> t -> unit
 
 val to_csv : t -> string
 
+val to_json : t -> Obs.Json.t
+(** [{"title", "xlabel", "ylabels", "rows" (x then ys per row), "notes"}];
+    NaN/infinite cells serialize as JSON [null]. *)
+
 val render_ascii :
   ?width:int -> ?height:int -> t -> col:int -> string
 (** A terminal plot of one y column against x: [height] text rows

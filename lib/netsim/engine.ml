@@ -4,18 +4,24 @@ type t = {
   rng : Stats.Rng.t;
   mutable stopped : bool;
   mutable processed : int;
+  obs : Obs.Sink.t;
+  ev_counter : Obs.Metrics.Counter.t;  (* engine-loop events processed *)
 }
 
 type handle = Event_heap.handle
 
-let create ?(seed = 42) () =
+let create ?(seed = 42) ?(obs = Obs.Sink.null) () =
   {
     heap = Event_heap.create ();
     now = 0.;
     rng = Stats.Rng.create seed;
     stopped = false;
     processed = 0;
+    obs;
+    ev_counter = Obs.Metrics.counter obs.Obs.Sink.metrics "netsim_engine_events_total";
   }
+
+let obs t = t.obs
 
 let now t = t.now
 
@@ -55,6 +61,7 @@ let step t =
   | Some (time, callback) ->
       t.now <- time;
       t.processed <- t.processed + 1;
+      Obs.Metrics.Counter.inc t.ev_counter;
       callback ();
       true
 

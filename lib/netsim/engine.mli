@@ -9,8 +9,15 @@ type t
 type handle
 (** A scheduled event; cancellable. *)
 
-val create : ?seed:int -> unit -> t
-(** [create ~seed ()] makes an engine at time 0.  Default seed 42. *)
+val create : ?seed:int -> ?obs:Obs.Sink.t -> unit -> t
+(** [create ~seed ()] makes an engine at time 0.  Default seed 42.
+    [obs] (default {!Obs.Sink.null}) is the observability plane every
+    component reachable from this engine publishes into; the engine
+    itself counts processed events under
+    [netsim_engine_events_total]. *)
+
+val obs : t -> Obs.Sink.t
+(** The sink passed at creation (the null sink when none was). *)
 
 val now : t -> float
 (** Current simulated time in seconds. *)

@@ -15,9 +15,29 @@ type t = {
   mutable partitions : int;
   mutable crashes : int;
   mutable graceful_leaves : int;
+  obs : Obs.Sink.t;
+  m_corruptions : Obs.Metrics.Counter.t;
+  m_duplications : Obs.Metrics.Counter.t;
+  m_reorderings : Obs.Metrics.Counter.t;
+  m_drops : Obs.Metrics.Counter.t;
+  m_flaps : Obs.Metrics.Counter.t;
+  m_partitions : Obs.Metrics.Counter.t;
+  m_crashes : Obs.Metrics.Counter.t;
+  m_leaves : Obs.Metrics.Counter.t;
 }
 
+let fault_scope = Obs.Journal.scope "netsim.fault"
+
+(* Structural faults (flaps, partitions, churn) are journaled; the
+   per-packet injections (corrupt/duplicate/reorder/drop) are counted in
+   the registry only, so a high-rate injector cannot flood protocol
+   transitions out of the bounded journal ring. *)
+let journal t ?severity ev =
+  Obs.Sink.event t.obs ~time:(Engine.now t.engine) ?severity fault_scope ev
+
 let create engine =
+  let obs = Engine.obs engine in
+  let m = obs.Obs.Sink.metrics in
   {
     engine;
     rng = Engine.split_rng engine;
@@ -30,6 +50,15 @@ let create engine =
     partitions = 0;
     crashes = 0;
     graceful_leaves = 0;
+    obs;
+    m_corruptions = Obs.Metrics.counter m "netsim_fault_corruptions_total";
+    m_duplications = Obs.Metrics.counter m "netsim_fault_duplications_total";
+    m_reorderings = Obs.Metrics.counter m "netsim_fault_reorderings_total";
+    m_drops = Obs.Metrics.counter m "netsim_fault_drops_injected_total";
+    m_flaps = Obs.Metrics.counter m "netsim_fault_link_flaps_total";
+    m_partitions = Obs.Metrics.counter m "netsim_fault_partitions_total";
+    m_crashes = Obs.Metrics.counter m "netsim_fault_crashes_total";
+    m_leaves = Obs.Metrics.counter m "netsim_fault_graceful_leaves_total";
   }
 
 (* ------------------------------------------------- failures / partitions *)
@@ -39,11 +68,33 @@ let down_at t link ~time =
     (Engine.at t.engine ~time (fun () ->
          if Link.is_up link then begin
            t.link_flaps <- t.link_flaps + 1;
+           Obs.Metrics.Counter.inc t.m_flaps;
+           journal t ~severity:Obs.Journal.Warn
+             (Obs.Journal.Fault
+                {
+                  kind = "link_down";
+                  detail =
+                    Printf.sprintf "%d->%d"
+                      (Node.id (Link.src link))
+                      (Node.id (Link.dst link));
+                });
            Link.set_up link false
          end))
 
 let up_at t link ~time =
-  ignore (Engine.at t.engine ~time (fun () -> Link.set_up link true))
+  ignore
+    (Engine.at t.engine ~time (fun () ->
+         if not (Link.is_up link) then
+           journal t
+             (Obs.Journal.Fault
+                {
+                  kind = "link_up";
+                  detail =
+                    Printf.sprintf "%d->%d"
+                      (Node.id (Link.src link))
+                      (Node.id (Link.dst link));
+                });
+         Link.set_up link true))
 
 let flap t link ~down_at:d ~up_at:u =
   if u <= d then invalid_arg "Fault.flap: up_at must follow down_at";
@@ -68,15 +119,29 @@ let partition t ~links ~from_ ~until =
   ignore
     (Engine.at t.engine ~time:from_ (fun () ->
          t.partitions <- t.partitions + 1;
+         Obs.Metrics.Counter.inc t.m_partitions;
+         journal t ~severity:Obs.Journal.Error
+           (Obs.Journal.Fault
+              {
+                kind = "partition";
+                detail = Printf.sprintf "%d links until %g" (List.length links) until;
+              });
          List.iter
            (fun l ->
              if Link.is_up l then begin
                t.link_flaps <- t.link_flaps + 1;
+               Obs.Metrics.Counter.inc t.m_flaps;
                Link.set_up l false
              end)
            links));
   ignore
     (Engine.at t.engine ~time:until (fun () ->
+         journal t
+           (Obs.Journal.Fault
+              {
+                kind = "partition_heal";
+                detail = Printf.sprintf "%d links" (List.length links);
+              });
          List.iter (fun l -> Link.set_up l true) links))
 
 (* -------------------------------------------------------------- injectors *)
@@ -120,6 +185,7 @@ let corrupt t link ?from_ ?until ~rate ~mangle () =
     (windowed t ~from_ ~until (fun p ->
          if Stats.Rng.uniform t.rng < rate then begin
            t.corruptions <- t.corruptions + 1;
+           Obs.Metrics.Counter.inc t.m_corruptions;
            `Replace (mangle t.rng p)
          end
          else `Pass))
@@ -130,6 +196,7 @@ let duplicate t link ?from_ ?until ~rate () =
     (windowed t ~from_ ~until (fun _ ->
          if Stats.Rng.uniform t.rng < rate then begin
            t.duplications <- t.duplications + 1;
+           Obs.Metrics.Counter.inc t.m_duplications;
            `Duplicate
          end
          else `Pass))
@@ -141,6 +208,7 @@ let reorder t link ?from_ ?until ~rate ~extra_delay () =
     (windowed t ~from_ ~until (fun _ ->
          if Stats.Rng.uniform t.rng < rate then begin
            t.reorderings <- t.reorderings + 1;
+           Obs.Metrics.Counter.inc t.m_reorderings;
            `Delay (Stats.Rng.uniform_pos t.rng *. extra_delay)
          end
          else `Pass))
@@ -151,6 +219,7 @@ let drop t link ?from_ ?until ~rate () =
     (windowed t ~from_ ~until (fun _ ->
          if Stats.Rng.uniform t.rng < rate then begin
            t.drops_injected <- t.drops_injected + 1;
+           Obs.Metrics.Counter.inc t.m_drops;
            `Drop
          end
          else `Pass))
@@ -171,8 +240,15 @@ let churn t ~at ~kind apply =
   ignore
     (Engine.at t.engine ~time:at (fun () ->
          (match kind with
-         | Crash -> t.crashes <- t.crashes + 1
-         | Graceful -> t.graceful_leaves <- t.graceful_leaves + 1);
+         | Crash ->
+             t.crashes <- t.crashes + 1;
+             Obs.Metrics.Counter.inc t.m_crashes;
+             journal t ~severity:Obs.Journal.Warn
+               (Obs.Journal.Fault { kind = "crash"; detail = "" })
+         | Graceful ->
+             t.graceful_leaves <- t.graceful_leaves + 1;
+             Obs.Metrics.Counter.inc t.m_leaves;
+             journal t (Obs.Journal.Fault { kind = "graceful_leave"; detail = "" }));
          apply kind))
 
 (* --------------------------------------------------------------- counters *)

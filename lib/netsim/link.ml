@@ -20,12 +20,20 @@ type t = {
   mutable tracer :
     (time:float -> kind:[ `Tx | `Drop_queue | `Drop_loss | `Deliver ] -> Packet.t -> unit)
     option;
+  (* Registry instruments shared by every link of the engine (same
+     metric name -> same handle). *)
+  m_tx : Obs.Metrics.Counter.t;
+  m_deliver : Obs.Metrics.Counter.t;
+  m_drop_queue : Obs.Metrics.Counter.t;
+  m_drop_loss : Obs.Metrics.Counter.t;
+  m_drop_down : Obs.Metrics.Counter.t;
 }
 
 let create engine ?(loss = Loss_model.none) ~bandwidth_bps ~delay_s ~queue ~src
     ~dst () =
   if bandwidth_bps <= 0. then invalid_arg "Link.create: bandwidth must be positive";
   if delay_s < 0. then invalid_arg "Link.create: negative delay";
+  let metrics = (Engine.obs engine).Obs.Sink.metrics in
   {
     engine;
     loss;
@@ -43,6 +51,11 @@ let create engine ?(loss = Loss_model.none) ~bandwidth_bps ~delay_s ~queue ~src
     busy_time = 0.;
     fault = None;
     tracer = None;
+    m_tx = Obs.Metrics.counter metrics "netsim_link_tx_total";
+    m_deliver = Obs.Metrics.counter metrics "netsim_link_deliver_total";
+    m_drop_queue = Obs.Metrics.counter metrics "netsim_link_drop_queue_total";
+    m_drop_loss = Obs.Metrics.counter metrics "netsim_link_drop_loss_total";
+    m_drop_down = Obs.Metrics.counter metrics "netsim_link_drop_down_total";
   }
 
 let tx_time t (p : Packet.t) = float_of_int p.size *. 8. /. t.bandwidth_bps
@@ -55,11 +68,13 @@ let trace t ~kind p =
 let deliver t p =
   if Loss_model.drops_packet t.loss then begin
     t.lost <- t.lost + 1;
+    Obs.Metrics.Counter.inc t.m_drop_loss;
     trace t ~kind:`Drop_loss p
   end
   else begin
     let arrive () =
       t.delivered <- t.delivered + 1;
+      Obs.Metrics.Counter.inc t.m_deliver;
       trace t ~kind:`Deliver p;
       Node.receive t.dst p
     in
@@ -73,6 +88,7 @@ let rec transmit t p =
   t.busy_time <- t.busy_time +. tx;
   let complete () =
     t.sent <- t.sent + 1;
+    Obs.Metrics.Counter.inc t.m_tx;
     trace t ~kind:`Tx p;
     deliver t p;
     match Queue_disc.dequeue t.queue with
@@ -84,12 +100,16 @@ let rec transmit t p =
 let forward t (p : Packet.t) =
   if not t.up then begin
     t.lost <- t.lost + 1;
+    Obs.Metrics.Counter.inc t.m_drop_down;
     trace t ~kind:`Drop_loss p
   end
   else if p.hops > Packet.ttl_limit then
     Logs.warn (fun m -> m "Link: TTL exceeded, dropping %a" Packet.pp p)
   else if t.busy then begin
-    if not (Queue_disc.enqueue t.queue p) then trace t ~kind:`Drop_queue p
+    if not (Queue_disc.enqueue t.queue p) then begin
+      Obs.Metrics.Counter.inc t.m_drop_queue;
+      trace t ~kind:`Drop_queue p
+    end
   end
   else transmit t p
 
@@ -102,6 +122,7 @@ let send t (p : Packet.t) =
       | `Pass -> forward t p
       | `Drop ->
           t.lost <- t.lost + 1;
+          Obs.Metrics.Counter.inc t.m_drop_loss;
           trace t ~kind:`Drop_loss p
       | `Replace p' -> forward t p'
       | `Duplicate ->

@@ -5,6 +5,10 @@ type flow_state = {
   mutable packets : int;
   mutable delays : float array;  (* ring buffer *)
   mutable delay_len : int;  (* total recorded (may exceed buffer) *)
+  (* Registry instruments (thin client of the shared metrics plane). *)
+  m_bytes : Obs.Metrics.Counter.t;
+  m_packets : Obs.Metrics.Counter.t;
+  m_delay : Obs.Metrics.Histogram.t;
 }
 
 type t = { engine : Engine.t; flows : (int, flow_state) Hashtbl.t }
@@ -15,12 +19,19 @@ let flow_state t flow =
   match Hashtbl.find_opt t.flows flow with
   | Some st -> st
   | None ->
+      let metrics = (Engine.obs t.engine).Obs.Sink.metrics in
+      let labels = [ ("flow", string_of_int flow) ] in
       let st =
         {
           counter = Stats.Timeseries.Counter.create ();
           packets = 0;
           delays = Array.make 256 0.;
           delay_len = 0;
+          m_bytes = Obs.Metrics.counter metrics ~labels "netsim_monitor_bytes_total";
+          m_packets =
+            Obs.Metrics.counter metrics ~labels "netsim_monitor_packets_total";
+          m_delay =
+            Obs.Metrics.histogram metrics ~labels "netsim_monitor_delay_seconds";
         }
       in
       Hashtbl.add t.flows flow st;
@@ -40,7 +51,11 @@ let tap t (p : Packet.t) =
   let st = flow_state t p.flow in
   st.packets <- st.packets + 1;
   let now = Engine.now t.engine in
-  record_delay st (now -. p.created);
+  let delay = now -. p.created in
+  record_delay st delay;
+  Obs.Metrics.Counter.inc st.m_packets;
+  Obs.Metrics.Counter.add st.m_bytes p.size;
+  Obs.Metrics.Histogram.observe st.m_delay delay;
   Stats.Timeseries.Counter.record st.counter ~time:now ~bytes:p.size
 
 let watch_node t n = Node.attach n (tap t)

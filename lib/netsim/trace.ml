@@ -10,21 +10,59 @@ type event = {
   size : int;
 }
 
+let kind_index = function Tx -> 0 | Drop_queue -> 1 | Drop_loss -> 2 | Deliver -> 3
+
+let kind_label = function
+  | Tx -> "tx"
+  | Drop_queue -> "drop_queue"
+  | Drop_loss -> "drop_loss"
+  | Deliver -> "deliver"
+
 type t = {
   capacity : int;
   buffer : event option array;
   mutable next : int;  (* write position *)
   mutable recorded : int;
+  (* Per-kind counts of *retained* events, maintained on record so
+     [count] is O(1) instead of an O(capacity) array scan. *)
+  retained_by_kind : int array;
+  (* Monotonic per-kind totals published to the metrics registry (a
+     thin client of the same plane everything else reports into). *)
+  registry_by_kind : Obs.Metrics.Counter.t array;
 }
 
-let create ?(capacity = 100_000) () =
+let create ?(capacity = 100_000) ?(sink = Obs.Sink.null) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
-  { capacity; buffer = Array.make capacity None; next = 0; recorded = 0 }
+  let metrics = sink.Obs.Sink.metrics in
+  {
+    capacity;
+    buffer = Array.make capacity None;
+    next = 0;
+    recorded = 0;
+    retained_by_kind = Array.make 4 0;
+    registry_by_kind =
+      Array.init 4 (fun i ->
+          let kind =
+            match i with 0 -> Tx | 1 -> Drop_queue | 2 -> Drop_loss | _ -> Deliver
+          in
+          Obs.Metrics.counter metrics
+            ~labels:[ ("kind", kind_label kind) ]
+            "netsim_trace_events_total");
+  }
 
 let record t ev =
+  (match t.buffer.(t.next) with
+  | Some old ->
+      (* Rotating an old event out: keep the retained counts exact. *)
+      t.retained_by_kind.(kind_index old.kind) <-
+        t.retained_by_kind.(kind_index old.kind) - 1
+  | None -> ());
   t.buffer.(t.next) <- Some ev;
   t.next <- (t.next + 1) mod t.capacity;
-  t.recorded <- t.recorded + 1
+  t.recorded <- t.recorded + 1;
+  t.retained_by_kind.(kind_index ev.kind) <-
+    t.retained_by_kind.(kind_index ev.kind) + 1;
+  Obs.Metrics.Counter.inc t.registry_by_kind.(kind_index ev.kind)
 
 let attach t link =
   let link_src = Node.id (Link.src link) and link_dst = Node.id (Link.dst link) in
@@ -48,16 +86,15 @@ let events t =
   done;
   List.rev !out
 
-let count t ~kind =
-  Array.fold_left
-    (fun acc e -> match e with Some e when e.kind = kind -> acc + 1 | _ -> acc)
-    0 t.buffer
+let count t ~kind = t.retained_by_kind.(kind_index kind)
 
 let total_recorded t = t.recorded
 
 let clear t =
   Array.fill t.buffer 0 t.capacity None;
-  t.next <- 0
+  t.next <- 0;
+  t.recorded <- 0;
+  Array.fill t.retained_by_kind 0 4 0
 
 let kind_char = function Tx -> '+' | Drop_queue -> 'd' | Drop_loss -> 'x' | Deliver -> 'r'
 

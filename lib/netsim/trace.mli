@@ -24,8 +24,12 @@ type event = {
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** Ring buffer of the most recent [capacity] events (default 100_000). *)
+val create : ?capacity:int -> ?sink:Obs.Sink.t -> unit -> t
+(** Ring buffer of the most recent [capacity] events (default 100_000).
+    When [sink] is given (default: the null sink), every recorded event
+    also bumps the monotonic registry counter
+    [netsim_trace_events_total{kind=tx|drop_queue|drop_loss|deliver}],
+    making the tracer a thin client of the shared metrics plane. *)
 
 val attach : t -> Link.t -> unit
 (** Starts tracing a link.  Multiple links may share one tracer. *)
@@ -34,12 +38,16 @@ val events : t -> event list
 (** Oldest first (within the retained window). *)
 
 val count : t -> kind:kind -> int
-(** Events of one kind currently retained. *)
+(** Events of one kind currently retained.  O(1): per-kind counts are
+    maintained on {!record} (and decremented when the ring rotates an
+    event out). *)
 
 val total_recorded : t -> int
 (** All events ever recorded, including those rotated out. *)
 
 val clear : t -> unit
+(** Empties the ring and resets {!total_recorded} and the per-kind
+    counts.  Registry counters are monotonic and unaffected. *)
 
 val pp_event : Format.formatter -> event -> unit
 (** One ns-2-style line: [+ time src dst flow size uid] with [+/d/x/r]

@@ -1,0 +1,21 @@
+(** Minimal JSON document builder (emission only).
+
+    The observability layer must produce machine-readable output without
+    pulling in a JSON dependency the container may not have; this module
+    covers exactly what {!Metrics}, {!Journal} and the CLI need: building
+    a document and serializing it with proper string escaping.  Non-finite
+    floats serialize as [null] (JSON has no representation for them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) serialization. *)
+
+val to_buffer : Buffer.t -> t -> unit

@@ -1,0 +1,103 @@
+(** Typed metrics registry: labelled counters, gauges and histograms.
+
+    One registry serves a whole simulation.  Components look their
+    instruments up once at construction time ({!counter} / {!gauge} /
+    {!histogram} are amortized O(1) hash lookups) and then record through
+    the returned handle with a plain field update — no hashing, no
+    allocation on the hot path.
+
+    A registry created with {!null} is a disabled sink: handles it hands
+    out are valid and O(1) to record into, but nothing is retained and
+    {!snapshot} is empty, so instrumented code pays only the cost of one
+    mutable-field update when observability is off. *)
+
+type t
+
+type labels = (string * string) list
+(** Label pairs; order is irrelevant (normalized internally). *)
+
+module Counter : sig
+  type t
+
+  val inc : t -> unit
+
+  val add : t -> int -> unit
+
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+  (** O(1): updates count/sum/min/max and one power-of-two bucket. *)
+
+  val count : t -> int
+
+  val sum : t -> float
+
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val min_value : t -> float
+  (** +inf when empty. *)
+
+  val max_value : t -> float
+  (** -inf when empty. *)
+end
+
+val create : unit -> t
+
+val null : t
+(** The shared disabled registry.  [enabled null = false]; instruments
+    obtained from it are unregistered dummies. *)
+
+val enabled : t -> bool
+
+val counter : t -> ?labels:labels -> string -> Counter.t
+(** Registers (or finds) the counter [name] with [labels].  Raises
+    [Invalid_argument] if the name+labels is already registered as a
+    different metric kind. *)
+
+val gauge : t -> ?labels:labels -> string -> Gauge.t
+
+val histogram : t -> ?labels:labels -> string -> Histogram.t
+
+(** A point-in-time reading of one registered instrument. *)
+type sample = {
+  name : string;
+  labels : labels;  (** sorted by key *)
+  value : value;
+}
+
+and value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { count : int; sum : float; min : float; max : float }
+
+val snapshot : t -> sample list
+(** All registered instruments, sorted by (name, labels). *)
+
+val counter_value : t -> ?labels:labels -> string -> int
+(** Current value of one counter; 0 when absent (or the registry is the
+    null sink). *)
+
+val sum_counters : t -> string -> int
+(** Sum of the counter [name] over every label set it is registered
+    with. *)
+
+val describe : ?prefix:string -> t -> string
+(** One-line ["name{k=v}=n, ..."] rendering of every counter whose name
+    starts with [prefix] (default: all), for human-readable summaries.
+    ["(no metrics)"] when nothing matches. *)
+
+val to_json : t -> Json.t
+(** [[{"name":..,"labels":{..},"kind":..,"value"|"count"/"sum"/..}]] *)

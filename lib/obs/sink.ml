@@ -1,0 +1,17 @@
+type t = {
+  metrics : Metrics.t;
+  journal : Journal.t;
+}
+
+let create ?journal_capacity () =
+  { metrics = Metrics.create (); journal = Journal.create ?capacity:journal_capacity () }
+
+let null = { metrics = Metrics.null; journal = Journal.null }
+
+let enabled t = Metrics.enabled t.metrics || Journal.enabled t.journal
+
+let event t ~time ?severity scope ev = Journal.record t.journal ~time ?severity scope ev
+
+let to_json t =
+  Json.Obj
+    [ ("metrics", Metrics.to_json t.metrics); ("journal", Journal.to_json t.journal) ]

@@ -21,7 +21,22 @@ type t = {
   mutable sent : int;
   mutable acker_changes : int;
   mutable halvings : int;
+  obs : Obs.Sink.t;
+  scope : Obs.Journal.scope;
+  m_sent : Obs.Metrics.Counter.t;
+  m_acker_changes : Obs.Metrics.Counter.t;
+  m_halvings : Obs.Metrics.Counter.t;
 }
+
+let jnl t ?severity ev =
+  Obs.Sink.event t.obs ~time:(Netsim.Engine.now t.engine) ?severity t.scope ev
+
+(* PGMCC's acker is the group's limiting receiver, the analogue of
+   TFMCC's CLR, so its election reuses the Clr_change event. *)
+let note_acker_change t ~prev ~acker =
+  t.acker_changes <- t.acker_changes + 1;
+  Obs.Metrics.Counter.inc t.m_acker_changes;
+  jnl t (Obs.Journal.Clr_change { prev; clr = acker })
 
 let window t = t.window
 
@@ -61,6 +76,7 @@ let send_packet t =
   in
   t.seq <- t.seq + 1;
   t.sent <- t.sent + 1;
+  Obs.Metrics.Counter.inc t.m_sent;
   Netsim.Topology.inject t.topo p
 
 (* Idle/timeout guard: with no acks for a while (acker silent or not yet
@@ -75,8 +91,14 @@ let rec restart_idle t =
            t.idle_timer <- None;
            if t.running then begin
              if t.acker >= 0 then begin
+               jnl t ~severity:Obs.Journal.Warn
+                 (Obs.Journal.Timeout { what = "idle" });
+               let from_pkts = t.window in
                t.ssthresh <- Float.max 2. (t.window /. 2.);
-               t.window <- 1.
+               t.window <- 1.;
+               jnl t ~severity:Obs.Journal.Debug
+                 (Obs.Journal.Cwnd_change
+                    { from_pkts; to_pkts = t.window; reason = "idle-collapse" })
              end;
              t.acked <- t.seq - 1;
              send_packet t;
@@ -113,26 +135,33 @@ let maybe_switch_acker t ~rx =
         let t_cand = modelled_throughput ~rtt:cand.p_rtt ~loss:cand.p_loss in
         let t_cur = modelled_throughput ~rtt:cur.p_rtt ~loss:cur.p_loss in
         if t_cand < t.hysteresis *. t_cur then begin
+          let prev = t.acker in
           t.acker <- rx;
           t.acker_rtt <- cand.p_rtt;
-          t.acker_changes <- t.acker_changes + 1;
+          note_acker_change t ~prev ~acker:rx;
           (* Catch up the ack clock so the new acker's acks take over. *)
           t.acked <- t.seq - 1
         end
     | Some cand, None ->
+        let prev = t.acker in
         t.acker <- rx;
         t.acker_rtt <- cand.p_rtt;
-        t.acker_changes <- t.acker_changes + 1
+        note_acker_change t ~prev ~acker:rx
     | None, _ -> ()
   end
 
 let halve t =
   let now = Netsim.Engine.now t.engine in
   if now -. t.last_halving >= t.acker_rtt then begin
+    let from_pkts = t.window in
     t.ssthresh <- Float.max 2. (t.window /. 2.);
     t.window <- t.ssthresh;
     t.last_halving <- now;
-    t.halvings <- t.halvings + 1
+    t.halvings <- t.halvings + 1;
+    Obs.Metrics.Counter.inc t.m_halvings;
+    jnl t ~severity:Obs.Journal.Debug
+      (Obs.Journal.Cwnd_change
+         { from_pkts; to_pkts = t.window; reason = "nak-halve" })
   end
 
 let on_ack t ~rx ~ack_seq ~echo_ts ~loss =
@@ -141,7 +170,7 @@ let on_ack t ~rx ~ack_seq ~echo_ts ~loss =
     (* First report elects the first acker. *)
     t.acker <- rx;
     t.acker_rtt <- (Hashtbl.find t.peers rx).p_rtt;
-    t.acker_changes <- t.acker_changes + 1
+    note_acker_change t ~prev:(-1) ~acker:rx
   end
   else maybe_switch_acker t ~rx;
   if rx = t.acker then begin
@@ -173,6 +202,9 @@ let on_nak t ~rx ~echo_ts ~loss =
 
 let create topo ~session ~node ?flow ?(packet_size = 1000) ?(hysteresis = 0.75)
     () =
+  let obs = Netsim.Engine.obs (Netsim.Topology.engine topo) in
+  let metrics = obs.Obs.Sink.metrics in
+  let labels = [ ("session", string_of_int session) ] in
   let t =
     {
       topo;
@@ -195,6 +227,13 @@ let create topo ~session ~node ?flow ?(packet_size = 1000) ?(hysteresis = 0.75)
       sent = 0;
       acker_changes = 0;
       halvings = 0;
+      obs;
+      scope =
+        Obs.Journal.scope ~session ~node:(Netsim.Node.id node) "pgmcc.sender";
+      m_sent = Obs.Metrics.counter metrics ~labels "pgmcc_packets_sent_total";
+      m_acker_changes =
+        Obs.Metrics.counter metrics ~labels "pgmcc_acker_changes_total";
+      m_halvings = Obs.Metrics.counter metrics ~labels "pgmcc_halvings_total";
     }
   in
   Netsim.Node.attach node (fun p ->

@@ -26,7 +26,19 @@ type t = {
   mutable sent : int;
   mutable retransmits : int;
   mutable timeouts : int;
+  obs : Obs.Sink.t;
+  scope : Obs.Journal.scope;
+  m_sent : Obs.Metrics.Counter.t;
+  m_retransmits : Obs.Metrics.Counter.t;
+  m_timeouts : Obs.Metrics.Counter.t;
 }
+
+let jnl t ?severity ev =
+  Obs.Sink.event t.obs ~time:(Netsim.Engine.now t.engine) ?severity t.scope ev
+
+let journal_cwnd t ~from_pkts ~reason =
+  jnl t ~severity:Obs.Journal.Debug
+    (Obs.Journal.Cwnd_change { from_pkts; to_pkts = t.cwnd; reason })
 
 let cancel_timer t =
   match t.retx_timer with
@@ -42,6 +54,7 @@ let rec restart_timer t =
 
 and send_segment t seq =
   t.sent <- t.sent + 1;
+  Obs.Metrics.Counter.inc t.m_sent;
   (* Time one segment at a time, Karn's rule: never a retransmission. *)
   if t.rtt_seq < 0 && seq >= t.snd_nxt then begin
     t.rtt_seq <- seq;
@@ -89,8 +102,12 @@ and on_timeout t =
   t.retx_timer <- None;
   if t.running then begin
     t.timeouts <- t.timeouts + 1;
+    Obs.Metrics.Counter.inc t.m_timeouts;
+    jnl t ~severity:Obs.Journal.Warn (Obs.Journal.Timeout { what = "rto" });
+    let from_pkts = t.cwnd in
     t.ssthresh <- Float.max 2. (t.cwnd /. 2.);
     t.cwnd <- 1.;
+    journal_cwnd t ~from_pkts ~reason:"rto";
     t.dupacks <- 0;
     t.in_recovery <- false;
     t.rtt_seq <- -1;
@@ -102,19 +119,23 @@ and on_timeout t =
     (* Go-back-N from the first hole. *)
     t.snd_nxt <- t.snd_una;
     t.retransmits <- t.retransmits + 1;
+    Obs.Metrics.Counter.inc t.m_retransmits;
     send_segment t t.snd_una;
     t.snd_nxt <- t.snd_una + 1;
     restart_timer t
   end
 
 let fast_retransmit t =
+  let from_pkts = t.cwnd in
   t.ssthresh <- Float.max 2. (t.cwnd /. 2.);
   t.in_recovery <- true;
   t.recover <- t.snd_nxt;
   t.retransmits <- t.retransmits + 1;
+  Obs.Metrics.Counter.inc t.m_retransmits;
   t.rtt_seq <- -1;
   send_segment t t.snd_una;
   t.cwnd <- t.ssthresh +. 3.;
+  journal_cwnd t ~from_pkts ~reason:"fast-retransmit";
   restart_timer t
 
 let on_new_ack t ack =
@@ -130,7 +151,9 @@ let on_new_ack t ack =
   if t.in_recovery then begin
     (* Reno: deflate to ssthresh on the first new ACK. *)
     t.in_recovery <- false;
-    t.cwnd <- t.ssthresh
+    let from_pkts = t.cwnd in
+    t.cwnd <- t.ssthresh;
+    journal_cwnd t ~from_pkts ~reason:"recovery-exit"
   end
   else if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. 1.
   else t.cwnd <- t.cwnd +. (1. /. t.cwnd);
@@ -163,6 +186,9 @@ let on_ack t ack =
 let create topo ~conn ~flow ~src ~dst ?(segment_size = Segment.data_size)
     ?(initial_cwnd = 1.) ?(max_cwnd = 10000.) ?(overhead = 0.001) () =
   if segment_size <= 0 then invalid_arg "Tcp_source.create: segment size";
+  let obs = Netsim.Engine.obs (Netsim.Topology.engine topo) in
+  let metrics = obs.Obs.Sink.metrics in
+  let labels = [ ("conn", string_of_int conn) ] in
   let t =
     {
       topo;
@@ -192,6 +218,12 @@ let create topo ~conn ~flow ~src ~dst ?(segment_size = Segment.data_size)
       sent = 0;
       retransmits = 0;
       timeouts = 0;
+      obs;
+      scope =
+        Obs.Journal.scope ~session:conn ~node:(Netsim.Node.id src) "tcp.source";
+      m_sent = Obs.Metrics.counter metrics ~labels "tcp_segments_sent_total";
+      m_retransmits = Obs.Metrics.counter metrics ~labels "tcp_retransmits_total";
+      m_timeouts = Obs.Metrics.counter metrics ~labels "tcp_timeouts_total";
     }
   in
   Netsim.Node.attach src (fun p ->

@@ -13,7 +13,16 @@ type t = {
   mutable send_timer : Netsim.Engine.handle option;
   mutable nofeedback : Netsim.Engine.handle option;
   mutable sent : int;
+  obs : Obs.Sink.t;
+  scope : Obs.Journal.scope;
+  m_sent : Obs.Metrics.Counter.t;
+  m_feedback : Obs.Metrics.Counter.t;
+  m_nofeedback : Obs.Metrics.Counter.t;
+  m_rate : Obs.Metrics.Gauge.t;
 }
+
+let jnl t ?severity ev =
+  Obs.Sink.event t.obs ~time:(Netsim.Engine.now t.engine) ?severity t.scope ev
 
 let min_rate = float_of_int Wire.data_size /. 64.
 
@@ -35,6 +44,8 @@ let rec send_packet t =
     in
     t.seq <- t.seq + 1;
     t.sent <- t.sent + 1;
+    Obs.Metrics.Counter.inc t.m_sent;
+    Obs.Metrics.Gauge.set t.m_rate t.rate;
     let p =
       Netsim.Packet.make ~flow:t.flow ~size:Wire.data_size
         ~src:(Netsim.Node.id t.src)
@@ -56,7 +67,15 @@ let rec restart_nofeedback t =
       (Netsim.Engine.after t.engine ~delay (fun () ->
            t.nofeedback <- None;
            if t.running then begin
+             let from_bps = t.rate in
              t.rate <- Float.max min_rate (t.rate /. 2.);
+             Obs.Metrics.Counter.inc t.m_nofeedback;
+             jnl t ~severity:Obs.Journal.Warn
+               (Obs.Journal.Timeout { what = "nofeedback" });
+             if t.rate <> from_bps then
+               jnl t ~severity:Obs.Journal.Debug
+                 (Obs.Journal.Rate_change
+                    { from_bps; to_bps = t.rate; reason = "nofeedback-halve" });
              restart_nofeedback t
            end))
 
@@ -70,7 +89,15 @@ let on_feedback t ~ts:_ ~echo_ts ~echo_delay ~rate =
          | None -> Some sample
          | Some srtt -> Some ((0.9 *. srtt) +. (0.1 *. sample)))
    end);
-  if rate > 0. then t.rate <- Float.max min_rate rate;
+  Obs.Metrics.Counter.inc t.m_feedback;
+  if rate > 0. then begin
+    let from_bps = t.rate in
+    t.rate <- Float.max min_rate rate;
+    if t.rate <> from_bps then
+      jnl t ~severity:Obs.Journal.Debug
+        (Obs.Journal.Rate_change
+           { from_bps; to_bps = t.rate; reason = "receiver-rate" })
+  end;
   restart_nofeedback t
 
 let create topo ~conn ~flow ~src ~dst ?initial_rate () =
@@ -78,6 +105,9 @@ let create topo ~conn ~flow ~src ~dst ?initial_rate () =
   let initial_rate =
     Option.value initial_rate ~default:(float_of_int Wire.data_size)
   in
+  let obs = Netsim.Engine.obs engine in
+  let metrics = obs.Obs.Sink.metrics in
+  let labels = [ ("conn", string_of_int conn) ] in
   let t =
     {
       topo;
@@ -94,6 +124,14 @@ let create topo ~conn ~flow ~src ~dst ?initial_rate () =
       send_timer = None;
       nofeedback = None;
       sent = 0;
+      obs;
+      scope =
+        Obs.Journal.scope ~session:conn ~node:(Netsim.Node.id src) "tear.sender";
+      m_sent = Obs.Metrics.counter metrics ~labels "tear_sender_packets_sent_total";
+      m_feedback = Obs.Metrics.counter metrics ~labels "tear_sender_feedback_total";
+      m_nofeedback =
+        Obs.Metrics.counter metrics ~labels "tear_sender_nofeedback_timeouts_total";
+      m_rate = Obs.Metrics.gauge metrics ~labels "tear_sender_rate_bytes_per_s";
     }
   in
   Netsim.Node.attach src (fun p ->

@@ -36,7 +36,18 @@ type t = {
   mutable suppressed : int;
   mutable malformed_data : int;
   mutable block_cb : (int -> unit) option;
+  (* Observability: journal scope plus registry handles. *)
+  obs : Obs.Sink.t;
+  scope : Obs.Journal.scope;
+  m_received : Obs.Metrics.Counter.t;
+  m_reports : Obs.Metrics.Counter.t;
+  m_suppressed : Obs.Metrics.Counter.t;
+  m_malformed : Obs.Metrics.Counter.t;
+  m_loss_events : Obs.Metrics.Counter.t;
 }
+
+let jnl t ?severity ev =
+  Obs.Sink.event t.obs ~time:(Netsim.Engine.now t.engine) ?severity t.scope ev
 
 let node_id t = Netsim.Node.id t.node
 
@@ -123,7 +134,8 @@ let send_report t =
         payload
     in
     Netsim.Topology.inject t.topo p;
-    t.reports <- t.reports + 1
+    t.reports <- t.reports + 1;
+    Obs.Metrics.Counter.inc t.m_reports
   end
 
 let send_leave_report t =
@@ -173,6 +185,7 @@ let rec schedule_clr_report t =
 let become_clr t =
   if not t.is_clr then begin
     t.is_clr <- true;
+    jnl t (Obs.Journal.Note "became CLR");
     cancel_fb_timer t;
     send_report t;
     schedule_clr_report t
@@ -181,6 +194,7 @@ let become_clr t =
 let stop_being_clr t =
   if t.is_clr then begin
     t.is_clr <- false;
+    jnl t (Obs.Journal.Note "ceased being CLR");
     cancel_clr_timer t
   end
 
@@ -251,7 +265,8 @@ let consider_suppression t (fb : Wire.fb_echo) =
         in
         if cancel then begin
           cancel_fb_timer t;
-          t.suppressed <- t.suppressed + 1
+          t.suppressed <- t.suppressed + 1;
+          Obs.Metrics.Counter.inc t.m_suppressed
         end
       end
 
@@ -268,6 +283,7 @@ let on_data t (p : Netsim.Packet.t) ~seq ~ts ~rate ~round ~round_duration
     | Some _ | None -> ());
     let now_local = local_now t in
     t.received <- t.received + 1;
+    Obs.Metrics.Counter.inc t.m_received;
     t.have_data <- true;
     t.last_ts <- ts;
     t.last_arrival <- now_local;
@@ -307,7 +323,16 @@ let on_data t (p : Netsim.Packet.t) ~seq ~ts ~rate ~round ~round_duration
     t.rate_at_loss <- Tfrc.Rate_meter.rate_bytes_per_s t.meter ~now;
     (* Loss detection. *)
     let had_loss = Tfrc.Loss_history.has_loss t.history in
+    let prev_loss_events = Tfrc.Loss_history.loss_events t.history in
     Tfrc.Loss_history.on_packet t.history ~seq ~now ~rtt:(rtt t);
+    let new_loss_events =
+      Tfrc.Loss_history.loss_events t.history - prev_loss_events
+    in
+    if new_loss_events > 0 then begin
+      Obs.Metrics.Counter.add t.m_loss_events new_loss_events;
+      jnl t ~severity:Obs.Journal.Debug
+        (Obs.Journal.Loss_event { p = loss_event_rate t })
+    end;
     (* First loss while the sender is in slowstart: report within one
        feedback delay (§2.6) even if this round's rate-based timer was
        already suppressed — only other loss reports may suppress it. *)
@@ -340,6 +365,9 @@ let create topo ~cfg ~session ~node ~sender ?report_to ?(clock_offset = 0.)
     ?ntp_error ?(report_flow = -1) () =
   let report_to = Option.value report_to ~default:sender in
   let engine = Netsim.Topology.engine topo in
+  let obs = Netsim.Engine.obs engine in
+  let metrics = obs.Obs.Sink.metrics in
+  let labels = [ ("session", string_of_int session) ] in
   let rec t =
     lazy
       {
@@ -391,6 +419,22 @@ let create topo ~cfg ~session ~node ~sender ?report_to ?(clock_offset = 0.)
         suppressed = 0;
         malformed_data = 0;
         block_cb = None;
+        obs;
+        scope =
+          Obs.Journal.scope ~session ~node:(Netsim.Node.id node)
+            "tfmcc.receiver";
+        m_received =
+          Obs.Metrics.counter metrics ~labels
+            "tfmcc_receiver_packets_received_total";
+        m_reports =
+          Obs.Metrics.counter metrics ~labels "tfmcc_receiver_reports_total";
+        m_suppressed =
+          Obs.Metrics.counter metrics ~labels "tfmcc_receiver_suppressed_total";
+        m_malformed =
+          Obs.Metrics.counter metrics ~labels
+            "tfmcc_receiver_malformed_drops_total";
+        m_loss_events =
+          Obs.Metrics.counter metrics ~labels "tfmcc_receiver_loss_events_total";
       }
   in
   let t = Lazy.force t in
@@ -405,7 +449,12 @@ let create topo ~cfg ~session ~node ~sender ?report_to ?(clock_offset = 0.)
           then
             on_data t p ~seq ~ts ~rate ~round ~round_duration ~max_rtt ~clr
               ~in_slowstart ~echo ~fb ~app
-          else if t.joined then t.malformed_data <- t.malformed_data + 1
+          else if t.joined then begin
+            t.malformed_data <- t.malformed_data + 1;
+            Obs.Metrics.Counter.inc t.m_malformed;
+            jnl t ~severity:Obs.Journal.Warn
+              (Obs.Journal.Malformed_drop { what = "data-fields" })
+          end
       | _ -> ());
   t
 
@@ -413,6 +462,7 @@ let join t =
   if t.left then invalid_arg "Receiver.join: receiver has left the session";
   if not t.joined then begin
     t.joined <- true;
+    jnl t Obs.Journal.Join;
     Netsim.Topology.join t.topo ~group:t.session t.node
   end
 
@@ -422,6 +472,7 @@ let leave t ?(explicit_leave = true) () =
   if t.joined then begin
     t.joined <- false;
     t.left <- true;
+    jnl t (Obs.Journal.Leave { explicit = explicit_leave });
     cancel_fb_timer t;
     cancel_clr_timer t;
     t.is_clr <- false;

@@ -71,7 +71,22 @@ type t = {
   mutable malformed_dropped : int;
   mutable clr_lost : bool;
   mutable clr_failovers_n : int;
+  (* Observability: journal scope plus registry handles (resolved once at
+     creation; recording is a field write on the hot path). *)
+  obs : Obs.Sink.t;
+  scope : Obs.Journal.scope;
+  m_sent : Obs.Metrics.Counter.t;
+  m_reports : Obs.Metrics.Counter.t;
+  m_clr_changes : Obs.Metrics.Counter.t;
+  m_clr_timeouts : Obs.Metrics.Counter.t;
+  m_starvations : Obs.Metrics.Counter.t;
+  m_malformed : Obs.Metrics.Counter.t;
+  m_failovers : Obs.Metrics.Counter.t;
+  m_rate : Obs.Metrics.Gauge.t;
 }
+
+let jnl t ?severity ev =
+  Obs.Sink.event t.obs ~time:(Netsim.Engine.now t.engine) ?severity t.scope ev
 
 let min_rate t = float_of_int t.cfg.Config.packet_size /. 64.
 
@@ -146,9 +161,16 @@ let queue_echo t pe =
 
 (* ------------------------------------------------------------ rate moves *)
 
+let journal_rate_change t ~from_bps ~reason =
+  if t.rate <> from_bps then
+    jnl t ~severity:Obs.Journal.Debug
+      (Obs.Journal.Rate_change { from_bps; to_bps = t.rate; reason })
+
 let apply_decrease t new_rate =
+  let from_bps = t.rate in
   t.rate <- clamp_rate t new_rate;
-  t.last_rate_change <- Netsim.Engine.now t.engine
+  t.last_rate_change <- Netsim.Engine.now t.engine;
+  journal_rate_change t ~from_bps ~reason:"decrease"
 
 (* Increase toward [desired], at most [increase_limit_packets] packets per
    RTT since the last change. *)
@@ -159,8 +181,10 @@ let apply_capped_increase t ~desired ~rtt =
   let cap =
     t.rate +. (t.cfg.Config.increase_limit_packets *. s_float t *. (dt /. rtt))
   in
+  let from_bps = t.rate in
   t.rate <- clamp_rate t (Float.min desired cap);
-  t.last_rate_change <- now
+  t.last_rate_change <- now;
+  journal_rate_change t ~from_bps ~reason:"capped-increase"
 
 (* -------------------------------------------------------------- the CLR *)
 
@@ -170,7 +194,8 @@ let set_clr t ~rx ~rtt ~rate_adj =
      failover: the session found its new limiting receiver. *)
   if t.clr_lost then begin
     t.clr_lost <- false;
-    t.clr_failovers_n <- t.clr_failovers_n + 1
+    t.clr_failovers_n <- t.clr_failovers_n + 1;
+    Obs.Metrics.Counter.inc t.m_failovers
   end;
   (match t.clr with
   | Some c when c.clr_id = rx ->
@@ -188,16 +213,22 @@ let set_clr t ~rx ~rtt ~rate_adj =
               prev_until = now +. (t.cfg.Config.remember_clr_rtts *. Float.max c.clr_rtt 1e-3);
             };
       t.clr_changes <- t.clr_changes + 1;
+      Obs.Metrics.Counter.inc t.m_clr_changes;
+      jnl t (Obs.Journal.Clr_change { prev = c.clr_id; clr = rx });
       t.clr <- Some { clr_id = rx; clr_rtt = rtt; clr_rate = rate_adj; clr_last_report = now }
   | None ->
       t.clr_changes <- t.clr_changes + 1;
+      Obs.Metrics.Counter.inc t.m_clr_changes;
+      jnl t (Obs.Journal.Clr_change { prev = -1; clr = rx });
       t.clr <- Some { clr_id = rx; clr_rtt = rtt; clr_rate = rate_adj; clr_last_report = now })
 
-let drop_clr t =
+let drop_clr t ~reason =
   (match t.clr with
   | Some c ->
       Hashtbl.remove t.rtt_table c.clr_id;
-      t.clr_lost <- true
+      t.clr_lost <- true;
+      jnl t ~severity:Obs.Journal.Warn
+        (Obs.Journal.Clr_drop { clr = c.clr_id; reason })
   | None -> ());
   t.clr <- None;
   t.clr_echo <- None
@@ -232,6 +263,7 @@ let on_report t ~rx ~ts ~echo_ts ~echo_delay ~rate ~have_rtt ~rtt ~p:_ ~x_recv
     ~round:report_round ~has_loss ~leaving =
   let now = Netsim.Engine.now t.engine in
   t.reports <- t.reports + 1;
+  Obs.Metrics.Counter.inc t.m_reports;
   (* Any validated report proves the feedback channel is alive: leave the
      starved state (the decayed rate recovers through the normal capped
      increase once a CLR re-establishes itself). *)
@@ -243,8 +275,9 @@ let on_report t ~rx ~ts ~echo_ts ~echo_delay ~rate ~have_rtt ~rtt ~p:_ ~x_recv
     | Some c when c.clr_id = rx ->
         (* The limiting receiver left: drop it and let the capped ramp
            find the next CLR. *)
-        drop_clr t;
-        t.clr_timeouts <- t.clr_timeouts + 1
+        drop_clr t ~reason:"leave";
+        t.clr_timeouts <- t.clr_timeouts + 1;
+        Obs.Metrics.Counter.inc t.m_clr_timeouts
     | _ -> ()
   end
   else begin
@@ -285,7 +318,8 @@ let on_report t ~rx ~ts ~echo_ts ~echo_delay ~rate ~have_rtt ~rtt ~p:_ ~x_recv
         (* First loss ends slowstart (§2.6). *)
         t.in_ss <- false;
         set_clr t ~rx ~rtt:rtt_best ~rate_adj;
-        apply_decrease t (Float.min t.rate rate_adj)
+        apply_decrease t (Float.min t.rate rate_adj);
+        jnl t (Obs.Journal.Slowstart_exit { rate_bps = t.rate })
       end
       else begin
         if x_recv < t.ss_min_xrecv then begin
@@ -305,11 +339,20 @@ let on_report t ~rx ~ts ~echo_ts ~echo_delay ~rate ~have_rtt ~rtt ~p:_ ~x_recv
           clamp_rate t
             (t.cfg.Config.slowstart_multiplier *. Float.max 1. t.ss_min_xrecv)
         in
+        let prev_target = t.ss_target in
         if proposed < t.ss_target then t.ss_target <- proposed
         else if report_round > t.ss_round then begin
           t.ss_round <- report_round;
           t.ss_target <- proposed
-        end
+        end;
+        if t.ss_target <> prev_target then
+          jnl t ~severity:Obs.Journal.Debug
+            (Obs.Journal.Rate_change
+               {
+                 from_bps = prev_target;
+                 to_bps = t.ss_target;
+                 reason = "slowstart-target";
+               })
       end
     end
     else begin
@@ -359,8 +402,10 @@ let check_clr_timeout t =
   | Some c
     when Netsim.Engine.now t.engine -. c.clr_last_report
          > t.cfg.Config.clr_timeout_rounds *. t.round_duration ->
-      drop_clr t;
-      t.clr_timeouts <- t.clr_timeouts + 1
+      jnl t ~severity:Obs.Journal.Warn (Obs.Journal.Timeout { what = "clr" });
+      drop_clr t ~reason:"timeout";
+      t.clr_timeouts <- t.clr_timeouts + 1;
+      Obs.Metrics.Counter.inc t.m_clr_timeouts
   | _ -> ()
 
 (* Total feedback starvation (paper's feedback-timeout rule, extended to
@@ -378,6 +423,9 @@ let check_starvation t =
     if not t.starved then begin
       t.starved <- true;
       t.starvations <- t.starvations + 1;
+      Obs.Metrics.Counter.inc t.m_starvations;
+      jnl t ~severity:Obs.Journal.Warn
+        (Obs.Journal.Starvation { rate_bps = t.rate });
       (* Growth phases assume a live feedback loop. *)
       t.in_ss <- false;
       (* Starvation subsumes the CLR timeout: silence from everyone
@@ -387,13 +435,16 @@ let check_starvation t =
          tells surviving receivers to volunteer — the failover path. *)
       match t.clr with
       | Some _ ->
-          drop_clr t;
-          t.clr_timeouts <- t.clr_timeouts + 1
+          drop_clr t ~reason:"starvation";
+          t.clr_timeouts <- t.clr_timeouts + 1;
+          Obs.Metrics.Counter.inc t.m_clr_timeouts
       | None -> ()
     end;
+    let from_bps = t.rate in
     t.rate <- clamp_rate t (t.rate *. t.cfg.Config.starvation_decay);
     t.ss_target <- Float.min t.ss_target t.rate;
-    t.last_rate_change <- now
+    t.last_rate_change <- now;
+    journal_rate_change t ~from_bps ~reason:"starvation-decay"
   end
 
 let rec start_round t =
@@ -420,6 +471,9 @@ let rec start_round t =
     t.max_rtt <- (if observed > 0. then observed else t.cfg.Config.rtt_initial);
     t.round_duration <-
       Feedback_timer.round_duration ~cfg:t.cfg ~max_rtt:t.max_rtt ~rate:t.rate;
+    jnl t ~severity:Obs.Journal.Debug
+      (Obs.Journal.Round_start
+         { round = t.round; duration = t.round_duration; max_rtt = t.max_rtt });
     check_clr_timeout t;
     check_starvation t;
     t.round_timer <-
@@ -476,6 +530,8 @@ let rec send_packet t =
     in
     t.seq <- t.seq + 1;
     t.sent <- t.sent + 1;
+    Obs.Metrics.Counter.inc t.m_sent;
+    Obs.Metrics.Gauge.set t.m_rate t.rate;
     Netsim.Topology.inject t.topo p;
     (* +-25% pacing jitter: breaks deterministic phase-locking between
        the paced flow and drop-tail queue service (the classic simulator
@@ -495,6 +551,9 @@ let create topo ~cfg ~session ~node ?flow ?initial_rate () =
     Option.value initial_rate
       ~default:(float_of_int cfg.Config.packet_size /. cfg.Config.rtt_initial)
   in
+  let obs = Netsim.Engine.obs (Netsim.Topology.engine topo) in
+  let metrics = obs.Obs.Sink.metrics in
+  let labels = [ ("session", string_of_int session) ] in
   let t =
     {
       topo;
@@ -535,6 +594,22 @@ let create topo ~cfg ~session ~node ?flow ?initial_rate () =
       malformed_dropped = 0;
       clr_lost = false;
       clr_failovers_n = 0;
+      obs;
+      scope =
+        Obs.Journal.scope ~session ~node:(Netsim.Node.id node) "tfmcc.sender";
+      m_sent = Obs.Metrics.counter metrics ~labels "tfmcc_sender_packets_sent_total";
+      m_reports = Obs.Metrics.counter metrics ~labels "tfmcc_sender_reports_total";
+      m_clr_changes =
+        Obs.Metrics.counter metrics ~labels "tfmcc_sender_clr_changes_total";
+      m_clr_timeouts =
+        Obs.Metrics.counter metrics ~labels "tfmcc_sender_clr_timeouts_total";
+      m_starvations =
+        Obs.Metrics.counter metrics ~labels "tfmcc_sender_starvations_total";
+      m_malformed =
+        Obs.Metrics.counter metrics ~labels "tfmcc_sender_malformed_drops_total";
+      m_failovers =
+        Obs.Metrics.counter metrics ~labels "tfmcc_sender_clr_failovers_total";
+      m_rate = Obs.Metrics.gauge metrics ~labels "tfmcc_sender_rate_bytes_per_s";
     }
   in
   Netsim.Node.attach node (fun p ->
@@ -558,11 +633,21 @@ let create topo ~cfg ~session ~node ?flow ?initial_rate () =
             then
               on_report t ~rx:rx_id ~ts ~echo_ts ~echo_delay ~rate ~have_rtt
                 ~rtt ~p ~x_recv ~round ~has_loss ~leaving
-            else t.malformed_dropped <- t.malformed_dropped + 1
+            else begin
+              t.malformed_dropped <- t.malformed_dropped + 1;
+              Obs.Metrics.Counter.inc t.m_malformed;
+              jnl t ~severity:Obs.Journal.Warn
+                (Obs.Journal.Malformed_drop { what = "report-fields" })
+            end
           end
       | Wire.Report _ ->
           (* Unknown session id: never let it near this sender's state. *)
-          if t.running then t.malformed_dropped <- t.malformed_dropped + 1
+          if t.running then begin
+            t.malformed_dropped <- t.malformed_dropped + 1;
+            Obs.Metrics.Counter.inc t.m_malformed;
+            jnl t ~severity:Obs.Journal.Warn
+              (Obs.Journal.Malformed_drop { what = "unknown-session" })
+          end
       | _ -> ());
   t
 

@@ -17,6 +17,8 @@ type t = {
   (* Receive rate when the last (= first) loss occurred, for App. B
      seeding: half the rate at first loss, through the inverse equation. *)
   mutable rate_at_loss : float;
+  m_received : Obs.Metrics.Counter.t;
+  m_feedback : Obs.Metrics.Counter.t;
 }
 
 let send_feedback t =
@@ -40,7 +42,8 @@ let send_feedback t =
         ~created:now payload
     in
     Netsim.Topology.inject t.topo p;
-    t.fb_sent <- t.fb_sent + 1
+    t.fb_sent <- t.fb_sent + 1;
+    Obs.Metrics.Counter.inc t.m_feedback
   end
 
 let rec schedule_feedback t =
@@ -54,6 +57,7 @@ let rec schedule_feedback t =
 let on_data t ~seq ~ts ~rtt ~size =
   let now = Netsim.Engine.now t.engine in
   t.received <- t.received + 1;
+  Obs.Metrics.Counter.inc t.m_received;
   t.have_data <- true;
   t.last_data_ts <- ts;
   t.last_data_arrival <- now;
@@ -70,6 +74,8 @@ let on_data t ~seq ~ts ~rtt ~size =
 
 let create topo ~conn ~node ~sender ?(feedback_flow = -1) () =
   let engine = Netsim.Topology.engine topo in
+  let metrics = (Netsim.Engine.obs engine).Obs.Sink.metrics in
+  let labels = [ ("conn", string_of_int conn) ] in
   let rec t =
     lazy
       {
@@ -99,6 +105,11 @@ let create topo ~conn ~node ~sender ?(feedback_flow = -1) () =
         received = 0;
         fb_sent = 0;
         rate_at_loss = 0.;
+        m_received =
+          Obs.Metrics.counter metrics ~labels
+            "tfrc_receiver_packets_received_total";
+        m_feedback =
+          Obs.Metrics.counter metrics ~labels "tfrc_receiver_feedback_total";
       }
   in
   let t = Lazy.force t in

@@ -18,7 +18,16 @@ type t = {
   mutable nofeedback : Netsim.Engine.handle option;
   mutable send_timer : Netsim.Engine.handle option;
   mutable sent : int;
+  obs : Obs.Sink.t;
+  scope : Obs.Journal.scope;
+  m_sent : Obs.Metrics.Counter.t;
+  m_feedback : Obs.Metrics.Counter.t;
+  m_nofeedback : Obs.Metrics.Counter.t;
+  m_rate : Obs.Metrics.Gauge.t;
 }
+
+let jnl t ?severity ev =
+  Obs.Sink.event t.obs ~time:(Netsim.Engine.now t.engine) ?severity t.scope ev
 
 let min_rate t = float_of_int t.s /. t_mbi
 
@@ -53,6 +62,8 @@ let rec send_packet t =
     in
     t.seq <- t.seq + 1;
     t.sent <- t.sent + 1;
+    Obs.Metrics.Counter.inc t.m_sent;
+    Obs.Metrics.Gauge.set t.m_rate t.rate;
     let p =
       Netsim.Packet.make ~flow:t.flow ~size:t.s ~src:(Netsim.Node.id t.src)
         ~dst:(Netsim.Packet.Unicast (Netsim.Node.id t.dst))
@@ -72,7 +83,15 @@ let rec restart_nofeedback t =
            t.nofeedback <- None;
            if t.running then begin
              (* Halve the rate in the absence of feedback. *)
+             let from_bps = t.rate in
              t.rate <- Float.max (min_rate t) (t.rate /. 2.);
+             Obs.Metrics.Counter.inc t.m_nofeedback;
+             jnl t ~severity:Obs.Journal.Warn
+               (Obs.Journal.Timeout { what = "nofeedback" });
+             if t.rate <> from_bps then
+               jnl t ~severity:Obs.Journal.Debug
+                 (Obs.Journal.Rate_change
+                    { from_bps; to_bps = t.rate; reason = "nofeedback-halve" });
              restart_nofeedback t
            end))
 
@@ -92,8 +111,13 @@ let on_feedback t ~ts ~echo_ts ~echo_delay ~p ~x_recv =
      a very low sending rate) must not pin the rate at the floor: only
      apply the 2·X_recv cap when it is meaningful. *)
   let recv_cap = if x_recv > 0. then 2. *. x_recv else infinity in
+  Obs.Metrics.Counter.inc t.m_feedback;
+  let from_bps = t.rate in
   (if p > 0. then begin
-     t.in_slowstart <- false;
+     if t.in_slowstart then begin
+       t.in_slowstart <- false;
+       jnl t (Obs.Journal.Slowstart_exit { rate_bps = t.rate })
+     end;
      let x_calc = Tcp_model.Padhye.throughput ~s:t.s ~rtt:r p in
      t.rate <- Float.max (Float.min x_calc recv_cap) (min_rate t)
    end
@@ -102,6 +126,14 @@ let on_feedback t ~ts ~echo_ts ~echo_delay ~p ~x_recv =
      let target = Float.min (2. *. t.rate) recv_cap in
      t.rate <- Float.max (Float.max target t.initial_rate) (min_rate t)
    end);
+  if t.rate <> from_bps then
+    jnl t ~severity:Obs.Journal.Debug
+      (Obs.Journal.Rate_change
+         {
+           from_bps;
+           to_bps = t.rate;
+           reason = (if p > 0. then "equation" else "slowstart-double");
+         });
   restart_nofeedback t
 
 let create topo ~conn ~flow ~src ~dst ?(packet_size = Wire.data_size)
@@ -110,6 +142,9 @@ let create topo ~conn ~flow ~src ~dst ?(packet_size = Wire.data_size)
   let initial_rate =
     Option.value initial_rate ~default:(float_of_int packet_size)
   in
+  let obs = Netsim.Engine.obs (Netsim.Topology.engine topo) in
+  let metrics = obs.Obs.Sink.metrics in
+  let labels = [ ("conn", string_of_int conn) ] in
   let t =
     {
       topo;
@@ -129,6 +164,14 @@ let create topo ~conn ~flow ~src ~dst ?(packet_size = Wire.data_size)
       nofeedback = None;
       send_timer = None;
       sent = 0;
+      obs;
+      scope =
+        Obs.Journal.scope ~session:conn ~node:(Netsim.Node.id src) "tfrc.sender";
+      m_sent = Obs.Metrics.counter metrics ~labels "tfrc_sender_packets_sent_total";
+      m_feedback = Obs.Metrics.counter metrics ~labels "tfrc_sender_feedback_total";
+      m_nofeedback =
+        Obs.Metrics.counter metrics ~labels "tfrc_sender_nofeedback_timeouts_total";
+      m_rate = Obs.Metrics.gauge metrics ~labels "tfrc_sender_rate_bytes_per_s";
     }
   in
   Netsim.Node.attach src (fun p ->
