@@ -14,6 +14,19 @@ let micro_only = Array.exists (fun a -> a = "--micro-only") Sys.argv
 
 let figures_only = Array.exists (fun a -> a = "--figures-only") Sys.argv
 
+(* `-j N`: also run the figure sweep fanned out over N domains and record
+   its wall clock next to the serial one. *)
+let jobs =
+  let rec find i =
+    if i >= Array.length Sys.argv then 1
+    else if Sys.argv.(i) = "-j" && i + 1 < Array.length Sys.argv then
+      match int_of_string_opt Sys.argv.(i + 1) with
+      | Some j when j >= 1 -> j
+      | _ -> failwith "bench: -j expects a positive integer"
+    else find (i + 1)
+  in
+  find 1
+
 (* ------------------------------------------------------ micro-benchmarks *)
 
 let bench_event_heap () =
@@ -112,6 +125,11 @@ let bench_trace_event =
       ~created:0. (Netsim.Packet.Raw 0)
   in
   fun () ->
+    (* The packet is reused across iterations, so reset its hop count:
+       otherwise after [Packet.ttl_limit] iterations every send takes the
+       TTL-drop path and the bench stops measuring the tx+deliver pair it
+       is named for. *)
+    p.Netsim.Packet.hops <- 0;
     Netsim.Link.send ab p;
     Netsim.Engine.run e
 
@@ -160,11 +178,26 @@ let micro_tests =
 
 let results_file = "BENCH_results.json"
 
+(* Flat name -> ns object, machine-readable for CI trend tracking.
+   Sections of the harness run in separate invocations (--micro-only,
+   --figures-only), so merge into whatever the file already holds
+   instead of clobbering it: existing keys are kept unless this run
+   re-measured them. *)
 let write_results results =
-  (* Flat name -> ns/op object, machine-readable for CI trend tracking. *)
-  let fields =
-    List.rev_map (fun (name, ns) -> (name, Obs.Json.Float ns)) results
+  let fields = List.rev_map (fun (name, ns) -> (name, Obs.Json.Float ns)) results in
+  let existing =
+    if not (Sys.file_exists results_file) then []
+    else begin
+      let ic = open_in_bin results_file in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Obs.Json.of_string text with
+      | Ok (Obs.Json.Obj old) ->
+          List.filter (fun (k, _) -> not (List.mem_assoc k fields)) old
+      | Ok _ | Error _ -> []
+    end
   in
+  let fields = existing @ fields in
   let oc = open_out results_file in
   output_string oc (Obs.Json.to_string (Obs.Json.Obj fields));
   output_char oc '\n';
@@ -202,19 +235,45 @@ let run_micro () =
 
 (* ------------------------------------------------------ figure harnesses *)
 
+(* The macro path of the perf trajectory: the serial pass prints every
+   figure's series and records its wall clock; with [-j N] a second,
+   silent pass runs the identical sweep fanned out over N domains so
+   BENCH_results.json carries both ends of the speedup. *)
 let run_figures () =
   let mode = if full_mode then Experiments.Scenario.Full else Experiments.Scenario.Quick in
   Printf.printf "=== Paper figures (%s scale) ===\n%!"
     (if full_mode then "full" else "quick");
+  let timings = ref [] in
+  let record name ns = timings := (name, ns) :: !timings in
+  let t_serial0 = Unix.gettimeofday () in
   List.iter
     (fun e ->
       let t0 = Unix.gettimeofday () in
       let series = e.Experiments.Registry.run ~mode ~seed:42 in
       let dt = Unix.gettimeofday () -. t0 in
+      record (Printf.sprintf "sweep %s: wall" e.Experiments.Registry.id) (dt *. 1e9);
       Printf.printf "--- %s: %s (%.1fs) ---\n%!" e.Experiments.Registry.figure
         e.Experiments.Registry.title dt;
       List.iter (fun s -> Format.printf "%a@." Experiments.Series.pp s) series)
-    Experiments.Registry.all
+    Experiments.Registry.all;
+  let serial_wall = Unix.gettimeofday () -. t_serial0 in
+  record "sweep: serial total wall" (serial_wall *. 1e9);
+  Printf.printf "sweep (serial): %.1fs wall\n%!" serial_wall;
+  if jobs > 1 then begin
+    let t0 = Unix.gettimeofday () in
+    let results =
+      Experiments.Sweep.run ~jobs ~mode ~seed:42 ()
+    in
+    let parallel_wall = Unix.gettimeofday () -. t0 in
+    ignore results;
+    record "sweep: parallel total wall" (parallel_wall *. 1e9);
+    record "sweep: parallel jobs" (float_of_int jobs);
+    Printf.printf "sweep (-j %d): %.1fs wall (%.2fx vs serial)\n%!" jobs
+      parallel_wall
+      (if parallel_wall > 0. then serial_wall /. parallel_wall else 0.)
+  end;
+  (* Oldest-first, like the micro section. *)
+  write_results !timings
 
 let () =
   if not figures_only then run_micro ();

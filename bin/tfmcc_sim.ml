@@ -106,6 +106,83 @@ let run_cmd =
     Term.(const run $ id_arg $ full_arg $ seed_arg $ csv_arg $ plot_arg
           $ json_arg $ metrics_out_arg)
 
+let sweep_cmd =
+  let doc =
+    "Run experiments fanned out over a pool of OCaml domains.  Output is \
+     deterministic: for a given seed it is byte-identical whatever $(b,-j) \
+     is (timings go to stderr)."
+  in
+  let jobs_arg =
+    let doc = "Worker domains (1 = serial in the calling domain)." in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc ~docv:"N")
+  in
+  let seeds_arg =
+    let doc =
+      "Replicate seeds per experiment (seed, seed+1, …).  With K > 1 each \
+       experiment reports the per-cell mean/stddev aggregate across seeds."
+    in
+    Arg.(value & opt int 1 & info [ "seeds" ] ~doc ~docv:"K")
+  in
+  let replicates_arg =
+    let doc = "With --seeds, also print every per-seed series." in
+    Arg.(value & flag & info [ "replicates" ] ~doc)
+  in
+  let ids_arg =
+    let doc = "Experiment ids to sweep (default: all)." in
+    Arg.(value & pos_all string [] & info [] ~doc ~docv:"ID")
+  in
+  let run full seed csv jobs seeds replicates ids =
+    if jobs < 1 then begin
+      Printf.eprintf "sweep: -j must be >= 1\n";
+      exit 1
+    end;
+    if seeds < 1 then begin
+      Printf.eprintf "sweep: --seeds must be >= 1\n";
+      exit 1
+    end;
+    let experiments =
+      match ids with
+      | [] -> Experiments.Registry.all
+      | ids ->
+          List.map
+            (fun id ->
+              match Experiments.Registry.find id with
+              | Some e -> e
+              | None ->
+                  Printf.eprintf "unknown experiment %s; try `tfmcc-sim list'\n" id;
+                  exit 1)
+            ids
+    in
+    let t0 = Unix.gettimeofday () in
+    let results =
+      Experiments.Sweep.run ~experiments ~jobs ~mode:(mode_of_full full) ~seed
+        ~seeds ()
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    List.iter
+      (fun (r : Experiments.Sweep.result) ->
+        Printf.printf "--- %s: %s ---\n%!" r.experiment.Experiments.Registry.figure
+          r.experiment.Experiments.Registry.title;
+        let print_replicates () =
+          List.iter
+            (fun (rep : Experiments.Sweep.replicate) ->
+              if seeds > 1 then Printf.printf "-- seed %d --\n%!" rep.seed;
+              print_series ~csv rep.series)
+            r.replicates
+        in
+        match r.aggregate with
+        | Some agg ->
+            if replicates then print_replicates ();
+            print_series ~csv agg
+        | None -> print_replicates ())
+      results;
+    Printf.eprintf "sweep: %d experiments x %d seed(s), -j %d: %.1fs wall\n%!"
+      (List.length experiments) seeds jobs wall
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const run $ full_arg $ seed_arg $ csv_arg $ jobs_arg $ seeds_arg
+          $ replicates_arg $ ids_arg)
+
 let all_cmd =
   let doc = "Run every experiment in figure order." in
   let run full seed csv =
@@ -219,8 +296,8 @@ let trace_cmd =
     Netsim.Engine.run ~until:duration e;
     print_string (Netsim.Trace.to_text tracer);
     Printf.eprintf
-      "# %d events (+ tx, d queue-drop, x loss-drop, r deliver); columns: \
-       kind time src dst flow size uid\n"
+      "# %d events (+ tx, d queue-drop, x loss-drop, t ttl-drop, r deliver); \
+       columns: kind time src dst flow size uid\n"
       (Netsim.Trace.total_recorded tracer)
   in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ seed_arg $ duration_arg)
@@ -276,4 +353,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; all_cmd; chaos_cmd; scatter_cmd; trace_cmd; dot_cmd ]))
+          [ list_cmd; run_cmd; all_cmd; sweep_cmd; chaos_cmd; scatter_cmd;
+            trace_cmd; dot_cmd ]))

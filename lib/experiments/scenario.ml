@@ -11,20 +11,26 @@ type t = {
 
 (* Sink installed for scenarios built while a [with_obs] callback runs.
    Experiment entry points have a fixed signature (Registry.run), so the
-   CLI threads its sink through here instead of through every builder. *)
-let installed_obs : Obs.Sink.t option ref = ref None
+   CLI threads its sink through here instead of through every builder.
+   Domain-local: each parallel sweep worker installs its own sink for
+   its own runs without seeing (or racing with) any other domain's —
+   sinks are single-domain objects and must never be shared. *)
+let installed_obs : Obs.Sink.t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let with_obs sink f =
-  let saved = !installed_obs in
-  installed_obs := Some sink;
-  Fun.protect ~finally:(fun () -> installed_obs := saved) f
+  let saved = Domain.DLS.get installed_obs in
+  Domain.DLS.set installed_obs (Some sink);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set installed_obs saved) f
 
 let base ?(seed = 42) ?obs () =
   let obs =
     match obs with
     | Some s -> s
     | None -> (
-        match !installed_obs with Some s -> s | None -> Obs.Sink.create ())
+        match Domain.DLS.get installed_obs with
+        | Some s -> s
+        | None -> Obs.Sink.create ())
   in
   let engine = Netsim.Engine.create ~seed ~obs () in
   let topo = Netsim.Topology.create engine in

@@ -20,7 +20,11 @@ val with_obs : Obs.Sink.t -> (unit -> 'a) -> 'a
     explicit [?obs]) attach [sink] to their engine.  Lets callers with a
     fixed entry-point signature (e.g. {!Registry.run}) collect metrics
     and journal entries without widening every experiment.  Restores the
-    previous installation on return or exception. *)
+    previous installation on return or exception.
+
+    The installation is domain-local: each {!Par} sweep worker installs
+    and observes only its own sink.  Sinks are single-domain objects —
+    never install one domain's sink from another. *)
 
 val base : ?seed:int -> ?obs:Obs.Sink.t -> unit -> t
 (** Fresh engine + topology + monitor.  [obs] defaults to the sink

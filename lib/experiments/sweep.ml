@@ -1,0 +1,119 @@
+type replicate = { seed : int; series : Series.t list }
+
+type result = {
+  experiment : Registry.experiment;
+  replicates : replicate list;
+  aggregate : Series.t list option;
+}
+
+let seeds ~base ~count =
+  if count < 1 then invalid_arg "Sweep.seeds: count must be >= 1";
+  List.init count (fun i -> base + i)
+
+let run_one (e : Registry.experiment) ~mode ~seed =
+  let sink = Obs.Sink.create () in
+  let series = Scenario.with_obs sink (fun () -> e.Registry.run ~mode ~seed) in
+  { seed; series }
+
+(* ------------------------------------------------------------ aggregate *)
+
+let column_stats values =
+  let finite = List.filter (fun v -> not (Float.is_nan v)) values in
+  match finite with
+  | [] -> (Float.nan, Float.nan)
+  | _ ->
+      let a = Array.of_list finite in
+      (Stats.Descriptive.mean a, Stats.Descriptive.stddev a)
+
+exception Shape_mismatch
+
+(* One series position across all seeds -> a mean/sd series. *)
+let aggregate_group (group : Series.t list) =
+  let s0 = List.hd group in
+  let compatible (s : Series.t) =
+    s.Series.title = s0.Series.title
+    && s.Series.xlabel = s0.Series.xlabel
+    && s.Series.ylabels = s0.Series.ylabels
+    && List.length s.Series.rows = List.length s0.Series.rows
+    && List.for_all2
+         (fun (x, _) (x0, _) -> Float.equal x x0)
+         s.Series.rows s0.Series.rows
+  in
+  if not (List.for_all compatible group) then raise Shape_mismatch;
+  let ylabels =
+    List.concat_map (fun l -> [ l ^ " mean"; l ^ " sd" ]) s0.Series.ylabels
+  in
+  let n_cols = List.length s0.Series.ylabels in
+  let rows =
+    List.mapi
+      (fun ri (x, _) ->
+        let cells =
+          List.concat_map
+            (fun ci ->
+              let values =
+                List.map
+                  (fun (s : Series.t) ->
+                    let _, ys = List.nth s.Series.rows ri in
+                    List.nth ys ci)
+                  group
+              in
+              let mean, sd = column_stats values in
+              [ mean; sd ])
+            (List.init n_cols Fun.id)
+        in
+        (x, cells))
+      s0.Series.rows
+  in
+  let note =
+    Printf.sprintf "per-cell mean and sample stddev over %d seeds"
+      (List.length group)
+  in
+  Series.make ~title:s0.Series.title ~xlabel:s0.Series.xlabel ~ylabels
+    ~notes:(s0.Series.notes @ [ note ])
+    rows
+
+let aggregate per_seed =
+  match per_seed with
+  | [] | [ _ ] -> None
+  | first :: rest ->
+      let n_series = List.length first in
+      if List.exists (fun l -> List.length l <> n_series) rest then None
+      else begin
+        try
+          Some
+            (List.mapi
+               (fun i _ -> aggregate_group (List.map (fun l -> List.nth l i) per_seed))
+               first)
+        with Shape_mismatch -> None
+      end
+
+(* ------------------------------------------------------------------ run *)
+
+let rec chunk n = function
+  | [] -> []
+  | l ->
+      let rec take k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: rest -> take (k - 1) (x :: acc) rest
+      in
+      let head, rest = take n [] l in
+      head :: chunk n rest
+
+let run ?(experiments = Registry.all) ~jobs ~mode ~seed ?(seeds = 1) () =
+  if seeds < 1 then invalid_arg "Sweep.run: seeds must be >= 1";
+  let seed_list = List.init seeds (fun i -> seed + i) in
+  let tasks =
+    List.concat_map
+      (fun e -> List.map (fun s () -> run_one e ~mode ~seed:s) seed_list)
+      experiments
+  in
+  let replicates = chunk seeds (Par.map ~jobs tasks) in
+  List.map2
+    (fun experiment replicates ->
+      {
+        experiment;
+        replicates;
+        aggregate = aggregate (List.map (fun r -> r.series) replicates);
+      })
+    experiments replicates

@@ -1,0 +1,46 @@
+(** Parallel experiment sweeps and multi-seed replication.
+
+    Every experiment run is seed-deterministic and owns its engine, RNG
+    and observability sink, so the (experiment × seed) grid fans out
+    over a {!Par.Pool} with no shared mutable state.  Results come back
+    in deterministic (registry, seed) order regardless of the job count:
+    a [~jobs:8] sweep prints byte-identically to a [~jobs:1] one. *)
+
+type replicate = { seed : int; series : Series.t list }
+
+type result = {
+  experiment : Registry.experiment;
+  replicates : replicate list;  (** one per requested seed, in seed order *)
+  aggregate : Series.t list option;
+      (** Per-cell mean/stddev across seeds; [Some] only when at least
+          two replicates exist and every seed produced shape-compatible
+          series (same titles, labels and x columns). *)
+}
+
+val seeds : base:int -> count:int -> int list
+(** [base; base+1; …; base+count-1].  Raises [Invalid_argument] when
+    [count < 1]. *)
+
+val run_one : Registry.experiment -> mode:Scenario.mode -> seed:int -> replicate
+(** Runs one experiment with a fresh private sink installed
+    ({!Scenario.with_obs}), so concurrent runs never share metrics or
+    journals. *)
+
+val aggregate : Series.t list list -> Series.t list option
+(** Combine per-seed series lists (outer list = seeds, in seed order)
+    into mean/stddev series: each y column [l] becomes [l mean] and
+    [l sd] (sample stddev; NaN cells are skipped per point).  [None]
+    when fewer than two replicates are given or any shapes disagree. *)
+
+val run :
+  ?experiments:Registry.experiment list ->
+  jobs:int ->
+  mode:Scenario.mode ->
+  seed:int ->
+  ?seeds:int ->
+  unit ->
+  result list
+(** Sweeps [experiments] (default {!Registry.all}) × [seeds] replicate
+    seeds (default 1; seed list is [seed, seed+1, …]) as one flat task
+    batch over [jobs] workers ({!Par.map}; [jobs <= 1] runs serially in
+    the calling domain).  Results preserve the input experiment order. *)

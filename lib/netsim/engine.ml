@@ -1,6 +1,11 @@
+(* The clock is an {!Event_heap.time_cell}: an all-float record storing
+   a raw double, so the per-event [now] update — written directly by
+   [Event_heap.pop_due] — is a plain store.  A [mutable float] in the
+   mixed engine record would allocate a fresh boxed float on every one
+   of the millions of events. *)
 type t = {
   heap : Event_heap.t;
-  mutable now : float;
+  clock : Event_heap.time_cell;
   rng : Stats.Rng.t;
   mutable stopped : bool;
   mutable processed : int;
@@ -13,7 +18,7 @@ type handle = Event_heap.handle
 let create ?(seed = 42) ?(obs = Obs.Sink.null) () =
   {
     heap = Event_heap.create ();
-    now = 0.;
+    clock = { Event_heap.cell_time = 0. };
     rng = Stats.Rng.create seed;
     stopped = false;
     processed = 0;
@@ -23,27 +28,27 @@ let create ?(seed = 42) ?(obs = Obs.Sink.null) () =
 
 let obs t = t.obs
 
-let now t = t.now
+let now t = t.clock.Event_heap.cell_time
 
 let rng t = t.rng
 
 let split_rng t = Stats.Rng.split t.rng
 
 let at t ~time callback =
-  if time < t.now then
+  if time < t.clock.Event_heap.cell_time then
     invalid_arg
-      (Printf.sprintf "Engine.at: time %g is in the past (now %g)" time t.now);
+      (Printf.sprintf "Engine.at: time %g is in the past (now %g)" time t.clock.Event_heap.cell_time);
   Event_heap.add t.heap ~time callback
 
 let after t ~delay callback =
   if delay < 0. then invalid_arg "Engine.after: negative delay";
-  Event_heap.add t.heap ~time:(t.now +. delay) callback
+  Event_heap.add t.heap ~time:(t.clock.Event_heap.cell_time +. delay) callback
 
 let cancel t handle = Event_heap.cancel t.heap handle
 
 let every t ?start ?until ~interval callback =
   if interval <= 0. then invalid_arg "Engine.every: interval must be positive";
-  let start = Option.value start ~default:(t.now +. interval) in
+  let start = Option.value start ~default:(t.clock.Event_heap.cell_time +. interval) in
   let rec tick time =
     match until with
     | Some limit when time > limit -> ()
@@ -53,33 +58,38 @@ let every t ?start ?until ~interval callback =
                callback ();
                tick (time +. interval)))
   in
-  tick (Float.max t.now start)
+  tick (Float.max t.clock.Event_heap.cell_time start)
 
 let step t =
-  match Event_heap.pop t.heap with
-  | None -> false
-  | Some (time, callback) ->
-      t.now <- time;
-      t.processed <- t.processed + 1;
-      Obs.Metrics.Counter.inc t.ev_counter;
-      callback ();
-      true
+  let time = Event_heap.next_time t.heap in
+  if Float.is_nan time then false
+  else begin
+    let callback = Event_heap.pop_exn t.heap in
+    t.clock.Event_heap.cell_time <- time;
+    t.processed <- t.processed + 1;
+    Obs.Metrics.Counter.inc t.ev_counter;
+    callback ();
+    true
+  end
 
 let run ?until t =
   t.stopped <- false;
-  let continue () =
-    (not t.stopped)
-    &&
-    match (Event_heap.peek_time t.heap, until) with
-    | None, _ -> false
-    | Some _, None -> true
-    | Some time, Some limit -> time <= limit
-  in
-  while continue () do
-    ignore (step t)
+  (* [infinity] admits every event (including ones scheduled at
+     [infinity], matching the unbounded behaviour of the old loop). *)
+  let limit = match until with Some l -> l | None -> infinity in
+  let continue = ref true in
+  while !continue do
+    if t.stopped then continue := false
+    else
+      match Event_heap.pop_due t.heap ~limit ~into:t.clock with
+      | None -> continue := false
+      | Some callback ->
+          t.processed <- t.processed + 1;
+          Obs.Metrics.Counter.inc t.ev_counter;
+          callback ()
   done;
   match until with
-  | Some limit when (not t.stopped) && t.now < limit -> t.now <- limit
+  | Some limit when (not t.stopped) && t.clock.Event_heap.cell_time < limit -> t.clock.Event_heap.cell_time <- limit
   | _ -> ()
 
 let stop t = t.stopped <- true

@@ -1,5 +1,10 @@
+(* The heap is stored as two parallel arrays: [times] is a flat float
+   array (unboxed storage, no per-key float box) holding the sort keys,
+   [events] holds the payload records (callback, tie-break seq, cancel
+   flag).  Sifts move a hole instead of swapping, and the engine-facing
+   fast path ([next_time] / [pop_exn]) allocates nothing per event. *)
+
 type event = {
-  time : float;
   seq : int;
   callback : unit -> unit;
   mutable cancelled : bool;
@@ -8,60 +13,120 @@ type event = {
 type handle = event
 
 type t = {
-  mutable heap : event array;
-  (* heap.(0) is unused padding when len = 0; we store the tree in
-     indices [0, len). *)
+  mutable times : float array;
+  mutable events : event array;
   mutable len : int;
   mutable live : int;
   mutable next_seq : int;
 }
 
-let dummy_event = { time = 0.; seq = -1; callback = ignore; cancelled = true }
+let dummy_event = { seq = -1; callback = ignore; cancelled = true }
 
-let create () = { heap = Array.make 64 dummy_event; len = 0; live = 0; next_seq = 0 }
+(* All-float cell (raw double storage): [pop_due] writes the popped time
+   here so the caller's clock update is a plain store. *)
+type time_cell = { mutable cell_time : float }
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let initial_capacity = 64
 
-let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
+let create () =
+  {
+    times = Array.make initial_capacity 0.;
+    events = Array.make initial_capacity dummy_event;
+    len = 0;
+    live = 0;
+    next_seq = 0;
+  }
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if before t.heap.(i) t.heap.(parent) then begin
-      swap t i parent;
-      sift_up t parent
+(* The sift loops keep every float comparison inside one function body:
+   without flambda a float passed to a helper (even a tiny [before]
+   predicate) is boxed at each call, which costs an allocation per heap
+   level per operation — so the comparisons are hand-inlined and the
+   keys stay in FP registers.  Indices are bounded by [t.len] (a local
+   invariant of each loop), so array accesses use the unsafe
+   primitives. *)
+
+(* Move the hole at [i] up until (time, seq) fits, then drop the event in. *)
+let sift_up t i time ev =
+  let times = t.times and events = t.events in
+  let seq = ev.seq in
+  let i = ref i in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let tp = Array.unsafe_get times parent in
+    if time < tp || (time = tp && seq < (Array.unsafe_get events parent).seq)
+    then begin
+      Array.unsafe_set times !i tp;
+      Array.unsafe_set events !i (Array.unsafe_get events parent);
+      i := parent
     end
-  end
+    else continue := false
+  done;
+  Array.unsafe_set times !i time;
+  Array.unsafe_set events !i ev
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.len && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.len && before t.heap.(r) t.heap.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
-  end
+(* Refill the hole at the root with the element at index [t.len] (the
+   old last element, already outside the tree), sifting it down.  The
+   key is loaded here rather than passed as an argument so it is never
+   boxed. *)
+let sift_down_root t =
+  let times = t.times and events = t.events in
+  let len = t.len in
+  let time = Array.unsafe_get times len in
+  let ev = Array.unsafe_get events len in
+  Array.unsafe_set events len dummy_event;
+  let seq = ev.seq in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 in
+    if l >= len then continue := false
+    else begin
+      let r = l + 1 in
+      let child =
+        if r >= len then l
+        else begin
+          let tl = Array.unsafe_get times l and tr = Array.unsafe_get times r in
+          if tr < tl then r
+          else if tl < tr then l
+          else if
+            (Array.unsafe_get events r).seq < (Array.unsafe_get events l).seq
+          then r
+          else l
+        end
+      in
+      let tc = Array.unsafe_get times child in
+      if time < tc || (time = tc && seq < (Array.unsafe_get events child).seq)
+      then continue := false
+      else begin
+        Array.unsafe_set times !i tc;
+        Array.unsafe_set events !i (Array.unsafe_get events child);
+        i := child
+      end
+    end
+  done;
+  Array.unsafe_set times !i time;
+  Array.unsafe_set events !i ev
 
 let ensure_capacity t =
-  if t.len = Array.length t.heap then begin
-    let heap = Array.make (2 * Array.length t.heap) dummy_event in
-    Array.blit t.heap 0 heap 0 t.len;
-    t.heap <- heap
+  if t.len = Array.length t.events then begin
+    let cap = 2 * Array.length t.events in
+    let times = Array.make cap 0. in
+    let events = Array.make cap dummy_event in
+    Array.blit t.times 0 times 0 t.len;
+    Array.blit t.events 0 events 0 t.len;
+    t.times <- times;
+    t.events <- events
   end
 
 let add t ~time callback =
   if Float.is_nan time then invalid_arg "Event_heap.add: NaN time";
   ensure_capacity t;
-  let ev = { time; seq = t.next_seq; callback; cancelled = false } in
+  let ev = { seq = t.next_seq; callback; cancelled = false } in
   t.next_seq <- t.next_seq + 1;
-  t.heap.(t.len) <- ev;
   t.len <- t.len + 1;
   t.live <- t.live + 1;
-  sift_up t (t.len - 1);
+  sift_up t (t.len - 1) time ev;
   ev
 
 let cancel t ev =
@@ -72,40 +137,64 @@ let cancel t ev =
 
 let is_cancelled ev = ev.cancelled
 
-(* Callers observe only live events; cancelled entries are discarded as
-   they surface at the root. *)
-let rec pop t =
+(* Remove the root, refilling the hole with the last element. *)
+let remove_root t =
+  t.len <- t.len - 1;
+  if t.len > 0 then sift_down_root t else t.events.(0) <- dummy_event
+
+(* Drop cancelled events as they surface so the root is live (or the
+   heap empty) on return. *)
+let purge t =
+  while t.len > 0 && t.events.(0).cancelled do
+    remove_root t
+  done
+
+let next_time t =
+  purge t;
+  if t.len = 0 then Float.nan else t.times.(0)
+
+let pop_exn t =
+  purge t;
+  if t.len = 0 then invalid_arg "Event_heap.pop_exn: empty heap";
+  let ev = t.events.(0) in
+  remove_root t;
+  t.live <- t.live - 1;
+  (* Mark fired events so cancelling them later is a no-op that does not
+     disturb the live count. *)
+  ev.cancelled <- true;
+  ev.callback
+
+(* Engine fast path: pop the root if it is due at or before [limit],
+   writing its time into [into] (an all-float cell, so the store does
+   not box) — one call, no boxed float return, instead of a
+   [next_time] / [pop_exn] pair. *)
+let pop_due t ~limit ~into =
+  purge t;
   if t.len = 0 then None
   else begin
-    let ev = t.heap.(0) in
-    t.len <- t.len - 1;
-    t.heap.(0) <- t.heap.(t.len);
-    t.heap.(t.len) <- dummy_event;
-    if t.len > 0 then sift_down t 0;
-    if ev.cancelled then pop t
+    let time = Array.unsafe_get t.times 0 in
+    if time > limit then None
     else begin
+      let ev = t.events.(0) in
+      remove_root t;
       t.live <- t.live - 1;
-      (* Mark fired events so cancelling them later is a no-op that does
-         not disturb the live count. *)
       ev.cancelled <- true;
-      Some (ev.time, ev.callback)
+      into.cell_time <- time;
+      Some ev.callback
     end
   end
 
-let rec peek_time t =
+let pop t =
+  purge t;
   if t.len = 0 then None
   else begin
-    let ev = t.heap.(0) in
-    if not ev.cancelled then Some ev.time
-    else begin
-      (* Drop the cancelled root and retry. *)
-      t.len <- t.len - 1;
-      t.heap.(0) <- t.heap.(t.len);
-      t.heap.(t.len) <- dummy_event;
-      if t.len > 0 then sift_down t 0;
-      peek_time t
-    end
+    let time = t.times.(0) in
+    Some (time, pop_exn t)
   end
+
+let peek_time t =
+  let time = next_time t in
+  if Float.is_nan time then None else Some time
 
 let size t = t.live
 

@@ -1,6 +1,12 @@
 (** Binary min-heap of timed events with O(log n) insert / pop and O(1)
     cancellation (lazy deletion).  Ties in time are broken by insertion
-    order so simulations are deterministic. *)
+    order so simulations are deterministic.
+
+    Representation: the time keys live in a flat (unboxed) [float array]
+    parallel to the payload array, so neither insertion nor the
+    {!next_time}/{!pop_exn} fast path boxes a float or allocates per
+    event — the engine's inner loop runs allocation-free between
+    callbacks. *)
 
 type t
 
@@ -23,6 +29,27 @@ val pop : t -> (float * (unit -> unit)) option
 
 val peek_time : t -> float option
 (** Time of the earliest live event without removing it. *)
+
+val next_time : t -> float
+(** Allocation-free {!peek_time}: the time of the earliest live event,
+    or [nan] when none remain (cancelled events surfacing at the root
+    are discarded).  Test with [Float.is_nan]; NaN is never a stored key
+    ({!add} rejects it). *)
+
+val pop_exn : t -> unit -> unit
+(** Allocation-free {!pop}: removes the earliest live event and returns
+    its callback (the corresponding time is what {!next_time} just
+    returned).  Raises [Invalid_argument] when no live events remain. *)
+
+type time_cell = { mutable cell_time : float }
+(** All-float record (raw double storage): writes to it never box. *)
+
+val pop_due : t -> limit:float -> into:time_cell -> (unit -> unit) option
+(** Removes the earliest live event if its time is [<= limit], writing
+    that time into [into] and returning the callback; [None] when the
+    heap is empty or the next event is after [limit].  One call on the
+    engine's inner loop in place of a {!next_time}/{!pop_exn} pair, with
+    no boxed float crossing the boundary. *)
 
 val size : t -> int
 (** Number of live (non-cancelled) events. *)

@@ -1,6 +1,12 @@
 type fault_action =
   [ `Pass | `Drop | `Replace of Packet.t | `Duplicate | `Delay of float ]
 
+(* All-float record: raw double storage, so the per-transmission
+   accumulation below is a plain store instead of boxing a fresh float
+   (a [mutable float] field in the mixed record would allocate on every
+   packet). *)
+type fcell = { mutable fc : float }
+
 type t = {
   engine : Engine.t;
   mutable loss : Loss_model.t;
@@ -15,19 +21,52 @@ type t = {
   mutable delivered : int;
   mutable lost : int;
   mutable flaps : int;
-  mutable busy_time : float;
+  busy_time : fcell;
   mutable fault : (Packet.t -> fault_action) option;
   mutable tracer :
-    (time:float -> kind:[ `Tx | `Drop_queue | `Drop_loss | `Deliver ] -> Packet.t -> unit)
+    (time:float ->
+    kind:[ `Tx | `Drop_queue | `Drop_loss | `Drop_ttl | `Deliver ] ->
+    Packet.t ->
+    unit)
     option;
   (* Registry instruments shared by every link of the engine (same
      metric name -> same handle). *)
+  cs : counters;
+}
+
+and counters = {
   m_tx : Obs.Metrics.Counter.t;
   m_deliver : Obs.Metrics.Counter.t;
   m_drop_queue : Obs.Metrics.Counter.t;
   m_drop_loss : Obs.Metrics.Counter.t;
   m_drop_down : Obs.Metrics.Counter.t;
+  m_drop_ttl : Obs.Metrics.Counter.t;
 }
+
+(* Every link of an engine resolves the same six registry handles, so
+   cache the bundle per registry (one-entry, keyed by physical equality)
+   instead of paying six Hashtbl lookups per link created.  The cache is
+   domain-local: parallel sweep domains each run their own engines and
+   must never share mutable state (see DESIGN.md section 9). *)
+let counters_cache : (Obs.Metrics.t * counters) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let counters_for metrics =
+  match Domain.DLS.get counters_cache with
+  | Some (m, c) when m == metrics -> c
+  | _ ->
+      let c =
+        {
+          m_tx = Obs.Metrics.counter metrics "netsim_link_tx_total";
+          m_deliver = Obs.Metrics.counter metrics "netsim_link_deliver_total";
+          m_drop_queue = Obs.Metrics.counter metrics "netsim_link_drop_queue_total";
+          m_drop_loss = Obs.Metrics.counter metrics "netsim_link_drop_loss_total";
+          m_drop_down = Obs.Metrics.counter metrics "netsim_link_drop_down_total";
+          m_drop_ttl = Obs.Metrics.counter metrics "netsim_link_drop_ttl_total";
+        }
+      in
+      Domain.DLS.set counters_cache (Some (metrics, c));
+      c
 
 let create engine ?(loss = Loss_model.none) ~bandwidth_bps ~delay_s ~queue ~src
     ~dst () =
@@ -48,14 +87,10 @@ let create engine ?(loss = Loss_model.none) ~bandwidth_bps ~delay_s ~queue ~src
     delivered = 0;
     lost = 0;
     flaps = 0;
-    busy_time = 0.;
+    busy_time = { fc = 0. };
     fault = None;
     tracer = None;
-    m_tx = Obs.Metrics.counter metrics "netsim_link_tx_total";
-    m_deliver = Obs.Metrics.counter metrics "netsim_link_deliver_total";
-    m_drop_queue = Obs.Metrics.counter metrics "netsim_link_drop_queue_total";
-    m_drop_loss = Obs.Metrics.counter metrics "netsim_link_drop_loss_total";
-    m_drop_down = Obs.Metrics.counter metrics "netsim_link_drop_down_total";
+    cs = counters_for metrics;
   }
 
 let tx_time t (p : Packet.t) = float_of_int p.size *. 8. /. t.bandwidth_bps
@@ -68,13 +103,13 @@ let trace t ~kind p =
 let deliver t p =
   if Loss_model.drops_packet t.loss then begin
     t.lost <- t.lost + 1;
-    Obs.Metrics.Counter.inc t.m_drop_loss;
+    Obs.Metrics.Counter.inc t.cs.m_drop_loss;
     trace t ~kind:`Drop_loss p
   end
   else begin
     let arrive () =
       t.delivered <- t.delivered + 1;
-      Obs.Metrics.Counter.inc t.m_deliver;
+      Obs.Metrics.Counter.inc t.cs.m_deliver;
       trace t ~kind:`Deliver p;
       Node.receive t.dst p
     in
@@ -85,10 +120,10 @@ let deliver t p =
 let rec transmit t p =
   t.busy <- true;
   let tx = tx_time t p in
-  t.busy_time <- t.busy_time +. tx;
+  t.busy_time.fc <- t.busy_time.fc +. tx;
   let complete () =
     t.sent <- t.sent + 1;
-    Obs.Metrics.Counter.inc t.m_tx;
+    Obs.Metrics.Counter.inc t.cs.m_tx;
     trace t ~kind:`Tx p;
     deliver t p;
     match Queue_disc.dequeue t.queue with
@@ -100,14 +135,20 @@ let rec transmit t p =
 let forward t (p : Packet.t) =
   if not t.up then begin
     t.lost <- t.lost + 1;
-    Obs.Metrics.Counter.inc t.m_drop_down;
+    Obs.Metrics.Counter.inc t.cs.m_drop_down;
     trace t ~kind:`Drop_loss p
   end
-  else if p.hops > Packet.ttl_limit then
+  else if p.hops > Packet.ttl_limit then begin
+    (* A routing loop ate the packet: account for it like any other drop
+       instead of letting it vanish from all stats. *)
+    t.lost <- t.lost + 1;
+    Obs.Metrics.Counter.inc t.cs.m_drop_ttl;
+    trace t ~kind:`Drop_ttl p;
     Logs.warn (fun m -> m "Link: TTL exceeded, dropping %a" Packet.pp p)
+  end
   else if t.busy then begin
     if not (Queue_disc.enqueue t.queue p) then begin
-      Obs.Metrics.Counter.inc t.m_drop_queue;
+      Obs.Metrics.Counter.inc t.cs.m_drop_queue;
       trace t ~kind:`Drop_queue p
     end
   end
@@ -122,7 +163,7 @@ let send t (p : Packet.t) =
       | `Pass -> forward t p
       | `Drop ->
           t.lost <- t.lost + 1;
-          Obs.Metrics.Counter.inc t.m_drop_loss;
+          Obs.Metrics.Counter.inc t.cs.m_drop_loss;
           trace t ~kind:`Drop_loss p
       | `Replace p' -> forward t p'
       | `Duplicate ->
@@ -154,7 +195,8 @@ let packets_lost t = t.lost
 
 let busy t = t.busy
 
-let utilization t ~now = if now <= 0. then 0. else t.busy_time /. now
+let utilization t ~now =
+  if now <= 0. then 0. else t.busy_time.fc /. now
 
 let set_tracer t f = t.tracer <- Some f
 

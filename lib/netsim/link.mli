@@ -73,7 +73,8 @@ val packets_sent : t -> int
 val packets_delivered : t -> int
 
 val packets_lost : t -> int
-(** Dropped by the stochastic loss model (excludes queue drops; see
+(** Dropped by the stochastic loss model, a fault injector, a downed
+    link, or the TTL guard (excludes queue drops; see
     [Queue_disc.drops (queue link)] for those). *)
 
 val busy : t -> bool
@@ -84,7 +85,7 @@ val utilization : t -> now:float -> float
 val set_tracer :
   t ->
   (time:float ->
-  kind:[ `Tx | `Drop_queue | `Drop_loss | `Deliver ] ->
+  kind:[ `Tx | `Drop_queue | `Drop_loss | `Drop_ttl | `Deliver ] ->
   Packet.t ->
   unit) ->
   unit

@@ -11,13 +11,29 @@ type flow_state = {
   m_delay : Obs.Metrics.Histogram.t;
 }
 
-type t = { engine : Engine.t; flows : (int, flow_state) Hashtbl.t }
+type t = {
+  engine : Engine.t;
+  flows : (int, flow_state) Hashtbl.t;
+  (* One-entry cache: [tap] fires once per delivered packet and almost
+     always for the same flow, so the hot path skips the table lookup. *)
+  mutable hot_flow : int;
+  mutable hot_state : flow_state option;
+}
 
-let create engine = { engine; flows = Hashtbl.create 16 }
+let create engine =
+  { engine; flows = Hashtbl.create 16; hot_flow = min_int; hot_state = None }
 
-let flow_state t flow =
+let rec flow_state t flow =
+  match t.hot_state with
+  | Some st when t.hot_flow = flow -> st
+  | _ -> flow_state_slow t flow
+
+and flow_state_slow t flow =
   match Hashtbl.find_opt t.flows flow with
-  | Some st -> st
+  | Some st ->
+      t.hot_flow <- flow;
+      t.hot_state <- Some st;
+      st
   | None ->
       let metrics = (Engine.obs t.engine).Obs.Sink.metrics in
       let labels = [ ("flow", string_of_int flow) ] in
@@ -35,6 +51,8 @@ let flow_state t flow =
         }
       in
       Hashtbl.add t.flows flow st;
+      t.hot_flow <- flow;
+      t.hot_state <- Some st;
       st
 
 let record_delay st d =

@@ -1,6 +1,6 @@
 type t = {
   id : int;
-  mutable handlers : (Packet.t -> unit) list;  (* reverse attachment order *)
+  mutable handlers : (Packet.t -> unit) list;  (* attachment order *)
   mutable hook : (Packet.t -> unit) option;
   mutable received : int;
 }
@@ -9,13 +9,16 @@ let create ~id = { id; handlers = []; hook = None; received = 0 }
 
 let id t = t.id
 
-let attach t h = t.handlers <- h :: t.handlers
+(* Appending keeps the list in attachment order, so the per-packet
+   delivery below iterates it directly instead of reversing a copy on
+   every delivery (attach is rare, deliver is the hot path). *)
+let attach t h = t.handlers <- t.handlers @ [ h ]
 
 let detach_all t = t.handlers <- []
 
 let handler_count t = List.length t.handlers
 
-let deliver_local t p = List.iter (fun h -> h p) (List.rev t.handlers)
+let deliver_local t p = List.iter (fun h -> h p) t.handlers
 
 let receive t p =
   t.received <- t.received + 1;

@@ -15,11 +15,13 @@ type t = {
   mutable hops : int;
 }
 
-let next_uid = ref 0
+(* Atomic so packet allocation is race-free when independent engines run
+   in parallel sweep domains.  Uids are process-global identifiers for
+   traces and pretty-printing only — no protocol logic reads them — so
+   cross-domain interleaving of the sequence is harmless. *)
+let next_uid = Atomic.make 0
 
-let fresh_uid () =
-  incr next_uid;
-  !next_uid
+let fresh_uid () = Atomic.fetch_and_add next_uid 1 + 1
 
 let make ~flow ~size ~src ~dst ~created payload =
   if size <= 0 then invalid_arg "Packet.make: size must be positive";

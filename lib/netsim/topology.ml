@@ -12,6 +12,12 @@ type t = {
   route_cache : (int, int array) Hashtbl.t;
   (* (group, src) -> node id -> child links *)
   tree_cache : (int * int, Link.t list Int_tbl.t) Hashtbl.t;
+  (* One-entry cache in front of [tree_cache]: every data packet of a
+     session looks up the same (group, src) tree, so the hot path skips
+     the tuple allocation and hashing of the table lookup entirely. *)
+  mutable hot_group : int;
+  mutable hot_src : int;
+  mutable hot_tree : Link.t list Int_tbl.t option;
 }
 
 let create engine =
@@ -24,6 +30,9 @@ let create engine =
     groups = Hashtbl.create 8;
     route_cache = Hashtbl.create 64;
     tree_cache = Hashtbl.create 8;
+    hot_group = -1;
+    hot_src = -1;
+    hot_tree = None;
   }
 
 let engine t = t.engine
@@ -37,13 +46,15 @@ let node t id =
 
 let invalidate_routes t =
   Hashtbl.reset t.route_cache;
-  Hashtbl.reset t.tree_cache
+  Hashtbl.reset t.tree_cache;
+  t.hot_tree <- None
 
 let invalidate_group_trees t group =
   Hashtbl.to_seq_keys t.tree_cache
   |> Seq.filter (fun (g, _) -> g = group)
   |> List.of_seq
-  |> List.iter (Hashtbl.remove t.tree_cache)
+  |> List.iter (Hashtbl.remove t.tree_cache);
+  if t.hot_group = group then t.hot_tree <- None
 
 (* BFS rooted at [root]: parent.(v) is the neighbor of v on the shortest
    path from v toward root (-1 for root itself and unreachable nodes).
@@ -133,16 +144,25 @@ let build_tree t ~group ~src_id =
   children
 
 let tree_children t ~group ~src_id node_id =
-  let key = (group, src_id) in
   let tree =
-    match Hashtbl.find_opt t.tree_cache key with
-    | Some tr -> tr
-    | None ->
-        let tr = build_tree t ~group ~src_id in
-        Hashtbl.add t.tree_cache key tr;
+    match t.hot_tree with
+    | Some tr when t.hot_group = group && t.hot_src = src_id -> tr
+    | _ ->
+        let key = (group, src_id) in
+        let tr =
+          match Hashtbl.find_opt t.tree_cache key with
+          | Some tr -> tr
+          | None ->
+              let tr = build_tree t ~group ~src_id in
+              Hashtbl.add t.tree_cache key tr;
+              tr
+        in
+        t.hot_group <- group;
+        t.hot_src <- src_id;
+        t.hot_tree <- Some tr;
         tr
   in
-  Option.value ~default:[] (Int_tbl.find_opt tree node_id)
+  match Int_tbl.find_opt tree node_id with None -> [] | Some l -> l
 
 let forward_multicast t ~at_id (p : Packet.t) ~group =
   let links = tree_children t ~group ~src_id:p.src at_id in

@@ -1,4 +1,4 @@
-type kind = Tx | Drop_queue | Drop_loss | Deliver
+type kind = Tx | Drop_queue | Drop_loss | Drop_ttl | Deliver
 
 type event = {
   time : float;
@@ -10,12 +10,20 @@ type event = {
   size : int;
 }
 
-let kind_index = function Tx -> 0 | Drop_queue -> 1 | Drop_loss -> 2 | Deliver -> 3
+let kind_index = function
+  | Tx -> 0
+  | Drop_queue -> 1
+  | Drop_loss -> 2
+  | Drop_ttl -> 3
+  | Deliver -> 4
+
+let n_kinds = 5
 
 let kind_label = function
   | Tx -> "tx"
   | Drop_queue -> "drop_queue"
   | Drop_loss -> "drop_loss"
+  | Drop_ttl -> "drop_ttl"
   | Deliver -> "deliver"
 
 type t = {
@@ -39,11 +47,16 @@ let create ?(capacity = 100_000) ?(sink = Obs.Sink.null) () =
     buffer = Array.make capacity None;
     next = 0;
     recorded = 0;
-    retained_by_kind = Array.make 4 0;
+    retained_by_kind = Array.make n_kinds 0;
     registry_by_kind =
-      Array.init 4 (fun i ->
+      Array.init n_kinds (fun i ->
           let kind =
-            match i with 0 -> Tx | 1 -> Drop_queue | 2 -> Drop_loss | _ -> Deliver
+            match i with
+            | 0 -> Tx
+            | 1 -> Drop_queue
+            | 2 -> Drop_loss
+            | 3 -> Drop_ttl
+            | _ -> Deliver
           in
           Obs.Metrics.counter metrics
             ~labels:[ ("kind", kind_label kind) ]
@@ -72,6 +85,7 @@ let attach t link =
         | `Tx -> Tx
         | `Drop_queue -> Drop_queue
         | `Drop_loss -> Drop_loss
+        | `Drop_ttl -> Drop_ttl
         | `Deliver -> Deliver
       in
       record t
@@ -94,9 +108,14 @@ let clear t =
   Array.fill t.buffer 0 t.capacity None;
   t.next <- 0;
   t.recorded <- 0;
-  Array.fill t.retained_by_kind 0 4 0
+  Array.fill t.retained_by_kind 0 n_kinds 0
 
-let kind_char = function Tx -> '+' | Drop_queue -> 'd' | Drop_loss -> 'x' | Deliver -> 'r'
+let kind_char = function
+  | Tx -> '+'
+  | Drop_queue -> 'd'
+  | Drop_loss -> 'x'
+  | Drop_ttl -> 't'
+  | Deliver -> 'r'
 
 let pp_event ppf e =
   Format.fprintf ppf "%c %.6f %d %d %d %d %d" (kind_char e.kind) e.time e.link_src

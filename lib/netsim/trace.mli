@@ -10,6 +10,7 @@ type kind =
   | Tx  (** fully transmitted onto the wire *)
   | Drop_queue  (** rejected by the egress queue discipline *)
   | Drop_loss  (** dropped by the stochastic loss model *)
+  | Drop_ttl  (** discarded by the TTL guard (routing loop) *)
   | Deliver  (** handed to the destination node *)
 
 type event = {
@@ -28,7 +29,7 @@ val create : ?capacity:int -> ?sink:Obs.Sink.t -> unit -> t
 (** Ring buffer of the most recent [capacity] events (default 100_000).
     When [sink] is given (default: the null sink), every recorded event
     also bumps the monotonic registry counter
-    [netsim_trace_events_total{kind=tx|drop_queue|drop_loss|deliver}],
+    [netsim_trace_events_total{kind=tx|drop_queue|drop_loss|drop_ttl|deliver}],
     making the tracer a thin client of the shared metrics plane. *)
 
 val attach : t -> Link.t -> unit
@@ -50,8 +51,8 @@ val clear : t -> unit
     counts.  Registry counters are monotonic and unaffected. *)
 
 val pp_event : Format.formatter -> event -> unit
-(** One ns-2-style line: [+ time src dst flow size uid] with [+/d/x/r]
-    for Tx / Drop_queue / Drop_loss / Deliver. *)
+(** One ns-2-style line: [+ time src dst flow size uid] with [+/d/x/t/r]
+    for Tx / Drop_queue / Drop_loss / Drop_ttl / Deliver. *)
 
 val to_text : t -> string
 (** The whole retained trace, one event per line. *)

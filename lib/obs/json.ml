@@ -59,3 +59,167 @@ let to_string t =
   let buf = Buffer.create 1024 in
   to_buffer buf t;
   Buffer.contents buf
+
+(* ------------------------------------------------------------- parsing *)
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= n then fail "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'
+               | '\\' -> Buffer.add_char buf '\\'
+               | '/' -> Buffer.add_char buf '/'
+               | 'n' -> Buffer.add_char buf '\n'
+               | 'r' -> Buffer.add_char buf '\r'
+               | 't' -> Buffer.add_char buf '\t'
+               | 'b' -> Buffer.add_char buf '\b'
+               | 'f' -> Buffer.add_char buf '\012'
+               | 'u' ->
+                   if !pos + 4 >= n then fail "truncated \\u escape";
+                   let code =
+                     try int_of_string ("0x" ^ String.sub s (!pos + 1) 4)
+                     with Failure _ -> fail "bad \\u escape"
+                   in
+                   pos := !pos + 4;
+                   (* Basic-multilingual-plane code points only, encoded
+                      as UTF-8; we never emit surrogate pairs. *)
+                   if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                   else if code < 0x800 then begin
+                     Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                     Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                   end
+                   else begin
+                     Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                     Buffer.add_char buf
+                       (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                     Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                   end
+               | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+            advance ();
+            loop ()
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail (Printf.sprintf "bad number %S" text))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          Arr (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (key, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | Some c -> (
+        match c with
+        | '0' .. '9' | '-' -> parse_number ()
+        | _ -> fail (Printf.sprintf "unexpected character '%c'" c))
+  in
+  match parse_value () with
+  | v ->
+      skip_ws ();
+      if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+      else Ok v
+  | exception Parse_error msg -> Error msg

@@ -1,10 +1,12 @@
-(** Minimal JSON document builder (emission only).
+(** Minimal JSON document builder and reader.
 
     The observability layer must produce machine-readable output without
     pulling in a JSON dependency the container may not have; this module
-    covers exactly what {!Metrics}, {!Journal} and the CLI need: building
-    a document and serializing it with proper string escaping.  Non-finite
-    floats serialize as [null] (JSON has no representation for them). *)
+    covers exactly what {!Metrics}, {!Journal}, the CLI and the bench
+    harness need: building a document, serializing it with proper string
+    escaping, and parsing documents we (or tools like us) wrote.
+    Non-finite floats serialize as [null] (JSON has no representation
+    for them). *)
 
 type t =
   | Null
@@ -19,3 +21,10 @@ val to_string : t -> string
 (** Compact (single-line) serialization. *)
 
 val to_buffer : Buffer.t -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parses one JSON document (object, array, or scalar).  Numbers
+    without [.]/[e] that fit an OCaml [int] come back as [Int], all
+    others as [Float]; [\u] escapes outside the BMP are not supported
+    (we never emit them).  [Error] carries a message with the byte
+    offset of the first problem. *)

@@ -23,30 +23,32 @@ module Gauge = struct
 end
 
 module Histogram = struct
-  type t = {
-    mutable count : int;
-    mutable sum : float;
-    mutable min : float;
-    mutable max : float;
-  }
+  (* The float state lives in its own all-float record: all-float
+     records store raw doubles, so [observe] — called on per-packet hot
+     paths — updates in place instead of boxing a float per field. *)
+  type floats = { mutable sum : float; mutable min : float; mutable max : float }
 
-  let make () = { count = 0; sum = 0.; min = infinity; max = neg_infinity }
+  type t = { mutable count : int; fs : floats }
+
+  let make () =
+    { count = 0; fs = { sum = 0.; min = infinity; max = neg_infinity } }
 
   let observe h x =
     h.count <- h.count + 1;
-    h.sum <- h.sum +. x;
-    if x < h.min then h.min <- x;
-    if x > h.max then h.max <- x
+    let fs = h.fs in
+    fs.sum <- fs.sum +. x;
+    if x < fs.min then fs.min <- x;
+    if x > fs.max then fs.max <- x
 
   let count h = h.count
 
-  let sum h = h.sum
+  let sum h = h.fs.sum
 
-  let mean h = if h.count = 0 then 0. else h.sum /. float_of_int h.count
+  let mean h = if h.count = 0 then 0. else h.fs.sum /. float_of_int h.count
 
-  let min_value h = h.min
+  let min_value h = h.fs.min
 
-  let max_value h = h.max
+  let max_value h = h.fs.max
 end
 
 type instrument =
@@ -119,7 +121,12 @@ let snapshot t =
         | G g -> Gauge_v (Gauge.value g)
         | H h ->
             Histogram_v
-              { count = h.Histogram.count; sum = h.sum; min = h.min; max = h.max }
+              {
+                count = Histogram.count h;
+                sum = Histogram.sum h;
+                min = Histogram.min_value h;
+                max = Histogram.max_value h;
+              }
       in
       { name; labels; value } :: acc)
     t.tbl []

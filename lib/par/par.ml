@@ -1,0 +1,135 @@
+(* Worker domains carry a DLS marker so nested submission (a pool task
+   calling back into [map]) can be rejected instead of deadlocking. *)
+let inside_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(* Run [tasks.(i)] for every i, storing either the result or the first
+   exception (with backtrace) per slot.  Shared by the serial and pool
+   paths so both have identical semantics. *)
+let collect results errors tasks i =
+  match tasks.(i) () with
+  | v -> results.(i) <- Some v
+  | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
+
+let finish results errors =
+  Array.iteri
+    (fun _ slot ->
+      match slot with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+    errors;
+  Array.map Option.get results |> Array.to_list
+
+module Pool = struct
+  type t = {
+    jobs : int;
+    m : Mutex.t;
+    work_available : Condition.t;  (* workers: queue non-empty or stopping *)
+    batch_done : Condition.t;  (* map callers: a task of theirs finished *)
+    queue : (unit -> unit) Queue.t;
+    mutable stopping : bool;
+    mutable workers : unit Domain.t array;
+  }
+
+  let jobs t = t.jobs
+
+  let worker pool () =
+    Domain.DLS.set inside_worker true;
+    let rec loop () =
+      Mutex.lock pool.m;
+      while Queue.is_empty pool.queue && not pool.stopping do
+        Condition.wait pool.work_available pool.m
+      done;
+      if Queue.is_empty pool.queue then Mutex.unlock pool.m (* stopping *)
+      else begin
+        let task = Queue.pop pool.queue in
+        Mutex.unlock pool.m;
+        (* [task] is a wrapper built by [map]: it never raises and does
+           its own completion bookkeeping under the pool mutex. *)
+        task ();
+        loop ()
+      end
+    in
+    loop ()
+
+  let create ~jobs =
+    if jobs < 1 || jobs > 256 then
+      invalid_arg (Printf.sprintf "Par.Pool.create: jobs %d not in [1, 256]" jobs);
+    let pool =
+      {
+        jobs;
+        m = Mutex.create ();
+        work_available = Condition.create ();
+        batch_done = Condition.create ();
+        queue = Queue.create ();
+        stopping = false;
+        workers = [||];
+      }
+    in
+    pool.workers <- Array.init jobs (fun _ -> Domain.spawn (worker pool));
+    pool
+
+  let map pool tasks =
+    if Domain.DLS.get inside_worker then
+      invalid_arg "Par.Pool.map: nested submission from inside a pool task";
+    let tasks = Array.of_list tasks in
+    let n = Array.length tasks in
+    if n = 0 then []
+    else begin
+      let results = Array.make n None in
+      let errors = Array.make n None in
+      let remaining = ref n in
+      let wrap i () =
+        collect results errors tasks i;
+        Mutex.lock pool.m;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast pool.batch_done;
+        Mutex.unlock pool.m
+      in
+      Mutex.lock pool.m;
+      if pool.stopping then begin
+        Mutex.unlock pool.m;
+        invalid_arg "Par.Pool.map: pool is shut down"
+      end;
+      for i = 0 to n - 1 do
+        Queue.push (wrap i) pool.queue
+      done;
+      Condition.broadcast pool.work_available;
+      while !remaining > 0 do
+        Condition.wait pool.batch_done pool.m
+      done;
+      Mutex.unlock pool.m;
+      (* All writes to [results]/[errors] happened-before the final
+         [batch_done] signal we just synchronized with. *)
+      finish results errors
+    end
+
+  let shutdown pool =
+    let joinable =
+      Mutex.lock pool.m;
+      let first = not pool.stopping in
+      pool.stopping <- true;
+      Condition.broadcast pool.work_available;
+      Mutex.unlock pool.m;
+      first
+    in
+    if joinable then Array.iter Domain.join pool.workers
+end
+
+let map ~jobs tasks =
+  let n = List.length tasks in
+  if n = 0 then []
+  else if jobs <= 1 then begin
+    let tasks = Array.of_list tasks in
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    for i = 0 to n - 1 do
+      collect results errors tasks i
+    done;
+    finish results errors
+  end
+  else begin
+    let pool = Pool.create ~jobs:(min jobs n) in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () -> Pool.map pool tasks)
+  end

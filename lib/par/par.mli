@@ -1,0 +1,53 @@
+(** Deterministic fan-out over a fixed-size pool of OCaml 5 domains.
+
+    Built only on stdlib [Domain] / [Mutex] / [Condition].  The unit of
+    work is a thunk; {!Pool.map} runs a batch of thunks across the pool
+    and returns their results *in input order*, so a parallel run is
+    observationally identical to a serial one whenever the tasks
+    themselves are independent and deterministic (the experiment sweep:
+    every run owns its engine, RNG and sink).
+
+    Ownership rule: a task must not share mutable simulator state
+    (engines, sinks, scenarios) with any other task or with the caller —
+    tasks communicate only through their return values. *)
+
+module Pool : sig
+  type t
+  (** A fixed set of worker domains fed from one FIFO queue. *)
+
+  val create : jobs:int -> t
+  (** Spawns [jobs] worker domains (1 ≤ jobs ≤ 256; raises
+      [Invalid_argument] otherwise).  Workers idle on a condition
+      variable until work arrives. *)
+
+  val jobs : t -> int
+
+  val map : t -> (unit -> 'a) list -> 'a list
+  (** [map pool tasks] runs every task on the pool and blocks until all
+      have finished, returning results in input order.  Tasks are
+      dequeued FIFO, so a 1-worker pool executes them exactly in input
+      order.
+
+      If one or more tasks raise, every task still runs to completion
+      and the exception of the lowest-indexed failing task is re-raised
+      (with its backtrace) after the batch drains.
+
+      Nested submission — calling [map] from inside a pool task — is
+      rejected with [Invalid_argument]: a worker blocking on a sub-batch
+      could deadlock the pool that feeds it.  Use {!val-map} with
+      [~jobs:1] inside tasks instead.  Raises [Invalid_argument] after
+      {!shutdown}. *)
+
+  val shutdown : t -> unit
+  (** Asks the workers to exit once the queue drains and joins them.
+      Idempotent. *)
+end
+
+val map : jobs:int -> (unit -> 'a) list -> 'a list
+(** One-shot convenience.  [jobs <= 1] runs the tasks sequentially in
+    the calling domain — no domains are spawned, but the ordering and
+    run-every-task-then-raise-the-lowest-index-failure semantics of
+    {!Pool.map} are preserved, so callers can treat [~jobs:1] as the
+    serial reference for determinism checks.  [jobs > 1] creates a
+    pool of [min jobs (List.length tasks)] workers, maps, and shuts it
+    down. *)

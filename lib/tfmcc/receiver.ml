@@ -1,3 +1,14 @@
+(* All-float record: raw double storage, written on every data packet. *)
+type hot = {
+  mutable last_ts : float;  (* sender timestamp *)
+  mutable last_arrival : float;  (* local clock *)
+  mutable sender_rate : float;
+  mutable round_duration : float;
+  (* App. B bookkeeping: RTT in use when the synthetic interval was made. *)
+  mutable rtt_at_first_loss : float;
+  mutable rate_at_loss : float;  (* x_recv when the first loss occurred *)
+}
+
 type t = {
   topo : Netsim.Topology.t;
   engine : Netsim.Engine.t;
@@ -16,21 +27,18 @@ type t = {
   mutable left : bool;
   (* Snapshot of the newest data packet. *)
   mutable have_data : bool;
-  mutable last_ts : float;  (* sender timestamp *)
-  mutable last_arrival : float;  (* local clock *)
-  mutable sender_rate : float;
+  (* Per-packet float state, grouped in an all-float record ([hot]
+     below) so the once-per-data-packet updates are raw double stores
+     instead of boxing a float each. *)
+  hot : hot;
   mutable sender_in_ss : bool;
   mutable sender_clr : int;  (* CLR id from the newest data packet; -1 none *)
   mutable round : int;
-  mutable round_duration : float;
   mutable is_clr : bool;
   (* Feedback round state. *)
   mutable fb_timer : Netsim.Engine.handle option;
   mutable fb_round : int;  (* round the pending timer belongs to *)
   mutable clr_timer : Netsim.Engine.handle option;
-  (* App. B bookkeeping: RTT in use when the synthetic interval was made. *)
-  mutable rtt_at_first_loss : float;
-  mutable rate_at_loss : float;  (* x_recv when the first loss occurred *)
   mutable received : int;
   mutable reports : int;
   mutable suppressed : int;
@@ -107,15 +115,15 @@ let send_report t =
   if t.joined && t.have_data then begin
     let now_local = local_now t in
     let rate = report_rate t in
-    let rate = if Float.is_finite rate then rate else t.sender_rate in
+    let rate = if Float.is_finite rate then rate else t.hot.sender_rate in
     let payload =
       Wire.Report
         {
           session = t.session;
           rx_id = node_id t;
           ts = now_local;
-          echo_ts = t.last_ts;
-          echo_delay = now_local -. t.last_arrival;
+          echo_ts = t.hot.last_ts;
+          echo_delay = now_local -. t.hot.last_arrival;
           rate;
           have_rtt = has_rtt_measurement t;
           rtt = rtt t;
@@ -147,8 +155,8 @@ let send_leave_report t =
           session = t.session;
           rx_id = node_id t;
           ts = now_local;
-          echo_ts = t.last_ts;
-          echo_delay = now_local -. t.last_arrival;
+          echo_ts = t.hot.last_ts;
+          echo_delay = now_local -. t.hot.last_arrival;
           rate = report_rate t;
           have_rtt = has_rtt_measurement t;
           rtt = rtt t;
@@ -212,21 +220,21 @@ let wants_to_report t =
        the channel alive. *)
     t.sender_clr < 0
   else
-    report_rate t < t.sender_rate
+    report_rate t < t.hot.sender_rate
     (* The sender lost its CLR (leave/timeout): volunteer so it can pick
        the new limiting receiver instead of ramping blindly. *)
     || t.sender_clr < 0
 
 let bias_ratio t =
-  if t.sender_rate <= 0. then 1.
+  if t.hot.sender_rate <= 0. then 1.
   else begin
-    let r = report_rate t /. t.sender_rate in
+    let r = report_rate t /. t.hot.sender_rate in
     Float.max 0. (Float.min 1. r)
   end
 
 let start_round t ~round ~duration =
   t.round <- round;
-  t.round_duration <- duration;
+  t.hot.round_duration <- duration;
   cancel_fb_timer t;
   if (not t.is_clr) && wants_to_report t then begin
     let delay =
@@ -285,9 +293,9 @@ let on_data t (p : Netsim.Packet.t) ~seq ~ts ~rate ~round ~round_duration
     t.received <- t.received + 1;
     Obs.Metrics.Counter.inc t.m_received;
     t.have_data <- true;
-    t.last_ts <- ts;
-    t.last_arrival <- now_local;
-    t.sender_rate <- rate;
+    t.hot.last_ts <- ts;
+    t.hot.last_arrival <- now_local;
+    t.hot.sender_rate <- rate;
     t.sender_in_ss <- in_slowstart;
     t.sender_clr <- clr;
     (* RTT machinery: echo measurement has priority over the one-way
@@ -301,9 +309,9 @@ let on_data t (p : Netsim.Packet.t) ~seq ~ts ~rate ~round ~round_duration
     (* App. B: rescale the synthetic first interval when the first real
        RTT measurement replaces the estimate it was computed with. *)
     if (not had_measurement) && has_rtt_measurement t then begin
-      if Tfrc.Loss_history.has_loss t.history && t.rtt_at_first_loss > 0. then begin
+      if Tfrc.Loss_history.has_loss t.history && t.hot.rtt_at_first_loss > 0. then begin
         let factor =
-          let r = rtt t /. t.rtt_at_first_loss in
+          let r = rtt t /. t.hot.rtt_at_first_loss in
           r *. r
         in
         Tfrc.Loss_history.rescale_synthetic t.history ~factor;
@@ -320,7 +328,7 @@ let on_data t (p : Netsim.Packet.t) ~seq ~ts ~rate ~round ~round_duration
     in
     Tfrc.Rate_meter.set_window t.meter (Float.max 0.05 window);
     Tfrc.Rate_meter.record t.meter ~now ~bytes:p.Netsim.Packet.size;
-    t.rate_at_loss <- Tfrc.Rate_meter.rate_bytes_per_s t.meter ~now;
+    t.hot.rate_at_loss <- Tfrc.Rate_meter.rate_bytes_per_s t.meter ~now;
     (* Loss detection. *)
     let had_loss = Tfrc.Loss_history.has_loss t.history in
     let prev_loss_events = Tfrc.Loss_history.loss_events t.history in
@@ -388,32 +396,35 @@ let create topo ~cfg ~session ~node ~sender ?report_to ?(clock_offset = 0.)
               let self = Lazy.force t in
               (* App. B: seed from half the receive rate at first loss,
                  remembering the RTT used. *)
-              self.rtt_at_first_loss <- Rtt_estimator.estimate self.rtt_est;
-              if self.rate_at_loss > 0. then
+              self.hot.rtt_at_first_loss <- Rtt_estimator.estimate self.rtt_est;
+              if self.hot.rate_at_loss > 0. then
                 Some
                   (Tcp_model.Mathis.initial_loss_interval
                      ~s:cfg.Config.packet_size
                      ~rtt:(Rtt_estimator.estimate self.rtt_est)
-                     ~rate:(self.rate_at_loss /. 2.))
+                     ~rate:(self.hot.rate_at_loss /. 2.))
               else None)
             ();
         meter = Tfrc.Rate_meter.create ~window:1. ();
         joined = false;
         left = false;
         have_data = false;
-        last_ts = nan;
-        last_arrival = nan;
-        sender_rate = float_of_int cfg.Config.packet_size;
+        hot =
+          {
+            last_ts = nan;
+            last_arrival = nan;
+            sender_rate = float_of_int cfg.Config.packet_size;
+            round_duration = cfg.Config.rtt_initial *. cfg.Config.round_rtt_factor;
+            rtt_at_first_loss = 0.;
+            rate_at_loss = 0.;
+          };
         sender_in_ss = true;
         sender_clr = -1;
         round = -1;
-        round_duration = cfg.Config.rtt_initial *. cfg.Config.round_rtt_factor;
         is_clr = false;
         fb_timer = None;
         fb_round = -1;
         clr_timer = None;
-        rtt_at_first_loss = 0.;
-        rate_at_loss = 0.;
         received = 0;
         reports = 0;
         suppressed = 0;

@@ -1,63 +1,101 @@
-type sample = { time : float; bytes : int }
+(* Samples live in a ring of parallel arrays (unboxed float times next
+   to int byte counts) instead of a queue of records: recording an
+   arrival allocates nothing, which matters because every receiver runs
+   this once per data packet.  The scalar float state sits in its own
+   all-float record — all-float records store raw doubles, so the
+   per-packet [last_time] update is a plain store rather than a fresh
+   float box. *)
 
-type t = {
+type scalars = {
   mutable window : float;
-  samples : sample Queue.t;  (* oldest at front *)
-  mutable in_window_bytes : int;
-  mutable total : int;
-  mutable first_time : float option;
+  mutable first_time : float;  (* nan until the first arrival *)
   mutable last_time : float;
 }
+
+type t = {
+  sc : scalars;
+  mutable times : float array;  (* ring, oldest at [head] *)
+  mutable sizes : int array;
+  mutable head : int;
+  mutable count : int;
+  mutable in_window_bytes : int;
+  mutable total : int;
+}
+
+let initial_capacity = 64
 
 let create ?(window = 1.) () =
   if window <= 0. then invalid_arg "Rate_meter.create: window must be positive";
   {
-    window;
-    samples = Queue.create ();
+    sc = { window; first_time = nan; last_time = neg_infinity };
+    times = Array.make initial_capacity 0.;
+    sizes = Array.make initial_capacity 0;
+    head = 0;
+    count = 0;
     in_window_bytes = 0;
     total = 0;
-    first_time = None;
-    last_time = neg_infinity;
   }
 
 let set_window t w =
   if w <= 0. then invalid_arg "Rate_meter.set_window: window must be positive";
-  t.window <- w
+  t.sc.window <- w
 
-let window t = t.window
+let window t = t.sc.window
 
 let expire t ~now =
-  let horizon = now -. t.window in
-  let rec loop () =
-    match Queue.peek_opt t.samples with
-    | Some s when s.time < horizon ->
-        ignore (Queue.pop t.samples);
-        t.in_window_bytes <- t.in_window_bytes - s.bytes;
-        loop ()
-    | _ -> ()
-  in
-  loop ()
+  let horizon = now -. t.sc.window in
+  let cap = Array.length t.times in
+  let continue = ref true in
+  while !continue && t.count > 0 do
+    let i = t.head in
+    if Array.unsafe_get t.times i < horizon then begin
+      t.in_window_bytes <- t.in_window_bytes - Array.unsafe_get t.sizes i;
+      t.head <- (i + 1) mod cap;
+      t.count <- t.count - 1
+    end
+    else continue := false
+  done
+
+let grow t =
+  let cap = Array.length t.times in
+  let times = Array.make (2 * cap) 0. in
+  let sizes = Array.make (2 * cap) 0 in
+  for i = 0 to t.count - 1 do
+    let j = (t.head + i) mod cap in
+    times.(i) <- t.times.(j);
+    sizes.(i) <- t.sizes.(j)
+  done;
+  t.times <- times;
+  t.sizes <- sizes;
+  t.head <- 0
 
 let record t ~now ~bytes =
-  if now < t.last_time then invalid_arg "Rate_meter.record: time went backwards";
-  t.last_time <- now;
-  if t.first_time = None then t.first_time <- Some now;
-  Queue.push { time = now; bytes } t.samples;
+  if now < t.sc.last_time then
+    invalid_arg "Rate_meter.record: time went backwards";
+  t.sc.last_time <- now;
+  if Float.is_nan t.sc.first_time then t.sc.first_time <- now;
+  if t.count = Array.length t.times then grow t;
+  let i = (t.head + t.count) mod Array.length t.times in
+  Array.unsafe_set t.times i now;
+  Array.unsafe_set t.sizes i bytes;
+  t.count <- t.count + 1;
   t.in_window_bytes <- t.in_window_bytes + bytes;
   t.total <- t.total + bytes;
   expire t ~now
 
 let rate_bytes_per_s t ~now =
-  match t.first_time with
-  | None -> 0.
-  | Some first ->
-      expire t ~now;
-      (* Floor the averaging span at half the window: a couple of
-         back-to-back arrivals must not read as an enormous rate (the
-         slowstart target is twice this measurement). *)
-      let span =
-        Float.max (Float.min t.window (now -. first)) (t.window /. 2.)
-      in
-      float_of_int t.in_window_bytes /. span
+  if Float.is_nan t.sc.first_time then 0.
+  else begin
+    expire t ~now;
+    (* Floor the averaging span at half the window: a couple of
+       back-to-back arrivals must not read as an enormous rate (the
+       slowstart target is twice this measurement). *)
+    let span =
+      Float.max
+        (Float.min t.sc.window (now -. t.sc.first_time))
+        (t.sc.window /. 2.)
+    in
+    float_of_int t.in_window_bytes /. span
+  end
 
 let total_bytes t = t.total

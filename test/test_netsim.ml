@@ -83,6 +83,36 @@ let test_heap_grows () =
   in
   Alcotest.(check int) "popped all" 1000 (drain 0)
 
+let test_heap_fast_path () =
+  let h = Netsim.Event_heap.create () in
+  Alcotest.(check bool) "empty -> nan" true (Float.is_nan (Netsim.Event_heap.next_time h));
+  let fired = ref [] in
+  let add time tag =
+    ignore (Netsim.Event_heap.add h ~time (fun () -> fired := tag :: !fired))
+  in
+  add 2.0 "b";
+  add 1.0 "a";
+  check_float "next_time is min" 1.0 (Netsim.Event_heap.next_time h);
+  (Netsim.Event_heap.pop_exn h) ();
+  check_float "next_time after pop" 2.0 (Netsim.Event_heap.next_time h);
+  (Netsim.Event_heap.pop_exn h) ();
+  Alcotest.(check (list string)) "pop_exn order" [ "a"; "b" ] (List.rev !fired);
+  Alcotest.(check bool) "drained -> nan" true
+    (Float.is_nan (Netsim.Event_heap.next_time h));
+  Alcotest.(check bool) "pop_exn on empty raises" true
+    (try
+       let (_ : unit -> unit) = Netsim.Event_heap.pop_exn h in
+       false
+     with Invalid_argument _ -> true)
+
+let test_heap_next_time_skips_cancelled () =
+  let h = Netsim.Event_heap.create () in
+  let cancelled = Netsim.Event_heap.add h ~time:1.0 ignore in
+  ignore (Netsim.Event_heap.add h ~time:2.0 ignore);
+  Netsim.Event_heap.cancel h cancelled;
+  check_float "cancelled root skipped" 2.0 (Netsim.Event_heap.next_time h);
+  Alcotest.(check int) "one live" 1 (Netsim.Event_heap.size h)
+
 (* --------------------------------------------------------------- Engine *)
 
 let test_engine_time_advances () =
@@ -340,6 +370,35 @@ let two_node_topo ?loss_ab ?(bandwidth_bps = 1e6) ?(delay_s = 0.01) () =
     Netsim.Topology.connect topo ?loss_ab ~bandwidth_bps ~delay_s a b
   in
   (e, topo, a, b)
+
+let test_link_ttl_drop_counted () =
+  (* A packet that exceeded the TTL must be dropped *and* accounted:
+     packets_lost, the registry counter, and the trace all see it. *)
+  let sink = Obs.Sink.create () in
+  let e = Netsim.Engine.create ~obs:sink () in
+  let topo = Netsim.Topology.create e in
+  let a = Netsim.Topology.add_node topo in
+  let b = Netsim.Topology.add_node topo in
+  let ab, _ = Netsim.Topology.connect topo ~bandwidth_bps:1e6 ~delay_s:0.01 a b in
+  let tr = Netsim.Trace.create () in
+  Netsim.Trace.attach tr ab;
+  let delivered = ref 0 in
+  Netsim.Node.attach b (fun _ -> incr delivered);
+  let p =
+    Netsim.Packet.make ~flow:1 ~size:100 ~src:(Netsim.Node.id a)
+      ~dst:(Netsim.Packet.Unicast (Netsim.Node.id b))
+      ~created:0. (Netsim.Packet.Raw 0)
+  in
+  p.Netsim.Packet.hops <- Netsim.Packet.ttl_limit;
+  (* Link.send bumps hops once more, pushing it over the limit. *)
+  Netsim.Link.send ab p;
+  Netsim.Engine.run e;
+  Alcotest.(check int) "not delivered" 0 !delivered;
+  Alcotest.(check int) "counted as lost" 1 (Netsim.Link.packets_lost ab);
+  Alcotest.(check int) "registry counter" 1
+    (Obs.Metrics.sum_counters sink.Obs.Sink.metrics "netsim_link_drop_ttl_total");
+  Alcotest.(check int) "traced" 1
+    (Netsim.Trace.count tr ~kind:Netsim.Trace.Drop_ttl)
 
 let test_link_delivery_latency () =
   let e, topo, a, b = two_node_topo () in
@@ -812,6 +871,9 @@ let () =
           Alcotest.test_case "cancel" `Quick test_heap_cancel;
           Alcotest.test_case "cancel idempotent" `Quick test_heap_cancel_idempotent;
           Alcotest.test_case "growth + order" `Quick test_heap_grows;
+          Alcotest.test_case "allocation-free fast path" `Quick test_heap_fast_path;
+          Alcotest.test_case "next_time skips cancelled" `Quick
+            test_heap_next_time_skips_cancelled;
         ] );
       ( "engine",
         [
@@ -850,6 +912,7 @@ let () =
           Alcotest.test_case "serialization" `Quick test_link_serialization;
           Alcotest.test_case "stochastic loss" `Quick test_link_loss_applied;
           Alcotest.test_case "down/up" `Quick test_link_down_up;
+          Alcotest.test_case "TTL drop counted" `Quick test_link_ttl_drop_counted;
         ] );
       ( "topology",
         [

@@ -171,6 +171,36 @@ let test_json_rendering () =
   Alcotest.(check string) "nan is null" "[null,null]"
     (to_string (Arr [ Float nan; Float infinity ]))
 
+let test_json_parse_roundtrip () =
+  let open Obs.Json in
+  let doc =
+    Obj
+      [
+        ("name", Str "bench \"x\"\n");
+        ("ns", Float 25419.2);
+        ("count", Int 256);
+        ("ok", Bool true);
+        ("gap", Null);
+        ("rows", Arr [ Int 1; Float 2.5; Arr []; Obj [] ]);
+      ]
+  in
+  (match of_string (to_string doc) with
+  | Ok parsed ->
+      Alcotest.(check string) "roundtrip" (to_string doc) (to_string parsed)
+  | Error e -> Alcotest.fail ("roundtrip parse failed: " ^ e));
+  (match of_string "  [1, -2.5e3, \"\\u00e9\"]  " with
+  | Ok (Arr [ Int 1; Float f; Str s ]) ->
+      Alcotest.(check (float 1e-9)) "exponent" (-2500.) f;
+      Alcotest.(check string) "unicode escape" "\xc3\xa9" s
+  | Ok _ -> Alcotest.fail "unexpected shape"
+  | Error e -> Alcotest.fail e);
+  let bad s =
+    match of_string s with
+    | Ok _ -> Alcotest.fail ("accepted invalid JSON: " ^ s)
+    | Error _ -> ()
+  in
+  List.iter bad [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
 let test_sink_to_json () =
   let sink = Obs.Sink.create () in
   let c = Obs.Metrics.counter sink.Obs.Sink.metrics "n_total" in
@@ -357,6 +387,7 @@ let () =
       ( "json",
         [
           Alcotest.test_case "rendering" `Quick test_json_rendering;
+          Alcotest.test_case "parse roundtrip" `Quick test_json_parse_roundtrip;
           Alcotest.test_case "sink document" `Quick test_sink_to_json;
         ] );
       ( "trace",

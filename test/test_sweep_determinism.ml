@@ -1,0 +1,94 @@
+(* Determinism of the parallel sweep: for a fixed seed the fan-out over
+   domains must be invisible in the output.  Serial (jobs=1) and parallel
+   (jobs=4) full-registry sweeps, repeated parallel runs, and multi-seed
+   aggregates must all produce byte-identical CSV for every series. *)
+
+let csv_of_result (r : Experiments.Sweep.result) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (rep : Experiments.Sweep.replicate) ->
+      Buffer.add_string buf (Printf.sprintf "== seed %d ==\n" rep.seed);
+      List.iter
+        (fun s -> Buffer.add_string buf (Experiments.Series.to_csv s))
+        rep.series)
+    r.replicates;
+  (match r.aggregate with
+  | None -> ()
+  | Some series ->
+      Buffer.add_string buf "== aggregate ==\n";
+      List.iter
+        (fun s -> Buffer.add_string buf (Experiments.Series.to_csv s))
+        series);
+  Buffer.contents buf
+
+let run ?experiments ~jobs ?seeds () =
+  Experiments.Sweep.run ?experiments ~jobs ~mode:Experiments.Scenario.Quick
+    ~seed:42 ?seeds ()
+
+(* A cheap subset for the repeated-run checks: the full registry takes
+   tens of seconds per pass, so reserve it for the single serial-vs-
+   parallel comparison below. *)
+let cheap_subset () =
+  List.filter
+    (fun e ->
+      List.mem e.Experiments.Registry.id [ "fig01"; "fig04"; "rob03" ])
+    Experiments.Registry.all
+
+let check_same_results msg (a : Experiments.Sweep.result list)
+    (b : Experiments.Sweep.result list) =
+  Alcotest.(check int)
+    (msg ^ ": experiment count")
+    (List.length a) (List.length b);
+  List.iter2
+    (fun ra rb ->
+      Alcotest.(check string)
+        (msg ^ ": order " ^ ra.Experiments.Sweep.experiment.Experiments.Registry.id)
+        ra.Experiments.Sweep.experiment.Experiments.Registry.id
+        rb.Experiments.Sweep.experiment.Experiments.Registry.id;
+      Alcotest.(check string)
+        (msg ^ ": " ^ ra.Experiments.Sweep.experiment.Experiments.Registry.id)
+        (csv_of_result ra) (csv_of_result rb))
+    a b
+
+let test_full_registry_serial_vs_parallel () =
+  let serial = run ~jobs:1 () in
+  let parallel = run ~jobs:4 () in
+  check_same_results "serial vs -j 4" serial parallel
+
+let test_repeated_parallel_runs () =
+  let experiments = cheap_subset () in
+  let first = run ~experiments ~jobs:3 () in
+  let second = run ~experiments ~jobs:3 () in
+  let third = run ~experiments ~jobs:2 () in
+  check_same_results "-j 3 run 1 vs run 2" first second;
+  check_same_results "-j 3 vs -j 2" first third
+
+let test_multi_seed_aggregate () =
+  let experiments = cheap_subset () in
+  let serial = run ~experiments ~jobs:1 ~seeds:2 () in
+  let parallel = run ~experiments ~jobs:4 ~seeds:2 () in
+  List.iter
+    (fun (r : Experiments.Sweep.result) ->
+      Alcotest.(check int)
+        ("two replicates: " ^ r.experiment.Experiments.Registry.id)
+        2
+        (List.length r.replicates);
+      Alcotest.(check bool)
+        ("aggregate present: " ^ r.experiment.Experiments.Registry.id)
+        true (r.aggregate <> None))
+    serial;
+  check_same_results "seeds=2 serial vs -j 4" serial parallel
+
+let () =
+  Alcotest.run "sweep determinism"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "full registry: serial vs parallel" `Slow
+            test_full_registry_serial_vs_parallel;
+          Alcotest.test_case "repeated parallel runs" `Quick
+            test_repeated_parallel_runs;
+          Alcotest.test_case "multi-seed aggregate" `Quick
+            test_multi_seed_aggregate;
+        ] );
+    ]
