@@ -198,21 +198,25 @@ let all_cmd =
 
 let chaos_cmd =
   let doc =
-    "Run the robustness suite (rob01 CLR crash, rob02 partition, rob03 \
-     corruption) back to back and summarize the injected damage."
+    "Run the robustness suite back to back: fault injection (rob01 CLR \
+     crash, rob02 partition, rob03 corruption), the Byzantine-receiver \
+     attacks (rob04 understater, rob05 rtt-liar, rob06 spammer), and the \
+     rob07 defense-ablation scorecard of per-attack honest-goodput \
+     degradation with defenses off vs on."
   in
   let plot_arg =
     let doc = "Also render each series' rate column as a terminal plot." in
     Arg.(value & flag & info [ "plot" ] ~doc)
   in
   let run full seed csv plot =
+    let mode = mode_of_full full in
     List.iter
       (fun id ->
         match Experiments.Registry.find id with
         | None -> assert false
         | Some e ->
             Printf.printf "--- %s: %s ---\n%!" id e.Experiments.Registry.title;
-            let sink, series = run_with_sink e ~mode:(mode_of_full full) ~seed in
+            let sink, series = run_with_sink e ~mode ~seed in
             print_series ~csv series;
             if plot then
               List.iter
@@ -239,7 +243,32 @@ let chaos_cmd =
               (Obs.Journal.total_recorded journal)
               (Obs.Journal.count journal ())
               (Obs.Journal.count journal ~min_severity:Obs.Journal.Warn ()))
-      [ "rob01"; "rob02"; "rob03" ]
+      [ "rob01"; "rob02"; "rob03" ];
+    (* Byzantine attacks run per-cell on private sinks (so defense
+       counters never mix between cells); their series notes carry the
+       per-run summaries, and the scorecard below is the rollup. *)
+    List.iter
+      (fun id ->
+        match Experiments.Registry.find id with
+        | None -> assert false
+        | Some e ->
+            Printf.printf "--- %s: %s ---\n%!" id e.Experiments.Registry.title;
+            let _, series = run_with_sink e ~mode ~seed in
+            print_series ~csv series;
+            if plot then
+              List.iter
+                (fun s -> print_string (Experiments.Series.render_ascii s ~col:0))
+                series)
+      [ "rob04"; "rob05"; "rob06" ];
+    Printf.printf "--- rob07: chaos scorecard (defense ablation) ---\n%!";
+    let sc = Experiments.Rob_common.scorecard ~mode ~seed in
+    let lines = Experiments.Rob_common.scorecard_lines sc in
+    if List.length lines < 2 + List.length Experiments.Rob_common.attacks
+    then begin
+      Printf.eprintf "chaos: scorecard came back empty\n";
+      exit 1
+    end;
+    List.iter print_endline lines
   in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(const run $ full_arg $ seed_arg $ csv_arg $ plot_arg)

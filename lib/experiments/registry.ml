@@ -229,6 +229,30 @@ let all =
       title = "Corrupted / duplicated / reordered packets";
       run = Rob03_corruption.run;
     };
+    {
+      id = "rob04";
+      figure = "Robustness";
+      title = "Byzantine understater: group capture via a tiny consistent rate";
+      run = Rob04_understater.run;
+    };
+    {
+      id = "rob05";
+      figure = "Robustness";
+      title = "Byzantine RTT liar: forged tiny RTT to win the CLR election";
+      run = Rob05_rtt_liar.run;
+    };
+    {
+      id = "rob06";
+      figure = "Robustness";
+      title = "Byzantine spammer: feedback flooding and honest-report suppression";
+      run = Rob06_spam_suppression.run;
+    };
+    {
+      id = "rob07";
+      figure = "Robustness";
+      title = "Defense ablation scorecard: every attack, defenses off vs on";
+      run = Rob07_defense_ablation.run;
+    };
   ]
 
 let find id =

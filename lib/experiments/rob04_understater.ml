@@ -1,0 +1,15 @@
+(* Robustness: the understater — a single Byzantine receiver reporting a
+   tiny, TCP-equation-consistent calculated rate every feedback round.
+
+   This is the canonical attack on single-rate multicast congestion
+   control (RFC 4654's security considerations): the protocol follows its
+   most-limited receiver by design, so one consistent liar captures the
+   group.  Because the forged (rate, rtt, p) triple satisfies the control
+   equation, per-report plausibility cannot reject it; the defense that
+   catches it is the cross-receiver outlier screen (median/MAD over the
+   recent honest reports), which refuses to let the lone low report
+   lower the rate or win the CLR election. *)
+
+let run ~mode ~seed =
+  Rob_common.attack_series ~id:"rob04" ~attack:Rob_common.Understater ~mode
+    ~seed

@@ -1,0 +1,14 @@
+(* Robustness: the RTT liar — a Byzantine receiver that forges a 1 ms
+   RTT and undercuts the advertised rate by 20% every round.
+
+   The compounding per-round decay captures the CLR election and drags
+   the group's rate down geometrically.  The claimed (rate, rtt, p) is
+   again equation-consistent, but the lie is physically detectable: the
+   sender measures a round trip of its own from the report's echo fields
+   (now - echo_ts - echo_delay), and a claimed RTT far below that floor
+   is impossible — a receiver cannot echo a timestamp before receiving
+   it.  The RTT-floor plausibility check rejects every forged report
+   before it touches the rate machinery. *)
+
+let run ~mode ~seed =
+  Rob_common.attack_series ~id:"rob05" ~attack:Rob_common.Rtt_liar ~mode ~seed

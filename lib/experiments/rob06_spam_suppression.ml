@@ -1,0 +1,18 @@
+(* Robustness: the spammer — immediate forged feedback on every data
+   packet, always slightly below the sender's advertised rate.
+
+   The attack has two edges: the rate undercutting itself, and feedback
+   suppression — the sender echoes the lowest report of each round, and
+   honest receivers cancel their feedback timers when the echoed rate is
+   close to their own (§2.5.4's ζ rule), so a spammed low report silences
+   the honest population.  The defenses that catch it: the per-round
+   report limit (honest receivers report at most about once per round,
+   and even the CLR only about once per RTT, so both budgets are finite),
+   the suspicion score the violations feed (a sustained spammer is
+   quarantined outright, and a quarantined CLR is dropped immediately
+   rather than waited out), and the rule that non-admitted reports are
+   never echoed as the round minimum — so the suppression edge is
+   blunted even before quarantine. *)
+
+let run ~mode ~seed =
+  Rob_common.attack_series ~id:"rob06" ~attack:Rob_common.Spammer ~mode ~seed

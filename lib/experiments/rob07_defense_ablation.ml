@@ -1,0 +1,28 @@
+(* Robustness: the defense ablation scorecard — every attack of the
+   suite (understater, overstater, rtt-liar, spammer) against the same
+   32-receiver dumbbell, with the defense layer off and on, reported as
+   percent honest-goodput degradation versus the matching no-attacker
+   baseline.
+
+   This is the acceptance gate of DESIGN.md §10: with defenses off the
+   understater and rtt-liar each capture the group (>70% degradation);
+   with defenses on every attack is held under 20%.  The same matrix
+   backs the `tfmcc-sim chaos` scorecard. *)
+
+let run ~mode ~seed =
+  let s = Rob_common.scorecard ~mode ~seed in
+  let rows =
+    List.mapi
+      (fun i (r : Rob_common.row) ->
+        (float_of_int i, [ r.Rob_common.r_off_deg; r.Rob_common.r_on_deg ]))
+      s.Rob_common.rows
+  in
+  [
+    Series.make
+      ~title:
+        "rob07: defense ablation — honest-goodput degradation per attack"
+      ~xlabel:"attack index (0=understater 1=overstater 2=rtt-liar 3=spammer)"
+      ~ylabels:[ "degradation, defenses off (%)"; "degradation, defenses on (%)" ]
+      ~notes:(Rob_common.scorecard_lines s)
+      rows;
+  ]

@@ -23,6 +23,8 @@ let with_obs sink f =
   Domain.DLS.set installed_obs (Some sink);
   Fun.protect ~finally:(fun () -> Domain.DLS.set installed_obs saved) f
 
+let ambient_obs () = Domain.DLS.get installed_obs
+
 let base ?(seed = 42) ?obs () =
   let obs =
     match obs with
@@ -59,6 +61,7 @@ type dumbbell = {
   bottleneck : Netsim.Link.t;
   left_router : Netsim.Node.t;
   right_router : Netsim.Node.t;
+  sender_node : Netsim.Node.t;
 }
 
 let dumbbell ?seed ?obs ?(cfg = Tfmcc_core.Config.default) ~bottleneck_bps
@@ -96,7 +99,15 @@ let dumbbell ?seed ?obs ?(cfg = Tfmcc_core.Config.default) ~bottleneck_bps
         let src = mk_left () and dst = mk_right () in
         add_tcp sc ~conn:(1000 + i) ~flow:(tcp_flow i) ~src ~dst ~at:tcp_start)
   in
-  { sc; session; tcp; bottleneck; left_router = left; right_router = right }
+  {
+    sc;
+    session;
+    tcp;
+    bottleneck;
+    left_router = left;
+    right_router = right;
+    sender_node = tfmcc_sender;
+  }
 
 (* ----------------------------------------------------------------- star *)
 

@@ -26,6 +26,13 @@ val with_obs : Obs.Sink.t -> (unit -> 'a) -> 'a
     and observes only its own sink.  Sinks are single-domain objects —
     never install one domain's sink from another. *)
 
+val ambient_obs : unit -> Obs.Sink.t option
+(** The sink installed by the innermost active {!with_obs}, if any.
+    For experiments that deliberately run sub-scenarios on private
+    sinks (the Byzantine robustness cells) and still want to surface
+    summary counters through the CLI's [--json] / [--metrics-out]
+    export. *)
+
 val base : ?seed:int -> ?obs:Obs.Sink.t -> unit -> t
 (** Fresh engine + topology + monitor.  [obs] defaults to the sink
     installed by {!with_obs}, else a private enabled sink (so protocol
@@ -57,6 +64,7 @@ type dumbbell = {
   bottleneck : Netsim.Link.t;
   left_router : Netsim.Node.t;
   right_router : Netsim.Node.t;
+  sender_node : Netsim.Node.t;  (** the TFMCC sender's access node *)
 }
 
 val dumbbell :

@@ -15,6 +15,9 @@ type event =
   | Starvation of { rate_bps : float }
   | Timeout of { what : string }
   | Malformed_drop of { what : string }
+  | Defense_reject of { rx : int; what : string }
+  | Clr_damped of { rx : int }
+  | Quarantine of { rx : int; until_ : float }
   | Join
   | Leave of { explicit : bool }
   | Fault of { kind : string; detail : string }
@@ -98,6 +101,9 @@ let event_name = function
   | Starvation _ -> "starvation"
   | Timeout _ -> "timeout"
   | Malformed_drop _ -> "malformed_drop"
+  | Defense_reject _ -> "defense_reject"
+  | Clr_damped _ -> "clr_damped"
+  | Quarantine _ -> "quarantine"
   | Join -> "join"
   | Leave _ -> "leave"
   | Fault _ -> "fault"
@@ -136,6 +142,11 @@ let event_fields = function
   | Starvation { rate_bps } -> [ ("rate_bps", Json.Float rate_bps) ]
   | Timeout { what } -> [ ("what", Json.Str what) ]
   | Malformed_drop { what } -> [ ("what", Json.Str what) ]
+  | Defense_reject { rx; what } ->
+      [ ("rx", Json.Int rx); ("what", Json.Str what) ]
+  | Clr_damped { rx } -> [ ("rx", Json.Int rx) ]
+  | Quarantine { rx; until_ } ->
+      [ ("rx", Json.Int rx); ("until", Json.Float until_) ]
   | Join -> []
   | Leave { explicit } -> [ ("explicit", Json.Bool explicit) ]
   | Fault { kind; detail } ->

@@ -34,6 +34,14 @@ type event =
   | Starvation of { rate_bps : float }
   | Timeout of { what : string }  (** RTO, nofeedback timer, idle guard *)
   | Malformed_drop of { what : string }
+  | Defense_reject of { rx : int; what : string }
+      (** adversarial-receiver defense rejected a report: plausibility,
+          outlier screen, spam rate-limit, or quarantine *)
+  | Clr_damped of { rx : int }
+      (** a CLR takeover by [rx] was suppressed by flap hold-down *)
+  | Quarantine of { rx : int; until_ : float }
+      (** [rx]'s suspicion score crossed the threshold; its reports are
+          ignored until [until_] *)
   | Join
   | Leave of { explicit : bool }
   | Fault of { kind : string; detail : string }

@@ -1,0 +1,54 @@
+(** Byzantine receiver strategies for the robustness suite
+    (DESIGN.md §10).
+
+    An adversary joins the multicast group, snoops data-packet headers,
+    and unicasts forged — but syntactically valid — receiver reports to
+    the sender.  Single-rate multicast congestion control follows its
+    most-limited receiver, so one consistent liar can capture the whole
+    group's rate; these agents reproduce the canonical attacks so the
+    {!Defense} layer can be measured against them (experiments
+    rob04–rob07). *)
+
+type strategy =
+  | Understater of { factor : float }
+      (** every round, claim a calculated rate of [factor] × the
+          advertised sending rate (with a plausible RTT and a TCP-
+          equation-consistent loss rate) — the group-capture attack *)
+  | Overstater of { factor : float }
+      (** claim no loss ever and a receive rate of [factor] × the
+          advertised rate — a congested receiver hiding its losses *)
+  | Rtt_liar of { rtt : float; factor : float }
+      (** claim RTT [rtt] (forged, typically far below the true path
+          RTT) and undercut the advertised rate by [factor] every round;
+          the compounding decay captures the CLR election *)
+  | Spammer of { factor : float }
+      (** immediate feedback on every data packet at [factor] × the
+          advertised rate: monopolizes the suppression echo so honest
+          receivers cancel their reports *)
+
+val strategy_name : strategy -> string
+(** ["understater"], ["overstater"], ["rtt-liar"], ["spammer"]. *)
+
+type t
+
+val create :
+  Netsim.Topology.t ->
+  cfg:Config.t ->
+  session:int ->
+  node:Netsim.Node.t ->
+  sender:Netsim.Node.t ->
+  strategy:strategy ->
+  unit ->
+  t
+(** Joins [node] to the session's multicast group and attaches the
+    snooping handler.  Forged reports start flowing after {!start}. *)
+
+val start : t -> at:float -> unit
+
+val stop : t -> unit
+
+val node_id : t -> int
+
+val strategy : t -> strategy
+
+val reports_sent : t -> int

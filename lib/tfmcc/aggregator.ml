@@ -20,6 +20,12 @@ type t = {
   node : Netsim.Node.t;
   parent : Netsim.Node.t;
   hold : float;
+  (* When a config with [defense_enabled] is supplied, reports that are
+     inconsistent with the TCP equation at their own claimed (rtt, p)
+     are dropped here, before they can displace the subtree's honest
+     minimum inside the hold window. *)
+  screen_cfg : Config.t option;
+  mutable plausibility_rejected_n : int;
   mutable best : report option;
   mutable flush_timer : Netsim.Engine.handle option;
   mutable last_round_forwarded : int;
@@ -33,6 +39,22 @@ let node_id t = Netsim.Node.id t.node
 let reports_in t = t.reports_in
 
 let reports_out t = t.reports_out
+
+let plausibility_rejected t = t.plausibility_rejected_n
+
+let plausible t (r : report) =
+  match t.screen_cfg with
+  | None -> true
+  | Some cfg ->
+      (not (r.r_has_loss && r.r_have_rtt))
+      || r.r_p > 0.
+         &&
+         let expected =
+           Tcp_model.Padhye.throughput ~b:cfg.Config.b
+             ~s:cfg.Config.packet_size ~rtt:r.r_rtt r.r_p
+         in
+         let k = cfg.Config.defense_equation_slack in
+         r.r_rate <= k *. expected && r.r_rate *. k >= expected
 
 (* Lower is more restrictive; loss reports dominate rate-only ones. *)
 let more_restrictive a b =
@@ -87,6 +109,8 @@ let flush t =
 let on_report t (r : report) ~leaving =
   t.reports_in <- t.reports_in + 1;
   if leaving then forward t r ~leaving:true
+  else if not (plausible t r) then
+    t.plausibility_rejected_n <- t.plausibility_rejected_n + 1
   else if
     (* The presumptive CLR of this subtree (the receiver we last spoke
        for) keeps its immediate-feedback privilege: the sender's increase
@@ -115,8 +139,13 @@ let on_report t (r : report) ~leaving =
     | None -> forward t r ~leaving:false
   end
 
-let create topo ~session ~node ~parent ?(hold = 0.2) () =
+let create topo ~session ~node ~parent ?(hold = 0.2) ?cfg () =
   if hold <= 0. then invalid_arg "Aggregator.create: hold must be positive";
+  let screen_cfg =
+    match cfg with
+    | Some c when c.Config.defense_enabled -> Some c
+    | Some _ | None -> None
+  in
   let t =
     {
       topo;
@@ -125,6 +154,8 @@ let create topo ~session ~node ~parent ?(hold = 0.2) () =
       node;
       parent;
       hold;
+      screen_cfg;
+      plausibility_rejected_n = 0;
       best = None;
       flush_timer = None;
       last_round_forwarded = -1;

@@ -22,16 +22,27 @@ val create :
   node:Netsim.Node.t ->
   parent:Netsim.Node.t ->
   ?hold:float ->
+  ?cfg:Config.t ->
   unit ->
   t
 (** [hold] is the aggregation interval (default 0.2 s): the best report
     collected during it is forwarded when it expires.  The interval
-    should be well below the feedback round duration. *)
+    should be well below the feedback round duration.
+
+    When [cfg] is supplied and has [defense_enabled], reports whose
+    claimed rate is inconsistent with the TCP equation at their own
+    (rtt, p) — beyond [defense_equation_slack] — are rejected before
+    aggregation (DESIGN.md §10): a lying subtree report must not
+    displace the honest minimum inside the hold window. *)
 
 val reports_in : t -> int
 (** Reports received from the subtree. *)
 
 val reports_out : t -> int
 (** Aggregated reports forwarded to the parent. *)
+
+val plausibility_rejected : t -> int
+(** Reports dropped by the equation-consistency screen (0 without a
+    defense-enabled [cfg]). *)
 
 val node_id : t -> int

@@ -22,6 +22,23 @@ type t = {
   remodel_on_first_rtt : bool;
   remember_clr : bool;
   remember_clr_rtts : float;
+  defense_enabled : bool;
+  defense_equation_slack : float;
+  defense_rtt_floor_fraction : float;
+  defense_xrecv_slack : float;
+  defense_echo_delay_rounds : float;
+  defense_mad_threshold : float;
+  defense_mad_floor : float;
+  defense_mad_min_reports : int;
+  defense_drop_ratio : float;
+  defense_report_horizon_rounds : float;
+  defense_holddown_rounds : float;
+  defense_holddown_max_rounds : float;
+  defense_clr_hysteresis : float;
+  defense_max_reports_per_round : int;
+  defense_suspicion_threshold : float;
+  defense_suspicion_decay : float;
+  defense_quarantine_rounds : float;
   b : float;
   max_rate : float;
 }
@@ -49,6 +66,23 @@ let default =
     remodel_on_first_rtt = false;
     remember_clr = false;
     remember_clr_rtts = 4.;
+    defense_enabled = false;
+    defense_equation_slack = 4.;
+    defense_rtt_floor_fraction = 0.25;
+    defense_xrecv_slack = 3.;
+    defense_echo_delay_rounds = 4.;
+    defense_mad_threshold = 5.;
+    defense_mad_floor = 0.15;
+    defense_mad_min_reports = 4;
+    defense_drop_ratio = 30.;
+    defense_report_horizon_rounds = 8.;
+    defense_holddown_rounds = 1.;
+    defense_holddown_max_rounds = 8.;
+    defense_clr_hysteresis = 0.05;
+    defense_max_reports_per_round = 4;
+    defense_suspicion_threshold = 3.;
+    defense_suspicion_decay = 0.5;
+    defense_quarantine_rounds = 20.;
     b = 2.;
     max_rate = 1e9;
   }
@@ -75,4 +109,38 @@ let validate t =
   else if t.increase_limit_packets <= 0. then err "increase_limit_packets must be positive"
   else if t.b <= 0. then err "b must be positive"
   else if t.max_rate <= 0. then err "max_rate must be positive"
+  else if t.defense_equation_slack <= 1. then
+    err "defense_equation_slack must be > 1 (a tolerance factor around the TCP equation)"
+  else if not (t.defense_rtt_floor_fraction > 0. && t.defense_rtt_floor_fraction <= 1.)
+  then err "defense_rtt_floor_fraction out of (0,1]"
+  else if t.defense_xrecv_slack < 1. then
+    err "defense_xrecv_slack must be >= 1 (receivers cannot receive faster than the sender sends)"
+  else if t.defense_echo_delay_rounds < 1. then
+    err "defense_echo_delay_rounds must be >= 1 feedback round"
+  else if t.defense_mad_threshold <= 0. then
+    err "defense_mad_threshold must be positive (it scales the MAD outlier band)"
+  else if t.defense_mad_floor <= 0. then
+    err "defense_mad_floor must be positive (log10 decades)"
+  else if t.defense_mad_min_reports < 2 then
+    err "defense_mad_min_reports must be >= 2 (a median needs a population)"
+  else if t.defense_drop_ratio <= 1. then
+    err "defense_drop_ratio must be > 1"
+  else if t.defense_report_horizon_rounds < 1. then
+    err "defense_report_horizon_rounds must be >= 1 feedback round"
+  else if t.defense_holddown_rounds < 1. then
+    err "defense_holddown_rounds must be >= 1: a hold-down shorter than one \
+         feedback round cannot damp anything (feedback arrives at most once \
+         per round)"
+  else if t.defense_holddown_max_rounds < t.defense_holddown_rounds then
+    err "defense_holddown_max_rounds must be >= defense_holddown_rounds"
+  else if not (t.defense_clr_hysteresis >= 0. && t.defense_clr_hysteresis < 1.)
+  then err "defense_clr_hysteresis out of [0,1)"
+  else if t.defense_max_reports_per_round < 1 then
+    err "defense_max_reports_per_round must be >= 1 (the CLR alone reports every round)"
+  else if t.defense_suspicion_threshold <= 0. then
+    err "defense_suspicion_threshold must be positive"
+  else if not (t.defense_suspicion_decay >= 0. && t.defense_suspicion_decay < 1.)
+  then err "defense_suspicion_decay out of [0,1)"
+  else if t.defense_quarantine_rounds <= 0. then
+    err "defense_quarantine_rounds must be positive"
   else Ok ()

@@ -61,6 +61,76 @@ type t = {
           is what the calibrated figures use) *)
   remember_clr : bool;  (** keep the previous CLR for fast switch-back (App. C) *)
   remember_clr_rtts : float;  (** how long, in CLR RTTs; a few *)
+  defense_enabled : bool;
+      (** master switch for the adversarial-receiver defenses below
+          (plausibility filtering, outlier rejection, CLR flap damping,
+          suspicion/quarantine — see DESIGN.md §10).  Default false:
+          with it off every knob below is inert and the protocol behaves
+          exactly as the paper describes. *)
+  defense_equation_slack : float;
+      (** plausibility: a loss report's calculated rate may deviate from
+          the TCP equation evaluated at its own claimed (rtt, p) by at
+          most this factor either way; > 1.  Default 4 (the equation and
+          a receiver's WALI/EWMA estimators legitimately disagree by a
+          small factor, never by orders of magnitude) *)
+  defense_rtt_floor_fraction : float;
+      (** plausibility: claimed RTT must be at least this fraction of the
+          sender-side RTT sample (now - echo_ts - echo_delay), which is a
+          physically observable floor the receiver cannot deflate without
+          inflating echo_delay; (0,1], default 0.25 *)
+  defense_xrecv_slack : float;
+      (** plausibility: claimed x_recv must not exceed this multiple of
+          the sender's own sending rate — nobody receives faster than the
+          sender sends; >= 1, default 3 (burst tolerance) *)
+  defense_echo_delay_rounds : float;
+      (** plausibility: claimed echo_delay must be below this many round
+          durations (honest receivers echo the newest data packet, held at
+          most ~1 round); >= 1, default 4.  Bounds the echo_delay-inflation
+          evasion of the RTT floor *)
+  defense_mad_threshold : float;
+      (** outlier screen: a CLR-capturing report is rejected when its
+          log10 rate sits more than this many MADs below the robust
+          median of recent reports; > 0, default 5 *)
+  defense_mad_floor : float;
+      (** outlier screen: MAD floor in log10 decades so a quiet
+          (low-variance) group still tolerates honest rate drops;
+          > 0, default 0.15 (5 x 0.15 = 0.75 decades ~ 5.6x) *)
+  defense_mad_min_reports : int;
+      (** outlier screen: distinct receivers required in the recent-report
+          window before the MAD screen applies; below it the fallback
+          ratio test against the sending rate is used; >= 2, default 4 *)
+  defense_drop_ratio : float;
+      (** outlier fallback when the window lacks quorum: reject a
+          CLR-capturing report more than this factor below the current
+          sending rate; > 1, default 30 *)
+  defense_report_horizon_rounds : float;
+      (** recent-report window for the outlier screen, in feedback
+          rounds; >= 1, default 8 *)
+  defense_holddown_rounds : float;
+      (** CLR flap damping: after an accepted CLR switch further switches
+          are held down for this many round durations; must be >= 1 (a
+          hold-down shorter than one feedback round cannot damp anything);
+          default 1 *)
+  defense_holddown_max_rounds : float;
+      (** exponential hold-down cap: each switch inside the previous
+          hold-down window doubles the next hold-down up to this many
+          rounds; >= defense_holddown_rounds, default 8 *)
+  defense_clr_hysteresis : float;
+      (** a takeover report must undercut the current CLR's rate by this
+          relative margin (rate < (1 - h) * clr_rate) so near-equal
+          receivers cannot ping-pong the election; [0,1), default 0.05 *)
+  defense_max_reports_per_round : int;
+      (** spam screen: non-CLR reports from one receiver above this count
+          per feedback round are dropped and raise suspicion; >= 1,
+          default 4 *)
+  defense_suspicion_threshold : float;
+      (** quarantine a receiver when its suspicion score (one point per
+          rejected report, decayed per round) reaches this; > 0, default 3 *)
+  defense_suspicion_decay : float;
+      (** multiplicative suspicion decay per feedback round; [0,1),
+          default 0.5 *)
+  defense_quarantine_rounds : float;
+      (** quarantine duration in round durations; > 0, default 20 *)
   b : float;
       (** packets-per-ACK parameter of the control equation; 2, the form
           the paper itself evidently used (its App. A curve peaks at the

@@ -71,6 +71,9 @@ type t = {
   mutable malformed_dropped : int;
   mutable clr_lost : bool;
   mutable clr_failovers_n : int;
+  (* Adversarial-receiver defenses (DESIGN.md §10); None unless
+     [cfg.defense_enabled]. *)
+  defense : Defense.t option;
   (* Observability: journal scope plus registry handles (resolved once at
      creation; recording is a field write on the hot path). *)
   obs : Obs.Sink.t;
@@ -119,6 +122,8 @@ let feedback_starvations t = t.starvations
 let malformed_reports_dropped t = t.malformed_dropped
 
 let clr_failovers t = t.clr_failovers_n
+
+let defense t = t.defense
 
 let cancel t handle =
   match handle with
@@ -301,28 +306,61 @@ let on_report t ~rx ~ts ~echo_ts ~echo_delay ~rate ~have_rtt ~rtt ~p:_ ~x_recv
         | Some _ | None -> rate
       else rate
     in
+    (* Cross-receiver outlier screen: a report whose rate is a low
+       outlier against the group's recent reports must not lower the
+       rate, capture the CLR, or be echoed as the round minimum (the
+       echo drives receiver-side suppression, which is exactly what an
+       understater wants to monopolize). *)
+    let admitted =
+      match t.defense with
+      | None -> true
+      | Some d ->
+          Defense.admit d ~now ~round_duration:t.round_duration
+            ~sender_rate:t.rate ~rx ~rate:rate_adj
+    in
+    (* CLR candidacy additionally needs a track record (an earlier
+       admitted report) and a clean quarantine history — a brand-new or
+       just-released receiver may inform the rate but not lead it. *)
+    let leads =
+      admitted
+      &&
+      match t.defense with
+      | None -> true
+      | Some d -> Defense.may_lead d ~now ~round_duration:t.round_duration rx
+    in
     (* Track the lowest report of this round for suppression echoing.
        Loss reports dominate slowstart receive-rate reports. *)
-    let candidate = { Wire.fb_rx_id = rx; fb_rate = rate_adj; fb_has_loss = has_loss } in
-    (match t.round_fb with
-    | None -> t.round_fb <- Some candidate
-    | Some cur ->
-        let better =
-          if has_loss <> cur.Wire.fb_has_loss then has_loss
-          else rate_adj < cur.Wire.fb_rate
-        in
-        if better then t.round_fb <- Some candidate);
+    (if admitted then
+       let candidate =
+         { Wire.fb_rx_id = rx; fb_rate = rate_adj; fb_has_loss = has_loss }
+       in
+       match t.round_fb with
+       | None -> t.round_fb <- Some candidate
+       | Some cur ->
+           let better =
+             if has_loss <> cur.Wire.fb_has_loss then has_loss
+             else rate_adj < cur.Wire.fb_rate
+           in
+           if better then t.round_fb <- Some candidate);
     (* Slowstart bookkeeping. *)
     if t.in_ss then begin
       if has_loss then begin
-        (* First loss ends slowstart (§2.6). *)
-        t.in_ss <- false;
-        set_clr t ~rx ~rtt:rtt_best ~rate_adj;
-        apply_decrease t (Float.min t.rate rate_adj);
-        jnl t (Obs.Journal.Slowstart_exit { rate_bps = t.rate })
+        if leads then begin
+          (* First loss ends slowstart (§2.6). *)
+          t.in_ss <- false;
+          set_clr t ~rx ~rtt:rtt_best ~rate_adj;
+          apply_decrease t (Float.min t.rate rate_adj);
+          jnl t (Obs.Journal.Slowstart_exit { rate_bps = t.rate })
+        end
       end
       else begin
-        if x_recv < t.ss_min_xrecv then begin
+        (* No-loss slowstart election needs only [admitted], not the
+           track-record gate: a forged-low receive rate is already
+           caught by the outlier screen, and gating the bootstrap
+           election on a track record would starve the very first
+           rounds (under suppression most receivers speak here for the
+           first time). *)
+        if admitted && x_recv < t.ss_min_xrecv then begin
           t.ss_min_xrecv <- x_recv;
           set_clr t ~rx ~rtt:rtt_best ~rate_adj:x_recv
         end
@@ -332,34 +370,42 @@ let on_report t ~rx ~ts ~echo_ts ~echo_delay ~rate ~have_rtt ~rtt ~p:_ ~x_recv
               c.clr_last_report <- now;
               c.clr_rtt <- rtt_best;
               (* CLR's fresh receive rate drives the target. *)
-              t.ss_min_xrecv <- x_recv
+              if admitted then t.ss_min_xrecv <- x_recv
           | _ -> ()
         end;
-        let proposed =
-          clamp_rate t
-            (t.cfg.Config.slowstart_multiplier *. Float.max 1. t.ss_min_xrecv)
-        in
-        let prev_target = t.ss_target in
-        if proposed < t.ss_target then t.ss_target <- proposed
-        else if report_round > t.ss_round then begin
-          t.ss_round <- report_round;
-          t.ss_target <- proposed
-        end;
-        if t.ss_target <> prev_target then
-          jnl t ~severity:Obs.Journal.Debug
-            (Obs.Journal.Rate_change
-               {
-                 from_bps = prev_target;
-                 to_bps = t.ss_target;
-                 reason = "slowstart-target";
-               })
+        (* Until some report was allowed to set the minimum, there is no
+           evidence to raise the target on. *)
+        if t.ss_min_xrecv < infinity then begin
+          let proposed =
+            clamp_rate t
+              (t.cfg.Config.slowstart_multiplier *. Float.max 1. t.ss_min_xrecv)
+          in
+          let prev_target = t.ss_target in
+          if proposed < t.ss_target then t.ss_target <- proposed
+          else if report_round > t.ss_round then begin
+            t.ss_round <- report_round;
+            t.ss_target <- proposed
+          end;
+          if t.ss_target <> prev_target then
+            jnl t ~severity:Obs.Journal.Debug
+              (Obs.Journal.Rate_change
+                 {
+                   from_bps = prev_target;
+                   to_bps = t.ss_target;
+                   reason = "slowstart-target";
+                 })
+        end
       end
     end
     else begin
       (* Congestion-avoidance rate control. *)
       match t.clr with
       | None ->
-          if has_loss then begin
+          (* Failover install: no current CLR, so no flap damping — but
+             the outlier screen and the track-record gate still apply (a
+             vacant election is the understater's favourite moment to
+             volunteer). *)
+          if has_loss && leads then begin
             set_clr t ~rx ~rtt:rtt_best ~rate_adj;
             if rate_adj < t.rate then apply_decrease t rate_adj
             else apply_capped_increase t ~desired:(check_prev_clr t ~desired:rate_adj) ~rtt:rtt_best
@@ -367,18 +413,39 @@ let on_report t ~rx ~ts ~echo_ts ~echo_delay ~rate ~have_rtt ~rtt ~p:_ ~x_recv
       | Some c ->
           if rx = c.clr_id then begin
             c.clr_last_report <- now;
-            c.clr_rtt <- rtt_best;
-            c.clr_rate <- rate_adj;
-            if rate_adj < t.rate then apply_decrease t rate_adj
-            else begin
-              let desired = check_prev_clr t ~desired:rate_adj in
-              apply_capped_increase t ~desired ~rtt:rtt_best
+            (* A non-admitted CLR report (low outlier) keeps the CLR
+               alive but moves nothing: a turncoat CLR can freeze the
+               rate, never crash it. *)
+            if admitted then begin
+              c.clr_rtt <- rtt_best;
+              c.clr_rate <- rate_adj;
+              if rate_adj < t.rate then apply_decrease t rate_adj
+              else begin
+                let desired = check_prev_clr t ~desired:rate_adj in
+                apply_capped_increase t ~desired ~rtt:rtt_best
+              end
             end
           end
           else if has_loss && rate_adj < t.rate then begin
-            (* A lower-rate receiver takes over as CLR. *)
-            set_clr t ~rx ~rtt:rtt_best ~rate_adj;
-            apply_decrease t rate_adj
+            (* A lower-rate receiver takes over as CLR — subject to the
+               outlier screen and flap damping (hysteresis + hold-down). *)
+            let allowed =
+              leads
+              &&
+              match t.defense with
+              | None -> true
+              | Some d ->
+                  Defense.may_switch d ~now ~sender_rate:t.rate
+                    ~candidate_rate:rate_adj ~rx
+            in
+            if allowed then begin
+              (match t.defense with
+              | Some d ->
+                  Defense.note_switch d ~now ~round_duration:t.round_duration
+              | None -> ());
+              set_clr t ~rx ~rtt:rtt_best ~rate_adj;
+              apply_decrease t rate_adj
+            end
           end
     end;
     (* Echo scheduling. *)
@@ -474,6 +541,11 @@ let rec start_round t =
     jnl t ~severity:Obs.Journal.Debug
       (Obs.Journal.Round_start
          { round = t.round; duration = t.round_duration; max_rtt = t.max_rtt });
+    (match t.defense with
+    | Some d ->
+        Defense.on_round d ~now ~round_duration:t.round_duration
+          ~sender_rate:t.rate
+    | None -> ());
     check_clr_timeout t;
     check_starvation t;
     t.round_timer <-
@@ -594,6 +666,11 @@ let create topo ~cfg ~session ~node ?flow ?initial_rate () =
       malformed_dropped = 0;
       clr_lost = false;
       clr_failovers_n = 0;
+      defense =
+        (if cfg.Config.defense_enabled then
+           Some
+             (Defense.create ~cfg ~obs ~session ~node:(Netsim.Node.id node) ())
+         else None);
       obs;
       scope =
         Obs.Journal.scope ~session ~node:(Netsim.Node.id node) "tfmcc.sender";
@@ -630,9 +707,50 @@ let create topo ~cfg ~session ~node ?flow ?initial_rate () =
               Wire.report_fields_valid ~rx_id ~ts ~echo_ts ~echo_delay ~rate
                 ~rtt ~p ~x_recv ~round
               && round >= t.round - stale_limit
-            then
-              on_report t ~rx:rx_id ~ts ~echo_ts ~echo_delay ~rate ~have_rtt
-                ~rtt ~p ~x_recv ~round ~has_loss ~leaving
+            then begin
+              (* Plausibility screen (DESIGN.md §10).  Leave reports are
+                 exempt: they carry no rate influence, and refusing a
+                 goodbye only delays the CLR timeout. *)
+              let defense_drop =
+                match t.defense with
+                | None -> false
+                | Some _ when leaving -> false
+                | Some d ->
+                    let is_clr =
+                      match t.clr with
+                      | Some c -> c.clr_id = rx_id
+                      | None -> false
+                    in
+                    let rtt_sample =
+                      sender_side_rtt t ~echo_ts ~echo_delay
+                    in
+                    let rejected =
+                      Defense.screen d ~now:(Netsim.Engine.now t.engine)
+                        ~round_duration:t.round_duration ~sender_rate:t.rate
+                        ~sender_round:t.round ~rx:rx_id ~rate ~have_rtt ~rtt
+                        ~p ~x_recv ~has_loss ~echo_delay ~rtt_sample ~is_clr
+                      <> None
+                    in
+                    (* A CLR that lands in quarantine cannot be waited
+                       out: every report it sends is now dropped, so the
+                       usual CLR timeout would freeze the rate at the
+                       captured value for its whole duration.  Drop it
+                       immediately and let failover re-elect. *)
+                    if
+                      rejected && is_clr
+                      && Defense.is_quarantined d
+                           ~now:(Netsim.Engine.now t.engine) rx_id
+                    then begin
+                      drop_clr t ~reason:"quarantine";
+                      t.clr_timeouts <- t.clr_timeouts + 1;
+                      Obs.Metrics.Counter.inc t.m_clr_timeouts
+                    end;
+                    rejected
+              in
+              if not defense_drop then
+                on_report t ~rx:rx_id ~ts ~echo_ts ~echo_delay ~rate
+                  ~have_rtt ~rtt ~p ~x_recv ~round ~has_loss ~leaving
+            end
             else begin
               t.malformed_dropped <- t.malformed_dropped + 1;
               Obs.Metrics.Counter.inc t.m_malformed;

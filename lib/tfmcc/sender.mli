@@ -77,6 +77,12 @@ val clr_failovers : t -> int
     to silence (timeout) or an explicit leave — i.e. completed
     failovers, as opposed to {!clr_timeouts} which counts the losses. *)
 
+val defense : t -> Defense.t option
+(** The adversarial-receiver defense layer, present when the config has
+    [defense_enabled] (DESIGN.md §10).  Exposes rejection counters for
+    tests and summaries; the same counts are in the metrics registry as
+    [tfmcc_defense_*_total]. *)
+
 val set_block_source : t -> (unit -> int) -> unit
 (** Installs the application hook: called once per outgoing data packet
     for the block id to carry (return -1 for filler).  Congestion control

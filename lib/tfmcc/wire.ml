@@ -81,6 +81,184 @@ let data_fields_valid ~seq ~ts ~rate ~round ~round_duration ~max_rtt ~clr
      | None -> true
      | Some f -> f.fb_rx_id >= 0 && Float.is_finite f.fb_rate && f.fb_rate >= 0.)
 
+(* ----------------------------------------------------------- byte codec *)
+
+(* Serialized receiver report: magic, flags, three 64-bit ints, seven
+   IEEE-754 doubles, all little-endian.  [decode_report] re-runs
+   [report_fields_valid] so no byte string — random, truncated, or
+   bit-flipped — can ever produce a payload the sender would reject. *)
+
+let encoded_report_size = 82
+
+let report_magic = 0x52 (* 'R' *)
+
+let report_flag_mask = 0x07 (* have_rtt | has_loss | leaving *)
+
+let encode_report ~session ~rx_id ~ts ~echo_ts ~echo_delay ~rate ~have_rtt
+    ~rtt ~p ~x_recv ~round ~has_loss ~leaving =
+  let b = Bytes.create encoded_report_size in
+  Bytes.set_uint8 b 0 report_magic;
+  let flags =
+    (if have_rtt then 1 else 0)
+    lor (if has_loss then 2 else 0)
+    lor if leaving then 4 else 0
+  in
+  Bytes.set_uint8 b 1 flags;
+  Bytes.set_int64_le b 2 (Int64.of_int session);
+  Bytes.set_int64_le b 10 (Int64.of_int rx_id);
+  Bytes.set_int64_le b 18 (Int64.of_int round);
+  let f off v = Bytes.set_int64_le b off (Int64.bits_of_float v) in
+  f 26 ts;
+  f 34 echo_ts;
+  f 42 echo_delay;
+  f 50 rate;
+  f 58 rtt;
+  f 66 p;
+  f 74 x_recv;
+  b
+
+let decode_report b =
+  if Bytes.length b <> encoded_report_size then Error "report: bad length"
+  else if Bytes.get_uint8 b 0 <> report_magic then Error "report: bad magic"
+  else
+    let flags = Bytes.get_uint8 b 1 in
+    if flags land lnot report_flag_mask <> 0 then Error "report: unknown flags"
+    else
+      let i off = Int64.to_int (Bytes.get_int64_le b off) in
+      let g off = Int64.float_of_bits (Bytes.get_int64_le b off) in
+      let session = i 2 and rx_id = i 10 and round = i 18 in
+      let ts = g 26
+      and echo_ts = g 34
+      and echo_delay = g 42
+      and rate = g 50
+      and rtt = g 58
+      and p = g 66
+      and x_recv = g 74 in
+      if session < 0 then Error "report: negative session"
+      else if
+        not
+          (report_fields_valid ~rx_id ~ts ~echo_ts ~echo_delay ~rate ~rtt ~p
+             ~x_recv ~round)
+      then Error "report: invalid fields"
+      else
+        Ok
+          (Report
+             {
+               session;
+               rx_id;
+               ts;
+               echo_ts;
+               echo_delay;
+               rate;
+               have_rtt = flags land 1 <> 0;
+               rtt;
+               p;
+               x_recv;
+               round;
+               has_loss = flags land 2 <> 0;
+               leaving = flags land 4 <> 0;
+             })
+
+(* Serialized data-packet header.  Fixed layout: absent echo/fb sections
+   are encoded as zeroes and masked out by the presence flags. *)
+
+let encoded_data_size = 114
+
+let data_magic = 0x44 (* 'D' *)
+
+let data_flag_mask = 0x0f (* in_slowstart | echo? | fb? | fb_has_loss *)
+
+let encode_data ~session ~seq ~ts ~rate ~round ~round_duration ~max_rtt ~clr
+    ~in_slowstart ~echo ~fb ~app =
+  let b = Bytes.create encoded_data_size in
+  Bytes.fill b 0 encoded_data_size '\000';
+  Bytes.set_uint8 b 0 data_magic;
+  let flags =
+    (if in_slowstart then 1 else 0)
+    lor (match echo with Some _ -> 2 | None -> 0)
+    lor (match fb with Some _ -> 4 | None -> 0)
+    lor match fb with Some f when f.fb_has_loss -> 8 | _ -> 0
+  in
+  Bytes.set_uint8 b 1 flags;
+  let i off v = Bytes.set_int64_le b off (Int64.of_int v) in
+  let f off v = Bytes.set_int64_le b off (Int64.bits_of_float v) in
+  i 2 session;
+  i 10 seq;
+  i 18 round;
+  i 26 clr;
+  i 34 app;
+  f 42 ts;
+  f 50 rate;
+  f 58 round_duration;
+  f 66 max_rtt;
+  (match echo with
+  | Some e ->
+      i 74 e.rx_id;
+      f 82 e.rx_ts;
+      f 90 e.echo_delay
+  | None -> ());
+  (match fb with
+  | Some fb ->
+      i 98 fb.fb_rx_id;
+      f 106 fb.fb_rate
+  | None -> ());
+  b
+
+let decode_data b =
+  if Bytes.length b <> encoded_data_size then Error "data: bad length"
+  else if Bytes.get_uint8 b 0 <> data_magic then Error "data: bad magic"
+  else
+    let flags = Bytes.get_uint8 b 1 in
+    if flags land lnot data_flag_mask <> 0 then Error "data: unknown flags"
+    else if flags land 8 <> 0 && flags land 4 = 0 then
+      Error "data: fb_has_loss without fb"
+    else
+      let i off = Int64.to_int (Bytes.get_int64_le b off) in
+      let g off = Int64.float_of_bits (Bytes.get_int64_le b off) in
+      let session = i 2
+      and seq = i 10
+      and round = i 18
+      and clr = i 26
+      and app = i 34
+      and ts = g 42
+      and rate = g 50
+      and round_duration = g 58
+      and max_rtt = g 66 in
+      let echo =
+        if flags land 2 <> 0 then
+          Some { rx_id = i 74; rx_ts = g 82; echo_delay = g 90 }
+        else None
+      in
+      let fb =
+        if flags land 4 <> 0 then
+          Some
+            { fb_rx_id = i 98; fb_rate = g 106; fb_has_loss = flags land 8 <> 0 }
+        else None
+      in
+      if session < 0 then Error "data: negative session"
+      else if
+        not
+          (data_fields_valid ~seq ~ts ~rate ~round ~round_duration ~max_rtt
+             ~clr ~echo ~fb)
+      then Error "data: invalid fields"
+      else
+        Ok
+          (Data
+             {
+               session;
+               seq;
+               ts;
+               rate;
+               round;
+               round_duration;
+               max_rtt;
+               clr;
+               in_slowstart = flags land 1 <> 0;
+               echo;
+               fb;
+               app;
+             })
+
 (* ------------------------------------------------------------ corruption *)
 
 (* Mangle one field of a TFMCC payload into a hostile value (NaN, negative,

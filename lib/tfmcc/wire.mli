@@ -94,6 +94,60 @@ val data_fields_valid :
     {!Receiver.malformed_data_dropped}) instead of feeding NaN rates or
     negative round durations into their timers. *)
 
+(** {2 Byte codec}
+
+    Little-endian serialization of the two payloads, used by the
+    robustness suite to fuzz the parsing path with raw bytes.  Decoding
+    re-runs the field validators, so the contract is: {e any} byte
+    string — random, truncated, or a bit-flipped valid encoding — either
+    decodes to a payload that passes {!report_fields_valid} /
+    {!data_fields_valid}, or returns [Error]; it never raises and never
+    yields NaN or out-of-range fields. *)
+
+val encoded_report_size : int
+(** 82 bytes (the simulator's accounting size {!report_size} models a
+    more compact production encoding). *)
+
+val encode_report :
+  session:int ->
+  rx_id:int ->
+  ts:float ->
+  echo_ts:float ->
+  echo_delay:float ->
+  rate:float ->
+  have_rtt:bool ->
+  rtt:float ->
+  p:float ->
+  x_recv:float ->
+  round:int ->
+  has_loss:bool ->
+  leaving:bool ->
+  bytes
+
+val decode_report : bytes -> (Netsim.Packet.payload, string) result
+(** [Ok (Report _)] or a validation error. *)
+
+val encoded_data_size : int
+(** 114 bytes; absent echo/fb sections are zero-filled and flag-masked. *)
+
+val encode_data :
+  session:int ->
+  seq:int ->
+  ts:float ->
+  rate:float ->
+  round:int ->
+  round_duration:float ->
+  max_rtt:float ->
+  clr:int ->
+  in_slowstart:bool ->
+  echo:echo option ->
+  fb:fb_echo option ->
+  app:int ->
+  bytes
+
+val decode_data : bytes -> (Netsim.Packet.payload, string) result
+(** [Ok (Data _)] or a validation error. *)
+
 val corrupt_packet : Stats.Rng.t -> Netsim.Packet.t -> Netsim.Packet.t
 (** Returns a copy of the packet with one randomly chosen payload field
     mangled into a hostile value (NaN, negative, out-of-range, foreign

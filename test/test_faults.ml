@@ -541,6 +541,71 @@ let test_receiver_volunteers_on_lost_clr () =
   Alcotest.(check bool) "volunteers when clr = -1" true (volunteer ~clr:(-1) >= 1);
   Alcotest.(check int) "silent when another CLR exists" 0 (volunteer ~clr:12345)
 
+(* Partition the CLR mid-slowstart on a real forwarded topology (not a
+   locally-delivered rig): the sender must notice the silence, decay,
+   drop the dead CLR, and — once the partition heals — fail over and
+   recover, all within bounded feedback rounds. *)
+let test_clr_partition_mid_slowstart () =
+  let open Tfmcc_core in
+  let open Experiments in
+  let s = Scenario.star ~seed:5 ~link_bps:5e6 ~link_delays:[| 0.02 |] () in
+  let sc = s.Scenario.s_sc in
+  let engine = sc.Scenario.engine in
+  let f = Netsim.Fault.create engine in
+  Session.start s.Scenario.s_session ~at:0.;
+  let snd = Session.sender s.Scenario.s_session in
+  let t_partition = 5.0 and t_heal = 15.0 in
+  let pre_rate = ref 0. and outage_rate = ref infinity in
+  let partitioned = ref (-1) in
+  ignore
+    (Netsim.Engine.at engine ~time:t_partition (fun () ->
+         Alcotest.(check bool) "mid-slowstart at partition time" true
+           (Sender.in_slowstart snd);
+         match Sender.clr snd with
+         | None -> Alcotest.fail "no CLR elected before the partition"
+         | Some rx ->
+             partitioned := rx;
+             pre_rate := Sender.rate_bytes_per_s snd;
+             let idx = ref (-1) in
+             Array.iteri
+               (fun i n -> if Netsim.Node.id n = rx then idx := i)
+               s.Scenario.s_rx_nodes;
+             if !idx < 0 then Alcotest.fail "CLR is not a star receiver";
+             let down, up = s.Scenario.s_rx_links.(!idx) in
+             Netsim.Fault.partition f ~links:[ down; up ]
+               ~from_:(t_partition +. 0.001) ~until:t_heal));
+  (* Late in the outage: cutting the CLR's link silenced the session's
+     only feedback source, so the sender must have starved, decayed its
+     rate, and dropped the dead CLR so the data header advertises
+     clr = -1. *)
+  ignore
+    (Netsim.Engine.at engine ~time:(t_heal -. 0.5) (fun () ->
+         outage_rate := Sender.rate_bytes_per_s snd;
+         Alcotest.(check bool) "starved during the partition" true
+           (Sender.is_starved snd);
+         Alcotest.(check bool) "rate decayed" true
+           (!outage_rate < 0.75 *. !pre_rate);
+         Alcotest.(check (option int)) "dead CLR dropped" None
+           (Sender.clr snd);
+         Alcotest.(check bool) "timeout counted" true
+           (Sender.clr_timeouts snd >= 1)));
+  Scenario.run_until sc (t_heal +. 10.);
+  (* Bounded recovery: within a few feedback rounds of the heal a
+     receiver volunteered, the failover completed, starvation ended and
+     the rate climbed well off the decayed floor. *)
+  Alcotest.(check bool) "starvation over after heal" false
+    (Sender.is_starved snd);
+  Alcotest.(check bool) "failover completed" true (Sender.clr_failovers snd >= 1);
+  (match Sender.clr snd with
+  | None -> Alcotest.fail "no CLR after recovery"
+  | Some _ -> ());
+  let rate = Sender.rate_bytes_per_s snd in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate recovered (outage %.0f, now %.0f B/s)" !outage_rate
+       rate)
+    true
+    (rate > 4. *. !outage_rate)
+
 let () =
   Alcotest.run "faults"
     [
@@ -575,5 +640,7 @@ let () =
           Alcotest.test_case "graceful leave failover" `Quick test_graceful_leave_failover;
           Alcotest.test_case "volunteer on lost CLR" `Quick
             test_receiver_volunteers_on_lost_clr;
+          Alcotest.test_case "CLR partition mid-slowstart" `Quick
+            test_clr_partition_mid_slowstart;
         ] );
     ]

@@ -458,6 +458,143 @@ let test_aggregator_clr_passthrough () =
   Alcotest.(check int) "CLR reports pass" (out0 + 5)
     (Tfmcc_core.Aggregator.reports_out agg)
 
+(* ------------------------------------------------------- Byte codec *)
+
+module W = Tfmcc_core.Wire
+
+(* The decode contract under fuzzing: never raise, and Ok implies the
+   payload passes the field validators (no NaN, no negative rates, no
+   out-of-range loss probability). *)
+let decoded_report_ok = function
+  | Ok
+      (W.Report
+        { rx_id; ts; echo_ts; echo_delay; rate; rtt; p; x_recv; round; _ }) ->
+      W.report_fields_valid ~rx_id ~ts ~echo_ts ~echo_delay ~rate ~rtt ~p
+        ~x_recv ~round
+  | Ok _ -> false  (* decode_report must only ever produce Report *)
+  | Error _ -> true
+
+let decoded_data_ok = function
+  | Ok
+      (W.Data
+        { seq; ts; rate; round; round_duration; max_rtt; clr; echo; fb; _ }) ->
+      W.data_fields_valid ~seq ~ts ~rate ~round ~round_duration ~max_rtt ~clr
+        ~echo ~fb
+  | Ok _ -> false
+  | Error _ -> true
+
+let valid_report_bytes () =
+  W.encode_report ~session:7 ~rx_id:12 ~ts:1.5 ~echo_ts:1.4 ~echo_delay:0.01
+    ~rate:50_000. ~have_rtt:true ~rtt:0.05 ~p:0.01 ~x_recv:48_000. ~round:3
+    ~has_loss:true ~leaving:false
+
+let valid_data_bytes () =
+  W.encode_data ~session:7 ~seq:99 ~ts:2.5 ~rate:125_000. ~round:4
+    ~round_duration:0.5 ~max_rtt:0.5 ~clr:12 ~in_slowstart:false
+    ~echo:(Some { W.rx_id = 12; rx_ts = 2.4; echo_delay = 0.02 })
+    ~fb:(Some { W.fb_rx_id = 31; fb_rate = 40_000.; fb_has_loss = true })
+    ~app:(-1)
+
+let test_codec_report_roundtrip () =
+  match W.decode_report (valid_report_bytes ()) with
+  | Ok (W.Report r) ->
+      Alcotest.(check int) "session" 7 r.session;
+      Alcotest.(check int) "rx_id" 12 r.rx_id;
+      Alcotest.(check int) "round" 3 r.round;
+      Alcotest.(check (float 0.)) "rate" 50_000. r.rate;
+      Alcotest.(check (float 0.)) "rtt" 0.05 r.rtt;
+      Alcotest.(check (float 0.)) "p" 0.01 r.p;
+      Alcotest.(check bool) "have_rtt" true r.have_rtt;
+      Alcotest.(check bool) "has_loss" true r.has_loss;
+      Alcotest.(check bool) "leaving" false r.leaving
+  | Ok _ -> Alcotest.fail "decoded to a non-report payload"
+  | Error e -> Alcotest.fail ("valid encoding rejected: " ^ e)
+
+let test_codec_data_roundtrip () =
+  match W.decode_data (valid_data_bytes ()) with
+  | Ok (W.Data d) ->
+      Alcotest.(check int) "session" 7 d.session;
+      Alcotest.(check int) "seq" 99 d.seq;
+      Alcotest.(check int) "clr" 12 d.clr;
+      Alcotest.(check (float 0.)) "rate" 125_000. d.rate;
+      (match d.echo with
+      | Some e -> Alcotest.(check int) "echo rx" 12 e.W.rx_id
+      | None -> Alcotest.fail "echo lost");
+      (match d.fb with
+      | Some f ->
+          Alcotest.(check (float 0.)) "fb rate" 40_000. f.W.fb_rate;
+          Alcotest.(check bool) "fb loss" true f.W.fb_has_loss
+      | None -> Alcotest.fail "fb lost")
+  | Ok _ -> Alcotest.fail "decoded to a non-data payload"
+  | Error e -> Alcotest.fail ("valid encoding rejected: " ^ e)
+
+let test_codec_data_roundtrip_bare () =
+  match
+    W.decode_data
+      (W.encode_data ~session:1 ~seq:0 ~ts:0. ~rate:1_000. ~round:0
+         ~round_duration:0.5 ~max_rtt:0.5 ~clr:(-1) ~in_slowstart:true
+         ~echo:None ~fb:None ~app:(-1))
+  with
+  | Ok (W.Data d) ->
+      Alcotest.(check bool) "in_slowstart" true d.in_slowstart;
+      Alcotest.(check bool) "no echo" true (d.echo = None);
+      Alcotest.(check bool) "no fb" true (d.fb = None)
+  | Ok _ -> Alcotest.fail "decoded to a non-data payload"
+  | Error e -> Alcotest.fail ("valid encoding rejected: " ^ e)
+
+let test_codec_truncated_rejected () =
+  let b = valid_report_bytes () in
+  for len = 0 to Bytes.length b - 1 do
+    match W.decode_report (Bytes.sub b 0 len) with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "truncated report (%d) decoded" len)
+    | Error _ -> ()
+  done;
+  let d = valid_data_bytes () in
+  for len = 0 to Bytes.length d - 1 do
+    match W.decode_data (Bytes.sub d 0 len) with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "truncated data (%d) decoded" len)
+    | Error _ -> ()
+  done
+
+let bytes_gen =
+  QCheck.Gen.(
+    sized_size (int_range 0 200) (fun n st ->
+        Bytes.init n (fun _ -> Char.chr (int_range 0 255 st))))
+
+let arbitrary_bytes =
+  QCheck.make ~print:(fun b -> Printf.sprintf "%S" (Bytes.to_string b)) bytes_gen
+
+let prop_decode_report_never_raises =
+  QCheck.Test.make ~name:"random bytes: decode_report total and validated"
+    ~count:2000 arbitrary_bytes (fun b -> decoded_report_ok (W.decode_report b))
+
+let prop_decode_data_never_raises =
+  QCheck.Test.make ~name:"random bytes: decode_data total and validated"
+    ~count:2000 arbitrary_bytes (fun b -> decoded_data_ok (W.decode_data b))
+
+(* Bit-flipped valid encodings: the nastiest corpus, because all but one
+   bit is plausible.  Flips of float payload bytes can produce NaN /
+   negative / huge values; the decoder must catch every one. *)
+let prop_decode_report_bitflip =
+  QCheck.Test.make ~name:"bit-flipped report: decode total and validated"
+    ~count:2000
+    QCheck.(pair (int_bound (82 * 8 - 1)) (int_bound 1000))
+    (fun (bit, _salt) ->
+      let b = valid_report_bytes () in
+      let i = bit / 8 and m = 1 lsl (bit mod 8) in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor m));
+      decoded_report_ok (W.decode_report b))
+
+let prop_decode_data_bitflip =
+  QCheck.Test.make ~name:"bit-flipped data: decode total and validated"
+    ~count:2000
+    QCheck.(pair (int_bound (114 * 8 - 1)) (int_bound 1000))
+    (fun (bit, _salt) ->
+      let b = valid_data_bytes () in
+      let i = bit / 8 and m = 1 lsl (bit mod 8) in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor m));
+      decoded_data_ok (W.decode_data b))
+
 let () =
   Alcotest.run "tfmcc_wire"
     [
@@ -491,4 +628,19 @@ let () =
           Alcotest.test_case "leave passthrough" `Quick test_aggregator_leave_passes_through;
           Alcotest.test_case "CLR passthrough" `Quick test_aggregator_clr_passthrough;
         ] );
+      ( "codec",
+        [
+          Alcotest.test_case "report roundtrip" `Quick test_codec_report_roundtrip;
+          Alcotest.test_case "data roundtrip" `Quick test_codec_data_roundtrip;
+          Alcotest.test_case "bare data roundtrip" `Quick test_codec_data_roundtrip_bare;
+          Alcotest.test_case "truncations rejected" `Quick test_codec_truncated_rejected;
+        ] );
+      ( "codec fuzz",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_decode_report_never_raises;
+            prop_decode_data_never_raises;
+            prop_decode_report_bitflip;
+            prop_decode_data_bitflip;
+          ] );
     ]
