@@ -47,15 +47,34 @@ let metrics_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~doc ~docv:"FILE")
 
+let strict_arg =
+  let doc =
+    "Run under the runtime invariant checker in strict mode: the first \
+     violated invariant aborts with exit code 2 and the offending journal \
+     window on stderr."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
 (* Run one experiment with a fresh sink installed, so every engine the
-   experiment builds reports into it. *)
-let run_with_sink e ~mode ~seed =
+   experiment builds reports into it; with [strict] a fresh strict
+   invariant checker rides along. *)
+let run_with_sink ?(strict = false) e ~mode ~seed =
   let sink = Obs.Sink.create () in
   let series =
     Experiments.Scenario.with_obs sink (fun () ->
-        e.Experiments.Registry.run ~mode ~seed)
+        if strict then
+          let checker = Check.Invariant.create ~strict:true () in
+          Experiments.Scenario.with_checks checker (fun () ->
+              e.Experiments.Registry.run ~mode ~seed)
+        else e.Experiments.Registry.run ~mode ~seed)
   in
   (sink, series)
+
+let handle_violation f =
+  try f () with
+  | Check.Invariant.Violation msg ->
+      Printf.eprintf "invariant violation:\n%s\n%!" msg;
+      exit 2
 
 let write_metrics_out ~file sink =
   let oc = open_out file in
@@ -82,13 +101,16 @@ let run_cmd =
     let doc = "Also render each series' first column as a terminal plot." in
     Arg.(value & flag & info [ "plot" ] ~doc)
   in
-  let run id full seed csv plot json metrics_out =
+  let run id full seed csv plot json metrics_out strict =
     match Experiments.Registry.find id with
     | None ->
         Printf.eprintf "unknown experiment %s; try `tfmcc-sim list'\n" id;
         exit 1
     | Some e ->
-        let sink, series = run_with_sink e ~mode:(mode_of_full full) ~seed in
+        let sink, series =
+          handle_violation (fun () ->
+              run_with_sink ~strict e ~mode:(mode_of_full full) ~seed)
+        in
         if json then
           print_endline (Obs.Json.to_string (json_document ~id sink series))
         else begin
@@ -104,7 +126,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ id_arg $ full_arg $ seed_arg $ csv_arg $ plot_arg
-          $ json_arg $ metrics_out_arg)
+          $ json_arg $ metrics_out_arg $ strict_arg)
 
 let sweep_cmd =
   let doc =
@@ -131,7 +153,7 @@ let sweep_cmd =
     let doc = "Experiment ids to sweep (default: all)." in
     Arg.(value & pos_all string [] & info [] ~doc ~docv:"ID")
   in
-  let run full seed csv jobs seeds replicates ids =
+  let run full seed csv jobs seeds replicates strict ids =
     if jobs < 1 then begin
       Printf.eprintf "sweep: -j must be >= 1\n";
       exit 1
@@ -155,8 +177,9 @@ let sweep_cmd =
     in
     let t0 = Unix.gettimeofday () in
     let results =
-      Experiments.Sweep.run ~experiments ~jobs ~mode:(mode_of_full full) ~seed
-        ~seeds ()
+      handle_violation (fun () ->
+          Experiments.Sweep.run ~experiments ~strict ~jobs
+            ~mode:(mode_of_full full) ~seed ~seeds ())
     in
     let wall = Unix.gettimeofday () -. t0 in
     List.iter
@@ -181,7 +204,83 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(const run $ full_arg $ seed_arg $ csv_arg $ jobs_arg $ seeds_arg
-          $ replicates_arg $ ids_arg)
+          $ replicates_arg $ strict_arg $ ids_arg)
+
+let verify_golden_cmd =
+  let doc =
+    "Verify every experiment's output digest against the checked-in golden \
+     file (or regenerate it with $(b,--regen)).  Digests cover each \
+     figure's series CSVs and observability snapshot at quick scale; the \
+     determinism contract makes them byte-identical for any $(b,-j)."
+  in
+  let jobs_arg =
+    let doc = "Worker domains (1 = serial in the calling domain)." in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc ~docv:"N")
+  in
+  let regen_arg =
+    let doc = "Rewrite the golden file from this run instead of comparing." in
+    Arg.(value & flag & info [ "regen" ] ~doc)
+  in
+  let file_arg =
+    let doc = "Golden digest file." in
+    Arg.(value & opt string "test/golden/digests.txt" & info [ "file" ] ~doc ~docv:"FILE")
+  in
+  let run seed jobs regen file =
+    if jobs < 1 then begin
+      Printf.eprintf "verify-golden: -j must be >= 1\n";
+      exit 1
+    end;
+    let actual =
+      Experiments.Golden.compute ~jobs ~mode:Experiments.Scenario.Quick ~seed ()
+    in
+    if regen then begin
+      let oc = open_out file in
+      output_string oc (Experiments.Golden.to_file_format actual);
+      close_out oc;
+      Printf.printf "verify-golden: wrote %d digests to %s\n"
+        (List.length actual) file
+    end
+    else begin
+      let expected =
+        match open_in file with
+        | ic ->
+            let len = in_channel_length ic in
+            let text = really_input_string ic len in
+            close_in ic;
+            Experiments.Golden.parse_file_format text
+        | exception Sys_error msg ->
+            Printf.eprintf
+              "verify-golden: cannot read %s (%s); run with --regen first\n"
+              file msg;
+            exit 1
+      in
+      match Experiments.Golden.diff ~expected ~actual with
+      | [] ->
+          Printf.printf "verify-golden: %d digests OK (seed %d)\n"
+            (List.length expected) seed
+      | diffs ->
+          List.iter
+            (fun (id, what) ->
+              match what with
+              | `Missing ->
+                  Printf.eprintf "verify-golden: %s: recorded but not produced\n" id
+              | `Extra ->
+                  Printf.eprintf
+                    "verify-golden: %s: produced but not recorded (--regen to add)\n" id
+              | `Mismatch (want, got) ->
+                  Printf.eprintf
+                    "verify-golden: %s: digest mismatch (recorded %s, got %s)\n"
+                    id want got)
+            diffs;
+          Printf.eprintf
+            "verify-golden: %d of %d digests differ — behavioural change; \
+             fix the regression or re-record with --regen\n"
+            (List.length diffs) (List.length actual);
+          exit 1
+    end
+  in
+  Cmd.v (Cmd.info "verify-golden" ~doc)
+    Term.(const run $ seed_arg $ jobs_arg $ regen_arg $ file_arg)
 
 let all_cmd =
   let doc = "Run every experiment in figure order." in
@@ -382,5 +481,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; all_cmd; sweep_cmd; chaos_cmd; scatter_cmd;
-            trace_cmd; dot_cmd ]))
+          [ list_cmd; run_cmd; all_cmd; sweep_cmd; verify_golden_cmd;
+            chaos_cmd; scatter_cmd; trace_cmd; dot_cmd ]))

@@ -253,6 +253,18 @@ let all =
       title = "Defense ablation scorecard: every attack, defenses off vs on";
       run = Rob07_defense_ablation.run;
     };
+    {
+      id = "chk01";
+      figure = "Checker";
+      title = "Differential oracle: TFMCC with one receiver vs unicast TFRC";
+      run = Chk01_differential.run;
+    };
+    {
+      id = "chk02";
+      figure = "Checker";
+      title = "Equation oracle: sender rate vs Padhye model at the receiver";
+      run = Chk02_equation.run;
+    };
   ]
 
 let find id =

@@ -25,6 +25,20 @@ let with_obs sink f =
 
 let ambient_obs () = Domain.DLS.get installed_obs
 
+(* Same ambient-install pattern for the runtime invariant checker
+   (Check.Invariant): the CLI's --strict flag installs a checker here
+   and every scenario built under it self-registers its engine, links
+   and TFMCC session.  Domain-local for the same reason as the sink. *)
+let installed_checks : Check.Invariant.t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let with_checks checker f =
+  let saved = Domain.DLS.get installed_checks in
+  Domain.DLS.set installed_checks (Some checker);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set installed_checks saved) f
+
+let ambient_checks () = Domain.DLS.get installed_checks
+
 let base ?(seed = 42) ?obs () =
   let obs =
     match obs with
@@ -37,6 +51,9 @@ let base ?(seed = 42) ?obs () =
   let engine = Netsim.Engine.create ~seed ~obs () in
   let topo = Netsim.Topology.create engine in
   let monitor = Netsim.Monitor.create engine in
+  (match Domain.DLS.get installed_checks with
+  | Some checker -> Check.Invariant.watch_engine checker engine
+  | None -> ());
   { engine; topo; monitor; obs }
 
 let tfmcc_flow = 1
@@ -99,6 +116,11 @@ let dumbbell ?seed ?obs ?(cfg = Tfmcc_core.Config.default) ~bottleneck_bps
         let src = mk_left () and dst = mk_right () in
         add_tcp sc ~conn:(1000 + i) ~flow:(tcp_flow i) ~src ~dst ~at:tcp_start)
   in
+  (match Domain.DLS.get installed_checks with
+  | Some checker ->
+      Check.Invariant.watch_link checker sc.engine ~name:"bottleneck" bottleneck;
+      Check.Invariant.watch_session checker sc.engine ~cfg session
+  | None -> ());
   {
     sc;
     session;
@@ -179,6 +201,17 @@ let star ?seed ?obs ?(cfg = Tfmcc_core.Config.default) ?uplink_bps
           add_tcp sc ~conn:(2000 + i) ~flow:(tcp_flow i) ~src ~dst:rx_nodes.(i)
             ~at:tcp_start)
   in
+  (match Domain.DLS.get installed_checks with
+  | Some checker ->
+      Array.iteri
+        (fun i (ab, ba) ->
+          Check.Invariant.watch_link checker sc.engine
+            ~name:(Printf.sprintf "hub->rx%d" i) ab;
+          Check.Invariant.watch_link checker sc.engine
+            ~name:(Printf.sprintf "rx%d->hub" i) ba)
+        rx_links;
+      Check.Invariant.watch_session checker sc.engine ~cfg session
+  | None -> ());
   {
     s_sc = sc;
     s_session = session;

@@ -33,6 +33,17 @@ val ambient_obs : unit -> Obs.Sink.t option
     summary counters through the CLI's [--json] / [--metrics-out]
     export. *)
 
+val with_checks : Check.Invariant.t -> (unit -> 'a) -> 'a
+(** Same ambient-install pattern as {!with_obs}, for the runtime
+    invariant checker: scenarios built inside [f] register their engine
+    ({!Check.Invariant.watch_engine}), their key links and their TFMCC
+    session with [checker].  Domain-local, restored on return or
+    exception.  The CLI's [--strict] flag threads a strict checker
+    through here. *)
+
+val ambient_checks : unit -> Check.Invariant.t option
+(** The checker installed by the innermost active {!with_checks}. *)
+
 val base : ?seed:int -> ?obs:Obs.Sink.t -> unit -> t
 (** Fresh engine + topology + monitor.  [obs] defaults to the sink
     installed by {!with_obs}, else a private enabled sink (so protocol

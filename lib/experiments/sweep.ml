@@ -10,9 +10,18 @@ let seeds ~base ~count =
   if count < 1 then invalid_arg "Sweep.seeds: count must be >= 1";
   List.init count (fun i -> base + i)
 
-let run_one (e : Registry.experiment) ~mode ~seed =
+let run_one ?(strict = false) (e : Registry.experiment) ~mode ~seed =
   let sink = Obs.Sink.create () in
-  let series = Scenario.with_obs sink (fun () -> e.Registry.run ~mode ~seed) in
+  let series =
+    Scenario.with_obs sink (fun () ->
+        if strict then
+          (* Fresh checker per task: probes hold engine references, and
+             a strict violation must abort exactly this (experiment,
+             seed) cell with its own journal window. *)
+          let checker = Check.Invariant.create ~strict:true () in
+          Scenario.with_checks checker (fun () -> e.Registry.run ~mode ~seed)
+        else e.Registry.run ~mode ~seed)
+  in
   { seed; series }
 
 (* ------------------------------------------------------------ aggregate *)
@@ -100,12 +109,13 @@ let rec chunk n = function
       let head, rest = take n [] l in
       head :: chunk n rest
 
-let run ?(experiments = Registry.all) ~jobs ~mode ~seed ?(seeds = 1) () =
+let run ?(experiments = Registry.all) ?(strict = false) ~jobs ~mode ~seed
+    ?(seeds = 1) () =
   if seeds < 1 then invalid_arg "Sweep.run: seeds must be >= 1";
   let seed_list = List.init seeds (fun i -> seed + i) in
   let tasks =
     List.concat_map
-      (fun e -> List.map (fun s () -> run_one e ~mode ~seed:s) seed_list)
+      (fun e -> List.map (fun s () -> run_one ~strict e ~mode ~seed:s) seed_list)
       experiments
   in
   let replicates = chunk seeds (Par.map ~jobs tasks) in

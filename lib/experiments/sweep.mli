@@ -21,10 +21,15 @@ val seeds : base:int -> count:int -> int list
 (** [base; base+1; …; base+count-1].  Raises [Invalid_argument] when
     [count < 1]. *)
 
-val run_one : Registry.experiment -> mode:Scenario.mode -> seed:int -> replicate
+val run_one :
+  ?strict:bool -> Registry.experiment -> mode:Scenario.mode -> seed:int ->
+  replicate
 (** Runs one experiment with a fresh private sink installed
     ({!Scenario.with_obs}), so concurrent runs never share metrics or
-    journals. *)
+    journals.  With [strict] (default false) a fresh strict
+    {!Check.Invariant} checker is installed too
+    ({!Scenario.with_checks}); an invariant violation then raises
+    {!Check.Invariant.Violation} out of this cell. *)
 
 val aggregate : Series.t list list -> Series.t list option
 (** Combine per-seed series lists (outer list = seeds, in seed order)
@@ -34,6 +39,7 @@ val aggregate : Series.t list list -> Series.t list option
 
 val run :
   ?experiments:Registry.experiment list ->
+  ?strict:bool ->
   jobs:int ->
   mode:Scenario.mode ->
   seed:int ->
@@ -43,4 +49,7 @@ val run :
 (** Sweeps [experiments] (default {!Registry.all}) × [seeds] replicate
     seeds (default 1; seed list is [seed, seed+1, …]) as one flat task
     batch over [jobs] workers ({!Par.map}; [jobs <= 1] runs serially in
-    the calling domain).  Results preserve the input experiment order. *)
+    the calling domain).  Results preserve the input experiment order.
+    [strict] (default false) runs every cell under a strict invariant
+    checker ({!run_one}); the first violating cell's
+    {!Check.Invariant.Violation} propagates out of the sweep. *)

@@ -97,3 +97,10 @@ let stop t = t.stopped <- true
 let events_processed t = t.processed
 
 let pending_events t = Event_heap.size t.heap
+
+let queue_consistent t =
+  Event_heap.well_formed t.heap
+  &&
+  match Event_heap.peek_time t.heap with
+  | None -> true
+  | Some next -> next >= t.clock.Event_heap.cell_time

@@ -59,3 +59,11 @@ val stop : t -> unit
 val events_processed : t -> int
 
 val pending_events : t -> int
+
+val queue_consistent : t -> bool
+(** Structural audit of the event queue for the runtime invariant
+    checker: the underlying heap is well-formed
+    ({!Event_heap.well_formed}) and no pending event precedes the
+    current clock — i.e. simulated time can only move forward.  O(n) in
+    the queue size; purges cancelled events surfacing at the root as a
+    side effect (behaviour-neutral). *)

@@ -199,3 +199,27 @@ let peek_time t =
 let size t = t.live
 
 let is_empty t = t.live = 0
+
+(* O(n) structural audit for the invariant checker: every stored key is a
+   real float, the (time, seq) heap order holds on every parent/child
+   edge, and the live count matches the stored non-cancelled events. *)
+let well_formed t =
+  if t.len < 0 || t.len > Array.length t.times
+     || Array.length t.times <> Array.length t.events
+     || t.live < 0 || t.live > t.len
+  then false
+  else begin
+    let ok = ref true in
+    let stored_live = ref 0 in
+    for i = 0 to t.len - 1 do
+      if Float.is_nan t.times.(i) then ok := false;
+      if not t.events.(i).cancelled then incr stored_live;
+      if i > 0 then begin
+        let p = (i - 1) / 2 in
+        let tp = t.times.(p) and ti = t.times.(i) in
+        if tp > ti || (tp = ti && t.events.(p).seq > t.events.(i).seq) then
+          ok := false
+      end
+    done;
+    !ok && !stored_live = t.live
+  end

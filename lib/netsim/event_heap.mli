@@ -55,3 +55,9 @@ val size : t -> int
 (** Number of live (non-cancelled) events. *)
 
 val is_empty : t -> bool
+
+val well_formed : t -> bool
+(** O(n) structural audit (used by the runtime invariant checker): no
+    stored key is NaN, the (time, insertion-order) min-heap property
+    holds on every parent/child edge, and the live count agrees with the
+    stored events.  Read-only. *)

@@ -21,6 +21,20 @@ type t = {
   mutable delivered : int;
   mutable lost : int;
   mutable flaps : int;
+  (* Per-link conservation ledger (see Check.Invariant): every packet
+     entering [forward] is [offered]; it then either pre-drops (down /
+     TTL), drops at the queue, or is accepted into the queue+wire
+     pipeline; after transmission it either drops to the loss model or
+     propagates ([in_flight]) until delivery.  These separate the drop
+     kinds that [lost] conflates, so the checker can assert exact packet
+     conservation at any sample instant. *)
+  mutable offered : int;
+  mutable in_flight : int;
+  mutable drop_queue_n : int;
+  mutable drop_loss_n : int;
+  mutable drop_down_n : int;
+  mutable drop_ttl_n : int;
+  mutable drop_fault_n : int;
   busy_time : fcell;
   mutable fault : (Packet.t -> fault_action) option;
   mutable tracer :
@@ -87,6 +101,13 @@ let create engine ?(loss = Loss_model.none) ~bandwidth_bps ~delay_s ~queue ~src
     delivered = 0;
     lost = 0;
     flaps = 0;
+    offered = 0;
+    in_flight = 0;
+    drop_queue_n = 0;
+    drop_loss_n = 0;
+    drop_down_n = 0;
+    drop_ttl_n = 0;
+    drop_fault_n = 0;
     busy_time = { fc = 0. };
     fault = None;
     tracer = None;
@@ -103,11 +124,14 @@ let trace t ~kind p =
 let deliver t p =
   if Loss_model.drops_packet t.loss then begin
     t.lost <- t.lost + 1;
+    t.drop_loss_n <- t.drop_loss_n + 1;
     Obs.Metrics.Counter.inc t.cs.m_drop_loss;
     trace t ~kind:`Drop_loss p
   end
   else begin
+    t.in_flight <- t.in_flight + 1;
     let arrive () =
+      t.in_flight <- t.in_flight - 1;
       t.delivered <- t.delivered + 1;
       Obs.Metrics.Counter.inc t.cs.m_deliver;
       trace t ~kind:`Deliver p;
@@ -133,8 +157,10 @@ let rec transmit t p =
   ignore (Engine.after t.engine ~delay:tx complete)
 
 let forward t (p : Packet.t) =
+  t.offered <- t.offered + 1;
   if not t.up then begin
     t.lost <- t.lost + 1;
+    t.drop_down_n <- t.drop_down_n + 1;
     Obs.Metrics.Counter.inc t.cs.m_drop_down;
     trace t ~kind:`Drop_loss p
   end
@@ -142,12 +168,14 @@ let forward t (p : Packet.t) =
     (* A routing loop ate the packet: account for it like any other drop
        instead of letting it vanish from all stats. *)
     t.lost <- t.lost + 1;
+    t.drop_ttl_n <- t.drop_ttl_n + 1;
     Obs.Metrics.Counter.inc t.cs.m_drop_ttl;
     trace t ~kind:`Drop_ttl p;
     Logs.warn (fun m -> m "Link: TTL exceeded, dropping %a" Packet.pp p)
   end
   else if t.busy then begin
     if not (Queue_disc.enqueue t.queue p) then begin
+      t.drop_queue_n <- t.drop_queue_n + 1;
       Obs.Metrics.Counter.inc t.cs.m_drop_queue;
       trace t ~kind:`Drop_queue p
     end
@@ -163,6 +191,7 @@ let send t (p : Packet.t) =
       | `Pass -> forward t p
       | `Drop ->
           t.lost <- t.lost + 1;
+          t.drop_fault_n <- t.drop_fault_n + 1;
           Obs.Metrics.Counter.inc t.cs.m_drop_loss;
           trace t ~kind:`Drop_loss p
       | `Replace p' -> forward t p'
@@ -192,6 +221,20 @@ let packets_sent t = t.sent
 let packets_delivered t = t.delivered
 
 let packets_lost t = t.lost
+
+let packets_offered t = t.offered
+
+let packets_in_flight t = t.in_flight
+
+let drops_queue t = t.drop_queue_n
+
+let drops_loss t = t.drop_loss_n
+
+let drops_down t = t.drop_down_n
+
+let drops_ttl t = t.drop_ttl_n
+
+let drops_fault t = t.drop_fault_n
 
 let busy t = t.busy
 

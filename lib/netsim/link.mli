@@ -77,6 +77,43 @@ val packets_lost : t -> int
     link, or the TTL guard (excludes queue drops; see
     [Queue_disc.drops (queue link)] for those). *)
 
+(** {2 Conservation ledger}
+
+    Exact per-link accounting used by the runtime invariant checker
+    ({!Check.Invariant}): at any sample instant, a packet handed to the
+    link by {!send} and passed (or produced) by the fault hook is in
+    exactly one of the buckets below, so both identities hold:
+
+    {ul
+    {- [packets_offered = drops_down + drops_ttl + drops_queue
+        + queue length + (1 if busy) + packets_sent]}
+    {- [packets_sent = drops_loss + packets_in_flight
+        + packets_delivered]}} *)
+
+val packets_offered : t -> int
+(** Packets that entered the link pipeline (post fault hook — a
+    duplicated packet counts twice, a fault-dropped one not at all). *)
+
+val packets_in_flight : t -> int
+(** Transmitted packets still propagating (past the loss model, arrival
+    not yet delivered). *)
+
+val drops_queue : t -> int
+(** Dropped by the queue discipline at enqueue. *)
+
+val drops_loss : t -> int
+(** Dropped by the stochastic loss model after transmission. *)
+
+val drops_down : t -> int
+(** Dropped because the link was administratively down. *)
+
+val drops_ttl : t -> int
+(** Dropped by the TTL guard (routing loop). *)
+
+val drops_fault : t -> int
+(** Dropped by the fault injector before entering the pipeline (not part
+    of the {!packets_offered} ledger). *)
+
 val busy : t -> bool
 
 val utilization : t -> now:float -> float

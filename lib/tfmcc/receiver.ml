@@ -69,6 +69,8 @@ let has_rtt_measurement t = Rtt_estimator.has_measurement t.rtt_est
 
 let rtt_measurements t = Rtt_estimator.measurements t.rtt_est
 
+let rtt_sample_rejections t = Rtt_estimator.rejections t.rtt_est
+
 let loss_event_rate t = Tfrc.Loss_history.loss_event_rate t.history
 
 let has_loss t = Tfrc.Loss_history.has_loss t.history
@@ -389,7 +391,7 @@ let create topo ~cfg ~session ~node ~sender ?report_to ?(clock_offset = 0.)
         ntp_error;
         report_flow;
         rng = Netsim.Engine.split_rng engine;
-        rtt_est = Rtt_estimator.create ~cfg ~clock_offset;
+        rtt_est = Rtt_estimator.create ~metrics ~cfg ~clock_offset ();
         history =
           Tfrc.Loss_history.create ~n_intervals:cfg.Config.n_intervals
             ~first_interval:(fun () ->

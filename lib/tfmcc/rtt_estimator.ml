@@ -5,12 +5,21 @@ type t = {
   mutable measured : bool;
   mutable ntp_init : bool;
   mutable count : int;
+  mutable rejected : int;
   (* Reverse-path delay estimate (receiver clock minus sender clock
      convention), valid once measured. *)
   mutable d_reverse : float;
+  m_rejected : Obs.Metrics.Counter.t;
 }
 
-let create ~cfg ~clock_offset =
+(* Floor for clamped echo samples: a sample driven to zero or below by
+   clock skew or a corrupted echo delay carries no usable magnitude, but
+   it still proves the echo loop is closed — clamping (rather than
+   discarding) lets [measured] flip so the estimator is not stuck on
+   rtt_initial forever. *)
+let sample_floor = 1e-3
+
+let create ?(metrics = Obs.Metrics.null) ~cfg ~clock_offset () =
   {
     cfg;
     clock_offset;
@@ -18,7 +27,9 @@ let create ~cfg ~clock_offset =
     measured = false;
     ntp_init = false;
     count = 0;
+    rejected = 0;
     d_reverse = nan;
+    m_rejected = Obs.Metrics.counter metrics "check_rtt_sample_rejected_total";
   }
 
 let local_time t ~now = now +. t.clock_offset
@@ -29,9 +40,29 @@ let has_measurement t = t.measured
 
 let measurements t = t.count
 
+let rejections t = t.rejected
+
 let on_echo t ~local_now ~rx_ts ~echo_delay ~pkt_ts ~is_clr =
-  let inst = local_now -. rx_ts -. echo_delay in
-  if inst > 0. then begin
+  let raw = local_now -. rx_ts -. echo_delay in
+  (* Non-positive samples used to be discarded silently, which left
+     [measured] unset forever when every echo arrived skewed — the
+     receiver then reported rtt_initial for the whole session.  Clamp
+     them to a small positive floor instead (the echo loop demonstrably
+     closed, only the magnitude is garbage) and count the rejection; NaN
+     carries no information at all and is dropped outright. *)
+  if Float.is_nan raw then begin
+    t.rejected <- t.rejected + 1;
+    Obs.Metrics.Counter.inc t.m_rejected
+  end
+  else begin
+    let inst =
+      if raw > 0. then raw
+      else begin
+        t.rejected <- t.rejected + 1;
+        Obs.Metrics.Counter.inc t.m_rejected;
+        sample_floor
+      end
+    in
     let alpha =
       if not t.measured then 1.
       else if is_clr then t.cfg.Config.ewma_clr

@@ -20,7 +20,11 @@
 
 type t
 
-val create : cfg:Config.t -> clock_offset:float -> t
+val create :
+  ?metrics:Obs.Metrics.t -> cfg:Config.t -> clock_offset:float -> unit -> t
+(** [metrics] (default {!Obs.Metrics.null}) receives the
+    [check_rtt_sample_rejected_total] counter: echo samples whose raw
+    value was non-positive (clock skew, corrupted echo delay) or NaN. *)
 
 val local_time : t -> now:float -> float
 (** Engine time plus this receiver's clock offset. *)
@@ -34,13 +38,26 @@ val has_measurement : t -> bool
 val measurements : t -> int
 (** Count of real (echo-based) measurements. *)
 
+val rejections : t -> int
+(** Echo samples rejected or clamped because the raw value
+    [local_now − rx_ts − echo_delay] was non-positive or NaN (skewed
+    clock, corrupted echo).  Mirrored in the
+    [check_rtt_sample_rejected_total] metric. *)
+
 val on_echo :
   t -> local_now:float -> rx_ts:float -> echo_delay:float -> pkt_ts:float ->
   is_clr:bool -> unit
 (** A data packet echoed this receiver's report: [rx_ts] is the timestamp
     this receiver put in the report (local clock), [echo_delay] the
     sender's hold time, [pkt_ts] the data packet's sender timestamp
-    (sender clock, used to seed the one-way state). *)
+    (sender clock, used to seed the one-way state).
+
+    A sample whose raw value is non-positive is clamped to a 1 ms floor
+    (and counted under {!rejections}) rather than silently discarded:
+    the echo proves the measurement loop is closed, and discarding it
+    would leave the estimate stuck on the configured initial value for
+    as long as the skew persists.  NaN samples are dropped (and
+    counted). *)
 
 val on_data : t -> local_now:float -> pkt_ts:float -> unit
 (** One-way-delay adjustment from a regular data packet; no-op before the

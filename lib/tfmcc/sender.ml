@@ -99,6 +99,8 @@ let rate_bytes_per_s t = t.rate
 
 let clr t = match t.clr with None -> None | Some c -> Some c.clr_id
 
+let clr_rate t = match t.clr with None -> None | Some c -> Some c.clr_rate
+
 let in_slowstart t = t.in_ss
 
 let round t = t.round

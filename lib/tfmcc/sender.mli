@@ -41,6 +41,12 @@ val rate_bytes_per_s : t -> float
 val clr : t -> int option
 (** Node id of the current limiting receiver. *)
 
+val clr_rate : t -> float option
+(** Last (sender-adjusted) rate the current CLR reported, bytes/s.  In
+    congestion avoidance with a live CLR the sending rate never exceeds
+    this value (modulo the one-packet-per-RTT floor) — the ceiling the
+    runtime invariant checker asserts. *)
+
 val in_slowstart : t -> bool
 
 val round : t -> int

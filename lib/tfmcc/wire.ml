@@ -94,8 +94,25 @@ let report_magic = 0x52 (* 'R' *)
 
 let report_flag_mask = 0x07 (* have_rtt | has_loss | leaving *)
 
+(* Encoding is the sender's last chance to catch a non-finite float
+   before it reaches the network: a NaN/inf smuggled through the encoder
+   would round-trip bit-exactly and only surface as a decode rejection
+   at every receiver.  Fail loudly at the source instead. *)
+let require_finite ctx name v =
+  if not (Float.is_finite v) then
+    invalid_arg
+      (Printf.sprintf "Wire.%s: non-finite %s (%h)" ctx name v)
+
 let encode_report ~session ~rx_id ~ts ~echo_ts ~echo_delay ~rate ~have_rtt
     ~rtt ~p ~x_recv ~round ~has_loss ~leaving =
+  let chk = require_finite "encode_report" in
+  chk "ts" ts;
+  chk "echo_ts" echo_ts;
+  chk "echo_delay" echo_delay;
+  chk "rate" rate;
+  chk "rtt" rtt;
+  chk "p" p;
+  chk "x_recv" x_recv;
   let b = Bytes.create encoded_report_size in
   Bytes.set_uint8 b 0 report_magic;
   let flags =
@@ -170,6 +187,19 @@ let data_flag_mask = 0x0f (* in_slowstart | echo? | fb? | fb_has_loss *)
 
 let encode_data ~session ~seq ~ts ~rate ~round ~round_duration ~max_rtt ~clr
     ~in_slowstart ~echo ~fb ~app =
+  let chk = require_finite "encode_data" in
+  chk "ts" ts;
+  chk "rate" rate;
+  chk "round_duration" round_duration;
+  chk "max_rtt" max_rtt;
+  (match echo with
+  | Some e ->
+      chk "echo.rx_ts" e.rx_ts;
+      chk "echo.echo_delay" e.echo_delay
+  | None -> ());
+  (match fb with
+  | Some f -> chk "fb.fb_rate" f.fb_rate
+  | None -> ());
   let b = Bytes.create encoded_data_size in
   Bytes.fill b 0 encoded_data_size '\000';
   Bytes.set_uint8 b 0 data_magic;

@@ -102,7 +102,13 @@ val data_fields_valid :
     string — random, truncated, or a bit-flipped valid encoding — either
     decodes to a payload that passes {!report_fields_valid} /
     {!data_fields_valid}, or returns [Error]; it never raises and never
-    yields NaN or out-of-range fields. *)
+    yields NaN or out-of-range fields.
+
+    Encoding enforces the dual contract at the source: both encoders
+    raise [Invalid_argument] if any float field is NaN or infinite — a
+    non-finite value would round-trip bit-exactly and only surface as a
+    decode rejection at every receiver, so it is refused before it can
+    reach the wire. *)
 
 val encoded_report_size : int
 (** 82 bytes (the simulator's accounting size {!report_size} models a

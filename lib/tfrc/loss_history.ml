@@ -166,23 +166,45 @@ let remodel t ~rtt =
       in
       let rebuilt = intervals_of events in
       (* Keep whatever older history lies beyond the gap log: the
-         previous intervals not covered by the rebuilt ones. *)
+         previous intervals not covered by the rebuilt ones.  Old
+         interval i (newest first) spans [boundary - v, boundary) in
+         sequence space, with boundary starting at the current event's
+         first lost seq; it is covered by the rebuilt history iff it
+         lies entirely within the retained gap log (whose oldest gap is
+         [seq0]).  The synthetic first interval (App. B) corresponds to
+         no real gap and is never covered, nor is anything older. *)
       let n_covered =
-        (* the rebuilt intervals replace the newest [old events within the
-           log window]; approximate by length. *)
-        Stdlib.min (List.length t.intervals) (List.length rebuilt)
+        let boundary = ref t.event_start_seq in
+        let covered = ref 0 in
+        (try
+           List.iteri
+             (fun i v ->
+               if i = t.synthetic_pos then raise Exit;
+               let lo = !boundary - int_of_float v in
+               if lo >= seq0 then begin
+                 incr covered;
+                 boundary := lo
+               end
+               else raise Exit)
+             t.intervals
+         with Exit -> ());
+        !covered
       in
       let older = List.filteri (fun i _ -> i >= n_covered) t.intervals in
       t.intervals <-
         List.filteri (fun i _ -> i < t.n) (rebuilt @ older);
+      (* The synthetic interval survives the splice when present: shift
+         its position by the replacement. *)
+      (if t.synthetic_pos >= 0 then begin
+         let pos = List.length rebuilt + (t.synthetic_pos - n_covered) in
+         t.synthetic_pos <- (if pos < t.n then pos else -1)
+       end);
       (match events with
       | (s, tm) :: _ ->
           t.event_start_seq <- s;
           t.event_start_time <- tm;
           t.events <- Stdlib.max t.events (List.length events)
-      | [] -> ());
-      (* The synthetic interval's position is no longer tracked. *)
-      t.synthetic_pos <- -1
+      | [] -> ())
 
 let rescale_synthetic t ~factor =
   if factor <= 0. then invalid_arg "Loss_history.rescale_synthetic: factor must be positive";

@@ -1,0 +1,402 @@
+(* Tests for the runtime invariant checker, the differential oracles and
+   the digest machinery (lib/check, DESIGN.md §11). *)
+
+module I = Check.Invariant
+
+let ok_counts : I.link_counts =
+  {
+    offered = 100;
+    drop_down = 2;
+    drop_ttl = 1;
+    drop_queue = 7;
+    queued = 3;
+    on_wire = 1;
+    sent = 86;
+    drop_loss = 4;
+    in_flight = 2;
+    delivered = 80;
+  }
+
+let check_ok name = function
+  | Ok () -> ()
+  | Error d -> Alcotest.fail (Printf.sprintf "%s: unexpected violation: %s" name d)
+
+let check_err name = function
+  | Ok () -> Alcotest.fail (Printf.sprintf "%s: violation not detected" name)
+  | Error _ -> ()
+
+(* ------------------------------------------------------- pure predicates *)
+
+let test_link_conservation () =
+  check_ok "balanced ledger" (I.check_link_conservation ok_counts);
+  check_err "offered leak"
+    (I.check_link_conservation { ok_counts with offered = 101 });
+  check_err "sent-side leak"
+    (I.check_link_conservation { ok_counts with delivered = 79 });
+  check_ok "all zero"
+    (I.check_link_conservation
+       {
+         offered = 0;
+         drop_down = 0;
+         drop_ttl = 0;
+         drop_queue = 0;
+         queued = 0;
+         on_wire = 0;
+         sent = 0;
+         drop_loss = 0;
+         in_flight = 0;
+         delivered = 0;
+       })
+
+let test_loss_event_rate () =
+  check_ok "zero" (I.check_loss_event_rate 0.);
+  check_ok "one" (I.check_loss_event_rate 1.);
+  check_ok "typical" (I.check_loss_event_rate 0.013);
+  check_err "negative" (I.check_loss_event_rate (-0.01));
+  check_err "above one" (I.check_loss_event_rate 1.01);
+  check_err "NaN" (I.check_loss_event_rate Float.nan)
+
+let test_rtt () =
+  check_ok "typical" (I.check_rtt 0.06);
+  check_err "zero" (I.check_rtt 0.);
+  check_err "negative" (I.check_rtt (-0.1));
+  check_err "infinite" (I.check_rtt Float.infinity);
+  check_err "NaN" (I.check_rtt Float.nan)
+
+let test_x_recv () =
+  check_ok "zero" (I.check_x_recv 0.);
+  check_ok "typical" (I.check_x_recv 125_000.);
+  check_err "negative" (I.check_x_recv (-1.));
+  check_err "infinite" (I.check_x_recv Float.infinity);
+  check_err "NaN" (I.check_x_recv Float.nan)
+
+let test_rate_bounds () =
+  let chk = I.check_rate_bounds ~x_min:15.625 ~x_max:1e6 in
+  check_ok "floor" (chk 15.625);
+  check_ok "cap" (chk 1e6);
+  check_ok "mid" (chk 50_000.);
+  check_err "below floor" (chk 15.);
+  check_err "above cap" (chk 1.1e6);
+  check_err "NaN" (chk Float.nan);
+  check_err "infinite" (chk Float.infinity)
+
+let test_rate_ceiling () =
+  let chk = I.check_rate_ceiling ~x_min:15.625 in
+  check_ok "at the CLR rate"
+    (chk ~in_slowstart:false ~starved:false ~clr_rate:(Some 40_000.)
+       ~rate:40_000.);
+  check_ok "below the CLR rate"
+    (chk ~in_slowstart:false ~starved:false ~clr_rate:(Some 40_000.)
+       ~rate:30_000.);
+  check_err "above the CLR rate"
+    (chk ~in_slowstart:false ~starved:false ~clr_rate:(Some 40_000.)
+       ~rate:40_001.);
+  check_ok "floor dominates a tiny CLR rate"
+    (chk ~in_slowstart:false ~starved:false ~clr_rate:(Some 1.) ~rate:15.625);
+  check_ok "vacuous in slowstart"
+    (chk ~in_slowstart:true ~starved:false ~clr_rate:(Some 40_000.)
+       ~rate:90_000.);
+  check_ok "vacuous when starved"
+    (chk ~in_slowstart:false ~starved:true ~clr_rate:(Some 40_000.)
+       ~rate:90_000.);
+  check_ok "vacuous without CLR"
+    (chk ~in_slowstart:false ~starved:false ~clr_rate:None ~rate:90_000.)
+
+let test_clr_defined () =
+  check_ok "CLR present"
+    (I.check_clr_defined ~round:10 ~reports:50 ~clr_changes:1 ~starved:false
+       ~has_clr:true);
+  check_ok "early rounds"
+    (I.check_clr_defined ~round:2 ~reports:3 ~clr_changes:0 ~starved:false
+       ~has_clr:false);
+  check_ok "no reports yet"
+    (I.check_clr_defined ~round:10 ~reports:0 ~clr_changes:0 ~starved:false
+       ~has_clr:false);
+  check_ok "starved senders excused"
+    (I.check_clr_defined ~round:10 ~reports:50 ~clr_changes:0 ~starved:true
+       ~has_clr:false);
+  check_ok "had a CLR once"
+    (I.check_clr_defined ~round:10 ~reports:50 ~clr_changes:2 ~starved:false
+       ~has_clr:false);
+  check_err "reports but never a CLR"
+    (I.check_clr_defined ~round:10 ~reports:50 ~clr_changes:0 ~starved:false
+       ~has_clr:false)
+
+let test_time_monotonic () =
+  check_ok "forward" (I.check_time_monotonic ~last:1.0 ~now:1.5);
+  check_ok "equal" (I.check_time_monotonic ~last:1.0 ~now:1.0);
+  check_err "backwards" (I.check_time_monotonic ~last:1.0 ~now:0.999)
+
+(* ------------------------------------------------------ checker plumbing *)
+
+let test_checker_counts_violations () =
+  let sink = Obs.Sink.create () in
+  let engine = Netsim.Engine.create ~obs:sink () in
+  let t = I.create ~interval:0.1 () in
+  let fail_after = ref 0. in
+  I.watch_custom t engine ~id:"test_probe" (fun () ->
+      if Netsim.Engine.now engine > !fail_after then Error "synthetic" else Ok ());
+  fail_after := 0.55;
+  ignore (Netsim.Engine.at engine ~time:1.0 (fun () -> ()));
+  Netsim.Engine.run ~until:1.0 engine;
+  (* Samples at 0.1 .. 1.0; violations from the first sample past 0.55. *)
+  let v = I.violations t in
+  Alcotest.(check bool) "violations counted"
+    true
+    (v >= 4 && v <= 6);
+  Alcotest.(check int) "metric matches" v
+    (Obs.Metrics.counter_value sink.Obs.Sink.metrics
+       ~labels:[ ("invariant", "test_probe") ]
+       "check_violations_total");
+  Alcotest.(check bool) "samples counted" true
+    (Obs.Metrics.counter_value sink.Obs.Sink.metrics "check_samples_total" >= 9);
+  Alcotest.(check int) "journal notes" v
+    (Obs.Journal.count sink.Obs.Sink.journal ~component:"check"
+       ~min_severity:Obs.Journal.Error ())
+
+let test_checker_strict_aborts_with_window () =
+  let sink = Obs.Sink.create () in
+  let engine = Netsim.Engine.create ~obs:sink () in
+  Obs.Sink.event sink ~time:0. (Obs.Journal.scope "test")
+    (Obs.Journal.Note "context before the violation");
+  let t = I.create ~strict:true ~interval:0.1 () in
+  I.watch_custom t engine ~id:"boom" (fun () -> Error "synthetic failure");
+  ignore (Netsim.Engine.at engine ~time:1.0 (fun () -> ()));
+  match Netsim.Engine.run ~until:1.0 engine with
+  | () -> Alcotest.fail "strict checker did not abort"
+  | exception I.Violation msg ->
+      let contains needle =
+        let rec go i =
+          i + String.length needle <= String.length msg
+          && (String.sub msg i (String.length needle) = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "names the invariant" true (contains "boom");
+      Alcotest.(check bool) "carries the detail" true
+        (contains "synthetic failure");
+      Alcotest.(check bool) "attaches the journal window" true
+        (contains "journal window");
+      Alcotest.(check bool) "window holds prior context" true
+        (contains "context before the violation")
+
+let test_checker_clean_run_no_violations () =
+  (* A healthy dumbbell under the full watch set: engine, bottleneck
+     link, TFMCC session.  Nothing may fire. *)
+  let t = I.create ~interval:0.25 () in
+  let sink = Obs.Sink.create () in
+  Experiments.Scenario.with_obs sink (fun () ->
+      Experiments.Scenario.with_checks t (fun () ->
+          let d =
+            Experiments.Scenario.dumbbell ~bottleneck_bps:1e6 ~delay_s:0.04
+              ~n_tfmcc_rx:3 ~n_tcp:1 ()
+          in
+          Tfmcc_core.Session.start d.Experiments.Scenario.session ~at:0.;
+          Experiments.Scenario.run_until d.Experiments.Scenario.sc 30.));
+  Alcotest.(check int) "no violations" 0 (I.violations t);
+  Alcotest.(check bool) "checker sampled" true
+    (Obs.Metrics.counter_value sink.Obs.Sink.metrics "check_samples_total" > 0)
+
+let test_link_probe_detects_tampering () =
+  (* Force a real violation through the public watch_link path by
+     tampering with a link's counters... we can't — they're abstract.
+     Instead check that a real run keeps the ledger balanced while a
+     synthetic miscount trips the pure predicate (covered above), and
+     that watch_link samples cleanly on live traffic. *)
+  let t = I.create ~interval:0.1 () in
+  let sc = Experiments.Scenario.base () in
+  let a = Netsim.Topology.add_node sc.Experiments.Scenario.topo in
+  let b = Netsim.Topology.add_node sc.Experiments.Scenario.topo in
+  let ab, _ =
+    Netsim.Topology.connect sc.Experiments.Scenario.topo ~queue_capacity:5
+      ~bandwidth_bps:80_000. ~delay_s:0.01 a b
+  in
+  I.watch_link t sc.Experiments.Scenario.engine ~name:"ab" ab;
+  (* Offer 3x the line rate so queue drops occur. *)
+  let src =
+    Netsim.Traffic.cbr sc.Experiments.Scenario.topo ~flow:9 ~src:a ~dst:b
+      ~rate_bps:240_000. ~packet_size:500 ()
+  in
+  Netsim.Traffic.start src ~at:0.;
+  Experiments.Scenario.run_until sc 6.;
+  Alcotest.(check int) "ledger balanced under overload" 0 (I.violations t);
+  Alcotest.(check bool) "queue actually dropped" true
+    (Netsim.Link.drops_queue ab > 0)
+
+(* ---------------------------------------------------------------- digest *)
+
+let test_digest_known_vectors () =
+  (* Published FNV-1a 64-bit vectors. *)
+  Alcotest.(check string) "empty" "cbf29ce484222325" (Check.Digest.of_string "");
+  Alcotest.(check string) "'a'" "af63dc4c8601ec8c" (Check.Digest.of_string "a");
+  Alcotest.(check string) "'foobar'" "85944171f73967e8"
+    (Check.Digest.of_string "foobar")
+
+let test_digest_streaming_equals_oneshot () =
+  let d = Check.Digest.create () in
+  Check.Digest.add_string d "foo";
+  Check.Digest.add_char d 'b';
+  Check.Digest.add_string d "ar";
+  Alcotest.(check string) "chunking irrelevant"
+    (Check.Digest.of_string "foobar") (Check.Digest.to_hex d)
+
+(* ---------------------------------------------------------------- oracle *)
+
+let test_oracle_arithmetic () =
+  Alcotest.(check (float 1e-12)) "exact" 0.
+    (Check.Oracle.relative_error ~expected:100. ~actual:100.);
+  Alcotest.(check (float 1e-12)) "ten percent" 0.1
+    (Check.Oracle.relative_error ~expected:100. ~actual:110.);
+  Alcotest.(check (float 1e-12)) "both zero" 0.
+    (Check.Oracle.relative_error ~expected:0. ~actual:0.);
+  Alcotest.(check bool) "within" true
+    (Check.Oracle.within_tolerance ~tolerance:0.1 ~expected:100. ~actual:105.);
+  Alcotest.(check bool) "outside" false
+    (Check.Oracle.within_tolerance ~tolerance:0.1 ~expected:100. ~actual:115.);
+  Alcotest.(check bool) "NaN never within" false
+    (Check.Oracle.within_tolerance ~tolerance:0.5 ~expected:Float.nan
+       ~actual:100.)
+
+let test_equation_gap () =
+  let b = 1. and s = 1000 and rtt = 0.05 and p = 0.01 in
+  let model = Tcp_model.Padhye.throughput ~b ~s ~rtt p in
+  Alcotest.(check (float 1e-9)) "zero at the model rate" 0.
+    (Check.Oracle.equation_gap ~b ~s ~rtt ~p ~rate:model);
+  Alcotest.(check (float 1e-9)) "relative gap" 0.5
+    (Check.Oracle.equation_gap ~b ~s ~rtt ~p ~rate:(1.5 *. model));
+  Alcotest.(check bool) "degenerate p" true
+    (Check.Oracle.equation_gap ~b ~s ~rtt ~p:0. ~rate:1e5 = infinity);
+  Alcotest.(check bool) "degenerate rtt" true
+    (Check.Oracle.equation_gap ~b ~s ~rtt:0. ~p ~rate:1e5 = infinity)
+
+(* -------------------------------------------- differential oracles (sim) *)
+
+let test_differential_tfmcc_vs_tfrc () =
+  let c =
+    Experiments.Chk01_differential.compare_pair ~bottleneck_bps:1e6
+      ~delay_s:0.03 ~t_end:60. ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "TFMCC %.0f ~ TFRC %.0f kbit/s (gap %.1f%%)"
+       c.Experiments.Chk01_differential.tfmcc_kbps
+       c.Experiments.Chk01_differential.tfrc_kbps
+       (100. *. c.Experiments.Chk01_differential.rel_err))
+    true
+    (c.Experiments.Chk01_differential.rel_err
+    <= Experiments.Chk01_differential.tolerance)
+
+let test_equation_oracle_converges () =
+  let samples = Experiments.Chk02_equation.measure ~t_end:60. () in
+  let mg = Experiments.Chk02_equation.mean_gap samples in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean equation gap %.3f within %.2f" mg
+       Experiments.Chk02_equation.tolerance)
+    true
+    (mg <= Experiments.Chk02_equation.tolerance)
+
+let prop_differential_oracle_random_topologies =
+  QCheck.Test.make ~name:"differential oracle over random dumbbells" ~count:3
+    QCheck.(pair (int_range 5 30) (int_range 10 60))
+    (fun (bw_hundred_kbit, delay_ms) ->
+      let c =
+        Experiments.Chk01_differential.compare_pair
+          ~bottleneck_bps:(1e5 *. float_of_int bw_hundred_kbit)
+          ~delay_s:(float_of_int delay_ms /. 1000.)
+          ~t_end:45. ()
+      in
+      (* Looser than the curated cells: short runs on arbitrary
+         geometry; the oracle still has to stay in the same regime. *)
+      Float.is_finite c.Experiments.Chk01_differential.rel_err
+      && c.Experiments.Chk01_differential.rel_err <= 0.5)
+
+let prop_equation_oracle_random_loss =
+  QCheck.Test.make ~name:"equation oracle over random loss patterns" ~count:3
+    QCheck.(pair (int_range 5 40) (int_range 10 80))
+    (fun (loss_permille, delay_ms) ->
+      let samples =
+        Experiments.Chk02_equation.measure
+          ~loss:(float_of_int loss_permille /. 1000.)
+          ~delay:(float_of_int delay_ms /. 1000.)
+          ~t_end:60. ()
+      in
+      let mg = Experiments.Chk02_equation.mean_gap samples in
+      Float.is_finite mg && mg <= 0.5)
+
+(* ------------------------------------------- feedback timer memo parity *)
+
+let test_expected_messages_parity () =
+  let module F = Tfmcc_core.Feedback_timer in
+  let cases =
+    [
+      (* n, n_estimate, delay, t_suppress *)
+      (1, 10_000, 0.05, 2.0);
+      (1, 1, 0., 1.0);
+      (10, 10_000, 0., 2.0) (* delay = 0 *);
+      (10, 10_000, 2.0, 2.0) (* delay = T: no suppression at all *);
+      (10, 10_000, 5.0, 2.0) (* delay > T *);
+      (10_000, 1_000_000, 0.25, 2.0) (* huge N *);
+      (500, 2, 0.1, 1.5) (* tiny estimate *);
+    ]
+  in
+  List.iter
+    (fun (n, n_estimate, delay, t_suppress) ->
+      let label =
+        Printf.sprintf "n=%d N=%d delay=%g T'=%g" n n_estimate delay t_suppress
+      in
+      let reference = F.expected_messages_uncached ~n ~n_estimate ~delay ~t_suppress in
+      let first = F.expected_messages ~n ~n_estimate ~delay ~t_suppress in
+      let second = F.expected_messages ~n ~n_estimate ~delay ~t_suppress in
+      Alcotest.(check (float 0.)) (label ^ " (cold)") reference first;
+      Alcotest.(check (float 0.)) (label ^ " (memoized)") reference second)
+    cases
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "predicates",
+        [
+          Alcotest.test_case "link conservation" `Quick test_link_conservation;
+          Alcotest.test_case "loss event rate" `Quick test_loss_event_rate;
+          Alcotest.test_case "rtt" `Quick test_rtt;
+          Alcotest.test_case "x_recv" `Quick test_x_recv;
+          Alcotest.test_case "rate bounds" `Quick test_rate_bounds;
+          Alcotest.test_case "rate ceiling" `Quick test_rate_ceiling;
+          Alcotest.test_case "clr defined" `Quick test_clr_defined;
+          Alcotest.test_case "time monotonic" `Quick test_time_monotonic;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "counts violations" `Quick test_checker_counts_violations;
+          Alcotest.test_case "strict aborts with journal window" `Quick
+            test_checker_strict_aborts_with_window;
+          Alcotest.test_case "clean dumbbell run" `Quick
+            test_checker_clean_run_no_violations;
+          Alcotest.test_case "link probe under overload" `Quick
+            test_link_probe_detects_tampering;
+        ] );
+      ( "digest",
+        [
+          Alcotest.test_case "FNV-1a vectors" `Quick test_digest_known_vectors;
+          Alcotest.test_case "streaming = one-shot" `Quick
+            test_digest_streaming_equals_oneshot;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_oracle_arithmetic;
+          Alcotest.test_case "equation gap" `Quick test_equation_gap;
+          Alcotest.test_case "TFMCC(1rx) ~ TFRC" `Slow test_differential_tfmcc_vs_tfrc;
+          Alcotest.test_case "equation oracle converges" `Slow
+            test_equation_oracle_converges;
+        ] );
+      ( "oracle properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_differential_oracle_random_topologies;
+            prop_equation_oracle_random_loss;
+          ] );
+      ( "feedback timer",
+        [
+          Alcotest.test_case "memo = uncached on boundary params" `Quick
+            test_expected_messages_parity;
+        ] );
+    ]

@@ -272,7 +272,7 @@ let test_clr_exempt_from_suppression () =
    to within eps, the first packet seeds RTT = 2·(oneway + eps); a real
    measurement later replaces it. *)
 let test_ntp_initialization_unit () =
-  let est = Tfmcc_core.Rtt_estimator.create ~cfg ~clock_offset:0. in
+  let est = Tfmcc_core.Rtt_estimator.create ~cfg ~clock_offset:0. () in
   Tfmcc_core.Rtt_estimator.init_from_oneway est ~oneway:0.03 ~max_error:0.02;
   Alcotest.(check (float 1e-9)) "2(d+eps)" 0.1 (Tfmcc_core.Rtt_estimator.estimate est);
   Alcotest.(check bool) "flagged" true (Tfmcc_core.Rtt_estimator.ntp_initialized est);

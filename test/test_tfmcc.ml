@@ -172,12 +172,12 @@ let test_expected_messages_matches_simulation () =
 (* -------------------------------------------------------- Rtt_estimator *)
 
 let test_rtt_initial_value () =
-  let r = Tfmcc_core.Rtt_estimator.create ~cfg ~clock_offset:0. in
+  let r = Tfmcc_core.Rtt_estimator.create ~cfg ~clock_offset:0. () in
   check_float "initial estimate" 0.5 (Tfmcc_core.Rtt_estimator.estimate r);
   Alcotest.(check bool) "no measurement" false (Tfmcc_core.Rtt_estimator.has_measurement r)
 
 let test_rtt_first_measurement_replaces () =
-  let r = Tfmcc_core.Rtt_estimator.create ~cfg ~clock_offset:0. in
+  let r = Tfmcc_core.Rtt_estimator.create ~cfg ~clock_offset:0. () in
   (* Report sent at 1.0, echo arrives at 1.08 with 20 ms sender hold:
      inst RTT = 60 ms; first measurement overrides the initial value. *)
   Tfmcc_core.Rtt_estimator.on_echo r ~local_now:1.08 ~rx_ts:1.0 ~echo_delay:0.02
@@ -188,7 +188,7 @@ let test_rtt_first_measurement_replaces () =
 
 let test_rtt_ewma_gains () =
   let measure ~is_clr =
-    let r = Tfmcc_core.Rtt_estimator.create ~cfg ~clock_offset:0. in
+    let r = Tfmcc_core.Rtt_estimator.create ~cfg ~clock_offset:0. () in
     Tfmcc_core.Rtt_estimator.on_echo r ~local_now:1.1 ~rx_ts:1.0 ~echo_delay:0.
       ~pkt_ts:1.05 ~is_clr;
     (* second instantaneous sample of 200 ms *)
@@ -202,7 +202,7 @@ let test_rtt_ewma_gains () =
   Alcotest.(check (float 1e-9)) "non-CLR smoothing" 0.15 (measure ~is_clr:false)
 
 let test_rtt_oneway_adjustment_tracks_change () =
-  let r = Tfmcc_core.Rtt_estimator.create ~cfg ~clock_offset:0. in
+  let r = Tfmcc_core.Rtt_estimator.create ~cfg ~clock_offset:0. () in
   (* Measurement: forward delay 30 ms, reverse 30 ms. *)
   Tfmcc_core.Rtt_estimator.on_echo r ~local_now:1.06 ~rx_ts:1.0 ~echo_delay:0.
     ~pkt_ts:1.03 ~is_clr:true;
@@ -219,7 +219,7 @@ let test_rtt_oneway_adjustment_tracks_change () =
 let test_rtt_clock_offset_cancels () =
   (* A receiver whose clock is 100 s ahead must measure the same RTT. *)
   let offset = 100. in
-  let r = Tfmcc_core.Rtt_estimator.create ~cfg ~clock_offset:offset in
+  let r = Tfmcc_core.Rtt_estimator.create ~cfg ~clock_offset:offset () in
   let local t = Tfmcc_core.Rtt_estimator.local_time r ~now:t in
   (* engine times: report at 1.0, echo back at 1.06 (RTT 60 ms). *)
   Tfmcc_core.Rtt_estimator.on_echo r ~local_now:(local 1.06) ~rx_ts:(local 1.0)
@@ -231,6 +231,36 @@ let test_rtt_clock_offset_cancels () =
     Tfmcc_core.Rtt_estimator.on_data r ~local_now:(local t) ~pkt_ts:(t -. 0.03)
   done;
   Alcotest.(check (float 1e-6)) "stable under skew" 0.06
+    (Tfmcc_core.Rtt_estimator.estimate r)
+
+let test_rtt_skewed_clock_sample_clamped () =
+  (* Regression: a corrupted echo (or clock skew not cancelling, e.g. a
+     stale rx_ts after a clock step) can make the raw sample
+     local_now - rx_ts - echo_delay non-positive.  Those samples used to
+     be discarded silently, leaving the estimate stuck on the 500 ms
+     initial value forever; now they are clamped to a 1 ms floor and
+     counted. *)
+  let r = Tfmcc_core.Rtt_estimator.create ~cfg ~clock_offset:0. () in
+  (* rx_ts claims the report left *after* the echo arrived: raw = -0.5 *)
+  Tfmcc_core.Rtt_estimator.on_echo r ~local_now:1.0 ~rx_ts:1.4 ~echo_delay:0.1
+    ~pkt_ts:0.9 ~is_clr:false;
+  Alcotest.(check bool) "measurement loop counted as closed" true
+    (Tfmcc_core.Rtt_estimator.has_measurement r);
+  Alcotest.(check int) "rejection counted" 1
+    (Tfmcc_core.Rtt_estimator.rejections r);
+  Alcotest.(check (float 1e-9)) "estimate clamped to the 1 ms floor" 0.001
+    (Tfmcc_core.Rtt_estimator.estimate r);
+  (* NaN samples (corrupted echo_delay) are dropped, not folded in. *)
+  Tfmcc_core.Rtt_estimator.on_echo r ~local_now:2.0 ~rx_ts:1.9
+    ~echo_delay:Float.nan ~pkt_ts:1.95 ~is_clr:false;
+  Alcotest.(check int) "NaN rejected too" 2 (Tfmcc_core.Rtt_estimator.rejections r);
+  Alcotest.(check (float 1e-9)) "estimate untouched by NaN" 0.001
+    (Tfmcc_core.Rtt_estimator.estimate r);
+  (* A subsequent sane sample recovers the estimate (non-CLR gain 0.5). *)
+  Tfmcc_core.Rtt_estimator.on_echo r ~local_now:3.06 ~rx_ts:3.0 ~echo_delay:0.
+    ~pkt_ts:3.03 ~is_clr:false;
+  Alcotest.(check (float 1e-9)) "recovers once samples are sane"
+    ((0.5 *. 0.06) +. (0.5 *. 0.001))
     (Tfmcc_core.Rtt_estimator.estimate r)
 
 (* ------------------------------------------------------ Feedback_process *)
@@ -402,6 +432,8 @@ let () =
           Alcotest.test_case "EWMA gains" `Quick test_rtt_ewma_gains;
           Alcotest.test_case "one-way adjustment" `Quick test_rtt_oneway_adjustment_tracks_change;
           Alcotest.test_case "clock offset cancels" `Quick test_rtt_clock_offset_cancels;
+          Alcotest.test_case "skewed-clock sample clamped" `Quick
+            test_rtt_skewed_clock_sample_clamped;
         ] );
       ( "feedback_process",
         [

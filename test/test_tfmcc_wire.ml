@@ -595,6 +595,106 @@ let prop_decode_data_bitflip =
       Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor m));
       decoded_data_ok (W.decode_data b))
 
+(* Extreme-value generator: finite floats spanning the full magnitude
+   range plus every non-finite special.  The encoders must accept any
+   all-finite assignment (decode-total contract unchanged) and raise
+   Invalid_argument the moment one field is NaN or infinite — a
+   non-finite value round-trips bit-exactly and would otherwise only
+   surface as a decode rejection at every receiver. *)
+let extreme_float_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Float.nan;
+        return Float.infinity;
+        return Float.neg_infinity;
+        return 0.;
+        return (-0.);
+        return Float.max_float;
+        return (-.Float.max_float);
+        return Float.min_float;
+        return 1e308;
+        return (-1e308);
+        return 4.94e-324 (* subnormal *);
+        float_range (-1e9) 1e9;
+      ])
+
+let extreme_float =
+  QCheck.make ~print:(Printf.sprintf "%h") extreme_float_gen
+
+let encode_report_with ~ts ~echo_ts ~echo_delay ~rate ~rtt ~p ~x_recv =
+  W.encode_report ~session:7 ~rx_id:12 ~ts ~echo_ts ~echo_delay ~rate
+    ~have_rtt:true ~rtt ~p ~x_recv ~round:3 ~has_loss:true ~leaving:false
+
+let encode_data_with ~ts ~rate ~round_duration ~max_rtt ~rx_ts ~e_delay
+    ~fb_rate =
+  W.encode_data ~session:7 ~seq:99 ~ts ~rate ~round:4 ~round_duration ~max_rtt
+    ~clr:12 ~in_slowstart:false
+    ~echo:(Some { W.rx_id = 12; rx_ts; echo_delay = e_delay })
+    ~fb:(Some { W.fb_rx_id = 31; fb_rate; fb_has_loss = true })
+    ~app:(-1)
+
+let all_finite l = List.for_all Float.is_finite l
+
+let prop_encode_report_finite_guard =
+  QCheck.Test.make
+    ~name:"extreme floats: encode_report accepts finite, rejects non-finite"
+    ~count:2000
+    QCheck.(
+      tup7 extreme_float extreme_float extreme_float extreme_float
+        extreme_float extreme_float extreme_float)
+    (fun (ts, echo_ts, echo_delay, rate, rtt, p, x_recv) ->
+      match encode_report_with ~ts ~echo_ts ~echo_delay ~rate ~rtt ~p ~x_recv with
+      | b ->
+          all_finite [ ts; echo_ts; echo_delay; rate; rtt; p; x_recv ]
+          && Bytes.length b = W.encoded_report_size
+          && decoded_report_ok (W.decode_report b)
+      | exception Invalid_argument _ ->
+          not (all_finite [ ts; echo_ts; echo_delay; rate; rtt; p; x_recv ]))
+
+let prop_encode_data_finite_guard =
+  QCheck.Test.make
+    ~name:"extreme floats: encode_data accepts finite, rejects non-finite"
+    ~count:2000
+    QCheck.(
+      tup7 extreme_float extreme_float extreme_float extreme_float
+        extreme_float extreme_float extreme_float)
+    (fun (ts, rate, round_duration, max_rtt, rx_ts, e_delay, fb_rate) ->
+      match
+        encode_data_with ~ts ~rate ~round_duration ~max_rtt ~rx_ts ~e_delay
+          ~fb_rate
+      with
+      | b ->
+          all_finite [ ts; rate; round_duration; max_rtt; rx_ts; e_delay; fb_rate ]
+          && Bytes.length b = W.encoded_data_size
+          && decoded_data_ok (W.decode_data b)
+      | exception Invalid_argument _ ->
+          not
+            (all_finite
+               [ ts; rate; round_duration; max_rtt; rx_ts; e_delay; fb_rate ]))
+
+let test_encode_rejects_nonfinite () =
+  let expect_invalid name f =
+    match f () with
+    | (_ : bytes) -> Alcotest.fail (name ^ ": non-finite field encoded")
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "report NaN rate" (fun () ->
+      encode_report_with ~ts:1.5 ~echo_ts:1.4 ~echo_delay:0.01 ~rate:Float.nan
+        ~rtt:0.05 ~p:0.01 ~x_recv:48_000.);
+  expect_invalid "report inf x_recv" (fun () ->
+      encode_report_with ~ts:1.5 ~echo_ts:1.4 ~echo_delay:0.01 ~rate:50_000.
+        ~rtt:0.05 ~p:0.01 ~x_recv:Float.infinity);
+  expect_invalid "data -inf ts" (fun () ->
+      encode_data_with ~ts:Float.neg_infinity ~rate:125_000. ~round_duration:0.5
+        ~max_rtt:0.5 ~rx_ts:2.4 ~e_delay:0.02 ~fb_rate:40_000.);
+  expect_invalid "data NaN echo delay" (fun () ->
+      encode_data_with ~ts:2.5 ~rate:125_000. ~round_duration:0.5 ~max_rtt:0.5
+        ~rx_ts:2.4 ~e_delay:Float.nan ~fb_rate:40_000.);
+  expect_invalid "data NaN fb rate" (fun () ->
+      encode_data_with ~ts:2.5 ~rate:125_000. ~round_duration:0.5 ~max_rtt:0.5
+        ~rx_ts:2.4 ~e_delay:0.02 ~fb_rate:Float.nan)
+
 let () =
   Alcotest.run "tfmcc_wire"
     [
@@ -634,6 +734,8 @@ let () =
           Alcotest.test_case "data roundtrip" `Quick test_codec_data_roundtrip;
           Alcotest.test_case "bare data roundtrip" `Quick test_codec_data_roundtrip_bare;
           Alcotest.test_case "truncations rejected" `Quick test_codec_truncated_rejected;
+          Alcotest.test_case "encode rejects non-finite" `Quick
+            test_encode_rejects_nonfinite;
         ] );
       ( "codec fuzz",
         List.map QCheck_alcotest.to_alcotest
@@ -642,5 +744,7 @@ let () =
             prop_decode_data_never_raises;
             prop_decode_report_bitflip;
             prop_decode_data_bitflip;
+            prop_encode_report_finite_guard;
+            prop_encode_data_finite_guard;
           ] );
     ]

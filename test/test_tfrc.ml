@@ -199,6 +199,49 @@ let test_remodel_noop_without_gaps () =
   Tfrc.Loss_history.remodel h ~rtt:0.05;
   check_float "still no loss" 0. (Tfrc.Loss_history.loss_event_rate h)
 
+let test_remodel_preserves_uncovered_history () =
+  (* Regression: the splice between the rebuilt intervals and the old
+     history used to be approximated by list length, which dropped any
+     old interval (here the App. B synthetic one) not actually covered
+     by the retained gap log.  Build 3 gaps at seqs 10/20/30 where the
+     first two aggregate under the initial 0.1 s RTT, then remodel with
+     a 0.01 s RTT so they split: the rebuilt [10; 10] must splice in
+     front of the synthetic 5-interval, not erase it. *)
+  let h = Tfrc.Loss_history.create ~first_interval:(fun () -> Some 5.) () in
+  let seq = ref 0 in
+  let deliver ~now k =
+    for _ = 1 to k do
+      Tfrc.Loss_history.on_packet h ~seq:!seq ~now ~rtt:0.1;
+      incr seq
+    done
+  in
+  deliver ~now:0.9 10;
+  incr seq (* lose 10 *);
+  deliver ~now:1.0 9 (* 11..19; gap (10, 1.0) -> event 1, synthetic 5 *);
+  incr seq (* lose 20 *);
+  deliver ~now:1.05 9 (* 21..29; gap (20, 1.05) within RTT: same event *);
+  incr seq (* lose 30 *);
+  deliver ~now:2.0 2 (* 31..32; gap (30, 2.0) -> event 2, interval 20 *);
+  Alcotest.(check (list (float 1e-9)))
+    "before remodel: [closed 20; synthetic 5]" [ 20.; 5. ]
+    (Tfrc.Loss_history.closed_intervals h);
+  let p_before = Tfrc.Loss_history.loss_event_rate h in
+  check_float "p before remodel (mean interval 12.5)" (1. /. 12.5) p_before;
+  Tfrc.Loss_history.remodel h ~rtt:0.01;
+  Alcotest.(check (list (float 1e-9)))
+    "after remodel: rebuilt [10; 10] spliced before the synthetic 5"
+    [ 10.; 10.; 5. ]
+    (Tfrc.Loss_history.closed_intervals h);
+  let p_after = Tfrc.Loss_history.loss_event_rate h in
+  check_float "p after remodel (mean interval 25/3)" (3. /. 25.) p_after;
+  (* The synthetic interval's position must survive the splice: App. B's
+     first-RTT rescale still has to find it. *)
+  Tfrc.Loss_history.rescale_synthetic h ~factor:2.;
+  Alcotest.(check (list (float 1e-9)))
+    "rescale_synthetic still reaches the synthetic interval"
+    [ 10.; 10.; 10. ]
+    (Tfrc.Loss_history.closed_intervals h)
+
 (* ----------------------------------------------------------- Rate_meter *)
 
 let test_meter_basic_rate () =
@@ -392,6 +435,8 @@ let () =
           Alcotest.test_case "remodel merges events" `Quick test_remodel_merges_events;
           Alcotest.test_case "remodel splits events" `Quick test_remodel_splits_events;
           Alcotest.test_case "remodel no-op without gaps" `Quick test_remodel_noop_without_gaps;
+          Alcotest.test_case "remodel preserves uncovered history" `Quick
+            test_remodel_preserves_uncovered_history;
         ] );
       ( "rate_meter",
         [
