@@ -153,13 +153,71 @@ let sweep_cmd =
     let doc = "Experiment ids to sweep (default: all)." in
     Arg.(value & pos_all string [] & info [] ~doc ~docv:"ID")
   in
-  let run full seed csv jobs seeds replicates strict ids =
+  let task_timeout_arg =
+    let doc =
+      "Per-attempt wall-clock budget in seconds.  Enforced cooperatively by \
+       the engine watchdog; an overrunning task is cancelled and reported, \
+       not killed."
+    in
+    Arg.(value & opt (some float) None & info [ "task-timeout" ] ~doc ~docv:"SECS")
+  in
+  let retries_arg =
+    let doc = "Extra attempts per task after a crash/timeout/stall (0 = fail fast)." in
+    Arg.(value & opt int 0 & info [ "retries" ] ~doc ~docv:"N")
+  in
+  let retry_delay_arg =
+    let doc = "Base backoff before a retry; doubles per attempt." in
+    Arg.(value & opt float 0. & info [ "retry-delay" ] ~doc ~docv:"SECS")
+  in
+  let stall_events_arg =
+    let doc =
+      "Abort a task after this many engine events without simulated-time \
+       progress (livelock detection)."
+    in
+    Arg.(value
+         & opt int Experiments.Sweep.default_policy.Experiments.Sweep.stall_events
+         & info [ "stall-events" ] ~doc ~docv:"N")
+  in
+  let max_events_arg =
+    let doc = "Abort a task after this many engine events in one attempt (event-storm cap)." in
+    Arg.(value & opt (some int) None & info [ "max-events" ] ~doc ~docv:"N")
+  in
+  let checkpoint_arg =
+    let doc = "Persist each completed task into $(docv) as it finishes." in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~doc ~docv:"DIR")
+  in
+  let resume_arg =
+    let doc =
+      "Load completed tasks from $(docv) (skipping them) and keep \
+       checkpointing new completions there.  Output is byte-identical to an \
+       uninterrupted run."
+    in
+    Arg.(value & opt (some string) None & info [ "resume" ] ~doc ~docv:"DIR")
+  in
+  let task_budget_arg =
+    let doc =
+      "Run at most $(docv) tasks and skip the rest (exit 3).  Deterministic \
+       mid-sweep interruption, for testing --resume."
+    in
+    Arg.(value & opt (some int) None & info [ "task-budget" ] ~doc ~docv:"N")
+  in
+  let failure_report_arg =
+    let doc = "Write the sweep report (failures, summary, series) as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "failure-report" ] ~doc ~docv:"FILE")
+  in
+  let run full seed csv jobs seeds replicates strict json task_timeout retries
+      retry_delay stall_events max_events checkpoint resume task_budget
+      failure_report ids =
     if jobs < 1 then begin
       Printf.eprintf "sweep: -j must be >= 1\n";
       exit 1
     end;
     if seeds < 1 then begin
       Printf.eprintf "sweep: --seeds must be >= 1\n";
+      exit 1
+    end;
+    if retries < 0 then begin
+      Printf.eprintf "sweep: --retries must be >= 0\n";
       exit 1
     end;
     let experiments =
@@ -175,36 +233,61 @@ let sweep_cmd =
                   exit 1)
             ids
     in
+    let policy =
+      {
+        Experiments.Sweep.task_timeout;
+        retries;
+        retry_delay;
+        stall_events;
+        max_events;
+        checkpoint = (match resume with Some dir -> Some dir | None -> checkpoint);
+        resume = resume <> None;
+        budget = task_budget;
+      }
+    in
     let t0 = Unix.gettimeofday () in
-    let results =
-      handle_violation (fun () ->
-          Experiments.Sweep.run ~experiments ~strict ~jobs
-            ~mode:(mode_of_full full) ~seed ~seeds ())
+    let report =
+      Experiments.Sweep.run_supervised ~experiments ~strict ~policy ~jobs
+        ~mode:(mode_of_full full) ~seed ~seeds ()
     in
     let wall = Unix.gettimeofday () -. t0 in
-    List.iter
-      (fun (r : Experiments.Sweep.result) ->
-        Printf.printf "--- %s: %s ---\n%!" r.experiment.Experiments.Registry.figure
-          r.experiment.Experiments.Registry.title;
-        let print_replicates () =
-          List.iter
-            (fun (rep : Experiments.Sweep.replicate) ->
-              if seeds > 1 then Printf.printf "-- seed %d --\n%!" rep.seed;
-              print_series ~csv rep.series)
-            r.replicates
-        in
-        match r.aggregate with
-        | Some agg ->
-            if replicates then print_replicates ();
-            print_series ~csv agg
-        | None -> print_replicates ())
-      results;
+    if json then
+      print_endline (Obs.Json.to_string (Experiments.Sweep.report_to_json report))
+    else
+      print_string
+        (Experiments.Sweep.render ~csv ~replicates ~seeds
+           report.Experiments.Sweep.results);
+    (match failure_report with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc
+          (Obs.Json.to_string (Experiments.Sweep.report_to_json report));
+        output_char oc '\n';
+        close_out oc
+    | None -> ());
+    if report.Experiments.Sweep.failures <> [] then
+      prerr_string (Experiments.Sweep.render_failures report);
     Printf.eprintf "sweep: %d experiments x %d seed(s), -j %d: %.1fs wall\n%!"
-      (List.length experiments) seeds jobs wall
+      (List.length experiments) seeds jobs wall;
+    if report.Experiments.Sweep.resumed > 0 then
+      Printf.eprintf "sweep: %d task(s) resumed from checkpoints\n%!"
+        report.Experiments.Sweep.resumed;
+    if report.Experiments.Sweep.skipped > 0 then
+      Printf.eprintf "sweep: %d task(s) skipped (task budget)\n%!"
+        report.Experiments.Sweep.skipped;
+    if report.Experiments.Sweep.failures <> [] then
+      Printf.eprintf "sweep: %d of %d task(s) failed\n%!"
+        (List.length report.Experiments.Sweep.failures)
+        report.Experiments.Sweep.tasks;
+    let code = Experiments.Sweep.exit_code report in
+    if code <> 0 then exit code
   in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(const run $ full_arg $ seed_arg $ csv_arg $ jobs_arg $ seeds_arg
-          $ replicates_arg $ strict_arg $ ids_arg)
+          $ replicates_arg $ strict_arg $ json_arg $ task_timeout_arg
+          $ retries_arg $ retry_delay_arg $ stall_events_arg $ max_events_arg
+          $ checkpoint_arg $ resume_arg $ task_budget_arg $ failure_report_arg
+          $ ids_arg)
 
 let verify_golden_cmd =
   let doc =

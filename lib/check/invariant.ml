@@ -121,7 +121,7 @@ let strict t = t.t_strict
 
 let violations t = t.violation_count
 
-let journal_window_text journal =
+let journal_window journal =
   let entries = Obs.Journal.entries journal in
   let n = List.length entries in
   let keep = 40 in
@@ -151,7 +151,7 @@ let report_violation t engine ~id ~detail =
             "invariant %s violated at t=%.6f: %s\n\
              --- journal window (most recent entries) ---\n\
              %s" id now detail
-            (journal_window_text sink.Obs.Sink.journal)))
+            (journal_window sink.Obs.Sink.journal)))
 
 let run_probes t att () =
   List.iter

@@ -35,6 +35,13 @@ val violations : t -> int
 (** Violations observed so far across all probes (counted even when not
     strict). *)
 
+val journal_window : Obs.Journal.t -> string
+(** The last-40-entry tail of a protocol journal rendered one entry per
+    line ({!Obs.Journal.pp_entry}) — the reporting shape strict-mode
+    {!Violation} messages carry, shared with the sweep supervisor's
+    per-task failure reports.  ["(journal empty or disabled)\n"] when
+    there is nothing to show. *)
+
 (** {2 Pure predicates}
 
     Each returns [Ok ()] or [Error detail].  IDs used in metrics labels:

@@ -11,6 +11,14 @@ val within_tolerance : tolerance:float -> expected:float -> actual:float -> bool
 (** [relative_error ≤ tolerance].  NaN inputs are never within
     tolerance. *)
 
+val first_divergence :
+  expected:string -> actual:string -> (unit, string) result
+(** Byte-identity oracle (checkpoint/resume contract): [Ok ()] iff the
+    two strings are equal; otherwise an [Error] naming the first
+    differing line (1-based) and both sides' content.  Used to assert
+    that a resumed sweep's rendered output equals a from-scratch run's
+    byte for byte. *)
+
 val equation_gap :
   b:float -> s:int -> rtt:float -> p:float -> rate:float -> float
 (** Relative gap between an observed sending rate and the Padhye

@@ -1,0 +1,100 @@
+type entry = {
+  c_experiment : string;
+  c_seed : int;
+  c_digest : string;
+  c_series : Series.t list;
+}
+
+let task_name ~experiment ~seed = Printf.sprintf "%s/s%d" experiment seed
+
+let task_file ~dir ~experiment ~seed =
+  Filename.concat dir (Printf.sprintf "%s-s%d.task" experiment seed)
+
+(* The digest covers everything resume reproduces: identity plus every
+   series rendered to CSV (the FNV-1a digest from lib/check, the same
+   primitive the golden-trace regression uses). *)
+let digest ~experiment ~seed series =
+  let d = Check.Digest.create () in
+  Check.Digest.add_string d experiment;
+  Check.Digest.add_char d '\n';
+  Check.Digest.add_string d (string_of_int seed);
+  Check.Digest.add_char d '\n';
+  List.iter
+    (fun s ->
+      Check.Digest.add_string d (Series.to_csv s);
+      Check.Digest.add_char d '\n')
+    series;
+  Check.Digest.to_hex d
+
+let make ~experiment ~seed series =
+  {
+    c_experiment = experiment;
+    c_seed = seed;
+    c_digest = digest ~experiment ~seed series;
+    c_series = series;
+  }
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+(* lost a concurrent-creation race: fine *)
+
+(* One Marshal'd [entry] per task, written tmp-then-rename so a sweep
+   killed mid-write leaves either a complete checkpoint or a stray .tmp
+   that resume ignores.  Workers write distinct files, so parallel tasks
+   never contend.  A human-readable JSON sidecar carries the same
+   identity, digest and series CSVs for inspection; only the .task file
+   is read back. *)
+let save ~dir entry =
+  ensure_dir dir;
+  let file =
+    task_file ~dir ~experiment:entry.c_experiment ~seed:entry.c_seed
+  in
+  let tmp = file ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Marshal.to_channel oc entry [];
+  close_out oc;
+  Sys.rename tmp file;
+  let json =
+    Obs.Json.Obj
+      [
+        ("experiment", Obs.Json.Str entry.c_experiment);
+        ("seed", Obs.Json.Int entry.c_seed);
+        ("digest", Obs.Json.Str entry.c_digest);
+        ( "series_csv",
+          Obs.Json.Arr
+            (List.map (fun s -> Obs.Json.Str (Series.to_csv s)) entry.c_series)
+        );
+      ]
+  in
+  let jtmp = file ^ ".json.tmp" in
+  let oc = open_out jtmp in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Sys.rename jtmp (file ^ ".json")
+
+(* A checkpoint is trusted only if it unmarshals, names the task we
+   asked for, and its recorded digest matches a recomputation from the
+   loaded series — a truncated, corrupted or misnamed file degrades to
+   "missing" and the task re-runs. *)
+let load ~dir ~experiment ~seed =
+  let file = task_file ~dir ~experiment ~seed in
+  if not (Sys.file_exists file) then None
+  else
+    match
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> (Marshal.from_channel ic : entry))
+    with
+    | exception _ -> None
+    | e ->
+        if
+          String.equal e.c_experiment experiment
+          && e.c_seed = seed
+          && String.equal e.c_digest
+               (digest ~experiment ~seed e.c_series)
+        then Some e
+        else None

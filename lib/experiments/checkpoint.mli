@@ -1,0 +1,40 @@
+(** Per-task sweep checkpoints (DESIGN.md §12).
+
+    A supervised sweep persists each completed (experiment, seed) task
+    into a checkpoint directory {e as it finishes} — one atomic
+    (tmp-then-rename) [<id>-s<seed>.task] file holding the task's
+    identity, an FNV-1a digest, and its series, plus a human-readable
+    [.json] sidecar with the digest and series CSVs.  A later
+    [sweep --resume DIR] loads the completed tasks, skips them, and
+    re-runs only failed / missing ones; because the series round-trip
+    exactly, the resumed sweep's rendered output is byte-identical to a
+    from-scratch run ({!Check.Oracle.first_divergence} is the oracle).
+
+    Integrity: {!load} re-derives the digest from the loaded series and
+    rejects any file that is truncated, corrupted, or names a different
+    task — such checkpoints degrade to "missing" and the task re-runs. *)
+
+type entry = {
+  c_experiment : string;
+  c_seed : int;
+  c_digest : string;  (** {!digest} of the identity + series CSVs *)
+  c_series : Series.t list;
+}
+
+val task_name : experiment:string -> seed:int -> string
+(** ["<experiment>/s<seed>"] — the task id used in failure reports,
+    metrics and journal entries. *)
+
+val task_file : dir:string -> experiment:string -> seed:int -> string
+(** The checkpoint path for one task. *)
+
+val digest : experiment:string -> seed:int -> Series.t list -> string
+
+val make : experiment:string -> seed:int -> Series.t list -> entry
+
+val save : dir:string -> entry -> unit
+(** Creates [dir] if needed (one level); atomic per task; safe to call
+    concurrently from distinct worker domains for distinct tasks. *)
+
+val load : dir:string -> experiment:string -> seed:int -> entry option
+(** [None] when absent or failing the integrity check. *)

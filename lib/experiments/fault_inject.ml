@@ -1,0 +1,62 @@
+exception Boom of string
+
+(* Success payload shared by every injector: a tiny series that depends
+   only on the seed, never on the attempt number or wall clock, so a
+   retried or resumed task renders byte-identically to one that
+   succeeded first try. *)
+let ok_series ~id ~seed =
+  [
+    Series.make
+      ~title:(Printf.sprintf "%s: fault-injection probe (seed %d)" id seed)
+      ~xlabel:"step" ~ylabels:[ "value" ]
+      ~notes:[ "test-only experiment; exercises the sweep supervisor" ]
+      [ (0., [ float_of_int seed ]); (1., [ float_of_int (seed * 2) ]) ];
+  ]
+
+let run_crash ~mode:_ ~seed:_ =
+  raise (Boom "xcrash: injected deterministic task failure")
+
+let run_flaky ~mode:_ ~seed =
+  let attempt = Scenario.ambient_attempt () in
+  if attempt < 2 then
+    raise (Boom (Printf.sprintf "xflaky: injected failure on attempt %d" attempt))
+  else ok_series ~id:"xflaky" ~seed
+
+(* Livelock: a callback that reschedules itself at the current simulated
+   instant, freezing the clock while the event count climbs.  The spin
+   is capped so the experiment terminates even unsupervised (a raw
+   `tfmcc-sim run xstall` finishes after ~2M events); any watchdog with
+   a smaller stall window aborts it first. *)
+let spin_cap = 2_000_000
+
+let run_stall ~mode:_ ~seed =
+  let sc = Scenario.base ~seed () in
+  let e = sc.Scenario.engine in
+  let spun = ref 0 in
+  let rec spin () =
+    incr spun;
+    if !spun < spin_cap then
+      ignore (Netsim.Engine.at e ~time:(Netsim.Engine.now e) spin)
+  in
+  ignore (Netsim.Engine.at e ~time:0.1 spin);
+  Netsim.Engine.run ~until:1.0 e;
+  ok_series ~id:"xstall" ~seed
+
+(* Wall-clock hog with few events: each event sleeps 2 ms and advances
+   simulated time, so only the watchdog's sim-time poll (or a generous
+   event-count window) can catch it.  Capped at ~3 s of wall clock so an
+   unsupervised run still terminates. *)
+let sleep_events = 1_500
+
+let run_sleep ~mode:_ ~seed =
+  let sc = Scenario.base ~seed () in
+  let e = sc.Scenario.engine in
+  let n = ref 0 in
+  let rec tick () =
+    incr n;
+    Unix.sleepf 0.002;
+    if !n < sleep_events then ignore (Netsim.Engine.after e ~delay:0.001 tick)
+  in
+  ignore (Netsim.Engine.after e ~delay:0.001 tick);
+  Netsim.Engine.run ~until:5.0 e;
+  ok_series ~id:"xsleep" ~seed

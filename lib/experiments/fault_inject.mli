@@ -1,0 +1,28 @@
+(** Deterministic fault-injecting experiments for the sweep supervisor
+    (test and CI only — hidden from {!Registry.all} but reachable
+    through {!Registry.find}, so `tfmcc-sim sweep xcrash …` works).
+
+    Each entry point has the {!Registry.experiment} run signature.  On
+    success they return a tiny series derived from the seed alone, so
+    retried / resumed runs are byte-identical to first-try successes. *)
+
+exception Boom of string
+(** The injected failure. *)
+
+val run_crash : mode:Scenario.mode -> seed:int -> Series.t list
+(** Always raises {!Boom}: exercises the crash → structured-failure
+    path. *)
+
+val run_flaky : mode:Scenario.mode -> seed:int -> Series.t list
+(** Raises {!Boom} on attempt 1 ({!Scenario.ambient_attempt}), succeeds
+    from attempt 2 on: exercises retry-success. *)
+
+val run_stall : mode:Scenario.mode -> seed:int -> Series.t list
+(** Livelocks: reschedules at a frozen simulated instant (capped at 2M
+    events so an unsupervised run still terminates): exercises the
+    watchdog's livelock abort. *)
+
+val run_sleep : mode:Scenario.mode -> seed:int -> Series.t list
+(** Sleeps ~2 ms of wall clock per simulated event (capped at ~3 s
+    total): exercises the wall-clock timeout via the watchdog's
+    sim-time poll. *)

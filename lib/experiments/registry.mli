@@ -12,7 +12,13 @@ type experiment = {
 val all : experiment list
 (** In figure order. *)
 
+val hidden : experiment list
+(** Fault-injecting supervisor probes ({!Fault_inject}): excluded from
+    {!all} (they fail by design, so default sweeps, golden digests and
+    the listing must not include them) but resolvable by {!find} so
+    tests and CI can sweep them explicitly. *)
+
 val find : string -> experiment option
-(** Lookup by id (case-insensitive). *)
+(** Lookup by id (case-insensitive), over {!all} and {!hidden}. *)
 
 val ids : unit -> string list

@@ -39,6 +39,34 @@ let with_checks checker f =
 
 let ambient_checks () = Domain.DLS.get installed_checks
 
+(* And again for the sweep supervisor's progress watchdog: every engine
+   built under [with_watchdog] gets the config's stall/deadline probes
+   installed ({!Netsim.Watchdog.install}), so a supervised task is
+   bounded no matter how many scenarios the experiment builds. *)
+let installed_watchdog : Netsim.Watchdog.config option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let with_watchdog cfg f =
+  let saved = Domain.DLS.get installed_watchdog in
+  Domain.DLS.set installed_watchdog (Some cfg);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set installed_watchdog saved) f
+
+let ambient_watchdog () = Domain.DLS.get installed_watchdog
+
+(* Retry attempt number of the enclosing supervised task (1-based).
+   Exists so deterministic fault-injection experiments (Fault_inject)
+   can fail on attempt 1 and succeed on retry without wall-clock or
+   cross-domain state. *)
+let installed_attempt : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 1)
+
+let with_attempt n f =
+  if n < 1 then invalid_arg "Scenario.with_attempt: attempt must be >= 1";
+  let saved = Domain.DLS.get installed_attempt in
+  Domain.DLS.set installed_attempt n;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set installed_attempt saved) f
+
+let ambient_attempt () = Domain.DLS.get installed_attempt
+
 let base ?(seed = 42) ?obs () =
   let obs =
     match obs with
@@ -53,6 +81,9 @@ let base ?(seed = 42) ?obs () =
   let monitor = Netsim.Monitor.create engine in
   (match Domain.DLS.get installed_checks with
   | Some checker -> Check.Invariant.watch_engine checker engine
+  | None -> ());
+  (match Domain.DLS.get installed_watchdog with
+  | Some cfg -> Netsim.Watchdog.install cfg engine
   | None -> ());
   { engine; topo; monitor; obs }
 

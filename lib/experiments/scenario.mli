@@ -44,6 +44,25 @@ val with_checks : Check.Invariant.t -> (unit -> 'a) -> 'a
 val ambient_checks : unit -> Check.Invariant.t option
 (** The checker installed by the innermost active {!with_checks}. *)
 
+val with_watchdog : Netsim.Watchdog.config -> (unit -> 'a) -> 'a
+(** Ambient-install pattern for the sweep supervisor's progress
+    watchdog: every engine built by {!base} inside [f] gets the
+    config's probes armed ({!Netsim.Watchdog.install}) — wall-clock
+    deadline polls, livelock and event-storm detection.  Domain-local,
+    restored on return or exception.  {!Sweep.run_supervised} threads a
+    per-task config through here. *)
+
+val ambient_watchdog : unit -> Netsim.Watchdog.config option
+
+val with_attempt : int -> (unit -> 'a) -> 'a
+(** Installs the 1-based retry-attempt number of the enclosing
+    supervised task (default 1 when none is installed).  Raises
+    [Invalid_argument] for [n < 1].  Read by the deterministic
+    fault-injection experiments ({!Fault_inject}) to fail on early
+    attempts and succeed on retry. *)
+
+val ambient_attempt : unit -> int
+
 val base : ?seed:int -> ?obs:Obs.Sink.t -> unit -> t
 (** Fresh engine + topology + monitor.  [obs] defaults to the sink
     installed by {!with_obs}, else a private enabled sink (so protocol

@@ -127,3 +127,436 @@ let run ?(experiments = Registry.all) ?(strict = false) ~jobs ~mode ~seed
         aggregate = aggregate (List.map (fun r -> r.series) replicates);
       })
     experiments replicates
+
+(* ------------------------------------------------------- supervision *)
+
+type cause = Crashed | Timeout | Stall | Violation
+
+let cause_label = function
+  | Crashed -> "crashed"
+  | Timeout -> "timeout"
+  | Stall -> "stalled"
+  | Violation -> "violation"
+
+type failure = {
+  f_experiment : string;
+  f_seed : int;
+  f_attempts : int;
+  f_cause : cause;
+  f_detail : string;
+  f_journal : string;
+}
+
+type policy = {
+  task_timeout : float option;
+  retries : int;
+  retry_delay : float;
+  stall_events : int;
+  max_events : int option;
+  checkpoint : string option;
+  resume : bool;
+  budget : int option;
+}
+
+let default_policy =
+  {
+    task_timeout = None;
+    retries = 0;
+    retry_delay = 0.;
+    stall_events = Netsim.Watchdog.default.Netsim.Watchdog.stall_events;
+    max_events = None;
+    checkpoint = None;
+    resume = false;
+    budget = None;
+  }
+
+type report = {
+  results : result list;
+  failures : failure list;
+  tasks : int;
+  executed : int;
+  resumed : int;
+  skipped : int;
+  retried : int;
+}
+
+type task_status = T_ok of replicate * int | T_failed of failure | T_skipped
+
+let task_label f = Checkpoint.task_name ~experiment:f.f_experiment ~seed:f.f_seed
+
+(* One attempt of one (experiment, seed) cell: re-arm the task's control
+   (fresh deadline, cleared cancellation), then run the experiment under
+   a fresh private sink + watchdog config + attempt number.  Everything
+   the attempt observes is attempt-local, so a retry is indistinguishable
+   from a first try except for {!Scenario.ambient_attempt}. *)
+let attempt_cell ~strict ~policy ~control ~attempt (e : Registry.experiment)
+    ~mode ~seed =
+  Par.Control.arm control ?timeout:policy.task_timeout ();
+  let sink = Obs.Sink.create () in
+  let wd =
+    let d = Netsim.Watchdog.default in
+    {
+      d with
+      Netsim.Watchdog.control;
+      stall_events = policy.stall_events;
+      max_events = policy.max_events;
+    }
+  in
+  match
+    Scenario.with_obs sink (fun () ->
+        Scenario.with_watchdog wd (fun () ->
+            Scenario.with_attempt attempt (fun () ->
+                if strict then
+                  let checker = Check.Invariant.create ~strict:true () in
+                  Scenario.with_checks checker (fun () ->
+                      e.Registry.run ~mode ~seed)
+                else e.Registry.run ~mode ~seed)))
+  with
+  | series -> Ok { seed; series }
+  | exception exn ->
+      let cause, detail =
+        match exn with
+        | Check.Invariant.Violation msg -> (Violation, msg)
+        | Par.Cancelled (Par.Timeout s) ->
+            (Timeout, Printf.sprintf "wall-clock timeout after %gs" s)
+        | Par.Cancelled (Par.Stall reason) -> (Stall, reason)
+        | exn -> (Crashed, Printexc.to_string exn)
+      in
+      Error
+        {
+          f_experiment = e.Registry.id;
+          f_seed = seed;
+          f_attempts = attempt;
+          f_cause = cause;
+          f_detail = detail;
+          f_journal = Check.Invariant.journal_window sink.Obs.Sink.journal;
+        }
+
+let retryable = function Crashed | Timeout | Stall -> true | Violation -> false
+
+(* The whole retry loop runs inside the worker task, so the pool sees one
+   outcome per task whatever the attempt count.  Invariant violations are
+   deterministic (same seed, same series) and are never retried.  A
+   successful attempt checkpoints immediately — before the sweep as a
+   whole finishes — which is what makes --resume after a mid-sweep kill
+   work. *)
+let run_task ~strict ~policy (e : Registry.experiment) ~mode ~seed control =
+  let rec go attempt =
+    match attempt_cell ~strict ~policy ~control ~attempt e ~mode ~seed with
+    | Ok rep ->
+        (match policy.checkpoint with
+        | Some dir ->
+            Checkpoint.save ~dir
+              (Checkpoint.make ~experiment:e.Registry.id ~seed rep.series)
+        | None -> ());
+        T_ok (rep, attempt)
+    | Error f ->
+        if attempt <= policy.retries && retryable f.f_cause then begin
+          if policy.retry_delay > 0. then
+            Unix.sleepf (policy.retry_delay *. (2. ** float_of_int (attempt - 1)));
+          go (attempt + 1)
+        end
+        else T_failed f
+  in
+  go 1
+
+type task_tag = Tag_run | Tag_resumed of Series.t list | Tag_skipped
+
+(* Defensive only: [run_task] catches every exception itself, so the
+   pool-level outcome is [Ok] unless the supervisor plumbing raised. *)
+let pool_failure (e : Registry.experiment) seed cause detail =
+  T_failed
+    {
+      f_experiment = e.Registry.id;
+      f_seed = seed;
+      f_attempts = 0;
+      f_cause = cause;
+      f_detail = detail;
+      f_journal = "(journal unavailable)\n";
+    }
+
+let run_supervised ?(experiments = Registry.all) ?(strict = false)
+    ?(policy = default_policy) ?(obs = Obs.Sink.null) ~jobs ~mode ~seed
+    ?(seeds = 1) () =
+  if seeds < 1 then invalid_arg "Sweep.run_supervised: seeds must be >= 1";
+  if policy.retries < 0 then
+    invalid_arg "Sweep.run_supervised: retries must be >= 0";
+  if policy.retry_delay < 0. then
+    invalid_arg "Sweep.run_supervised: retry_delay must be >= 0";
+  (match policy.task_timeout with
+  | Some t when t <= 0. ->
+      invalid_arg "Sweep.run_supervised: task_timeout must be > 0"
+  | _ -> ());
+  (match policy.budget with
+  | Some b when b < 0 -> invalid_arg "Sweep.run_supervised: budget must be >= 0"
+  | _ -> ());
+  if policy.resume && policy.checkpoint = None then
+    invalid_arg "Sweep.run_supervised: resume requires a checkpoint directory";
+  let seed_list = List.init seeds (fun i -> seed + i) in
+  let cells =
+    List.concat_map (fun e -> List.map (fun s -> (e, s)) seed_list) experiments
+  in
+  (* Resume pass (coordinator-side, before any fan-out): a cell with a
+     valid checkpoint is satisfied from disk; the task budget then caps
+     how many of the remaining cells actually run. *)
+  let budget = ref (match policy.budget with Some b -> b | None -> max_int) in
+  let tagged =
+    List.map
+      (fun (e, s) ->
+        let resumed =
+          match policy.checkpoint with
+          | Some dir when policy.resume ->
+              Checkpoint.load ~dir ~experiment:e.Registry.id ~seed:s
+          | _ -> None
+        in
+        match resumed with
+        | Some entry -> (e, s, Tag_resumed entry.Checkpoint.c_series)
+        | None ->
+            if !budget > 0 then begin
+              decr budget;
+              (e, s, Tag_run)
+            end
+            else (e, s, Tag_skipped))
+      cells
+  in
+  let to_run =
+    List.filter_map
+      (fun (e, s, tag) -> match tag with Tag_run -> Some (e, s) | _ -> None)
+      tagged
+  in
+  let outcomes =
+    Par.map_outcomes ~jobs
+      (List.map
+         (fun (e, s) control -> run_task ~strict ~policy e ~mode ~seed:s control)
+         to_run)
+  in
+  (* Stitch pool outcomes back into grid order; [map_outcomes] preserves
+     input order, so one pass over [tagged] consumes them in sequence. *)
+  let rem = ref outcomes in
+  let statuses =
+    List.map
+      (fun (e, s, tag) ->
+        match tag with
+        | Tag_resumed series -> (e, s, T_ok ({ seed = s; series }, 0))
+        | Tag_skipped -> (e, s, T_skipped)
+        | Tag_run ->
+            let o =
+              match !rem with
+              | [] -> assert false
+              | o :: tl ->
+                  rem := tl;
+                  o
+            in
+            let status =
+              match o with
+              | Par.Ok st -> st
+              | Par.Failed { exn; _ } ->
+                  pool_failure e s Crashed
+                    ("supervisor: " ^ Printexc.to_string exn)
+              | Par.Timed_out { after } ->
+                  pool_failure e s Timeout
+                    (Printf.sprintf "wall-clock timeout after %gs" after)
+              | Par.Stalled { reason } -> pool_failure e s Stall reason
+            in
+            (e, s, status))
+      tagged
+  in
+  let failures =
+    List.filter_map
+      (fun (_, _, st) -> match st with T_failed f -> Some f | _ -> None)
+      statuses
+  in
+  let resumed =
+    List.length
+      (List.filter (fun (_, _, t) -> t <> Tag_run && t <> Tag_skipped) tagged)
+  in
+  let skipped =
+    List.length (List.filter (fun (_, _, t) -> t = Tag_skipped) tagged)
+  in
+  let retried =
+    List.fold_left
+      (fun acc (_, _, st) ->
+        match st with
+        | T_ok (_, a) when a > 1 -> acc + (a - 1)
+        | T_failed f when f.f_attempts > 1 -> acc + (f.f_attempts - 1)
+        | _ -> acc)
+      0 statuses
+  in
+  (* Sweep-level observability: counters plus one journal Task entry per
+     non-ok task, recorded into the coordinator's sink (default null). *)
+  let m = obs.Obs.Sink.metrics in
+  let bump ?labels name n =
+    if n > 0 then Obs.Metrics.Counter.add (Obs.Metrics.counter m ?labels name) n
+  in
+  bump "sweep_tasks_total" (List.length cells);
+  bump "sweep_task_ok_total"
+    (List.length statuses - List.length failures - skipped - resumed);
+  bump "sweep_task_resumed_total" resumed;
+  bump "sweep_task_skipped_total" skipped;
+  bump "sweep_task_retried_total" retried;
+  List.iter
+    (fun f ->
+      bump ~labels:[ ("cause", cause_label f.f_cause) ] "sweep_task_failed_total"
+        1;
+      Obs.Sink.event obs ~time:0. ~severity:Obs.Journal.Error
+        (Obs.Journal.scope "sweep")
+        (Obs.Journal.Task
+           {
+             id = task_label f;
+             outcome = cause_label f.f_cause;
+             attempts = f.f_attempts;
+             detail = f.f_detail;
+           }))
+    failures;
+  List.iter
+    (fun (e, s, st) ->
+      match st with
+      | T_skipped ->
+          Obs.Sink.event obs ~time:0. ~severity:Obs.Journal.Warn
+            (Obs.Journal.scope "sweep")
+            (Obs.Journal.Task
+               {
+                 id = Checkpoint.task_name ~experiment:e.Registry.id ~seed:s;
+                 outcome = "skipped";
+                 attempts = 0;
+                 detail = "task budget exhausted";
+               })
+      | _ -> ())
+    statuses;
+  let results =
+    List.concat_map
+      (fun group ->
+        match group with
+        | [] -> []
+        | (e, _, _) :: _ ->
+            let reps =
+              List.filter_map
+                (fun (_, _, st) ->
+                  match st with T_ok (rep, _) -> Some rep | _ -> None)
+                group
+            in
+            if reps = [] then []
+            else
+              [
+                {
+                  experiment = e;
+                  replicates = reps;
+                  aggregate = aggregate (List.map (fun r -> r.series) reps);
+                };
+              ])
+      (chunk seeds statuses)
+  in
+  {
+    results;
+    failures;
+    tasks = List.length cells;
+    executed = List.length to_run;
+    resumed;
+    skipped;
+    retried;
+  }
+
+(* -------------------------------------------------------- reporting *)
+
+let exit_code report =
+  if List.exists (fun f -> f.f_cause = Violation) report.failures then 2
+  else if report.failures <> [] || report.skipped > 0 then 3
+  else 0
+
+let render ?(csv = false) ?(replicates = false) ~seeds results =
+  let buf = Buffer.create (64 * 1024) in
+  let add_series s =
+    if csv then Buffer.add_string buf (Series.to_csv s)
+    else Buffer.add_string buf (Format.asprintf "%a@." Series.pp s)
+  in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "--- %s: %s ---\n" r.experiment.Registry.figure
+           r.experiment.Registry.title);
+      let add_replicates () =
+        List.iter
+          (fun rep ->
+            if seeds > 1 then
+              Buffer.add_string buf (Printf.sprintf "-- seed %d --\n" rep.seed);
+            List.iter add_series rep.series)
+          r.replicates
+      in
+      match r.aggregate with
+      | Some agg ->
+          if replicates then add_replicates ();
+          List.iter add_series agg
+      | None -> add_replicates ())
+    results;
+  Buffer.contents buf
+
+let render_failure f =
+  match f.f_cause with
+  | Violation ->
+      (* The Violation message already carries its own journal window
+         (the PR 5 strict-mode shape); don't print it twice. *)
+      Printf.sprintf "sweep: task %s: invariant violation (attempt %d):\n%s\n"
+        (task_label f) f.f_attempts f.f_detail
+  | _ ->
+      Printf.sprintf
+        "sweep: task %s failed (%s) after %d attempt(s): %s\n\
+         --- journal window (most recent entries) ---\n\
+         %s"
+        (task_label f) (cause_label f.f_cause) f.f_attempts f.f_detail
+        f.f_journal
+
+let render_failures report =
+  String.concat "" (List.map render_failure report.failures)
+
+let failure_to_json f =
+  Obs.Json.Obj
+    [
+      ("task", Obs.Json.Str (task_label f));
+      ("experiment", Obs.Json.Str f.f_experiment);
+      ("seed", Obs.Json.Int f.f_seed);
+      ("attempts", Obs.Json.Int f.f_attempts);
+      ("cause", Obs.Json.Str (cause_label f.f_cause));
+      ("detail", Obs.Json.Str f.f_detail);
+      ("journal_window", Obs.Json.Str f.f_journal);
+    ]
+
+let result_to_json r =
+  Obs.Json.Obj
+    [
+      ("id", Obs.Json.Str r.experiment.Registry.id);
+      ("figure", Obs.Json.Str r.experiment.Registry.figure);
+      ("title", Obs.Json.Str r.experiment.Registry.title);
+      ( "replicates",
+        Obs.Json.Arr
+          (List.map
+             (fun rep ->
+               Obs.Json.Obj
+                 [
+                   ("seed", Obs.Json.Int rep.seed);
+                   ( "series",
+                     Obs.Json.Arr (List.map Series.to_json rep.series) );
+                 ])
+             r.replicates) );
+      ( "aggregate",
+        match r.aggregate with
+        | None -> Obs.Json.Null
+        | Some a -> Obs.Json.Arr (List.map Series.to_json a) );
+    ]
+
+let report_to_json report =
+  Obs.Json.Obj
+    [
+      ("results", Obs.Json.Arr (List.map result_to_json report.results));
+      ("failures", Obs.Json.Arr (List.map failure_to_json report.failures));
+      ( "summary",
+        Obs.Json.Obj
+          [
+            ("tasks", Obs.Json.Int report.tasks);
+            ("executed", Obs.Json.Int report.executed);
+            ("resumed", Obs.Json.Int report.resumed);
+            ("skipped", Obs.Json.Int report.skipped);
+            ("retried", Obs.Json.Int report.retried);
+            ("failed", Obs.Json.Int (List.length report.failures));
+            ("exit_code", Obs.Json.Int (exit_code report));
+          ] );
+    ]

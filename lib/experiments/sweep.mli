@@ -53,3 +53,119 @@ val run :
     [strict] (default false) runs every cell under a strict invariant
     checker ({!run_one}); the first violating cell's
     {!Check.Invariant.Violation} propagates out of the sweep. *)
+
+(** {1 Supervised sweeps (DESIGN.md §12)}
+
+    {!run} has seed semantics: the lowest-indexed failing task's
+    exception kills the whole sweep.  {!run_supervised} instead gives
+    every (experiment × seed) cell its own supervised lifecycle —
+    wall-clock timeout, stall/event-storm watchdog
+    ({!Netsim.Watchdog}), retry with exponential backoff, per-task
+    checkpointing — and always returns a complete {!report}: every
+    successful figure's series plus one structured {!failure} per cell
+    that exhausted its attempts.  Determinism is preserved: a
+    supervised all-success sweep renders byte-identically to {!run},
+    whatever [jobs], and a resumed sweep renders byte-identically to an
+    uninterrupted one. *)
+
+type cause =
+  | Crashed  (** the experiment raised *)
+  | Timeout  (** wall-clock deadline ({!policy.task_timeout}) *)
+  | Stall  (** watchdog abort: livelock or event storm *)
+  | Violation
+      (** strict {!Check.Invariant.Violation} — deterministic, never
+          retried *)
+
+val cause_label : cause -> string
+(** ["crashed" | "timeout" | "stalled" | "violation"]. *)
+
+type failure = {
+  f_experiment : string;
+  f_seed : int;
+  f_attempts : int;  (** attempts consumed (>= 1) *)
+  f_cause : cause;
+  f_detail : string;
+  f_journal : string;
+      (** the failing attempt's journal window, PR 5 strict-mode shape
+          ({!Check.Invariant.journal_window}) *)
+}
+
+type policy = {
+  task_timeout : float option;
+      (** per-attempt wall-clock budget in seconds; detection is
+          cooperative (watchdog polls), so a task that schedules no
+          events can overrun it *)
+  retries : int;  (** extra attempts after the first (0 = fail fast) *)
+  retry_delay : float;
+      (** backoff before attempt [n+1] is [retry_delay * 2^(n-1)] s *)
+  stall_events : int;
+      (** abort after this many events without sim-time progress *)
+  max_events : int option;  (** per-attempt total event budget *)
+  checkpoint : string option;
+      (** persist each completed task into this directory as it
+          finishes ({!Checkpoint}) *)
+  resume : bool;
+      (** load valid checkpoints from [checkpoint] and skip those
+          cells; requires [checkpoint] *)
+  budget : int option;
+      (** run at most this many (non-resumed) cells, skip the rest —
+          deterministic mid-sweep interruption for resume tests *)
+}
+
+val default_policy : policy
+(** No timeout, no retries, no checkpointing; 1M-event stall window. *)
+
+type report = {
+  results : result list;
+      (** experiments with at least one successful replicate, in input
+          order; aggregates cover the successful seeds only *)
+  failures : failure list;  (** in (experiment, seed) grid order *)
+  tasks : int;  (** total grid cells *)
+  executed : int;  (** cells actually run (not resumed, not skipped) *)
+  resumed : int;  (** cells satisfied from checkpoints *)
+  skipped : int;  (** cells dropped by the task budget *)
+  retried : int;  (** total extra attempts across all cells *)
+}
+
+val run_supervised :
+  ?experiments:Registry.experiment list ->
+  ?strict:bool ->
+  ?policy:policy ->
+  ?obs:Obs.Sink.t ->
+  jobs:int ->
+  mode:Scenario.mode ->
+  seed:int ->
+  ?seeds:int ->
+  unit ->
+  report
+(** Like {!run} but fault-tolerant (see above).  Each attempt gets a
+    fresh sink, watchdog config and {!Scenario.with_attempt} number;
+    the per-task {!Par.Control} is re-armed per attempt.  Completed
+    tasks checkpoint before the sweep finishes, so a killed sweep
+    resumes.  [obs] (default {!Obs.Sink.null}) receives sweep-level
+    [sweep_task_*] counters and one journal [Task] entry per failed or
+    skipped cell.  Raises [Invalid_argument] on nonsensical policies
+    (negative retries/delay/budget, non-positive timeout, [resume]
+    without [checkpoint]). *)
+
+val exit_code : report -> int
+(** The CLI contract: 0 all cells ok; 2 if any failure is a strict
+    invariant {!Violation}; 3 if there are other failures or skipped
+    cells. *)
+
+val render : ?csv:bool -> ?replicates:bool -> seeds:int -> result list -> string
+(** Exactly the bytes the CLI prints for a sweep: a
+    ["--- figure: title ---"] header per experiment, then aggregate
+    series (or per-seed replicates, with ["-- seed N --"] markers when
+    [seeds > 1]).  Shared by `tfmcc-sim sweep` and the resume tests so
+    byte-identity is checked against the real output format. *)
+
+val render_failures : report -> string
+(** Human-readable failure block (stderr material), one entry per
+    {!failure} with its journal window. *)
+
+val report_to_json : report -> Obs.Json.t
+(** [{"results": …, "failures": [{"task", "experiment", "seed",
+    "attempts", "cause", "detail", "journal_window"}…], "summary":
+    {"tasks", "executed", "resumed", "skipped", "retried", "failed",
+    "exit_code"}}]. *)

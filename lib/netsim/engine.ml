@@ -11,6 +11,13 @@ type t = {
   mutable processed : int;
   obs : Obs.Sink.t;
   ev_counter : Obs.Metrics.Counter.t;  (* engine-loop events processed *)
+  (* Watchdog hook: [watchdog] runs every [wd_every] processed events.
+     [wd_countdown] starts at [max_int] when no watchdog is installed,
+     so the per-event cost without one is a single decrement that never
+     reaches zero. *)
+  mutable watchdog : (unit -> unit) option;
+  mutable wd_every : int;
+  mutable wd_countdown : int;
 }
 
 type handle = Event_heap.handle
@@ -24,9 +31,34 @@ let create ?(seed = 42) ?(obs = Obs.Sink.null) () =
     processed = 0;
     obs;
     ev_counter = Obs.Metrics.counter obs.Obs.Sink.metrics "netsim_engine_events_total";
+    watchdog = None;
+    wd_every = max_int;
+    wd_countdown = max_int;
   }
 
 let obs t = t.obs
+
+let set_watchdog t ?(every_events = 4096) f =
+  if every_events < 1 then
+    invalid_arg "Engine.set_watchdog: every_events must be >= 1";
+  t.watchdog <- Some f;
+  t.wd_every <- every_events;
+  t.wd_countdown <- every_events
+
+let clear_watchdog t =
+  t.watchdog <- None;
+  t.wd_every <- max_int;
+  t.wd_countdown <- max_int
+
+(* Called from the event loops after each processed event.  An exception
+   from the watchdog callback (a cancellation or stall abort) propagates
+   out of [run] / [step] to the caller owning this engine's task. *)
+let wd_tick t =
+  t.wd_countdown <- t.wd_countdown - 1;
+  if t.wd_countdown = 0 then begin
+    t.wd_countdown <- t.wd_every;
+    match t.watchdog with Some f -> f () | None -> ()
+  end
 
 let now t = t.clock.Event_heap.cell_time
 
@@ -69,6 +101,7 @@ let step t =
     t.processed <- t.processed + 1;
     Obs.Metrics.Counter.inc t.ev_counter;
     callback ();
+    wd_tick t;
     true
   end
 
@@ -86,7 +119,8 @@ let run ?until t =
       | Some callback ->
           t.processed <- t.processed + 1;
           Obs.Metrics.Counter.inc t.ev_counter;
-          callback ()
+          callback ();
+          wd_tick t
   done;
   match until with
   | Some limit when (not t.stopped) && t.clock.Event_heap.cell_time < limit -> t.clock.Event_heap.cell_time <- limit

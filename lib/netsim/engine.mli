@@ -56,6 +56,17 @@ val step : t -> bool
 val stop : t -> unit
 (** Makes the innermost [run] return after the current callback. *)
 
+val set_watchdog : t -> ?every_events:int -> (unit -> unit) -> unit
+(** Installs a callback invoked from the event loops after every
+    [every_events] (default 4096, must be ≥ 1) processed events — the
+    hook {!Watchdog} rides to detect stalls and enforce wall-clock
+    deadlines.  The callback must be read-only with respect to
+    simulation state; an exception it raises propagates out of {!run} /
+    {!step} and aborts the run.  Replaces any previous watchdog.  With
+    none installed the per-event cost is a single integer decrement. *)
+
+val clear_watchdog : t -> unit
+
 val events_processed : t -> int
 
 val pending_events : t -> int

@@ -1,0 +1,42 @@
+(** Engine-level progress watchdog (DESIGN.md §12).
+
+    Supervised experiment tasks must stay bounded: a simulation that
+    livelocks (callbacks rescheduling at a frozen simulated instant),
+    explodes into an event storm, or blocks on wall-clock work would
+    otherwise hold its worker domain forever.  [install] arms two
+    read-only probes on an engine:
+
+    - an {e event-count} hook ({!Engine.set_watchdog}, every
+      [check_every] events) that aborts when simulated time has not
+      advanced for [stall_events] consecutive events (livelock) or the
+      total event count exceeds [max_events] (event storm), and polls
+      the task's {!Par.Control} for wall-clock deadlines;
+    - a {e sim-time} hook ({!Engine.every}, every [sim_interval]
+      simulated seconds) that polls the control too, catching wall
+      overruns in runs that process few events.
+
+    An abort records an [Error] note under the ["netsim.watchdog"]
+    journal component (so the task's failure report carries the journal
+    window, the PR 5 strict-mode shape) and raises
+    {!Par.Cancelled}[ (Stall _)]; deadline overruns raise
+    {!Par.Cancelled}[ (Timeout _)] from the control itself.  Probes
+    never touch protocol or RNG state: a watched run that completes is
+    byte-identical to an unwatched one. *)
+
+type config = {
+  control : Par.Control.t;  (** cancellation + wall deadline source *)
+  stall_events : int;
+      (** abort after this many events without sim-time progress;
+          [<= 0] disables livelock detection *)
+  max_events : int option;  (** total event budget; [None] = unbounded *)
+  check_every : int;  (** events between event-count checks (≥ 1) *)
+  sim_interval : float;  (** simulated seconds between control polls *)
+}
+
+val default : config
+(** Inert control, 1M-event stall window, no event budget, check every
+    4096 events, 0.25 s sim-time polls. *)
+
+val install : config -> Engine.t -> unit
+(** Arms both hooks on [engine].  Raises [Invalid_argument] on
+    non-positive [check_every] / [sim_interval] / [max_events]. *)

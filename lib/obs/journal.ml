@@ -21,6 +21,7 @@ type event =
   | Join
   | Leave of { explicit : bool }
   | Fault of { kind : string; detail : string }
+  | Task of { id : string; outcome : string; attempts : int; detail : string }
   | Note of string
 
 type entry = {
@@ -107,6 +108,7 @@ let event_name = function
   | Join -> "join"
   | Leave _ -> "leave"
   | Fault _ -> "fault"
+  | Task _ -> "sweep_task"
   | Note _ -> "note"
 
 let severity_name = function
@@ -151,6 +153,13 @@ let event_fields = function
   | Leave { explicit } -> [ ("explicit", Json.Bool explicit) ]
   | Fault { kind; detail } ->
       [ ("kind", Json.Str kind); ("detail", Json.Str detail) ]
+  | Task { id; outcome; attempts; detail } ->
+      [
+        ("id", Json.Str id);
+        ("outcome", Json.Str outcome);
+        ("attempts", Json.Int attempts);
+        ("detail", Json.Str detail);
+      ]
   | Note note -> [ ("note", Json.Str note) ]
 
 let pp_entry ppf e =

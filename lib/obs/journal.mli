@@ -45,6 +45,10 @@ type event =
   | Join
   | Leave of { explicit : bool }
   | Fault of { kind : string; detail : string }
+  | Task of { id : string; outcome : string; attempts : int; detail : string }
+      (** terminal state of one supervised sweep task: [id] is
+          ["<experiment>/s<seed>"], [outcome] one of
+          ok/failed/timeout/stalled/violation/skipped/resumed *)
   | Note of string
 
 type entry = {

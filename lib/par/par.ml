@@ -1,23 +1,103 @@
-(* Worker domains carry a DLS marker so nested submission (a pool task
-   calling back into [map]) can be rejected instead of deadlocking. *)
-let inside_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+(* Worker domains carry a DLS marker recording which task index they are
+   currently running, so nested submission (a pool task calling back into
+   [map]) can be rejected with a message naming the offending task
+   instead of deadlocking.  [None] between tasks and outside workers. *)
+let running_task : int option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-(* Run [tasks.(i)] for every i, storing either the result or the first
-   exception (with backtrace) per slot.  Shared by the serial and pool
-   paths so both have identical semantics. *)
-let collect results errors tasks i =
-  match tasks.(i) () with
-  | v -> results.(i) <- Some v
-  | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
+type cancel_reason = Timeout of float | Stall of string
 
-let finish results errors =
-  Array.iteri
-    (fun _ slot ->
-      match slot with
-      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-      | None -> ())
-    errors;
-  Array.map Option.get results |> Array.to_list
+exception Cancelled of cancel_reason
+
+let describe_cancel = function
+  | Timeout after -> Printf.sprintf "wall-clock timeout after %gs" after
+  | Stall reason -> reason
+
+(* ------------------------------------------------------------- control *)
+
+module Control = struct
+  type t = {
+    live : bool;  (* the shared [none] control never cancels *)
+    mutable started : float;  (* Unix time the current attempt was armed *)
+    mutable timeout : float option;  (* seconds of wall clock per attempt *)
+    mutable reason : cancel_reason option;  (* sticky until re-armed *)
+  }
+
+  let none = { live = false; started = 0.; timeout = None; reason = None }
+
+  let create ?timeout () =
+    { live = true; started = Unix.gettimeofday (); timeout; reason = None }
+
+  let arm t ?timeout () =
+    if t.live then begin
+      t.started <- Unix.gettimeofday ();
+      t.timeout <- timeout;
+      t.reason <- None
+    end
+
+  let cancel t reason = if t.live && t.reason = None then t.reason <- Some reason
+
+  let cancelled t = t.reason
+
+  let elapsed t = if t.live then Unix.gettimeofday () -. t.started else 0.
+
+  let check t =
+    if t.live then begin
+      (match t.reason with Some r -> raise (Cancelled r) | None -> ());
+      match t.timeout with
+      | Some s when Unix.gettimeofday () -. t.started > s ->
+          let r = Timeout s in
+          t.reason <- Some r;
+          raise (Cancelled r)
+      | _ -> ()
+    end
+end
+
+(* ------------------------------------------------------------ outcomes *)
+
+type 'a outcome =
+  | Ok of 'a
+  | Failed of { exn : exn; backtrace : Printexc.raw_backtrace }
+  | Timed_out of { after : float }
+  | Stalled of { reason : string }
+
+let outcome_label = function
+  | Ok _ -> "ok"
+  | Failed _ -> "failed"
+  | Timed_out _ -> "timeout"
+  | Stalled _ -> "stalled"
+
+let outcome_detail = function
+  | Ok _ -> ""
+  | Failed { exn; _ } -> Printexc.to_string exn
+  | Timed_out { after } -> describe_cancel (Timeout after)
+  | Stalled { reason } -> reason
+
+(* Run [tasks.(i)] with a fresh control, storing a structured outcome per
+   slot.  Shared by the serial and pool paths so both have identical
+   semantics.  Never raises: the task's exception (with backtrace) is
+   captured in the slot. *)
+let collect ?timeout outcomes tasks i =
+  let control = Control.create ?timeout () in
+  outcomes.(i) <-
+    (match tasks.(i) control with
+    | v -> Ok v
+    | exception Cancelled (Timeout after) -> Timed_out { after }
+    | exception Cancelled (Stall reason) -> Stalled { reason }
+    | exception exn -> Failed { exn; backtrace = Printexc.get_raw_backtrace () })
+
+(* Legacy [map] semantics on top of outcomes: every task ran; re-raise
+   the lowest-indexed failure (with its backtrace) if any, else unwrap.
+   [Timed_out]/[Stalled] cannot occur without a timeout or an external
+   cancel, but are re-raised faithfully if a task leaks a [Cancelled]. *)
+let finish outcomes =
+  Array.iter
+    (function
+      | Failed { exn; backtrace } -> Printexc.raise_with_backtrace exn backtrace
+      | Timed_out { after } -> raise (Cancelled (Timeout after))
+      | Stalled { reason } -> raise (Cancelled (Stall reason))
+      | Ok _ -> ())
+    outcomes;
+  Array.map (function Ok v -> v | _ -> assert false) outcomes |> Array.to_list
 
 module Pool = struct
   type t = {
@@ -33,7 +113,6 @@ module Pool = struct
   let jobs t = t.jobs
 
   let worker pool () =
-    Domain.DLS.set inside_worker true;
     let rec loop () =
       Mutex.lock pool.m;
       while Queue.is_empty pool.queue && not pool.stopping do
@@ -43,8 +122,9 @@ module Pool = struct
       else begin
         let task = Queue.pop pool.queue in
         Mutex.unlock pool.m;
-        (* [task] is a wrapper built by [map]: it never raises and does
-           its own completion bookkeeping under the pool mutex. *)
+        (* [task] is a wrapper built by [map_outcomes]: it never raises
+           and does its own completion bookkeeping under the pool
+           mutex. *)
         task ();
         loop ()
       end
@@ -68,18 +148,31 @@ module Pool = struct
     pool.workers <- Array.init jobs (fun _ -> Domain.spawn (worker pool));
     pool
 
-  let map pool tasks =
-    if Domain.DLS.get inside_worker then
-      invalid_arg "Par.Pool.map: nested submission from inside a pool task";
+  let reject_nested who =
+    match Domain.DLS.get running_task with
+    | Some i ->
+        invalid_arg
+          (Printf.sprintf
+             "%s: nested submission from inside pool task #%d — a worker \
+              blocking on a sub-batch can deadlock the pool that feeds it; \
+              use Par.map ~jobs:1 inside tasks instead"
+             who i)
+    | None -> ()
+
+  let map_outcomes pool ?timeout tasks =
+    reject_nested "Par.Pool.map_outcomes";
     let tasks = Array.of_list tasks in
     let n = Array.length tasks in
     if n = 0 then []
     else begin
-      let results = Array.make n None in
-      let errors = Array.make n None in
+      let outcomes =
+        Array.make n (Stalled { reason = "task never ran" })
+      in
       let remaining = ref n in
       let wrap i () =
-        collect results errors tasks i;
+        Domain.DLS.set running_task (Some i);
+        collect ?timeout outcomes tasks i;
+        Domain.DLS.set running_task None;
         Mutex.lock pool.m;
         decr remaining;
         if !remaining = 0 then Condition.broadcast pool.batch_done;
@@ -88,7 +181,7 @@ module Pool = struct
       Mutex.lock pool.m;
       if pool.stopping then begin
         Mutex.unlock pool.m;
-        invalid_arg "Par.Pool.map: pool is shut down"
+        invalid_arg "Par.Pool.map_outcomes: pool is shut down"
       end;
       for i = 0 to n - 1 do
         Queue.push (wrap i) pool.queue
@@ -98,10 +191,17 @@ module Pool = struct
         Condition.wait pool.batch_done pool.m
       done;
       Mutex.unlock pool.m;
-      (* All writes to [results]/[errors] happened-before the final
-         [batch_done] signal we just synchronized with. *)
-      finish results errors
+      (* All writes to [outcomes] happened-before the final [batch_done]
+         signal we just synchronized with. *)
+      Array.to_list outcomes
     end
+
+  let map pool tasks =
+    reject_nested "Par.Pool.map";
+    let outcomes =
+      map_outcomes pool (List.map (fun task _control -> task ()) tasks)
+    in
+    finish (Array.of_list outcomes)
 
   let shutdown pool =
     let joinable =
@@ -115,21 +215,29 @@ module Pool = struct
     if joinable then Array.iter Domain.join pool.workers
 end
 
-let map ~jobs tasks =
+let map_outcomes ~jobs ?timeout tasks =
   let n = List.length tasks in
   if n = 0 then []
   else if jobs <= 1 then begin
+    (* Serial path: run in the calling domain, identical bookkeeping.
+       [running_task] is deliberately not set — a serial map inside a
+       pool task is the documented escape hatch for nested fan-out. *)
     let tasks = Array.of_list tasks in
-    let results = Array.make n None in
-    let errors = Array.make n None in
+    let outcomes = Array.make n (Stalled { reason = "task never ran" }) in
     for i = 0 to n - 1 do
-      collect results errors tasks i
+      collect ?timeout outcomes tasks i
     done;
-    finish results errors
+    Array.to_list outcomes
   end
   else begin
     let pool = Pool.create ~jobs:(min jobs n) in
     Fun.protect
       ~finally:(fun () -> Pool.shutdown pool)
-      (fun () -> Pool.map pool tasks)
+      (fun () -> Pool.map_outcomes pool ?timeout tasks)
   end
+
+let map ~jobs tasks =
+  let outcomes =
+    map_outcomes ~jobs (List.map (fun task _control -> task ()) tasks)
+  in
+  finish (Array.of_list outcomes)

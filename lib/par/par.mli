@@ -1,15 +1,101 @@
-(** Deterministic fan-out over a fixed-size pool of OCaml 5 domains.
+(** Deterministic fan-out over a fixed-size pool of OCaml 5 domains,
+    with optional supervision (cooperative cancellation, per-task
+    wall-clock timeouts, structured outcomes).
 
-    Built only on stdlib [Domain] / [Mutex] / [Condition].  The unit of
-    work is a thunk; {!Pool.map} runs a batch of thunks across the pool
-    and returns their results *in input order*, so a parallel run is
-    observationally identical to a serial one whenever the tasks
-    themselves are independent and deterministic (the experiment sweep:
-    every run owns its engine, RNG and sink).
+    Built only on stdlib [Domain] / [Mutex] / [Condition] (+ [Unix] for
+    wall-clock deadlines).  The unit of work is a thunk; {!Pool.map}
+    runs a batch of thunks across the pool and returns their results
+    *in input order*, so a parallel run is observationally identical to
+    a serial one whenever the tasks themselves are independent and
+    deterministic (the experiment sweep: every run owns its engine, RNG
+    and sink).
 
-    Ownership rule: a task must not share mutable simulator state
-    (engines, sinks, scenarios) with any other task or with the caller —
-    tasks communicate only through their return values. *)
+    {2 Ownership rule}
+
+    A task must not share mutable simulator state (engines, sinks,
+    scenarios, RNGs) with any other task or with the caller — tasks
+    communicate only through their return values.  A worker domain runs
+    one task at a time; everything a task allocates is domain-private
+    until it is returned.  Corollary: a task must not submit a
+    sub-batch to the pool that is running it ({!Pool.map} from inside a
+    task raises [Invalid_argument] naming the offending task index,
+    because a worker blocking on its own pool deadlocks it).  Nested
+    fan-out inside a task is allowed only through the serial path,
+    [map ~jobs:1].
+
+    {2 Supervision model}
+
+    Cancellation is {e cooperative}: OCaml domains cannot be killed, so
+    a task is handed a {!Control.t} and is expected to poll
+    {!Control.check} at a bounded interval (simulation tasks do this
+    from the engine watchdog, [Netsim.Watchdog]).  A poll past the
+    wall-clock deadline, or after {!Control.cancel}, raises
+    {!Cancelled}; {!map_outcomes} converts that into a structured
+    {!outcome} instead of killing the batch.  A task that never polls
+    can exceed its timeout — bound such tasks by construction. *)
+
+(** Why a task was cancelled: it exceeded its wall-clock budget, or a
+    watchdog diagnosed a stall (livelock, event storm, no progress). *)
+type cancel_reason = Timeout of float | Stall of string
+
+exception Cancelled of cancel_reason
+(** Raised by {!Control.check} from inside a cancelled task.  Tasks
+    should let it propagate (cleanup via [Fun.protect]); the supervised
+    map converts it into {!Timed_out} / {!Stalled}. *)
+
+val describe_cancel : cancel_reason -> string
+
+(** Per-task cancellation handle. *)
+module Control : sig
+  type t
+
+  val none : t
+  (** The inert control: {!check} never raises, {!cancel} is a no-op.
+      For running supervised code unsupervised. *)
+
+  val create : ?timeout:float -> unit -> t
+  (** A live control armed now; [timeout] is wall-clock seconds from
+      now. *)
+
+  val arm : t -> ?timeout:float -> unit -> unit
+  (** Re-arms the control for a new attempt: resets the start-of-attempt
+      clock, replaces the timeout, and clears any pending cancellation
+      (a retry must not inherit the previous attempt's abort).  No-op on
+      {!none}. *)
+
+  val cancel : t -> cancel_reason -> unit
+  (** Requests cancellation; the next {!check} raises.  First reason
+      wins; idempotent; no-op on {!none}. *)
+
+  val cancelled : t -> cancel_reason option
+
+  val elapsed : t -> float
+  (** Wall-clock seconds since the control was created or last
+      re-armed (0 for {!none}). *)
+
+  val check : t -> unit
+  (** Raises {!Cancelled} if cancellation was requested or the deadline
+      has passed (recording the timeout as the sticky reason).  O(1);
+      safe to call at high frequency. *)
+end
+
+(** The terminal state of one supervised task. *)
+type 'a outcome =
+  | Ok of 'a
+  | Failed of { exn : exn; backtrace : Printexc.raw_backtrace }
+      (** The task raised; re-raisable with its original backtrace. *)
+  | Timed_out of { after : float }
+      (** Cancelled by its wall-clock deadline ([after] seconds). *)
+  | Stalled of { reason : string }
+      (** Cancelled by a watchdog ({!cancel_reason.Stall}). *)
+
+val outcome_label : _ outcome -> string
+(** ["ok"] / ["failed"] / ["timeout"] / ["stalled"] — stable tags used
+    in metrics labels and failure reports. *)
+
+val outcome_detail : _ outcome -> string
+(** Human-readable cause (exception text, timeout, stall reason); [""]
+    for [Ok]. *)
 
 module Pool : sig
   type t
@@ -33,10 +119,18 @@ module Pool : sig
       (with its backtrace) after the batch drains.
 
       Nested submission — calling [map] from inside a pool task — is
-      rejected with [Invalid_argument]: a worker blocking on a sub-batch
-      could deadlock the pool that feeds it.  Use {!val-map} with
-      [~jobs:1] inside tasks instead.  Raises [Invalid_argument] after
+      rejected with [Invalid_argument] naming the offending task index
+      (see the ownership rule above).  Use {!val-map} with [~jobs:1]
+      inside tasks instead.  Raises [Invalid_argument] after
       {!shutdown}. *)
+
+  val map_outcomes :
+    t -> ?timeout:float -> (Control.t -> 'a) list -> 'a outcome list
+  (** Supervised variant: every task gets a fresh {!Control.t} (armed
+      with [timeout] wall-clock seconds when given) and runs to a
+      structured {!outcome} — no exception from a task ever escapes the
+      batch, and slots come back in input order.  The deadline clock of
+      task [i] starts when a worker dequeues it, not at submission. *)
 
   val shutdown : t -> unit
   (** Asks the workers to exit once the queue drains and joins them.
@@ -51,3 +145,10 @@ val map : jobs:int -> (unit -> 'a) list -> 'a list
     serial reference for determinism checks.  [jobs > 1] creates a
     pool of [min jobs (List.length tasks)] workers, maps, and shuts it
     down. *)
+
+val map_outcomes :
+  jobs:int -> ?timeout:float -> (Control.t -> 'a) list -> 'a outcome list
+(** One-shot supervised map, same serial/parallel split as {!val-map}.
+    [jobs <= 1] runs in the calling domain with identical outcome
+    semantics (and permits nested fan-out, serving as the in-task
+    escape hatch). *)
