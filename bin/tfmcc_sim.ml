@@ -500,7 +500,7 @@ let trace_cmd =
     Netsim.Trace.attach tracer ab;
     Netsim.Trace.attach tracer ba;
     let session =
-      Tfmcc_core.Session.create topo ~session:1 ~sender_node:sender
+      Netsim_env.Session.create topo ~session:1 ~sender_node:sender
         ~receiver_nodes:[ rx ] ()
     in
     Tfmcc_core.Session.start session ~at:0.;
@@ -558,6 +558,169 @@ let dot_cmd =
   in
   Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ kind_arg $ size_arg $ seed_arg)
 
+let loopback_cmd =
+  let doc =
+    "Drive concurrent TFMCC sessions over the real-time runtime (event loop + \
+     byte codec + loopback datagram fabric) instead of the simulator."
+  in
+  let sessions_arg =
+    let doc = "Concurrent TFMCC sessions (one sender each)." in
+    Arg.(value & opt int 4 & info [ "sessions" ] ~docv:"N" ~doc)
+  in
+  let receivers_arg =
+    let doc = "Receivers per session." in
+    Arg.(value & opt int 1 & info [ "receivers" ] ~docv:"N" ~doc)
+  in
+  let duration_arg =
+    let doc = "Run length in loop-seconds (virtual time unless $(b,--realtime))." in
+    Arg.(value & opt float 8. & info [ "duration" ] ~docv:"SECONDS" ~doc)
+  in
+  let loss_arg =
+    let doc = "Impairment shim: per-frame loss probability." in
+    Arg.(value & opt float 0.02 & info [ "loss" ] ~docv:"P" ~doc)
+  in
+  let delay_arg =
+    let doc = "Impairment shim: one-way delay, seconds." in
+    Arg.(value & opt float 0.025 & info [ "delay" ] ~docv:"SECONDS" ~doc)
+  in
+  let jitter_arg =
+    let doc = "Impairment shim: uniform extra delay width, seconds." in
+    Arg.(value & opt float 0.005 & info [ "jitter" ] ~docv:"SECONDS" ~doc)
+  in
+  let warmup_arg =
+    let doc =
+      "Impairment shim: hold the loss dice for this many initial seconds so \
+       slowstart establishes before loss begins (netem-style staged \
+       impairment)."
+    in
+    Arg.(value & opt float 2. & info [ "warmup" ] ~docv:"SECONDS" ~doc)
+  in
+  let realtime_arg =
+    let doc = "Run against the wall clock (default: turbo virtual time)." in
+    Arg.(value & flag & info [ "realtime" ] ~doc)
+  in
+  let udp_arg =
+    let doc =
+      "Use real UDP sockets on 127.0.0.1 (implies $(b,--realtime); one fd per \
+       endpoint, so keep the session count small)."
+    in
+    Arg.(value & flag & info [ "udp" ] ~doc)
+  in
+  let epoch_arg =
+    let doc = "Initial loop-clock value, seconds (the protocol must not care)." in
+    Arg.(value & opt float 0. & info [ "epoch" ] ~docv:"SECONDS" ~doc)
+  in
+  let rtt_initial_arg =
+    let doc =
+      "Initial RTT estimate handed to the protocol (paper §2.4: deployments \
+       tune this towards the real path RTT; the conservative 0.5 s default \
+       makes slowstart crawl on a 100 ms path)."
+    in
+    Arg.(value & opt float 0.15 & info [ "rtt-initial" ] ~docv:"SECONDS" ~doc)
+  in
+  let run sessions receivers duration loss delay jitter warmup realtime udp
+      epoch rtt_initial seed json metrics_out =
+    let cfg = { Tfmcc_core.Config.default with rtt_initial } in
+    let hc =
+      {
+        Rt.Harness.sessions;
+        receivers;
+        duration;
+        impair = Rt.Net.impairment ~loss ~delay ~jitter ~warmup ();
+        cfg;
+        mode = (if realtime || udp then Rt.Loop.Realtime else Rt.Loop.Turbo);
+        transport = (if udp then Rt.Harness.Udp_sockets else Rt.Harness.Loopback);
+        epoch;
+        seed;
+      }
+    in
+    let sink = Obs.Sink.create () in
+    let r = Rt.Harness.run ~obs:sink hc in
+    (match metrics_out with
+    | Some file -> write_metrics_out ~file sink
+    | None -> ());
+    let rates = List.map (fun s -> s.Rt.Harness.rate) r.Rt.Harness.stats in
+    let n = float_of_int (List.length rates) in
+    let mean = List.fold_left ( +. ) 0. rates /. n in
+    let min_r = List.fold_left Float.min infinity rates in
+    let max_r = List.fold_left Float.max neg_infinity rates in
+    let conv =
+      List.length (List.filter (Rt.Harness.converged ~cfg) r.Rt.Harness.stats)
+    in
+    if json then
+      let stat_json s =
+        Obs.Json.Obj
+          [
+            ("session", Obs.Json.Int s.Rt.Harness.session);
+            ("rate_bytes_per_s", Obs.Json.Float s.Rt.Harness.rate);
+            ("packets", Obs.Json.Int s.Rt.Harness.packets);
+            ("reports", Obs.Json.Int s.Rt.Harness.reports);
+            ("starved", Obs.Json.Bool s.Rt.Harness.starved);
+            ("loss_event_rate", Obs.Json.Float s.Rt.Harness.loss_rate);
+            ("rtt", Obs.Json.Float s.Rt.Harness.rtt);
+            ("converged", Obs.Json.Bool (Rt.Harness.converged s ~cfg));
+          ]
+      in
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("sessions", Obs.Json.Int sessions);
+                ("receivers", Obs.Json.Int receivers);
+                ("duration_s", Obs.Json.Float duration);
+                ("wall_s", Obs.Json.Float r.Rt.Harness.wall_s);
+                ("timers_fired", Obs.Json.Int r.Rt.Harness.timers_fired);
+                ("clock_anomalies", Obs.Json.Int r.Rt.Harness.clock_anomalies);
+                ("frames_sent", Obs.Json.Int r.Rt.Harness.frames_sent);
+                ("frames_delivered", Obs.Json.Int r.Rt.Harness.frames_delivered);
+                ("frames_lost", Obs.Json.Int r.Rt.Harness.frames_lost);
+                ("encode_drops", Obs.Json.Int r.Rt.Harness.encode_drops);
+                ("decode_errors", Obs.Json.Int r.Rt.Harness.decode_errors);
+                ("converged_sessions", Obs.Json.Int conv);
+                ("rate_min", Obs.Json.Float min_r);
+                ("rate_mean", Obs.Json.Float mean);
+                ("rate_max", Obs.Json.Float max_r);
+                ("stats", Obs.Json.Arr (List.map stat_json r.Rt.Harness.stats));
+                ("metrics", Obs.Metrics.to_json sink.Obs.Sink.metrics);
+              ]))
+    else begin
+      Printf.printf
+        "loopback: %d session(s) x %d receiver(s), %.1f loop-s in %.2f wall-s \
+         (%s)\n"
+        sessions receivers duration r.Rt.Harness.wall_s
+        (if udp then "udp/realtime" else if realtime then "realtime" else "turbo");
+      Printf.printf
+        "frames: %d sent, %d delivered, %d lost, %d encode-drop, %d \
+         decode-err; %d timers, %d clock anomalies\n"
+        r.Rt.Harness.frames_sent r.Rt.Harness.frames_delivered
+        r.Rt.Harness.frames_lost r.Rt.Harness.encode_drops
+        r.Rt.Harness.decode_errors r.Rt.Harness.timers_fired
+        r.Rt.Harness.clock_anomalies;
+      Printf.printf "rates (kbit/s): min %.1f  mean %.1f  max %.1f; converged %d/%d\n"
+        (min_r *. 8. /. 1000.) (mean *. 8. /. 1000.) (max_r *. 8. /. 1000.)
+        conv sessions;
+      if sessions <= 16 then
+        List.iter
+          (fun s ->
+            Printf.printf
+              "  session %3d: %8.1f kbit/s, %5d pkts, %3d reports, p=%.4f, \
+               rtt=%.0f ms%s%s\n"
+              s.Rt.Harness.session
+              (s.Rt.Harness.rate *. 8. /. 1000.)
+              s.Rt.Harness.packets s.Rt.Harness.reports s.Rt.Harness.loss_rate
+              (s.Rt.Harness.rtt *. 1000.)
+              (if s.Rt.Harness.starved then " STARVED" else "")
+              (if Rt.Harness.converged s ~cfg then "" else " (not converged)"))
+          r.Rt.Harness.stats
+    end
+  in
+  Cmd.v
+    (Cmd.info "loopback" ~doc)
+    Term.(
+      const run $ sessions_arg $ receivers_arg $ duration_arg $ loss_arg
+      $ delay_arg $ jitter_arg $ warmup_arg $ realtime_arg $ udp_arg
+      $ epoch_arg $ rtt_initial_arg $ seed_arg $ json_arg $ metrics_out_arg)
+
 let () =
   let doc = "TFMCC (SIGCOMM 2001) reproduction: experiment runner" in
   let info = Cmd.info "tfmcc-sim" ~version:"1.0.0" ~doc in
@@ -565,4 +728,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; all_cmd; sweep_cmd; verify_golden_cmd;
-            chaos_cmd; scatter_cmd; trace_cmd; dot_cmd ]))
+            chaos_cmd; scatter_cmd; trace_cmd; dot_cmd; loopback_cmd ]))

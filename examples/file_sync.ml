@@ -41,7 +41,7 @@ let () =
       Tcp.Tcp_source.start source ~at:0.)
     mirrors;
   let session =
-    Tfmcc_core.Session.create topo ~session:1 ~sender_node:sender
+    Netsim_env.Session.create topo ~session:1 ~sender_node:sender
       ~receiver_nodes:(Array.to_list mirrors) ()
   in
   let repair_sender =

@@ -28,7 +28,7 @@ let () =
   (* 3. A TFMCC session: sender plus receivers, all with default
      (paper) parameters. *)
   let session =
-    Tfmcc_core.Session.create topo ~session:1 ~sender_node:sender
+    Netsim_env.Session.create topo ~session:1 ~sender_node:sender
       ~receiver_nodes:[ rx_fast; rx_mid; rx_slow ] ()
   in
   Tfmcc_core.Session.start session ~at:0.;

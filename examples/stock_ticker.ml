@@ -29,7 +29,7 @@ let () =
         rx)
   in
   let session =
-    Tfmcc_core.Session.create topo ~session:1 ~sender_node:sender
+    Netsim_env.Session.create topo ~session:1 ~sender_node:sender
       ~receiver_nodes:receivers ()
   in
   Tfmcc_core.Session.start session ~at:0.;

@@ -53,7 +53,7 @@ let () =
     { Tfmcc_core.Config.default with max_rate = 3e6 /. 8. (* bytes/s *) }
   in
   let session =
-    Tfmcc_core.Session.create topo ~cfg ~session:1 ~sender_node:sender
+    Netsim_env.Session.create topo ~cfg ~session:1 ~sender_node:sender
       ~receiver_nodes:(List.map snd viewers) ()
   in
   (* Staggered joins; the wifi viewers leave midway through. *)

@@ -1,4 +1,4 @@
-open Tfmcc_core
+open Netsim_env
 
 let run_one ~seed ~red ~t_end ~n_tcp =
   let sc = Scenario.base ~seed () in

@@ -1,4 +1,4 @@
-open Tfmcc_core
+open Netsim_env
 
 type cross = No_cross | Cbr | On_off | Poisson
 

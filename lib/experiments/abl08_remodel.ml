@@ -1,4 +1,5 @@
 open Tfmcc_core
+open Netsim_env
 
 let run_one ~seed ~remodel ~t_end ~join_at =
   let cfg = { Config.default with remodel_on_first_rtt = remodel } in
@@ -17,7 +18,7 @@ let run_one ~seed ~remodel ~t_end ~join_at =
       ~receiver_nodes:[ fast ] ()
   in
   Session.start session ~at:0.;
-  let late = Session.add_receiver session ~node:slow ~join_now:false () in
+  let late = Session.add_receiver topo session ~node:slow ~join_now:false () in
   ignore (Netsim.Engine.at eng ~time:join_at (fun () -> Receiver.join late));
   (* Integrate the rate excess above the 200 kbit/s tail capacity over
      the post-join window. *)

@@ -48,7 +48,7 @@ let series_stats sc ~t_end ~warmup =
 let run_tfmcc ~seed ~t_end =
   let b = build ~seed in
   let session =
-    Tfmcc_core.Session.create b.b_sc.Scenario.topo ~session:Scenario.tfmcc_flow
+    Netsim_env.Session.create b.b_sc.Scenario.topo ~session:Scenario.tfmcc_flow
       ~sender_node:b.b_sender
       ~receiver_nodes:[ b.b_rx_clean; b.b_rx_lossy ]
       ()

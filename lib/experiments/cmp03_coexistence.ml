@@ -18,7 +18,7 @@ let run ~mode ~seed =
   (* TFMCC session (flow 1). *)
   let tf_sender = mk_left () and tf_rx = mk_right () in
   let session =
-    Tfmcc_core.Session.create topo ~session:1 ~sender_node:tf_sender
+    Netsim_env.Session.create topo ~session:1 ~sender_node:tf_sender
       ~receiver_nodes:[ tf_rx ] ()
   in
   Netsim.Monitor.watch_node_flow sc.Scenario.monitor tf_rx ~flow:1;

@@ -1,4 +1,5 @@
 open Tfmcc_core
+open Netsim_env
 
 (* Two-level tree: sender -- hub -- k branch nodes -- m receivers each.
    Receiver 0 of branch 0 has the worst loss and must end up CLR. *)

@@ -1,4 +1,4 @@
-open Tfmcc_core
+open Netsim_env
 
 let run ~mode ~seed =
   let t_end = Scenario.scale mode ~quick:90. ~full:240. in

@@ -1,4 +1,4 @@
-open Tfmcc_core
+open Netsim_env
 
 let run ~mode ~seed =
   let n = Scenario.scale mode ~quick:200 ~full:1000 in

@@ -1,4 +1,5 @@
 open Tfmcc_core
+open Netsim_env
 
 (* Shared harness of the Byzantine robustness suite (rob04–rob07).
 

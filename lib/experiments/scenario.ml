@@ -137,7 +137,7 @@ let dumbbell ?seed ?obs ?(cfg = Tfmcc_core.Config.default) ~bottleneck_bps
   let tfmcc_sender = mk_left () in
   let rx_nodes = List.init n_tfmcc_rx (fun _ -> mk_right ()) in
   let session =
-    Tfmcc_core.Session.create sc.topo ~cfg ~session:tfmcc_flow
+    Netsim_env.Session.create sc.topo ~cfg ~session:tfmcc_flow
       ~sender_node:tfmcc_sender ~receiver_nodes:rx_nodes ()
   in
   List.iter (fun n -> Netsim.Monitor.watch_node_flow sc.monitor n ~flow:tfmcc_flow)
@@ -213,7 +213,7 @@ let star ?seed ?obs ?(cfg = Tfmcc_core.Config.default) ?uplink_bps
   done;
   let rx_links = Array.map Option.get rx_links in
   let session =
-    Tfmcc_core.Session.create sc.topo ~cfg ~session:tfmcc_flow ~sender_node:sender
+    Netsim_env.Session.create sc.topo ~cfg ~session:tfmcc_flow ~sender_node:sender
       ~receiver_nodes:(Array.to_list rx_nodes) ()
   in
   Array.iter

@@ -1,0 +1,132 @@
+open Tfmcc_core
+
+type Netsim.Packet.payload += Data of Wire.data | Report of Wire.report
+
+let payload_of_msg = function
+  | Wire.Data d -> Data d
+  | Wire.Report r -> Report r
+
+let msg_of_payload = function
+  | Data d -> Some (Wire.Data d)
+  | Report r -> Some (Wire.Report r)
+  | _ -> None
+
+let env topo ~session node =
+  let eng = Netsim.Topology.engine topo in
+  let id = Netsim.Node.id node in
+  let timer h = { Env.cancel = (fun () -> Netsim.Engine.cancel eng h) } in
+  {
+    Env.id;
+    now = (fun () -> Netsim.Engine.now eng);
+    after = (fun ~delay f -> timer (Netsim.Engine.after eng ~delay f));
+    at = (fun ~time f -> timer (Netsim.Engine.at eng ~time f));
+    send =
+      (fun ~dest ~flow ~size msg ->
+        let dst =
+          match dest with
+          | Env.To_group -> Netsim.Packet.Multicast session
+          | Env.To_node n -> Netsim.Packet.Unicast n
+        in
+        Netsim.Topology.inject topo
+          (Netsim.Packet.make ~flow ~size ~src:id ~dst
+             ~created:(Netsim.Engine.now eng)
+             (payload_of_msg msg)));
+    join = (fun () -> Netsim.Topology.join topo ~group:session node);
+    leave = (fun () -> Netsim.Topology.leave topo ~group:session node);
+    split_rng = (fun () -> Netsim.Engine.split_rng eng);
+    obs = Netsim.Engine.obs eng;
+  }
+
+let attach node f =
+  Netsim.Node.attach node (fun p ->
+      match msg_of_payload p.Netsim.Packet.payload with
+      | Some msg -> f ~size:p.Netsim.Packet.size msg
+      | None -> ())
+
+let corrupt_packet rng (pkt : Netsim.Packet.t) =
+  match msg_of_payload pkt.Netsim.Packet.payload with
+  | Some msg ->
+      { pkt with Netsim.Packet.payload = payload_of_msg (Wire.corrupt_msg rng msg) }
+  | None -> pkt
+
+module Sender = struct
+  include Tfmcc_core.Sender
+
+  let create topo ~cfg ~session ~node ?flow ?initial_rate () =
+    let t =
+      Tfmcc_core.Sender.create ~env:(env topo ~session node) ~cfg ~session
+        ?flow ?initial_rate ()
+    in
+    attach node (fun ~size:_ msg -> deliver t msg);
+    t
+end
+
+module Receiver = struct
+  include Tfmcc_core.Receiver
+
+  let create topo ~cfg ~session ~node ~sender ?report_to ?clock_offset
+      ?ntp_error ?report_flow () =
+    let t =
+      Tfmcc_core.Receiver.create ~env:(env topo ~session node) ~cfg ~session
+        ~sender:(Netsim.Node.id sender)
+        ?report_to:(Option.map Netsim.Node.id report_to)
+        ?clock_offset ?ntp_error ?report_flow ()
+    in
+    attach node (fun ~size msg -> deliver t ~size msg);
+    t
+end
+
+module Session = struct
+  include Tfmcc_core.Session
+
+  let create topo ?cfg ~session ~sender_node ~receiver_nodes ?clock_offsets ()
+      =
+    let t =
+      Tfmcc_core.Session.create
+        ~sender_env:(env topo ~session sender_node)
+        ?cfg ~session
+        ~receiver_envs:(List.map (env topo ~session) receiver_nodes)
+        ?clock_offsets ()
+    in
+    attach sender_node (fun ~size:_ msg ->
+        Tfmcc_core.Sender.deliver (sender t) msg);
+    (* [Tfmcc_core.Session.create] builds receivers in node-list order. *)
+    List.iter2
+      (fun node r ->
+        attach node (fun ~size msg -> Tfmcc_core.Receiver.deliver r ~size msg))
+      receiver_nodes (receivers t);
+    t
+
+  let add_receiver topo t ~node ?clock_offset ~join_now () =
+    let r =
+      Tfmcc_core.Session.add_receiver t
+        ~env:(env topo ~session:(session_id t) node)
+        ?clock_offset ~join_now ()
+    in
+    attach node (fun ~size msg -> Tfmcc_core.Receiver.deliver r ~size msg);
+    r
+end
+
+module Adversary = struct
+  include Tfmcc_core.Adversary
+
+  let create topo ~cfg ~session ~node ~sender ~strategy () =
+    let t =
+      Tfmcc_core.Adversary.create ~env:(env topo ~session node) ~cfg ~session
+        ~sender:(Netsim.Node.id sender) ~strategy ()
+    in
+    attach node (fun ~size:_ msg -> deliver t msg);
+    t
+end
+
+module Aggregator = struct
+  include Tfmcc_core.Aggregator
+
+  let create topo ~session ~node ~parent ?hold ?cfg () =
+    let t =
+      Tfmcc_core.Aggregator.create ~env:(env topo ~session node) ~session
+        ~parent:(Netsim.Node.id parent) ?hold ?cfg ()
+    in
+    attach node (fun ~size:_ msg -> deliver t msg);
+    t
+end

@@ -1,0 +1,176 @@
+(* Many-session soak driver (see harness.mli). *)
+
+open Tfmcc_core
+
+type transport = Loopback | Udp_sockets
+
+type config = {
+  sessions : int;
+  receivers : int;
+  duration : float;
+  impair : Net.impairment;
+  cfg : Config.t;
+  mode : Loop.mode;
+  transport : transport;
+  epoch : float;
+  seed : int;
+}
+
+let default =
+  {
+    sessions = 4;
+    receivers = 1;
+    duration = 8.;
+    impair = Net.impairment ~loss:0.02 ~delay:0.025 ~jitter:0.005 ~warmup:2. ();
+    cfg = Config.default;
+    mode = Loop.Turbo;
+    transport = Loopback;
+    epoch = 0.;
+    seed = 42;
+  }
+
+type session_stat = {
+  session : int;
+  rate : float;
+  packets : int;
+  reports : int;
+  starved : bool;
+  loss_rate : float;
+  rtt : float;
+  rtt_measured : bool;
+}
+
+type result = {
+  stats : session_stat list;
+  wall_s : float;
+  end_time : float;
+  timers_fired : int;
+  clock_anomalies : int;
+  frames_sent : int;
+  frames_delivered : int;
+  frames_lost : int;
+  encode_drops : int;
+  decode_errors : int;
+}
+
+(* One vtable per transport so the session-building code below is
+   written once. *)
+type ops = {
+  new_ep : session:int -> Env.t * ((size:int -> Wire.msg -> unit) -> unit);
+  totals : unit -> int * int * int * int * int;
+  shutdown : unit -> unit;
+}
+
+let loopback_ops loop ~impair =
+  let net = Net.create loop ~impair () in
+  {
+    new_ep =
+      (fun ~session ->
+        let ep = Net.endpoint net ~session in
+        (Net.env ep, Net.set_deliver ep));
+    totals =
+      (fun () ->
+        ( Net.frames_sent net,
+          Net.frames_delivered net,
+          Net.frames_lost net,
+          Net.encode_drops net,
+          Net.decode_errors net ));
+    shutdown = (fun () -> ());
+  }
+
+let udp_ops loop =
+  let net = Udp.create loop () in
+  {
+    new_ep =
+      (fun ~session ->
+        let ep = Udp.endpoint net ~session in
+        (Udp.env ep, Udp.set_deliver ep));
+    totals =
+      (fun () ->
+        ( Udp.frames_sent net,
+          Udp.frames_delivered net,
+          0,
+          Udp.send_errors net,
+          Udp.decode_errors net ));
+    shutdown = (fun () -> Udp.close net);
+  }
+
+let run ?obs c =
+  if c.sessions < 1 then invalid_arg "Harness.run: need at least one session";
+  if c.receivers < 1 then invalid_arg "Harness.run: need at least one receiver";
+  let obs = match obs with Some s -> s | None -> Obs.Sink.create () in
+  let loop = Loop.create ~mode:c.mode ~epoch:c.epoch ~obs ~seed:c.seed () in
+  let ops =
+    match c.transport with
+    | Loopback -> loopback_ops loop ~impair:c.impair
+    | Udp_sockets -> udp_ops loop
+  in
+  Obs.Metrics.Gauge.set
+    (Obs.Metrics.gauge obs.Obs.Sink.metrics "tfmcc_rt_sessions")
+    (float_of_int c.sessions);
+  let sessions =
+    List.init c.sessions (fun i ->
+        let sid = i + 1 in
+        let sender_env, set_sender_deliver = ops.new_ep ~session:sid in
+        let rx = List.init c.receivers (fun _ -> ops.new_ep ~session:sid) in
+        let s =
+          Session.create ~sender_env ~cfg:c.cfg ~session:sid
+            ~receiver_envs:(List.map fst rx) ()
+        in
+        let snd = Session.sender s in
+        set_sender_deliver (fun ~size:_ msg -> Sender.deliver snd msg);
+        List.iter2
+          (fun (_, set_deliver) r ->
+            set_deliver (fun ~size msg -> Receiver.deliver r ~size msg))
+          rx (Session.receivers s);
+        (* Stagger the starts so a thousand senders don't share one
+           feedback-round phase. *)
+        Session.start s ~at:(c.epoch +. (0.01 *. float_of_int (i mod 128)));
+        (sid, s))
+  in
+  let t0 = Unix.gettimeofday () in
+  Loop.run ~until:(c.epoch +. c.duration) loop;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let stats =
+    List.map
+      (fun (sid, s) ->
+        let snd = Session.sender s in
+        let rxs = Session.receivers s in
+        let n = float_of_int (List.length rxs) in
+        let mean f = List.fold_left (fun a r -> a +. f r) 0. rxs /. n in
+        {
+          session = sid;
+          rate = Sender.rate_bytes_per_s snd;
+          packets = Sender.packets_sent snd;
+          reports = Sender.reports_received snd;
+          starved = Sender.is_starved snd;
+          loss_rate = mean Receiver.loss_event_rate;
+          rtt = mean Receiver.rtt;
+          rtt_measured = List.for_all Receiver.has_rtt_measurement rxs;
+        })
+      sessions
+  in
+  let sent, delivered, lost, enc, dec = ops.totals () in
+  ops.shutdown ();
+  {
+    stats;
+    wall_s;
+    end_time = Loop.now loop;
+    timers_fired = Loop.timers_fired loop;
+    clock_anomalies = Loop.clock_anomalies loop;
+    frames_sent = sent;
+    frames_delivered = delivered;
+    frames_lost = lost;
+    encode_drops = enc;
+    decode_errors = dec;
+  }
+
+let converged stat ~cfg =
+  (* "Converged" per the acceptance bar: non-zero goodput and not parked
+     on a degenerate floor.  One packet per measured RTT is the
+     protocol's working floor; the absolute minimum (one packet per 64 s)
+     and the starvation decay both sit far below it. *)
+  let per_rtt =
+    stat.rate *. Float.max stat.rtt 1e-3 /. float_of_int cfg.Config.packet_size
+  in
+  stat.packets > 0 && (not stat.starved) && per_rtt >= 1.

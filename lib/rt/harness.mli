@@ -1,0 +1,64 @@
+(** Many-session soak driver for the real-time runtime: builds [n]
+    TFMCC sessions (one sender, [receivers] receivers each) as fabric
+    endpoints on one loop, starts them staggered to decorrelate
+    feedback rounds, runs for [duration] loop-seconds and reports
+    per-session outcomes.  This is what [tfmcc-sim loopback] and the CI
+    soak smoke run. *)
+
+type transport =
+  | Loopback  (** in-process fabric ({!Net}); scales to thousands *)
+  | Udp_sockets
+      (** kernel UDP ({!Udp}); one fd per endpoint, realtime mode only *)
+
+type config = {
+  sessions : int;
+  receivers : int;  (** receivers per session *)
+  duration : float;  (** loop-seconds (virtual in turbo mode) *)
+  impair : Net.impairment;  (** ignored by [Udp_sockets] (the kernel is the shim) *)
+  cfg : Tfmcc_core.Config.t;
+  mode : Loop.mode;
+  transport : transport;
+  epoch : float;
+  seed : int;
+}
+
+val default : config
+(** 4 sessions x 1 receiver, 8 s turbo, 2% loss, 25 ms delay, 5 ms
+    jitter — an impairment under which the equation rate is a few
+    hundred packets per second, so rates visibly converge within the
+    run. *)
+
+type session_stat = {
+  session : int;
+  rate : float;  (** final sender rate, bytes/s *)
+  packets : int;
+  reports : int;
+  starved : bool;  (** sender sits in the starvation decay at the end *)
+  loss_rate : float;  (** mean receiver loss-event rate *)
+  rtt : float;  (** mean receiver RTT estimate *)
+  rtt_measured : bool;  (** every receiver holds a real RTT sample *)
+}
+
+type result = {
+  stats : session_stat list;
+  wall_s : float;  (** host wall-clock spent inside the loop *)
+  end_time : float;  (** loop clock when the run stopped *)
+  timers_fired : int;
+  clock_anomalies : int;
+  frames_sent : int;
+  frames_delivered : int;
+  frames_lost : int;
+  encode_drops : int;
+  decode_errors : int;
+}
+
+val run : ?obs:Obs.Sink.t -> config -> result
+(** Builds its own loop/fabric; [obs] (default a fresh sink) receives
+    the live metrics registry, including the [tfmcc_rt_*] transport
+    counters and a [tfmcc_rt_sessions] gauge. *)
+
+val converged : session_stat -> cfg:Tfmcc_core.Config.t -> bool
+(** Non-zero goodput, not in the starvation decay, and at least one
+    packet per measured RTT — i.e. the session ended the run with
+    congestion control actually operating, not parked on a degenerate
+    floor (the absolute minimum is one packet per 64 s). *)

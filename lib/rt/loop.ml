@@ -1,0 +1,161 @@
+(* Event loop for the real-time runtime (see loop.mli). *)
+
+type mode = Turbo | Realtime
+
+type t = {
+  mode : mode;
+  wheel : Wheel.t;
+  mutable vnow : float; (* turbo clock; realtime: last sampled value *)
+  mutable clock : unit -> float; (* realtime monotonic clock *)
+  obs : Obs.Sink.t;
+  rng : Stats.Rng.t;
+  late_tolerance : float;
+  mutable running : bool;
+  mutable fds : (Unix.file_descr * (unit -> unit)) list;
+  mutable anomalies : int;
+}
+
+(* Same metric family as Tfmcc_core.Env.clock_anomaly, registered
+   lazily for the same reason: an anomaly-free run leaves the registry
+   untouched. *)
+let anomaly t ~kind =
+  t.anomalies <- t.anomalies + 1;
+  Obs.Metrics.Counter.inc
+    (Obs.Metrics.counter t.obs.Obs.Sink.metrics
+       ~labels:[ ("kind", kind) ]
+       "tfmcc_rt_clock_anomaly_total")
+
+let create ?(mode = Turbo) ?(epoch = 0.) ?obs ?(seed = 42)
+    ?(late_tolerance_s = 0.05) () =
+  let obs = match obs with Some s -> s | None -> Obs.Sink.create () in
+  let t =
+    {
+      mode;
+      wheel = Wheel.create ~start:epoch ();
+      vnow = epoch;
+      clock = (fun () -> epoch);
+      obs;
+      rng = Stats.Rng.create seed;
+      late_tolerance = late_tolerance_s;
+      running = false;
+      fds = [];
+      anomalies = 0;
+    }
+  in
+  (match mode with
+  | Turbo -> ()
+  | Realtime ->
+      let t0 = Unix.gettimeofday () in
+      let raw () = epoch +. (Unix.gettimeofday () -. t0) in
+      t.clock <-
+        Tfmcc_core.Env.monotonic_clock
+          ~on_anomaly:(fun _magnitude -> anomaly t ~kind:"clock-backstep")
+          raw);
+  t
+
+let mode t = t.mode
+
+let now t =
+  match t.mode with
+  | Turbo -> t.vnow
+  | Realtime ->
+      let n = t.clock () in
+      t.vnow <- n;
+      n
+
+let obs t = t.obs
+
+let split_rng t = Stats.Rng.split t.rng
+
+let timer_of e = { Tfmcc_core.Env.cancel = (fun () -> Wheel.cancel e) }
+
+let after t ~delay fn =
+  let delay =
+    if Float.is_finite delay && delay >= 0. then delay
+    else begin
+      anomaly t ~kind:"bad-delay";
+      0.
+    end
+  in
+  timer_of (Wheel.schedule t.wheel ~at:(now t +. delay) fn)
+
+let at t ~time fn =
+  let time =
+    if Float.is_finite time then time
+    else begin
+      anomaly t ~kind:"bad-delay";
+      now t
+    end
+  in
+  timer_of (Wheel.schedule t.wheel ~at:time fn)
+
+let watch_fd t fd cb = t.fds <- (fd, cb) :: List.remove_assoc fd t.fds
+
+let unwatch_fd t fd = t.fds <- List.remove_assoc fd t.fds
+
+let stop t = t.running <- false
+
+let run_turbo ?until t =
+  let continue_ = ref true in
+  while !continue_ && t.running do
+    match Wheel.next_due t.wheel with
+    | None ->
+        (match until with Some u -> t.vnow <- max t.vnow u | None -> ());
+        continue_ := false
+    | Some due -> (
+        match until with
+        | Some u when due > u ->
+            t.vnow <- max t.vnow u;
+            continue_ := false
+        | _ ->
+            t.vnow <- max t.vnow due;
+            ignore (Wheel.advance t.wheel ~now:t.vnow ()))
+  done
+
+let run_realtime ?until t =
+  let stop_at = match until with Some u -> u | None -> infinity in
+  let late d = if d > t.late_tolerance then anomaly t ~kind:"late-timer" in
+  let continue_ = ref true in
+  while !continue_ && t.running do
+    let nw = now t in
+    if nw >= stop_at then continue_ := false
+    else begin
+      ignore (Wheel.advance t.wheel ~now:nw ~late ());
+      match (Wheel.next_due t.wheel, t.fds) with
+      | None, [] -> continue_ := false
+      | next, fds -> (
+          let target =
+            match next with Some a -> Float.min a stop_at | None -> stop_at
+          in
+          (* Cap the sleep so a far-off deadline still re-samples the
+             clock (and anomaly counters) at a human timescale. *)
+          let timeout = Float.max 0. (Float.min 0.25 (target -. now t)) in
+          match fds with
+          | [] -> if timeout > 0. then Unix.sleepf timeout
+          | fds -> (
+              match Unix.select (List.map fst fds) [] [] timeout with
+              | ready, _, _ ->
+                  List.iter
+                    (fun fd ->
+                      match List.assoc_opt fd t.fds with
+                      | Some cb -> cb ()
+                      | None -> ())
+                    ready
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
+    end
+  done
+
+let run ?until t =
+  t.running <- true;
+  (match t.mode with
+  | Turbo -> run_turbo ?until t
+  | Realtime -> run_realtime ?until t);
+  t.running <- false
+
+let run_for t ~duration = run ~until:(now t +. duration) t
+
+let timers_fired t = Wheel.fired t.wheel
+
+let timers_pending t = Wheel.pending t.wheel
+
+let clock_anomalies t = t.anomalies

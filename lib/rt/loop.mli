@@ -1,0 +1,72 @@
+(** Single-process, single-thread event loop for the real-time runtime.
+
+    One loop owns one {!Wheel.t}, one clock, one {!Obs.Sink.t} and one
+    master RNG; every TFMCC endpoint hosted on it runs its timers and
+    datagram callbacks on this loop, run-to-completion, with no other
+    thread touching protocol state (DESIGN.md §13).
+
+    Two modes:
+
+    - {b Turbo} (virtual time): the clock jumps straight to the next
+      timer deadline.  Deterministic — given the same seed and the same
+      schedule of work, two runs fire identical callbacks in identical
+      order — and fast enough to soak thousands of sessions for
+      simulated minutes in wall-seconds.  The CI soak and the
+      time-translation property test run in this mode.
+    - {b Realtime} (wall clock): [now] comes from
+      {!Tfmcc_core.Env.monotonic_clock} over [Unix.gettimeofday];
+      the loop sleeps in [Unix.select] until the next deadline, waking
+      early for watched file descriptors (the UDP transport).  Backward
+      clock steps and late timer callbacks are clamped/tolerated and
+      counted under [tfmcc_rt_clock_anomaly_total]. *)
+
+type mode = Turbo | Realtime
+
+type t
+
+val create :
+  ?mode:mode -> ?epoch:float -> ?obs:Obs.Sink.t -> ?seed:int -> ?late_tolerance_s:float -> unit -> t
+(** [epoch] is the initial clock value (default 0): turbo time starts
+    there; realtime maps wall time onto [epoch +. elapsed].  [seed]
+    (default 42) feeds the master RNG that {!split_rng} derives streams
+    from.  [late_tolerance_s] (default 50 ms) is how tardy a realtime
+    timer callback may fire before it counts as a clock anomaly. *)
+
+val mode : t -> mode
+
+val now : t -> float
+
+val obs : t -> Obs.Sink.t
+
+val split_rng : t -> Stats.Rng.t
+
+val after : t -> delay:float -> (unit -> unit) -> Tfmcc_core.Env.timer
+(** Non-finite or negative delays are clamped to zero and counted as a
+    clock anomaly (kind ["bad-delay"]) rather than corrupting the
+    wheel. *)
+
+val at : t -> time:float -> (unit -> unit) -> Tfmcc_core.Env.timer
+
+val watch_fd : t -> Unix.file_descr -> (unit -> unit) -> unit
+(** Registers a readable-callback (realtime mode only; the turbo clock
+    outruns any real socket). *)
+
+val unwatch_fd : t -> Unix.file_descr -> unit
+
+val run : ?until:float -> t -> unit
+(** Runs until no timers remain, [stop] is called, or the loop clock
+    reaches [until] (absolute).  In turbo mode the clock lands exactly
+    on [until] when given. *)
+
+val run_for : t -> duration:float -> unit
+
+val stop : t -> unit
+
+val timers_fired : t -> int
+
+val timers_pending : t -> int
+
+val clock_anomalies : t -> int
+(** Total anomalies (backward clock steps, late callbacks, bad delays)
+    observed; same count as the [tfmcc_rt_clock_anomaly_total] metric
+    family, which is registered lazily on first anomaly. *)

@@ -1,0 +1,207 @@
+(* In-process loopback datagram fabric (see net.mli). *)
+
+open Tfmcc_core
+
+type impairment = { loss : float; delay : float; jitter : float; warmup : float }
+
+let impairment ?(loss = 0.) ?(delay = 0.) ?(jitter = 0.) ?(warmup = 0.) () =
+  if loss < 0. || loss > 1. || not (Float.is_finite loss) then
+    invalid_arg "Net.impairment: loss must be in [0,1]";
+  if delay < 0. || not (Float.is_finite delay) then
+    invalid_arg "Net.impairment: delay must be finite and non-negative";
+  if jitter < 0. || not (Float.is_finite jitter) then
+    invalid_arg "Net.impairment: jitter must be finite and non-negative";
+  if warmup < 0. || not (Float.is_finite warmup) then
+    invalid_arg "Net.impairment: warmup must be finite and non-negative";
+  { loss; delay; jitter; warmup }
+
+type endpoint = {
+  ep_id : int;
+  session : int;
+  net : t;
+  mutable deliver : (size:int -> Wire.msg -> unit) option;
+}
+
+and t = {
+  loop : Loop.t;
+  impair : impairment;
+  rng : Stats.Rng.t; (* impairment draws, split off the loop's master *)
+  endpoints : (int, endpoint) Hashtbl.t;
+  groups : (int, (int, unit) Hashtbl.t) Hashtbl.t; (* session -> member ids *)
+  last_arrival : (int * int, float) Hashtbl.t; (* (src,dst) -> FIFO horizon *)
+  loss_from : float; (* loop time the loss dice start rolling *)
+  mutable next_id : int;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost : int;
+  mutable enc_drops : int;
+  mutable dec_errors : int;
+  m_sent : Obs.Metrics.Counter.t;
+  m_delivered : Obs.Metrics.Counter.t;
+  m_lost : Obs.Metrics.Counter.t;
+  m_enc : Obs.Metrics.Counter.t;
+  m_dec : Obs.Metrics.Counter.t;
+}
+
+let create loop ?(impair = impairment ()) () =
+  let m = (Loop.obs loop).Obs.Sink.metrics in
+  {
+    loop;
+    impair;
+    rng = Loop.split_rng loop;
+    endpoints = Hashtbl.create 64;
+    groups = Hashtbl.create 16;
+    last_arrival = Hashtbl.create 64;
+    loss_from = Loop.now loop +. impair.warmup;
+    next_id = 0;
+    sent = 0;
+    delivered = 0;
+    lost = 0;
+    enc_drops = 0;
+    dec_errors = 0;
+    m_sent = Obs.Metrics.counter m "tfmcc_rt_frames_sent_total";
+    m_delivered = Obs.Metrics.counter m "tfmcc_rt_frames_delivered_total";
+    m_lost =
+      Obs.Metrics.counter m ~labels:[ ("reason", "loss") ] "tfmcc_rt_frame_drop_total";
+    m_enc =
+      Obs.Metrics.counter m ~labels:[ ("reason", "encode") ]
+        "tfmcc_rt_frame_drop_total";
+    m_dec =
+      Obs.Metrics.counter m ~labels:[ ("reason", "decode") ]
+        "tfmcc_rt_frame_drop_total";
+  }
+
+let endpoint t ~session =
+  let ep = { ep_id = t.next_id; session; net = t; deliver = None } in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.endpoints ep.ep_id ep;
+  ep
+
+let set_deliver ep f = ep.deliver <- Some f
+
+let endpoint_id ep = ep.ep_id
+
+let members t session =
+  match Hashtbl.find_opt t.groups session with
+  | None -> []
+  | Some g -> List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) g [])
+
+let join ep =
+  let t = ep.net in
+  let g =
+    match Hashtbl.find_opt t.groups ep.session with
+    | Some g -> g
+    | None ->
+        let g = Hashtbl.create 16 in
+        Hashtbl.replace t.groups ep.session g;
+        g
+  in
+  Hashtbl.replace g ep.ep_id ()
+
+let leave ep =
+  match Hashtbl.find_opt ep.net.groups ep.session with
+  | None -> ()
+  | Some g -> Hashtbl.remove g ep.ep_id
+
+let deliver_frame t dst frame =
+  match Hashtbl.find_opt t.endpoints dst with
+  | None -> ()
+  | Some ep -> (
+      match ep.deliver with
+      | None -> ()
+      | Some f -> (
+          match Wire.decode frame with
+          | Ok msg ->
+              t.delivered <- t.delivered + 1;
+              Obs.Metrics.Counter.inc t.m_delivered;
+              f ~size:(Bytes.length frame) msg
+          | Error _ ->
+              t.dec_errors <- t.dec_errors + 1;
+              Obs.Metrics.Counter.inc t.m_dec))
+
+let send ep ~dest ~flow:_ ~size msg =
+  let t = ep.net in
+  match
+    match msg with
+    | Wire.Report r -> Wire.encode_report r
+    | Wire.Data d -> Wire.encode_data d
+  with
+  | exception Invalid_argument _ ->
+      (* A non-finite field slipped past the protocol core: drop the
+         frame, as a real transport would, and make it visible. *)
+      t.enc_drops <- t.enc_drops + 1;
+      Obs.Metrics.Counter.inc t.m_enc
+  | frame ->
+      (* Data frames ride datagrams of the configured packet size; the
+         codec frame is smaller, so pad (decode ignores the tail).
+         Report frames are never padded: their wire size is exact. *)
+      let frame =
+        if Bytes.length frame < size then begin
+          let b = Bytes.make size '\000' in
+          Bytes.blit frame 0 b 0 (Bytes.length frame);
+          b
+        end
+        else frame
+      in
+      let dests =
+        match dest with
+        | Env.To_node id -> if id = ep.ep_id then [] else [ id ]
+        | Env.To_group ->
+            List.filter (fun id -> id <> ep.ep_id) (members t ep.session)
+      in
+      List.iter
+        (fun dst ->
+          t.sent <- t.sent + 1;
+          Obs.Metrics.Counter.inc t.m_sent;
+          if
+            t.impair.loss > 0.
+            && Loop.now t.loop >= t.loss_from
+            && Stats.Rng.uniform t.rng < t.impair.loss
+          then begin
+            t.lost <- t.lost + 1;
+            Obs.Metrics.Counter.inc t.m_lost
+          end
+          else begin
+            let extra =
+              if t.impair.jitter > 0. then t.impair.jitter *. Stats.Rng.uniform t.rng
+              else 0.
+            in
+            (* Jitter must not reorder a path: like a netem-shaped FIFO
+               link (and like the simulator's queues), an arrival never
+               precedes the previous arrival on the same (src,dst). *)
+            let now = Loop.now t.loop in
+            let arrival = now +. t.impair.delay +. extra in
+            let key = (ep.ep_id, dst) in
+            let arrival =
+              match Hashtbl.find_opt t.last_arrival key with
+              | Some prev when prev > arrival -> prev
+              | _ -> arrival
+            in
+            Hashtbl.replace t.last_arrival key arrival;
+            ignore
+              (Loop.at t.loop ~time:arrival (fun () -> deliver_frame t dst frame))
+          end)
+        dests
+
+let env ep =
+  {
+    Env.id = ep.ep_id;
+    now = (fun () -> Loop.now ep.net.loop);
+    after = (fun ~delay fn -> Loop.after ep.net.loop ~delay fn);
+    at = (fun ~time fn -> Loop.at ep.net.loop ~time fn);
+    send = (fun ~dest ~flow ~size msg -> send ep ~dest ~flow ~size msg);
+    join = (fun () -> join ep);
+    leave = (fun () -> leave ep);
+    split_rng = (fun () -> Loop.split_rng ep.net.loop);
+    obs = Loop.obs ep.net.loop;
+  }
+
+let frames_sent t = t.sent
+
+let frames_delivered t = t.delivered
+
+let frames_lost t = t.lost
+
+let encode_drops t = t.enc_drops
+
+let decode_errors t = t.dec_errors

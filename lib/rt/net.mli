@@ -1,0 +1,79 @@
+(** In-process loopback datagram fabric.
+
+    The scalable transport for the real-time runtime: endpoints exchange
+    real codec frames ({!Tfmcc_core.Wire.encode_report} /
+    [encode_data] on send, {!Tfmcc_core.Wire.decode} on receive) over
+    an in-memory switch instead of kernel sockets, so one process can
+    carry thousands of concurrent sessions without file-descriptor
+    limits (see {!Udp} for the socket-backed sibling).  Multicast is
+    modelled as per-session group membership: [To_group] fans a frame
+    out to every joined member except the sender, [To_node] unicasts.
+
+    A netem-style impairment shim sits on every delivery: independent
+    Bernoulli loss, fixed base delay, and uniform jitter, drawn from one
+    RNG stream split off the loop's master seed — so a turbo-mode run
+    is reproducible end to end.
+
+    Frames that fail to encode (non-finite field escaping the protocol
+    core) are dropped and counted under [tfmcc_rt_frame_drop_total
+    {reason="encode"}] rather than crashing the loop; undecodable
+    frames count [reason="decode"]. *)
+
+type t
+
+type endpoint
+
+type impairment = {
+  loss : float;
+  delay : float;
+  jitter : float;
+  warmup : float;
+}
+(** [loss] is a per-frame drop probability in [0,1]; [delay] a fixed
+    one-way latency in seconds; [jitter] the width of a uniform extra
+    delay in seconds.  [warmup] holds the loss dice until that many
+    seconds after fabric creation (netem-style staged impairment):
+    random loss during the first slowstart rounds seeds WALI with a
+    pathologically high p (App. B inverts a tiny x_recv), which is
+    faithful protocol behavior but makes a short soak unreadable —
+    real paths lose packets once rates approach capacity, not on the
+    first packet. *)
+
+val impairment :
+  ?loss:float -> ?delay:float -> ?jitter:float -> ?warmup:float -> unit -> impairment
+
+val create : Loop.t -> ?impair:impairment -> unit -> t
+(** Default impairment: lossless, zero delay. *)
+
+val endpoint : t -> session:int -> endpoint
+(** Allocates an endpoint (fresh id) bound to the given session's
+    multicast group.  It receives nothing until its deliver hook is set
+    and — for group traffic — its environment's [join] runs. *)
+
+val env : endpoint -> Tfmcc_core.Env.t
+(** The {!Tfmcc_core.Env.t} handing this endpoint's IO to the fabric.
+    [split_rng] draws from the loop's master RNG in call order, like the
+    simulator's engine. *)
+
+val set_deliver : endpoint -> (size:int -> Tfmcc_core.Wire.msg -> unit) -> unit
+(** Installs the inbound hook ([Sender.deliver] / [Receiver.deliver]).
+    [size] is the on-the-wire frame length in bytes (data frames are
+    padded up to the [size] the sender passed, mirroring the simulated
+    packet size). *)
+
+val endpoint_id : endpoint -> int
+
+(* Fabric-wide counters (also exported as [tfmcc_rt_*] metrics). *)
+
+val frames_sent : t -> int
+(** Frames offered to the fabric times destinations (a group send to
+    [n] members counts [n]). *)
+
+val frames_delivered : t -> int
+
+val frames_lost : t -> int
+(** Dropped by the impairment shim's loss draw. *)
+
+val encode_drops : t -> int
+
+val decode_errors : t -> int

@@ -1,0 +1,161 @@
+(* Real-UDP transport (see udp.mli). *)
+
+open Tfmcc_core
+
+type endpoint = {
+  ep_id : int;
+  session : int;
+  fd : Unix.file_descr;
+  addr : Unix.sockaddr;
+  net : t;
+  mutable deliver : (size:int -> Wire.msg -> unit) option;
+}
+
+and t = {
+  loop : Loop.t;
+  endpoints : (int, endpoint) Hashtbl.t;
+  groups : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  buf : Bytes.t;
+  mutable next_id : int;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable send_errs : int;
+  mutable dec_errors : int;
+}
+
+let create loop () =
+  if Loop.mode loop = Loop.Turbo then
+    invalid_arg "Udp.create: needs a realtime loop (virtual time outruns sockets)";
+  {
+    loop;
+    endpoints = Hashtbl.create 16;
+    groups = Hashtbl.create 16;
+    buf = Bytes.create 65536;
+    next_id = 0;
+    sent = 0;
+    delivered = 0;
+    send_errs = 0;
+    dec_errors = 0;
+  }
+
+let drain ep =
+  let t = ep.net in
+  let rec go () =
+    match Unix.recvfrom ep.fd t.buf 0 (Bytes.length t.buf) [] with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | len, _from ->
+        (match ep.deliver with
+        | None -> ()
+        | Some f -> (
+            match Wire.decode (Bytes.sub t.buf 0 len) with
+            | Ok msg ->
+                t.delivered <- t.delivered + 1;
+                f ~size:len msg
+            | Error _ -> t.dec_errors <- t.dec_errors + 1));
+        go ()
+  in
+  go ()
+
+let endpoint t ~session =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.set_nonblock fd;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let addr = Unix.getsockname fd in
+  let ep = { ep_id = t.next_id; session; fd; addr; net = t; deliver = None } in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.endpoints ep.ep_id ep;
+  Loop.watch_fd t.loop fd (fun () -> drain ep);
+  ep
+
+let set_deliver ep f = ep.deliver <- Some f
+
+let endpoint_id ep = ep.ep_id
+
+let join ep =
+  let g =
+    match Hashtbl.find_opt ep.net.groups ep.session with
+    | Some g -> g
+    | None ->
+        let g = Hashtbl.create 16 in
+        Hashtbl.replace ep.net.groups ep.session g;
+        g
+  in
+  Hashtbl.replace g ep.ep_id ()
+
+let leave ep =
+  match Hashtbl.find_opt ep.net.groups ep.session with
+  | None -> ()
+  | Some g -> Hashtbl.remove g ep.ep_id
+
+let members t session =
+  match Hashtbl.find_opt t.groups session with
+  | None -> []
+  | Some g -> List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) g [])
+
+let send ep ~dest ~flow:_ ~size msg =
+  let t = ep.net in
+  match
+    match msg with
+    | Wire.Report r -> Wire.encode_report r
+    | Wire.Data d -> Wire.encode_data d
+  with
+  | exception Invalid_argument _ -> t.send_errs <- t.send_errs + 1
+  | frame ->
+      let frame =
+        if Bytes.length frame < size then begin
+          let b = Bytes.make size '\000' in
+          Bytes.blit frame 0 b 0 (Bytes.length frame);
+          b
+        end
+        else frame
+      in
+      let dests =
+        match dest with
+        | Env.To_node id -> if id = ep.ep_id then [] else [ id ]
+        | Env.To_group ->
+            List.filter (fun id -> id <> ep.ep_id) (members t ep.session)
+      in
+      List.iter
+        (fun dst ->
+          match Hashtbl.find_opt t.endpoints dst with
+          | None -> ()
+          | Some peer -> (
+              t.sent <- t.sent + 1;
+              match
+                Unix.sendto ep.fd frame 0 (Bytes.length frame) [] peer.addr
+              with
+              | n when n = Bytes.length frame -> ()
+              | _ -> t.send_errs <- t.send_errs + 1
+              | exception Unix.Unix_error (_, _, _) ->
+                  t.send_errs <- t.send_errs + 1))
+        dests
+
+let env ep =
+  {
+    Env.id = ep.ep_id;
+    now = (fun () -> Loop.now ep.net.loop);
+    after = (fun ~delay fn -> Loop.after ep.net.loop ~delay fn);
+    at = (fun ~time fn -> Loop.at ep.net.loop ~time fn);
+    send = (fun ~dest ~flow ~size msg -> send ep ~dest ~flow ~size msg);
+    join = (fun () -> join ep);
+    leave = (fun () -> leave ep);
+    split_rng = (fun () -> Loop.split_rng ep.net.loop);
+    obs = Loop.obs ep.net.loop;
+  }
+
+let close t =
+  Hashtbl.iter
+    (fun _ ep ->
+      Loop.unwatch_fd t.loop ep.fd;
+      try Unix.close ep.fd with Unix.Unix_error (_, _, _) -> ())
+    t.endpoints;
+  Hashtbl.reset t.endpoints
+
+let frames_sent t = t.sent
+
+let frames_delivered t = t.delivered
+
+let send_errors t = t.send_errs
+
+let decode_errors t = t.dec_errors

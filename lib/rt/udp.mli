@@ -1,0 +1,44 @@
+(** Real-UDP transport for the real-time runtime.
+
+    Each endpoint owns a nonblocking UDP socket bound to an ephemeral
+    port on 127.0.0.1; the loop's [select] watches every socket and
+    drains it on readability.  Multicast is emulated by unicast fan-out
+    over the per-session membership registry (the fabric knows every
+    member's bound address), which keeps the transport runnable in
+    plain CI containers — no IGMP or routable multicast needed.
+
+    This is the "prove it's real" transport: frames cross the kernel.
+    It pays one file descriptor per endpoint, so thousand-session soaks
+    belong on {!Net}; this one is for small live runs
+    ([tfmcc-sim loopback --udp]).  Realtime loop mode only — virtual
+    time outruns any socket. *)
+
+type t
+
+type endpoint
+
+val create : Loop.t -> unit -> t
+(** Raises [Invalid_argument] on a turbo-mode loop. *)
+
+val endpoint : t -> session:int -> endpoint
+(** Binds a socket and registers it with the loop.  Raises
+    [Unix.Unix_error] if the container forbids sockets. *)
+
+val env : endpoint -> Tfmcc_core.Env.t
+
+val set_deliver : endpoint -> (size:int -> Tfmcc_core.Wire.msg -> unit) -> unit
+
+val endpoint_id : endpoint -> int
+
+val close : t -> unit
+(** Closes every socket and unregisters the fds from the loop. *)
+
+val frames_sent : t -> int
+
+val frames_delivered : t -> int
+
+val send_errors : t -> int
+(** [sendto] failures (buffer pressure, shrunk datagrams); the frame is
+    dropped, mirroring UDP semantics. *)
+
+val decode_errors : t -> int

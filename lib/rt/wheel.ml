@@ -1,0 +1,268 @@
+(* Hashed timer wheel with an overflow heap (see wheel.mli).
+
+   Invariant: the wheel proper only holds entries whose tick lies in
+   [cur_tick, cur_tick + nslots), so every bucket holds at most one tick
+   value and processing a bucket never has to filter other rounds.
+   Entries further out wait in a binary min-heap ordered by (at, seq)
+   and migrate in as the cursor approaches.  Cancellation tombstones the
+   entry in place; bucket slots are reclaimed when their tick is
+   processed, heap slots when the entry surfaces. *)
+
+type state = In_wheel | In_heap | Dead
+
+type entry = {
+  at : float;
+  seq : int;
+  fn : unit -> unit;
+  mutable tick : int;
+  mutable state : state;
+}
+
+type timer = entry
+
+type t = {
+  slot_s : float;
+  nslots : int;
+  buckets : entry list array;
+  mutable cur_tick : int;
+  mutable heap : entry array; (* min-heap by (at, seq) *)
+  mutable heap_n : int;
+  mutable wheel_live : int; (* wheel entries not yet fired/swept; >= live *)
+  mutable seq : int;
+  mutable fired_total : int;
+}
+
+let entry_before a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+
+(* ------------------------------------------------------------- heap *)
+
+let heap_push t e =
+  if t.heap_n = Array.length t.heap then begin
+    let a = Array.make (max 16 (2 * t.heap_n)) e in
+    Array.blit t.heap 0 a 0 t.heap_n;
+    t.heap <- a
+  end;
+  let a = t.heap in
+  let i = ref t.heap_n in
+  t.heap_n <- t.heap_n + 1;
+  a.(!i) <- e;
+  while !i > 0 && entry_before a.(!i) a.((!i - 1) / 2) do
+    let p = (!i - 1) / 2 in
+    let tmp = a.(p) in
+    a.(p) <- a.(!i);
+    a.(!i) <- tmp;
+    i := p
+  done
+
+let heap_pop t =
+  if t.heap_n = 0 then None
+  else begin
+    let a = t.heap in
+    let top = a.(0) in
+    t.heap_n <- t.heap_n - 1;
+    if t.heap_n > 0 then begin
+      a.(0) <- a.(t.heap_n);
+      let i = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let s = ref !i in
+        if l < t.heap_n && entry_before a.(l) a.(!s) then s := l;
+        if r < t.heap_n && entry_before a.(r) a.(!s) then s := r;
+        if !s = !i then continue_ := false
+        else begin
+          let tmp = a.(!s) in
+          a.(!s) <- a.(!i);
+          a.(!i) <- tmp;
+          i := !s
+        end
+      done
+    end;
+    Some top
+  end
+
+(* Drop tombstoned entries off the top so the peek is a live entry. *)
+let rec heap_peek t =
+  if t.heap_n = 0 then None
+  else if t.heap.(0).state = Dead then begin
+    ignore (heap_pop t);
+    heap_peek t
+  end
+  else Some t.heap.(0)
+
+(* ------------------------------------------------------------ wheel *)
+
+let tick_of t at = int_of_float (Float.floor (at /. t.slot_s))
+
+let create ?(slot_s = 0.001) ?(slots = 4096) ~start () =
+  if slot_s <= 0. then invalid_arg "Wheel.create: slot_s must be positive";
+  if slots < 2 then invalid_arg "Wheel.create: need at least 2 slots";
+  let t =
+    {
+      slot_s;
+      nslots = slots;
+      buckets = Array.make slots [];
+      cur_tick = 0;
+      heap = [||];
+      heap_n = 0;
+      wheel_live = 0;
+      seq = 0;
+      fired_total = 0;
+    }
+  in
+  t.cur_tick <- tick_of t start;
+  t
+
+let bucket_index t tick =
+  let i = tick mod t.nslots in
+  if i < 0 then i + t.nslots else i
+
+let add_to_wheel t e =
+  let idx = bucket_index t e.tick in
+  t.buckets.(idx) <- e :: t.buckets.(idx);
+  t.wheel_live <- t.wheel_live + 1
+
+let schedule t ~at fn =
+  if Float.is_nan at then invalid_arg "Wheel.schedule: NaN deadline";
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  let tick = max (tick_of t at) t.cur_tick in
+  if tick < t.cur_tick + t.nslots then begin
+    let e = { at; seq; fn; tick; state = In_wheel } in
+    add_to_wheel t e;
+    e
+  end
+  else begin
+    let e = { at; seq; fn; tick; state = In_heap } in
+    heap_push t e;
+    e
+  end
+
+let cancel e = match e.state with Dead -> () | In_wheel | In_heap -> e.state <- Dead
+
+let pending t =
+  (* Exact live count; tombstones make the cheap counters upper bounds
+     only.  This is a test/diagnostic hook, not a hot-path call. *)
+  let n = ref 0 in
+  Array.iter (List.iter (fun e -> if e.state <> Dead then incr n)) t.buckets;
+  for i = 0 to t.heap_n - 1 do
+    if t.heap.(i).state <> Dead then incr n
+  done;
+  !n
+
+let fired t = t.fired_total
+
+(* Pull heap entries now inside the near horizon into their buckets. *)
+let migrate t =
+  let rec go () =
+    match heap_peek t with
+    | Some e when e.tick < t.cur_tick + t.nslots ->
+        ignore (heap_pop t);
+        (* A long cursor jump may have passed the entry's tick; clamp so
+           it lands in a still-live bucket. *)
+        if e.tick < t.cur_tick then e.tick <- t.cur_tick;
+        e.state <- In_wheel;
+        add_to_wheel t e;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+(* Fire everything due at [tick].  Callbacks may schedule more timers;
+   zero-delay ones land back in this bucket (their [at] can't precede
+   the loop's [now]) and are drained in follow-up rounds, preserving
+   global (at, seq) order.  TFMCC's timers are paced, so chains of
+   zero-delay events are finite; the round cap turns a runaway into a
+   crash instead of a hang. *)
+let process_tick t tick ~now ~late =
+  let idx = bucket_index t tick in
+  let rounds = ref 0 in
+  let rec drain () =
+    if t.buckets.(idx) <> [] then begin
+      incr rounds;
+      if !rounds > 1_000_000 then
+        failwith "Wheel.advance: runaway zero-delay timer chain";
+      let b = t.buckets.(idx) in
+      t.buckets.(idx) <- [];
+      let due = ref [] and stay = ref [] in
+      List.iter
+        (fun e ->
+          match e.state with
+          | Dead -> t.wheel_live <- t.wheel_live - 1
+          | In_wheel when e.tick <= tick && e.at <= now -> due := e :: !due
+          | _ -> stay := e :: !stay)
+        b;
+      (* Reinstall the survivors before firing, so callbacks scheduling
+         into this bucket prepend onto a live list. *)
+      t.buckets.(idx) <- !stay;
+      match !due with
+      | [] -> ()
+      | due ->
+          let due =
+            List.sort (fun a b -> if entry_before a b then -1 else 1) due
+          in
+          List.iter
+            (fun e ->
+              e.state <- Dead;
+              t.wheel_live <- t.wheel_live - 1;
+              t.fired_total <- t.fired_total + 1;
+              (match late with Some f -> f (now -. e.at) | None -> ());
+              e.fn ())
+            due;
+          (* Anything a callback scheduled due at this tick fires now. *)
+          if
+            List.exists
+              (fun e -> e.state = In_wheel && e.tick <= tick && e.at <= now)
+              t.buckets.(idx)
+          then drain ()
+    end
+  in
+  drain ()
+
+let advance t ~now ?late () =
+  let fired0 = t.fired_total in
+  let target = max t.cur_tick (tick_of t now) in
+  migrate t;
+  while t.cur_tick < target do
+    (* Hop over stretches the wheel provably has nothing in. *)
+    if t.wheel_live <= 0 then begin
+      let hop =
+        match heap_peek t with
+        | Some e -> min target (max t.cur_tick e.tick)
+        | None -> target
+      in
+      t.cur_tick <- hop;
+      migrate t
+    end;
+    if t.cur_tick < target then begin
+      (match heap_peek t with
+      | Some e when e.tick < t.cur_tick + t.nslots -> migrate t
+      | _ -> ());
+      if t.buckets.(bucket_index t t.cur_tick) <> [] then
+        process_tick t t.cur_tick ~now ~late;
+      t.cur_tick <- t.cur_tick + 1
+    end
+  done;
+  migrate t;
+  process_tick t target ~now ~late;
+  t.fired_total - fired0
+
+let next_due t =
+  migrate t;
+  let best = ref None in
+  let better e = match !best with None -> true | Some b -> entry_before e b in
+  (try
+     for k = 0 to t.nslots - 1 do
+       let idx = bucket_index t (t.cur_tick + k) in
+       if t.buckets.(idx) <> [] then begin
+         List.iter
+           (fun e -> if e.state <> Dead && better e then best := Some e)
+           t.buckets.(idx);
+         if !best <> None then raise Exit
+       end
+     done
+   with Exit -> ());
+  (match heap_peek t with
+  | Some e when better e -> best := Some e
+  | _ -> ());
+  match !best with None -> None | Some e -> Some e.at

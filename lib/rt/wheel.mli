@@ -1,0 +1,53 @@
+(** Hashed timer wheel.
+
+    The real-time event loop schedules hundreds of thousands of protocol
+    timers (packet pacing, feedback rounds, impairment-delayed
+    deliveries); a wheel gives O(1) schedule/cancel where the
+    simulator's binary heap pays O(log n) per event.  Near timers (due
+    within [slots] x [slot_s] of the cursor) hash into per-tick buckets;
+    far timers wait in an overflow heap and migrate into the wheel as
+    the cursor approaches.
+
+    Determinism: callbacks fire in nondecreasing deadline order, ties
+    broken by insertion sequence — two runs that schedule identically
+    fire identically, which the time-translation property test and the
+    turbo (virtual-time) loop mode rely on. *)
+
+type t
+
+type timer
+(** Handle for {!cancel}.  Cancellation is O(1) (a tombstone flag); the
+    slot is reclaimed when its tick is processed. *)
+
+val create : ?slot_s:float -> ?slots:int -> start:float -> unit -> t
+(** [slot_s] is the tick granularity in seconds (default 1 ms) — timers
+    still fire at their exact deadline, the granularity only sizes the
+    buckets.  [slots] is the wheel size (default 4096, giving a ~4 s
+    near horizon).  [start] is the initial clock value; deadlines
+    earlier than the cursor fire on the next {!advance}. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> timer
+
+val cancel : timer -> unit
+(** Idempotent; cancelling an already-fired timer is a no-op. *)
+
+val next_due : t -> float option
+(** Earliest pending (non-cancelled) deadline, or [None] when the wheel
+    is empty.  The turbo loop jumps the virtual clock here; the
+    realtime loop sleeps until it. *)
+
+val advance : t -> now:float -> ?late:(float -> unit) -> unit -> int
+(** Fires every pending callback with deadline <= [now], in order, and
+    moves the cursor to [now].  Callbacks may schedule or cancel timers
+    freely; newly scheduled timers already due fire within the same
+    advance, after the batch that spawned them (zero-delay chains must
+    be finite — TFMCC's timers are paced, and a runaway chain fails
+    loudly rather than hanging).  [late] is called with [now - deadline]
+    for each fired timer, letting the loop count real-clock tardiness.
+    Returns the number of callbacks fired. *)
+
+val pending : t -> int
+(** Live (scheduled, not yet fired or cancelled) timers. *)
+
+val fired : t -> int
+(** Total callbacks fired over the wheel's lifetime. *)

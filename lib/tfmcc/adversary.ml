@@ -27,12 +27,10 @@ let strategy_name = function
   | Spammer _ -> "spammer"
 
 type t = {
-  topo : Netsim.Topology.t;
-  engine : Netsim.Engine.t;
+  env : Env.t;
   cfg : Config.t;
   session : int;
-  node : Netsim.Node.t;
-  sender : Netsim.Node.t;
+  sender : int;
   strategy : strategy;
   mutable active : bool;
   (* Snooped sender state. *)
@@ -46,7 +44,7 @@ type t = {
   mutable sent : int;
 }
 
-let node_id t = Netsim.Node.id t.node
+let node_id t = t.env.Env.id
 
 let reports_sent t = t.sent
 
@@ -56,7 +54,7 @@ let strategy t = t.strategy
    genuine and the report survives any echo-based check), lying rate
    machinery per strategy. *)
 let forge t =
-  let now = Netsim.Engine.now t.engine in
+  let now = t.env.Env.now () in
   let s = t.cfg.Config.packet_size in
   let b = t.cfg.Config.b in
   let consistent_p ~rtt rate =
@@ -108,21 +106,16 @@ let forge t =
     }
 
 let send_report t =
-  let payload = forge t in
-  let p =
-    Netsim.Packet.make ~flow:(-1) ~size:Wire.report_size ~src:(node_id t)
-      ~dst:(Netsim.Packet.Unicast (Netsim.Node.id t.sender))
-      ~created:(Netsim.Engine.now t.engine)
-      payload
-  in
-  Netsim.Topology.inject t.topo p;
+  t.env.Env.send
+    ~dest:(Env.To_node t.sender)
+    ~flow:(-1) ~size:Wire.report_size (forge t);
   t.sent <- t.sent + 1
 
 let on_data t ~ts ~rate ~round ~max_rtt =
   t.adv_rate <- rate;
   t.max_rtt <- max_rtt;
   t.last_ts <- ts;
-  t.last_arrival <- Netsim.Engine.now t.engine;
+  t.last_arrival <- t.env.Env.now ();
   t.have_data <- true;
   let new_round = round <> t.round in
   t.round <- round;
@@ -139,14 +132,18 @@ let on_data t ~ts ~rate ~round ~max_rtt =
           send_report t
         end
 
-let create topo ~cfg ~session ~node ~sender ~strategy () =
+let deliver t msg =
+  match msg with
+  | Wire.Data d when d.Wire.session = t.session ->
+      on_data t ~ts:d.ts ~rate:d.rate ~round:d.round ~max_rtt:d.max_rtt
+  | Wire.Data _ | Wire.Report _ -> ()
+
+let create ~env ~cfg ~session ~sender ~strategy () =
   let t =
     {
-      topo;
-      engine = Netsim.Topology.engine topo;
+      env;
       cfg;
       session;
-      node;
       sender;
       strategy;
       active = false;
@@ -160,16 +157,10 @@ let create topo ~cfg ~session ~node ~sender ~strategy () =
       sent = 0;
     }
   in
-  Netsim.Topology.join topo ~group:session node;
-  Netsim.Node.attach node (fun p ->
-      match p.Netsim.Packet.payload with
-      | Wire.Data { session; ts; rate; round; max_rtt; _ }
-        when session = t.session ->
-          on_data t ~ts ~rate ~round ~max_rtt
-      | _ -> ());
+  env.Env.join ();
   t
 
 let start t ~at =
-  ignore (Netsim.Engine.at t.engine ~time:at (fun () -> t.active <- true))
+  ignore (t.env.Env.at ~time:at (fun () -> t.active <- true))
 
 let stop t = t.active <- false

@@ -32,16 +32,15 @@ val strategy_name : strategy -> string
 type t
 
 val create :
-  Netsim.Topology.t ->
-  cfg:Config.t ->
-  session:int ->
-  node:Netsim.Node.t ->
-  sender:Netsim.Node.t ->
-  strategy:strategy ->
-  unit ->
-  t
-(** Joins [node] to the session's multicast group and attaches the
-    snooping handler.  Forged reports start flowing after {!start}. *)
+  env:Env.t -> cfg:Config.t -> session:int -> sender:int -> strategy:strategy -> unit -> t
+(** Joins the session's multicast group immediately ([env.join]);
+    snooped data packets arrive via {!deliver}.  Forged reports start
+    flowing after {!start}.  Does not consume an RNG stream. *)
+
+val deliver : t -> Wire.msg -> unit
+(** Snoops one inbound message: data-packet headers of this session
+    update the forged-report state (and trigger a report per strategy
+    once started); everything else is ignored. *)
 
 val start : t -> at:float -> unit
 

@@ -14,11 +14,9 @@ type report = {
 }
 
 type t = {
-  topo : Netsim.Topology.t;
-  engine : Netsim.Engine.t;
+  env : Env.t;
   session : int;
-  node : Netsim.Node.t;
-  parent : Netsim.Node.t;
+  parent : int;
   hold : float;
   (* When a config with [defense_enabled] is supplied, reports that are
      inconsistent with the TCP equation at their own claimed (rtt, p)
@@ -27,14 +25,14 @@ type t = {
   screen_cfg : Config.t option;
   mutable plausibility_rejected_n : int;
   mutable best : report option;
-  mutable flush_timer : Netsim.Engine.handle option;
+  mutable flush_timer : Env.timer option;
   mutable last_round_forwarded : int;
   mutable last_forwarded : report option;
   mutable reports_in : int;
   mutable reports_out : int;
 }
 
-let node_id t = Netsim.Node.id t.node
+let node_id t = t.env.Env.id
 
 let reports_in t = t.reports_in
 
@@ -61,33 +59,28 @@ let more_restrictive a b =
   if a.r_has_loss <> b.r_has_loss then a.r_has_loss else a.r_rate < b.r_rate
 
 let forward t (r : report) ~leaving =
-  let now = Netsim.Engine.now t.engine in
-  let payload =
-    Wire.Report
-      {
-        session = t.session;
-        rx_id = r.r_rx_id;
-        ts = r.r_ts;
-        echo_ts = r.r_echo_ts;
-        (* Account for the time the report sat in this aggregator so the
-           sender-side RTT stays correct. *)
-        echo_delay = r.r_echo_delay +. (now -. r.r_arrival);
-        rate = r.r_rate;
-        have_rtt = r.r_have_rtt;
-        rtt = r.r_rtt;
-        p = r.r_p;
-        x_recv = r.r_x_recv;
-        round = r.r_round;
-        has_loss = r.r_has_loss;
-        leaving;
-      }
-  in
-  let p =
-    Netsim.Packet.make ~flow:(-1) ~size:Wire.report_size ~src:(node_id t)
-      ~dst:(Netsim.Packet.Unicast (Netsim.Node.id t.parent))
-      ~created:now payload
-  in
-  Netsim.Topology.inject t.topo p;
+  let now = t.env.Env.now () in
+  t.env.Env.send
+    ~dest:(Env.To_node t.parent)
+    ~flow:(-1) ~size:Wire.report_size
+    (Wire.Report
+       {
+         session = t.session;
+         rx_id = r.r_rx_id;
+         ts = r.r_ts;
+         echo_ts = r.r_echo_ts;
+         (* Account for the time the report sat in this aggregator so the
+            sender-side RTT stays correct. *)
+         echo_delay = r.r_echo_delay +. (now -. r.r_arrival);
+         rate = r.r_rate;
+         have_rtt = r.r_have_rtt;
+         rtt = r.r_rtt;
+         p = r.r_p;
+         x_recv = r.r_x_recv;
+         round = r.r_round;
+         has_loss = r.r_has_loss;
+         leaving;
+       });
   t.reports_out <- t.reports_out + 1
 
 let flush t =
@@ -128,7 +121,7 @@ let on_report t (r : report) ~leaving =
     | Some cur when not (more_restrictive r cur) -> ()
     | Some _ | None -> t.best <- Some r);
     if t.flush_timer = None then
-      t.flush_timer <- Some (Netsim.Engine.after t.engine ~delay:t.hold (fun () -> flush t))
+      t.flush_timer <- Some (t.env.Env.after ~delay:t.hold (fun () -> flush t))
   end
   else begin
     match t.last_forwarded with
@@ -139,52 +132,45 @@ let on_report t (r : report) ~leaving =
     | None -> forward t r ~leaving:false
   end
 
-let create topo ~session ~node ~parent ?(hold = 0.2) ?cfg () =
+let deliver t msg =
+  match msg with
+  | Wire.Report r when r.Wire.session = t.session ->
+      on_report t
+        {
+          r_rx_id = r.rx_id;
+          r_ts = r.ts;
+          r_echo_ts = r.echo_ts;
+          r_echo_delay = r.echo_delay;
+          r_rate = r.rate;
+          r_have_rtt = r.have_rtt;
+          r_rtt = r.rtt;
+          r_p = r.p;
+          r_x_recv = r.x_recv;
+          r_round = r.round;
+          r_has_loss = r.has_loss;
+          r_arrival = t.env.Env.now ();
+        }
+        ~leaving:r.leaving
+  | Wire.Report _ | Wire.Data _ -> ()
+
+let create ~env ~session ~parent ?(hold = 0.2) ?cfg () =
   if hold <= 0. then invalid_arg "Aggregator.create: hold must be positive";
   let screen_cfg =
     match cfg with
     | Some c when c.Config.defense_enabled -> Some c
     | Some _ | None -> None
   in
-  let t =
-    {
-      topo;
-      engine = Netsim.Topology.engine topo;
-      session;
-      node;
-      parent;
-      hold;
-      screen_cfg;
-      plausibility_rejected_n = 0;
-      best = None;
-      flush_timer = None;
-      last_round_forwarded = -1;
-      last_forwarded = None;
-      reports_in = 0;
-      reports_out = 0;
-    }
-  in
-  Netsim.Node.attach node (fun p ->
-      match p.Netsim.Packet.payload with
-      | Wire.Report
-          { session; rx_id; ts; echo_ts; echo_delay; rate; have_rtt; rtt; p;
-            x_recv; round; has_loss; leaving }
-        when session = t.session ->
-          on_report t
-            {
-              r_rx_id = rx_id;
-              r_ts = ts;
-              r_echo_ts = echo_ts;
-              r_echo_delay = echo_delay;
-              r_rate = rate;
-              r_have_rtt = have_rtt;
-              r_rtt = rtt;
-              r_p = p;
-              r_x_recv = x_recv;
-              r_round = round;
-              r_has_loss = has_loss;
-              r_arrival = Netsim.Engine.now t.engine;
-            }
-            ~leaving
-      | _ -> ());
-  t
+  {
+    env;
+    session;
+    parent;
+    hold;
+    screen_cfg;
+    plausibility_rejected_n = 0;
+    best = None;
+    flush_timer = None;
+    last_round_forwarded = -1;
+    last_forwarded = None;
+    reports_in = 0;
+    reports_out = 0;
+  }

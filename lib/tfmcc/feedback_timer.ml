@@ -25,6 +25,26 @@ let draw rng ~bias ~t_max ~delta ~n_estimate ~ratio =
       let x = Stats.Rng.uniform_pos rng in
       Float.max 0. (t_max *. (1. +. (log x /. log n')))
 
+(* Real-clock hazard guard (lib/rt): a timer callback that fires late —
+   GC pause, scheduler stall, laptop lid — can hand the protocol a round
+   window that already collapsed to zero or below; [draw] treats that as
+   a programming error and raises, which is right for the simulator but
+   would crash a live session over an OS hiccup.  The clamped variant
+   substitutes a small positive floor, reports the anomaly, and draws
+   normally — identical to [draw] (same RNG consumption) on every valid
+   input. *)
+let t_max_floor = 1e-3
+
+let draw_clamped rng ~on_anomaly ~bias ~t_max ~delta ~n_estimate ~ratio =
+  let t_max =
+    if Float.is_finite t_max && t_max > 0. then t_max
+    else begin
+      on_anomaly ();
+      t_max_floor
+    end
+  in
+  draw rng ~bias ~t_max ~delta ~n_estimate ~ratio
+
 let should_cancel ~zeta ~own_rate ~echoed_rate =
   echoed_rate -. own_rate <= zeta *. echoed_rate
 
@@ -34,6 +54,20 @@ let round_duration ~(cfg : Config.t) ~max_rtt ~rate =
   Float.max
     (cfg.round_rtt_factor *. max_rtt)
     (float_of_int (cfg.round_min_packets + 1) *. float_of_int cfg.packet_size /. rate)
+
+(* Same guard for [round_duration]: a non-monotonic clock can briefly
+   present a zero/negative R_max to a live sender. *)
+let round_duration_clamped ~on_anomaly ~(cfg : Config.t) ~max_rtt ~rate =
+  let bad v = not (Float.is_finite v) || v <= 0. in
+  let max_rtt, rate =
+    if bad max_rtt || bad rate then begin
+      on_anomaly ();
+      ((if bad max_rtt then cfg.rtt_initial else max_rtt),
+       if bad rate then float_of_int cfg.packet_size else rate)
+    end
+    else (max_rtt, rate)
+  in
+  round_duration ~cfg ~max_rtt ~rate
 
 (* Timer CDF for the unbiased scheme over [0, T']:
    F(y) = N^(y/T' - 1), with an atom of mass 1/N at 0. *)

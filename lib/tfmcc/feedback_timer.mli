@@ -28,6 +28,21 @@ val draw :
 val normalized_ratio : float -> float
 (** The Modified_offset truncation r ↦ (clamp(r, 0.5, 0.9) − 0.5)/0.4. *)
 
+val draw_clamped :
+  Stats.Rng.t ->
+  on_anomaly:(unit -> unit) ->
+  bias:Config.bias ->
+  t_max:float ->
+  delta:float ->
+  n_estimate:int ->
+  ratio:float ->
+  float
+(** {!draw} hardened for real clocks: a [t_max] that is non-finite or
+    non-positive — a timer callback fired so late the round window
+    collapsed — is clamped to a 1 ms floor and reported via
+    [on_anomaly] instead of raising.  Identical to {!draw} (including
+    RNG consumption) on every valid input. *)
+
 val should_cancel : zeta:float -> own_rate:float -> echoed_rate:float -> bool
 (** §2.5.2: cancel the pending timer iff
     echoed_rate − own_rate ≤ ζ·echoed_rate.  ζ = 1 cancels on any echo,
@@ -37,6 +52,14 @@ val round_duration :
   cfg:Config.t -> max_rtt:float -> rate:float -> float
 (** T = max(round_rtt_factor·R_max, (k+1)·s/X_send): the §2.5.3 guard
     keeps suppression working when data packets are sparse. *)
+
+val round_duration_clamped :
+  on_anomaly:(unit -> unit) -> cfg:Config.t -> max_rtt:float -> rate:float -> float
+(** {!round_duration} hardened for real clocks: a non-finite or
+    non-positive [max_rtt]/[rate] (non-monotonic clock artefacts) falls
+    back to the configured initial RTT / one packet per second and is
+    reported via [on_anomaly] instead of raising.  Identical to
+    {!round_duration} on every valid input. *)
 
 val expected_messages :
   n:int -> n_estimate:int -> delay:float -> t_suppress:float -> float

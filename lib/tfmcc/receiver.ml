@@ -10,13 +10,10 @@ type hot = {
 }
 
 type t = {
-  topo : Netsim.Topology.t;
-  engine : Netsim.Engine.t;
+  env : Env.t;
   cfg : Config.t;
   session : int;
-  node : Netsim.Node.t;
-  sender : Netsim.Node.t;
-  report_to : Netsim.Node.t;  (* sender, or an aggregation-tree parent *)
+  report_to : int;  (* sender, or an aggregation-tree parent *)
   ntp_error : float option;  (* clock-sync bound for 2.4.1 initialization *)
   report_flow : int;
   rng : Stats.Rng.t;
@@ -36,9 +33,9 @@ type t = {
   mutable round : int;
   mutable is_clr : bool;
   (* Feedback round state. *)
-  mutable fb_timer : Netsim.Engine.handle option;
+  mutable fb_timer : Env.timer option;
   mutable fb_round : int;  (* round the pending timer belongs to *)
-  mutable clr_timer : Netsim.Engine.handle option;
+  mutable clr_timer : Env.timer option;
   mutable received : int;
   mutable reports : int;
   mutable suppressed : int;
@@ -54,14 +51,15 @@ type t = {
   m_loss_events : Obs.Metrics.Counter.t;
 }
 
-let jnl t ?severity ev =
-  Obs.Sink.event t.obs ~time:(Netsim.Engine.now t.engine) ?severity t.scope ev
+let now t = t.env.Env.now ()
 
-let node_id t = Netsim.Node.id t.node
+let jnl t ?severity ev = Obs.Sink.event t.obs ~time:(now t) ?severity t.scope ev
+
+let node_id t = t.env.Env.id
 
 let joined t = t.joined
 
-let local_now t = Rtt_estimator.local_time t.rtt_est ~now:(Netsim.Engine.now t.engine)
+let local_now t = Rtt_estimator.local_time t.rtt_est ~now:(now t)
 
 let rtt t = Rtt_estimator.estimate t.rtt_est
 
@@ -75,8 +73,7 @@ let loss_event_rate t = Tfrc.Loss_history.loss_event_rate t.history
 
 let has_loss t = Tfrc.Loss_history.has_loss t.history
 
-let x_recv t =
-  Tfrc.Rate_meter.rate_bytes_per_s t.meter ~now:(Netsim.Engine.now t.engine)
+let x_recv t = Tfrc.Rate_meter.rate_bytes_per_s t.meter ~now:(now t)
 
 let calculated_rate t =
   let p = loss_event_rate t in
@@ -99,85 +96,51 @@ let malformed_data_dropped t = t.malformed_data
    once it has seen loss, the receive rate during slowstart. *)
 let report_rate t = if has_loss t then calculated_rate t else x_recv t
 
-let cancel_fb_timer t =
-  match t.fb_timer with
-  | Some h ->
-      Netsim.Engine.cancel t.engine h;
-      t.fb_timer <- None
-  | None -> ()
+let cancel_fb_timer t = t.fb_timer <- Env.cancel_opt t.fb_timer
 
-let cancel_clr_timer t =
-  match t.clr_timer with
-  | Some h ->
-      Netsim.Engine.cancel t.engine h;
-      t.clr_timer <- None
-  | None -> ()
+let cancel_clr_timer t = t.clr_timer <- Env.cancel_opt t.clr_timer
+
+let report_msg t ~leaving =
+  let now_local = local_now t in
+  let rate = report_rate t in
+  let rate =
+    if leaving then rate
+    else if Float.is_finite rate then rate
+    else t.hot.sender_rate
+  in
+  Wire.Report
+    {
+      session = t.session;
+      rx_id = node_id t;
+      ts = now_local;
+      echo_ts = t.hot.last_ts;
+      echo_delay = now_local -. t.hot.last_arrival;
+      rate;
+      have_rtt = has_rtt_measurement t;
+      rtt = rtt t;
+      p = loss_event_rate t;
+      x_recv = x_recv t;
+      round = t.round;
+      has_loss = has_loss t;
+      leaving;
+    }
 
 let send_report t =
   if t.joined && t.have_data then begin
-    let now_local = local_now t in
-    let rate = report_rate t in
-    let rate = if Float.is_finite rate then rate else t.hot.sender_rate in
-    let payload =
-      Wire.Report
-        {
-          session = t.session;
-          rx_id = node_id t;
-          ts = now_local;
-          echo_ts = t.hot.last_ts;
-          echo_delay = now_local -. t.hot.last_arrival;
-          rate;
-          have_rtt = has_rtt_measurement t;
-          rtt = rtt t;
-          p = loss_event_rate t;
-          x_recv = x_recv t;
-          round = t.round;
-          has_loss = has_loss t;
-          leaving = false;
-        }
-    in
-    let p =
-      Netsim.Packet.make ~flow:t.report_flow ~size:Wire.report_size
-        ~src:(node_id t)
-        ~dst:(Netsim.Packet.Unicast (Netsim.Node.id t.report_to))
-        ~created:(Netsim.Engine.now t.engine)
-        payload
-    in
-    Netsim.Topology.inject t.topo p;
+    t.env.Env.send
+      ~dest:(Env.To_node t.report_to)
+      ~flow:t.report_flow ~size:Wire.report_size
+      (report_msg t ~leaving:false);
     t.reports <- t.reports + 1;
     Obs.Metrics.Counter.inc t.m_reports
   end
 
 let send_leave_report t =
-  if t.have_data then begin
-    let now_local = local_now t in
-    let payload =
-      Wire.Report
-        {
-          session = t.session;
-          rx_id = node_id t;
-          ts = now_local;
-          echo_ts = t.hot.last_ts;
-          echo_delay = now_local -. t.hot.last_arrival;
-          rate = report_rate t;
-          have_rtt = has_rtt_measurement t;
-          rtt = rtt t;
-          p = loss_event_rate t;
-          x_recv = x_recv t;
-          round = t.round;
-          has_loss = has_loss t;
-          leaving = true;
-        }
-    in
-    let p =
-      Netsim.Packet.make ~flow:t.report_flow ~size:Wire.report_size
-        ~src:(node_id t)
-        ~dst:(Netsim.Packet.Unicast (Netsim.Node.id t.report_to))
-        ~created:(Netsim.Engine.now t.engine)
-        payload
-    in
-    Netsim.Topology.inject t.topo p
-  end
+  if t.have_data then
+    t.env.Env.send
+      ~dest:(Env.To_node t.report_to)
+      ~flow:t.report_flow ~size:Wire.report_size
+      (report_msg t ~leaving:true)
 
 (* CLR duty: immediate unsuppressed feedback, once per RTT. *)
 let rec schedule_clr_report t =
@@ -185,7 +148,7 @@ let rec schedule_clr_report t =
   let delay = Float.max 1e-3 (rtt t) in
   t.clr_timer <-
     Some
-      (Netsim.Engine.after t.engine ~delay (fun () ->
+      (t.env.Env.after ~delay (fun () ->
            t.clr_timer <- None;
            if t.is_clr && t.joined then begin
              send_report t;
@@ -240,14 +203,15 @@ let start_round t ~round ~duration =
   cancel_fb_timer t;
   if (not t.is_clr) && wants_to_report t then begin
     let delay =
-      Feedback_timer.draw t.rng ~bias:t.cfg.Config.bias ~t_max:duration
-        ~delta:t.cfg.Config.fb_delta ~n_estimate:t.cfg.Config.n_estimate
-        ~ratio:(bias_ratio t)
+      Feedback_timer.draw_clamped t.rng
+        ~on_anomaly:(fun () -> Env.clock_anomaly t.env ~kind:"late-timer")
+        ~bias:t.cfg.Config.bias ~t_max:duration ~delta:t.cfg.Config.fb_delta
+        ~n_estimate:t.cfg.Config.n_estimate ~ratio:(bias_ratio t)
     in
     t.fb_round <- round;
     t.fb_timer <-
       Some
-        (Netsim.Engine.after t.engine ~delay (fun () ->
+        (t.env.Env.after ~delay (fun () ->
              t.fb_timer <- None;
              (* Re-check: conditions may have improved since round start. *)
              if t.joined && (not t.is_clr) && wants_to_report t then send_report t))
@@ -280,34 +244,34 @@ let consider_suppression t (fb : Wire.fb_echo) =
         end
       end
 
-let on_data t (p : Netsim.Packet.t) ~seq ~ts ~rate ~round ~round_duration
-    ~max_rtt:_ ~clr ~in_slowstart ~echo ~fb ~app =
+let on_data t ~size (d : Wire.data) =
   if t.joined then begin
-    (match t.block_cb with Some f when app >= 0 -> f app | _ -> ());
+    (match t.block_cb with Some f when d.app >= 0 -> f d.app | _ -> ());
     (* 2.4.1: synchronized clocks give a first RTT estimate from the very
        first packet's one-way delay. *)
     (match t.ntp_error with
     | Some eps when not t.have_data ->
-        let oneway = local_now t -. ts in
+        let oneway = local_now t -. d.ts in
         Rtt_estimator.init_from_oneway t.rtt_est ~oneway ~max_error:eps
     | Some _ | None -> ());
     let now_local = local_now t in
     t.received <- t.received + 1;
     Obs.Metrics.Counter.inc t.m_received;
     t.have_data <- true;
-    t.hot.last_ts <- ts;
+    t.hot.last_ts <- d.ts;
     t.hot.last_arrival <- now_local;
-    t.hot.sender_rate <- rate;
-    t.sender_in_ss <- in_slowstart;
-    t.sender_clr <- clr;
+    t.hot.sender_rate <- d.rate;
+    t.sender_in_ss <- d.in_slowstart;
+    t.sender_clr <- d.clr;
     (* RTT machinery: echo measurement has priority over the one-way
        adjustment from the same packet. *)
     let had_measurement = has_rtt_measurement t in
-    (match (echo : Wire.echo option) with
-    | Some e when e.rx_id = node_id t ->
-        Rtt_estimator.on_echo t.rtt_est ~local_now:now_local ~rx_ts:e.rx_ts
-          ~echo_delay:e.echo_delay ~pkt_ts:ts ~is_clr:t.is_clr
-    | Some _ | None -> Rtt_estimator.on_data t.rtt_est ~local_now:now_local ~pkt_ts:ts);
+    (match d.echo with
+    | Some e when e.Wire.rx_id = node_id t ->
+        Rtt_estimator.on_echo t.rtt_est ~local_now:now_local ~rx_ts:e.Wire.rx_ts
+          ~echo_delay:e.Wire.echo_delay ~pkt_ts:d.ts ~is_clr:t.is_clr
+    | Some _ | None ->
+        Rtt_estimator.on_data t.rtt_est ~local_now:now_local ~pkt_ts:d.ts);
     (* App. B: rescale the synthetic first interval when the first real
        RTT measurement replaces the estimate it was computed with. *)
     if (not had_measurement) && has_rtt_measurement t then begin
@@ -324,17 +288,17 @@ let on_data t (p : Netsim.Packet.t) ~seq ~ts ~rate ~round ~round_duration
       end
     end;
     (* Receive rate over a few RTTs. *)
-    let now = Netsim.Engine.now t.engine in
+    let now = now t in
     let window =
-      Float.max (2. *. rtt t) (4. *. float_of_int t.cfg.Config.packet_size /. rate)
+      Float.max (2. *. rtt t) (4. *. float_of_int t.cfg.Config.packet_size /. d.rate)
     in
     Tfrc.Rate_meter.set_window t.meter (Float.max 0.05 window);
-    Tfrc.Rate_meter.record t.meter ~now ~bytes:p.Netsim.Packet.size;
+    Tfrc.Rate_meter.record t.meter ~now ~bytes:size;
     t.hot.rate_at_loss <- Tfrc.Rate_meter.rate_bytes_per_s t.meter ~now;
     (* Loss detection. *)
     let had_loss = Tfrc.Loss_history.has_loss t.history in
     let prev_loss_events = Tfrc.Loss_history.loss_events t.history in
-    Tfrc.Loss_history.on_packet t.history ~seq ~now ~rtt:(rtt t);
+    Tfrc.Loss_history.on_packet t.history ~seq:d.seq ~now ~rtt:(rtt t);
     let new_loss_events =
       Tfrc.Loss_history.loss_events t.history - prev_loss_events
     in
@@ -346,51 +310,50 @@ let on_data t (p : Netsim.Packet.t) ~seq ~ts ~rate ~round ~round_duration
     (* First loss while the sender is in slowstart: report within one
        feedback delay (§2.6) even if this round's rate-based timer was
        already suppressed — only other loss reports may suppress it. *)
-    if (not had_loss) && Tfrc.Loss_history.has_loss t.history && in_slowstart
+    if (not had_loss) && Tfrc.Loss_history.has_loss t.history && d.in_slowstart
        && not t.is_clr
     then begin
       cancel_fb_timer t;
       let delay =
-        Feedback_timer.draw t.rng ~bias:t.cfg.Config.bias ~t_max:round_duration
+        Feedback_timer.draw_clamped t.rng
+          ~on_anomaly:(fun () -> Env.clock_anomaly t.env ~kind:"late-timer")
+          ~bias:t.cfg.Config.bias ~t_max:d.round_duration
           ~delta:t.cfg.Config.fb_delta ~n_estimate:t.cfg.Config.n_estimate
           ~ratio:0.
       in
-      t.fb_round <- round;
+      t.fb_round <- d.round;
       t.fb_timer <-
         Some
-          (Netsim.Engine.after t.engine ~delay (fun () ->
+          (t.env.Env.after ~delay (fun () ->
                t.fb_timer <- None;
                if t.joined && not t.is_clr then send_report t))
     end;
     (* CLR status. *)
-    if clr = node_id t then become_clr t else stop_being_clr t;
+    if d.clr = node_id t then become_clr t else stop_being_clr t;
     (* Feedback rounds. *)
-    if round <> t.round then start_round t ~round ~duration:round_duration;
-    (match (fb : Wire.fb_echo option) with
+    if d.round <> t.round then
+      start_round t ~round:d.round ~duration:d.round_duration;
+    (match d.fb with
     | Some f when not t.is_clr -> consider_suppression t f
     | Some _ | None -> ())
   end
 
-let create topo ~cfg ~session ~node ~sender ?report_to ?(clock_offset = 0.)
+let create ~env ~cfg ~session ~sender ?report_to ?(clock_offset = 0.)
     ?ntp_error ?(report_flow = -1) () =
   let report_to = Option.value report_to ~default:sender in
-  let engine = Netsim.Topology.engine topo in
-  let obs = Netsim.Engine.obs engine in
+  let obs = env.Env.obs in
   let metrics = obs.Obs.Sink.metrics in
   let labels = [ ("session", string_of_int session) ] in
   let rec t =
     lazy
       {
-        topo;
-        engine;
+        env;
         cfg;
         session;
-        node;
-        sender;
         report_to;
         ntp_error;
         report_flow;
-        rng = Netsim.Engine.split_rng engine;
+        rng = env.Env.split_rng ();
         rtt_est = Rtt_estimator.create ~metrics ~cfg ~clock_offset ();
         history =
           Tfrc.Loss_history.create ~n_intervals:cfg.Config.n_intervals
@@ -433,9 +396,7 @@ let create topo ~cfg ~session ~node ~sender ?report_to ?(clock_offset = 0.)
         malformed_data = 0;
         block_cb = None;
         obs;
-        scope =
-          Obs.Journal.scope ~session ~node:(Netsim.Node.id node)
-            "tfmcc.receiver";
+        scope = Obs.Journal.scope ~session ~node:env.Env.id "tfmcc.receiver";
         m_received =
           Obs.Metrics.counter metrics ~labels
             "tfmcc_receiver_packets_received_total";
@@ -450,33 +411,30 @@ let create topo ~cfg ~session ~node ~sender ?report_to ?(clock_offset = 0.)
           Obs.Metrics.counter metrics ~labels "tfmcc_receiver_loss_events_total";
       }
   in
-  let t = Lazy.force t in
-  Netsim.Node.attach node (fun p ->
-      match p.Netsim.Packet.payload with
-      | Wire.Data
-          { session; seq; ts; rate; round; round_duration; max_rtt; clr;
-            in_slowstart; echo; fb; app }
-        when session = t.session ->
-          if Wire.data_fields_valid ~seq ~ts ~rate ~round ~round_duration
-               ~max_rtt ~clr ~echo ~fb
-          then
-            on_data t p ~seq ~ts ~rate ~round ~round_duration ~max_rtt ~clr
-              ~in_slowstart ~echo ~fb ~app
-          else if t.joined then begin
-            t.malformed_data <- t.malformed_data + 1;
-            Obs.Metrics.Counter.inc t.m_malformed;
-            jnl t ~severity:Obs.Journal.Warn
-              (Obs.Journal.Malformed_drop { what = "data-fields" })
-          end
-      | _ -> ());
-  t
+  Lazy.force t
+
+let deliver t ~size msg =
+  match msg with
+  | Wire.Data d when d.Wire.session = t.session ->
+      if
+        Wire.data_fields_valid ~seq:d.seq ~ts:d.ts ~rate:d.rate ~round:d.round
+          ~round_duration:d.round_duration ~max_rtt:d.max_rtt ~clr:d.clr
+          ~echo:d.echo ~fb:d.fb
+      then on_data t ~size d
+      else if t.joined then begin
+        t.malformed_data <- t.malformed_data + 1;
+        Obs.Metrics.Counter.inc t.m_malformed;
+        jnl t ~severity:Obs.Journal.Warn
+          (Obs.Journal.Malformed_drop { what = "data-fields" })
+      end
+  | Wire.Data _ | Wire.Report _ -> ()
 
 let join t =
   if t.left then invalid_arg "Receiver.join: receiver has left the session";
   if not t.joined then begin
     t.joined <- true;
     jnl t Obs.Journal.Join;
-    Netsim.Topology.join t.topo ~group:t.session t.node
+    t.env.Env.join ()
   end
 
 let set_block_callback t f = t.block_cb <- Some f
@@ -489,6 +447,6 @@ let leave t ?(explicit_leave = true) () =
     cancel_fb_timer t;
     cancel_clr_timer t;
     t.is_clr <- false;
-    Netsim.Topology.leave t.topo ~group:t.session t.node;
+    t.env.Env.leave ();
     if explicit_leave then send_leave_report t
   end

@@ -6,33 +6,44 @@
     equation, and takes part in the biased feedback rounds: timers drawn
     per §2.5.1, cancellation per §2.5.2, CLR duty (immediate periodic
     reports) when elected, slowstart receive-rate reports before the
-    first loss. *)
+    first loss.
+
+    Runtime-agnostic like the sender: all IO goes through the {!Env.t},
+    inbound data packets arrive via {!deliver} from the hosting
+    environment. *)
 
 type t
 
 val create :
-  Netsim.Topology.t ->
+  env:Env.t ->
   cfg:Config.t ->
   session:int ->
-  node:Netsim.Node.t ->
-  sender:Netsim.Node.t ->
-  ?report_to:Netsim.Node.t ->
+  sender:int ->
+  ?report_to:int ->
   ?clock_offset:float ->
   ?ntp_error:float ->
   ?report_flow:int ->
   unit ->
   t
-(** Attaches handlers at [node].  The receiver does not receive traffic
-    until {!join}.  [report_to] redirects reports to an aggregation-tree
-    parent instead of the sender (§6.1; default the sender itself).
-    [clock_offset] shifts this receiver's local clock to exercise the
-    skew-cancellation of §2.4.3 (default 0).  [ntp_error], when given,
-    enables §2.4.1's synchronized-clock RTT initialization: the receiver
-    treats its clock as synchronized to the sender's within that bound
-    and seeds its RTT estimate from the first packet's one-way delay
-    (callers should keep [clock_offset] within [ntp_error] for the model
-    to be meaningful).  [report_flow] is the accounting tag of report
-    packets (default -1). *)
+(** The receiver's node id is [env.id]; [sender] is the sender's node
+    id.  The receiver does not receive traffic until {!join}.
+    [report_to] redirects reports to an aggregation-tree parent instead
+    of the sender (§6.1; default the sender itself).  [clock_offset]
+    shifts this receiver's local clock to exercise the skew-cancellation
+    of §2.4.3 (default 0).  [ntp_error], when given, enables §2.4.1's
+    synchronized-clock RTT initialization: the receiver treats its clock
+    as synchronized to the sender's within that bound and seeds its RTT
+    estimate from the first packet's one-way delay (callers should keep
+    [clock_offset] within [ntp_error] for the model to be meaningful).
+    [report_flow] is the accounting tag of report packets (default -1).
+    Calls [env.split_rng] exactly once. *)
+
+val deliver : t -> size:int -> Wire.msg -> unit
+(** Feeds one inbound message to the receiver.  [size] is the on-the-
+    wire datagram size in bytes (feeds the receive-rate meter).  Data
+    packets of this session are validated and processed; everything
+    else is ignored (invalid data of this session counts as malformed
+    once joined). *)
 
 val join : t -> unit
 (** Joins the multicast group (idempotent). *)

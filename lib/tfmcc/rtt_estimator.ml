@@ -1,6 +1,7 @@
 type t = {
   cfg : Config.t;
   clock_offset : float;
+  metrics : Obs.Metrics.t;
   mutable rtt : float;
   mutable measured : bool;
   mutable ntp_init : bool;
@@ -9,6 +10,10 @@ type t = {
   (* Reverse-path delay estimate (receiver clock minus sender clock
      convention), valid once measured. *)
   mutable d_reverse : float;
+  (* High-water mark of local_now samples, for the non-monotonic-clock
+     clamp; -inf until the first sample. *)
+  mutable last_local_now : float;
+  mutable clock_anomalies : int;
   m_rejected : Obs.Metrics.Counter.t;
 }
 
@@ -23,12 +28,15 @@ let create ?(metrics = Obs.Metrics.null) ~cfg ~clock_offset () =
   {
     cfg;
     clock_offset;
+    metrics;
     rtt = cfg.Config.rtt_initial;
     measured = false;
     ntp_init = false;
     count = 0;
     rejected = 0;
     d_reverse = nan;
+    last_local_now = neg_infinity;
+    clock_anomalies = 0;
     m_rejected = Obs.Metrics.counter metrics "check_rtt_sample_rejected_total";
   }
 
@@ -42,7 +50,29 @@ let measurements t = t.count
 
 let rejections t = t.rejected
 
+let clock_anomalies t = t.clock_anomalies
+
+(* Real clocks step backwards (NTP slew/step, VM migration); a backward
+   [local_now] would make delay terms negative and poison the EWMA.
+   Clamp to the high-water mark and count — the counter is registered on
+   first use only, so deterministic runs (whose clocks are monotonic by
+   construction) never see it in their metrics registry. *)
+let guard_local_now t local_now =
+  if local_now < t.last_local_now then begin
+    t.clock_anomalies <- t.clock_anomalies + 1;
+    Obs.Metrics.Counter.inc
+      (Obs.Metrics.counter t.metrics
+         ~labels:[ ("kind", "rtt-nonmonotonic-now") ]
+         "tfmcc_rt_clock_anomaly_total");
+    t.last_local_now
+  end
+  else begin
+    t.last_local_now <- local_now;
+    local_now
+  end
+
 let on_echo t ~local_now ~rx_ts ~echo_delay ~pkt_ts ~is_clr =
+  let local_now = guard_local_now t local_now in
   let raw = local_now -. rx_ts -. echo_delay in
   (* Non-positive samples used to be discarded silently, which left
      [measured] unset forever when every echo arrived skewed — the
@@ -90,6 +120,7 @@ let init_from_oneway t ~oneway ~max_error =
 let ntp_initialized t = t.ntp_init
 
 let on_data t ~local_now ~pkt_ts =
+  let local_now = guard_local_now t local_now in
   if t.measured then begin
     let d_forward = local_now -. pkt_ts in
     let inst = t.d_reverse +. d_forward in

@@ -44,6 +44,15 @@ val rejections : t -> int
     clock, corrupted echo).  Mirrored in the
     [check_rtt_sample_rejected_total] metric. *)
 
+val clock_anomalies : t -> int
+(** [local_now] samples that arrived below an earlier sample — a real
+    clock stepping backwards (NTP step, VM migration); the simulator
+    never produces one.  The sample is clamped to the high-water mark
+    instead of corrupting the delay terms, and counted here and under
+    [tfmcc_rt_clock_anomaly_total{kind="rtt-nonmonotonic-now"}] (the
+    counter is registered lazily on first anomaly so deterministic runs
+    keep their metrics registry unchanged). *)
+
 val on_echo :
   t -> local_now:float -> rx_ts:float -> echo_delay:float -> pkt_ts:float ->
   is_clr:bool -> unit

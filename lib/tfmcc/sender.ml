@@ -25,11 +25,9 @@ type clr_state = {
 type prev_clr = { prev_id : int; prev_rate : float; prev_until : float }
 
 type t = {
-  topo : Netsim.Topology.t;
-  engine : Netsim.Engine.t;
+  env : Env.t;
   cfg : Config.t;
   session : int;
-  node : Netsim.Node.t;
   flow : int;
   rng : Stats.Rng.t;
   mutable running : bool;
@@ -56,8 +54,8 @@ type t = {
   mutable clr_echo : pending_echo option;  (* CLR default echo *)
   mutable last_rate_change : float;
   mutable block_source : (unit -> int) option;
-  mutable send_timer : Netsim.Engine.handle option;
-  mutable round_timer : Netsim.Engine.handle option;
+  mutable send_timer : Env.timer option;
+  mutable round_timer : Env.timer option;
   mutable sent : int;
   mutable reports : int;
   mutable clr_changes : int;
@@ -88,8 +86,9 @@ type t = {
   m_rate : Obs.Metrics.Gauge.t;
 }
 
-let jnl t ?severity ev =
-  Obs.Sink.event t.obs ~time:(Netsim.Engine.now t.engine) ?severity t.scope ev
+let now t = t.env.Env.now ()
+
+let jnl t ?severity ev = Obs.Sink.event t.obs ~time:(now t) ?severity t.scope ev
 
 let min_rate t = float_of_int t.cfg.Config.packet_size /. 64.
 
@@ -126,13 +125,6 @@ let malformed_reports_dropped t = t.malformed_dropped
 let clr_failovers t = t.clr_failovers_n
 
 let defense t = t.defense
-
-let cancel t handle =
-  match handle with
-  | Some h ->
-      Netsim.Engine.cancel t.engine h;
-      None
-  | None -> None
 
 (* NaN-safe: validation keeps NaN out of the inputs, but the rate is the
    one value that must never be poisoned, so the clamp itself is the last
@@ -176,13 +168,13 @@ let journal_rate_change t ~from_bps ~reason =
 let apply_decrease t new_rate =
   let from_bps = t.rate in
   t.rate <- clamp_rate t new_rate;
-  t.last_rate_change <- Netsim.Engine.now t.engine;
+  t.last_rate_change <- now t;
   journal_rate_change t ~from_bps ~reason:"decrease"
 
 (* Increase toward [desired], at most [increase_limit_packets] packets per
    RTT since the last change. *)
 let apply_capped_increase t ~desired ~rtt =
-  let now = Netsim.Engine.now t.engine in
+  let now = now t in
   let dt = Float.max 0. (now -. t.last_rate_change) in
   let rtt = Float.max 1e-3 rtt in
   let cap =
@@ -196,7 +188,7 @@ let apply_capped_increase t ~desired ~rtt =
 (* -------------------------------------------------------------- the CLR *)
 
 let set_clr t ~rx ~rtt ~rate_adj =
-  let now = Netsim.Engine.now t.engine in
+  let now = now t in
   (* Installing any CLR while the previous one is known lost completes a
      failover: the session found its new limiting receiver. *)
   if t.clr_lost then begin
@@ -244,7 +236,7 @@ let drop_clr t ~reason =
    is heading, switch back to it without waiting for feedback. *)
 let check_prev_clr t ~desired =
   match t.prev_clr with
-  | Some p when Netsim.Engine.now t.engine <= p.prev_until ->
+  | Some p when now t <= p.prev_until ->
       if desired > p.prev_rate then begin
         (match t.clr with
         | Some c ->
@@ -262,13 +254,12 @@ let check_prev_clr t ~desired =
 (* --------------------------------------------------------------- reports *)
 
 let sender_side_rtt t ~echo_ts ~echo_delay =
-  let now = Netsim.Engine.now t.engine in
-  let sample = now -. echo_ts -. echo_delay in
+  let sample = now t -. echo_ts -. echo_delay in
   if Float.is_nan sample || sample <= 0. then None else Some sample
 
 let on_report t ~rx ~ts ~echo_ts ~echo_delay ~rate ~have_rtt ~rtt ~p:_ ~x_recv
     ~round:report_round ~has_loss ~leaving =
-  let now = Netsim.Engine.now t.engine in
+  let now = now t in
   t.reports <- t.reports + 1;
   Obs.Metrics.Counter.inc t.m_reports;
   (* Any validated report proves the feedback channel is alive: leave the
@@ -469,7 +460,7 @@ let on_report t ~rx ~ts ~echo_ts ~echo_delay ~rate ~have_rtt ~rtt ~p:_ ~x_recv
 let check_clr_timeout t =
   match t.clr with
   | Some c
-    when Netsim.Engine.now t.engine -. c.clr_last_report
+    when now t -. c.clr_last_report
          > t.cfg.Config.clr_timeout_rounds *. t.round_duration ->
       jnl t ~severity:Obs.Journal.Warn (Obs.Journal.Timeout { what = "clr" });
       drop_clr t ~reason:"timeout";
@@ -485,7 +476,7 @@ let check_clr_timeout t =
    multiplicatively once per round down to the one-packet floor; any
    valid report ends the state immediately. *)
 let check_starvation t =
-  let now = Netsim.Engine.now t.engine in
+  let now = now t in
   if now -. t.last_report_arrival
      > t.cfg.Config.starvation_rounds *. t.round_duration
   then begin
@@ -519,7 +510,7 @@ let check_starvation t =
 let rec start_round t =
   t.round_timer <- None;
   if t.running then begin
-    let now = Netsim.Engine.now t.engine in
+    let now = now t in
     t.round <- t.round + 1;
     t.round_started <- now;
     t.round_fb <- None;
@@ -539,7 +530,9 @@ let rec start_round t =
     in
     t.max_rtt <- (if observed > 0. then observed else t.cfg.Config.rtt_initial);
     t.round_duration <-
-      Feedback_timer.round_duration ~cfg:t.cfg ~max_rtt:t.max_rtt ~rate:t.rate;
+      Feedback_timer.round_duration_clamped
+        ~on_anomaly:(fun () -> Env.clock_anomaly t.env ~kind:"late-timer")
+        ~cfg:t.cfg ~max_rtt:t.max_rtt ~rate:t.rate;
     jnl t ~severity:Obs.Journal.Debug
       (Obs.Journal.Round_start
          { round = t.round; duration = t.round_duration; max_rtt = t.max_rtt });
@@ -551,7 +544,7 @@ let rec start_round t =
     check_clr_timeout t;
     check_starvation t;
     t.round_timer <-
-      Some (Netsim.Engine.after t.engine ~delay:t.round_duration (fun () -> start_round t))
+      Some (t.env.Env.after ~delay:t.round_duration (fun () -> start_round t))
   end
 
 (* --------------------------------------------------------------- pacing *)
@@ -559,7 +552,7 @@ let rec start_round t =
 let rec send_packet t =
   t.send_timer <- None;
   if t.running then begin
-    let now = Netsim.Engine.now t.engine in
+    let now = now t in
     (* Slowstart ramp: approach the target over roughly one RTT. *)
     (if t.in_ss && t.ss_target > 0. then begin
        let rtt = Float.max 1e-3 t.max_rtt in
@@ -580,7 +573,7 @@ let rec send_packet t =
          clamp_rate t
            (t.rate +. (t.cfg.Config.increase_limit_packets *. s_float t *. (dt /. rtt)))
      end);
-    let payload =
+    let msg =
       Wire.Data
         {
           session = t.session;
@@ -597,26 +590,22 @@ let rec send_packet t =
           app = (match t.block_source with Some f -> f () | None -> -1);
         }
     in
-    let p =
-      Netsim.Packet.make ~flow:t.flow ~size:t.cfg.Config.packet_size
-        ~src:(Netsim.Node.id t.node)
-        ~dst:(Netsim.Packet.Multicast t.session) ~created:now payload
-    in
     t.seq <- t.seq + 1;
     t.sent <- t.sent + 1;
     Obs.Metrics.Counter.inc t.m_sent;
     Obs.Metrics.Gauge.set t.m_rate t.rate;
-    Netsim.Topology.inject t.topo p;
+    t.env.Env.send ~dest:Env.To_group ~flow:t.flow
+      ~size:t.cfg.Config.packet_size msg;
     (* +-25% pacing jitter: breaks deterministic phase-locking between
        the paced flow and drop-tail queue service (the classic simulator
        phase effect that would otherwise concentrate drops on the paced
        flow). *)
     let jitter = 0.75 +. (0.5 *. Stats.Rng.uniform t.rng) in
     let delay = jitter *. float_of_int t.cfg.Config.packet_size /. t.rate in
-    t.send_timer <- Some (Netsim.Engine.after t.engine ~delay (fun () -> send_packet t))
+    t.send_timer <- Some (t.env.Env.after ~delay (fun () -> send_packet t))
   end
 
-let create topo ~cfg ~session ~node ?flow ?initial_rate () =
+let create ~env ~cfg ~session ?flow ?initial_rate () =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Sender.create: bad config: " ^ msg));
@@ -625,164 +614,159 @@ let create topo ~cfg ~session ~node ?flow ?initial_rate () =
     Option.value initial_rate
       ~default:(float_of_int cfg.Config.packet_size /. cfg.Config.rtt_initial)
   in
-  let obs = Netsim.Engine.obs (Netsim.Topology.engine topo) in
+  let obs = env.Env.obs in
   let metrics = obs.Obs.Sink.metrics in
   let labels = [ ("session", string_of_int session) ] in
-  let t =
-    {
-      topo;
-      engine = Netsim.Topology.engine topo;
-      cfg;
-      session;
-      node;
-      flow;
-      rng = Netsim.Engine.split_rng (Netsim.Topology.engine topo);
-      running = false;
-      rate = initial_rate;
-      in_ss = true;
-      ss_target = initial_rate;
-      ss_min_xrecv = infinity;
-      ss_round = -1;
-      seq = 0;
-      round = -1;
-      round_duration = cfg.Config.rtt_initial *. cfg.Config.round_rtt_factor;
-      round_started = 0.;
-      max_rtt = cfg.Config.rtt_initial;
-      rtt_table = Hashtbl.create 64;
-      clr = None;
-      prev_clr = None;
-      round_fb = None;
-      pending_echoes = [];
-      clr_echo = None;
-      last_rate_change = 0.;
-      block_source = None;
-      send_timer = None;
-      round_timer = None;
-      sent = 0;
-      reports = 0;
-      clr_changes = 0;
-      clr_timeouts = 0;
-      last_report_arrival = 0.;
-      starved = false;
-      starvations = 0;
-      malformed_dropped = 0;
-      clr_lost = false;
-      clr_failovers_n = 0;
-      defense =
-        (if cfg.Config.defense_enabled then
-           Some
-             (Defense.create ~cfg ~obs ~session ~node:(Netsim.Node.id node) ())
-         else None);
-      obs;
-      scope =
-        Obs.Journal.scope ~session ~node:(Netsim.Node.id node) "tfmcc.sender";
-      m_sent = Obs.Metrics.counter metrics ~labels "tfmcc_sender_packets_sent_total";
-      m_reports = Obs.Metrics.counter metrics ~labels "tfmcc_sender_reports_total";
-      m_clr_changes =
-        Obs.Metrics.counter metrics ~labels "tfmcc_sender_clr_changes_total";
-      m_clr_timeouts =
-        Obs.Metrics.counter metrics ~labels "tfmcc_sender_clr_timeouts_total";
-      m_starvations =
-        Obs.Metrics.counter metrics ~labels "tfmcc_sender_starvations_total";
-      m_malformed =
-        Obs.Metrics.counter metrics ~labels "tfmcc_sender_malformed_drops_total";
-      m_failovers =
-        Obs.Metrics.counter metrics ~labels "tfmcc_sender_clr_failovers_total";
-      m_rate = Obs.Metrics.gauge metrics ~labels "tfmcc_sender_rate_bytes_per_s";
-    }
-  in
-  Netsim.Node.attach node (fun p ->
-      match p.Netsim.Packet.payload with
-      | Wire.Report
-          { session; rx_id; ts; echo_ts; echo_delay; rate; have_rtt; rtt; p;
-            x_recv; round; has_loss; leaving }
-        when session = t.session ->
-          if t.running then begin
-            (* Field validation plus round staleness: a report more than
-               the CLR timeout behind the current round carries dead
-               state (a receiver that far out of sync is about to be
-               timed out anyway) and must not refresh the CLR. *)
-            let stale_limit =
-              int_of_float (Float.ceil t.cfg.Config.clr_timeout_rounds)
-            in
-            if
-              Wire.report_fields_valid ~rx_id ~ts ~echo_ts ~echo_delay ~rate
-                ~rtt ~p ~x_recv ~round
-              && round >= t.round - stale_limit
-            then begin
-              (* Plausibility screen (DESIGN.md §10).  Leave reports are
-                 exempt: they carry no rate influence, and refusing a
-                 goodbye only delays the CLR timeout. *)
-              let defense_drop =
-                match t.defense with
-                | None -> false
-                | Some _ when leaving -> false
-                | Some d ->
-                    let is_clr =
-                      match t.clr with
-                      | Some c -> c.clr_id = rx_id
-                      | None -> false
-                    in
-                    let rtt_sample =
-                      sender_side_rtt t ~echo_ts ~echo_delay
-                    in
-                    let rejected =
-                      Defense.screen d ~now:(Netsim.Engine.now t.engine)
-                        ~round_duration:t.round_duration ~sender_rate:t.rate
-                        ~sender_round:t.round ~rx:rx_id ~rate ~have_rtt ~rtt
-                        ~p ~x_recv ~has_loss ~echo_delay ~rtt_sample ~is_clr
-                      <> None
-                    in
-                    (* A CLR that lands in quarantine cannot be waited
-                       out: every report it sends is now dropped, so the
-                       usual CLR timeout would freeze the rate at the
-                       captured value for its whole duration.  Drop it
-                       immediately and let failover re-elect. *)
-                    if
-                      rejected && is_clr
-                      && Defense.is_quarantined d
-                           ~now:(Netsim.Engine.now t.engine) rx_id
-                    then begin
-                      drop_clr t ~reason:"quarantine";
-                      t.clr_timeouts <- t.clr_timeouts + 1;
-                      Obs.Metrics.Counter.inc t.m_clr_timeouts
-                    end;
-                    rejected
-              in
-              if not defense_drop then
-                on_report t ~rx:rx_id ~ts ~echo_ts ~echo_delay ~rate
-                  ~have_rtt ~rtt ~p ~x_recv ~round ~has_loss ~leaving
-            end
-            else begin
-              t.malformed_dropped <- t.malformed_dropped + 1;
-              Obs.Metrics.Counter.inc t.m_malformed;
-              jnl t ~severity:Obs.Journal.Warn
-                (Obs.Journal.Malformed_drop { what = "report-fields" })
-            end
-          end
-      | Wire.Report _ ->
-          (* Unknown session id: never let it near this sender's state. *)
-          if t.running then begin
-            t.malformed_dropped <- t.malformed_dropped + 1;
-            Obs.Metrics.Counter.inc t.m_malformed;
-            jnl t ~severity:Obs.Journal.Warn
-              (Obs.Journal.Malformed_drop { what = "unknown-session" })
-          end
-      | _ -> ());
-  t
+  {
+    env;
+    cfg;
+    session;
+    flow;
+    rng = env.Env.split_rng ();
+    running = false;
+    rate = initial_rate;
+    in_ss = true;
+    ss_target = initial_rate;
+    ss_min_xrecv = infinity;
+    ss_round = -1;
+    seq = 0;
+    round = -1;
+    round_duration = cfg.Config.rtt_initial *. cfg.Config.round_rtt_factor;
+    round_started = 0.;
+    max_rtt = cfg.Config.rtt_initial;
+    rtt_table = Hashtbl.create 64;
+    clr = None;
+    prev_clr = None;
+    round_fb = None;
+    pending_echoes = [];
+    clr_echo = None;
+    last_rate_change = 0.;
+    block_source = None;
+    send_timer = None;
+    round_timer = None;
+    sent = 0;
+    reports = 0;
+    clr_changes = 0;
+    clr_timeouts = 0;
+    last_report_arrival = 0.;
+    starved = false;
+    starvations = 0;
+    malformed_dropped = 0;
+    clr_lost = false;
+    clr_failovers_n = 0;
+    defense =
+      (if cfg.Config.defense_enabled then
+         Some (Defense.create ~cfg ~obs ~session ~node:env.Env.id ())
+       else None);
+    obs;
+    scope = Obs.Journal.scope ~session ~node:env.Env.id "tfmcc.sender";
+    m_sent = Obs.Metrics.counter metrics ~labels "tfmcc_sender_packets_sent_total";
+    m_reports = Obs.Metrics.counter metrics ~labels "tfmcc_sender_reports_total";
+    m_clr_changes =
+      Obs.Metrics.counter metrics ~labels "tfmcc_sender_clr_changes_total";
+    m_clr_timeouts =
+      Obs.Metrics.counter metrics ~labels "tfmcc_sender_clr_timeouts_total";
+    m_starvations =
+      Obs.Metrics.counter metrics ~labels "tfmcc_sender_starvations_total";
+    m_malformed =
+      Obs.Metrics.counter metrics ~labels "tfmcc_sender_malformed_drops_total";
+    m_failovers =
+      Obs.Metrics.counter metrics ~labels "tfmcc_sender_clr_failovers_total";
+    m_rate = Obs.Metrics.gauge metrics ~labels "tfmcc_sender_rate_bytes_per_s";
+  }
+
+let deliver t msg =
+  match msg with
+  | Wire.Report r when r.Wire.session = t.session ->
+      if t.running then begin
+        (* Field validation plus round staleness: a report more than
+           the CLR timeout behind the current round carries dead
+           state (a receiver that far out of sync is about to be
+           timed out anyway) and must not refresh the CLR. *)
+        let stale_limit =
+          int_of_float (Float.ceil t.cfg.Config.clr_timeout_rounds)
+        in
+        if
+          Wire.report_fields_valid ~rx_id:r.rx_id ~ts:r.ts ~echo_ts:r.echo_ts
+            ~echo_delay:r.echo_delay ~rate:r.rate ~rtt:r.rtt ~p:r.p
+            ~x_recv:r.x_recv ~round:r.round
+          && r.round >= t.round - stale_limit
+        then begin
+          (* Plausibility screen (DESIGN.md §10).  Leave reports are
+             exempt: they carry no rate influence, and refusing a
+             goodbye only delays the CLR timeout. *)
+          let defense_drop =
+            match t.defense with
+            | None -> false
+            | Some _ when r.leaving -> false
+            | Some d ->
+                let is_clr =
+                  match t.clr with
+                  | Some c -> c.clr_id = r.rx_id
+                  | None -> false
+                in
+                let rtt_sample =
+                  sender_side_rtt t ~echo_ts:r.echo_ts ~echo_delay:r.echo_delay
+                in
+                let rejected =
+                  Defense.screen d ~now:(now t)
+                    ~round_duration:t.round_duration ~sender_rate:t.rate
+                    ~sender_round:t.round ~rx:r.rx_id ~rate:r.rate
+                    ~have_rtt:r.have_rtt ~rtt:r.rtt ~p:r.p ~x_recv:r.x_recv
+                    ~has_loss:r.has_loss ~echo_delay:r.echo_delay ~rtt_sample
+                    ~is_clr
+                  <> None
+                in
+                (* A CLR that lands in quarantine cannot be waited
+                   out: every report it sends is now dropped, so the
+                   usual CLR timeout would freeze the rate at the
+                   captured value for its whole duration.  Drop it
+                   immediately and let failover re-elect. *)
+                if
+                  rejected && is_clr
+                  && Defense.is_quarantined d ~now:(now t) r.rx_id
+                then begin
+                  drop_clr t ~reason:"quarantine";
+                  t.clr_timeouts <- t.clr_timeouts + 1;
+                  Obs.Metrics.Counter.inc t.m_clr_timeouts
+                end;
+                rejected
+          in
+          if not defense_drop then
+            on_report t ~rx:r.rx_id ~ts:r.ts ~echo_ts:r.echo_ts
+              ~echo_delay:r.echo_delay ~rate:r.rate ~have_rtt:r.have_rtt
+              ~rtt:r.rtt ~p:r.p ~x_recv:r.x_recv ~round:r.round
+              ~has_loss:r.has_loss ~leaving:r.leaving
+        end
+        else begin
+          t.malformed_dropped <- t.malformed_dropped + 1;
+          Obs.Metrics.Counter.inc t.m_malformed;
+          jnl t ~severity:Obs.Journal.Warn
+            (Obs.Journal.Malformed_drop { what = "report-fields" })
+        end
+      end
+  | Wire.Report _ ->
+      (* Unknown session id: never let it near this sender's state. *)
+      if t.running then begin
+        t.malformed_dropped <- t.malformed_dropped + 1;
+        Obs.Metrics.Counter.inc t.m_malformed;
+        jnl t ~severity:Obs.Journal.Warn
+          (Obs.Journal.Malformed_drop { what = "unknown-session" })
+      end
+  | Wire.Data _ -> ()
 
 let start t ~at =
   t.running <- true;
   ignore
-    (Netsim.Engine.at t.engine ~time:at (fun () ->
-         t.last_rate_change <- Netsim.Engine.now t.engine;
-         t.last_report_arrival <- Netsim.Engine.now t.engine;
+    (t.env.Env.at ~time:at (fun () ->
+         t.last_rate_change <- now t;
+         t.last_report_arrival <- now t;
          start_round t;
          send_packet t))
 
 let stop t =
   t.running <- false;
-  t.send_timer <- cancel t t.send_timer;
-  t.round_timer <- cancel t t.round_timer
+  t.send_timer <- Env.cancel_opt t.send_timer;
+  t.round_timer <- Env.cancel_opt t.round_timer
 
 let set_block_source t f = t.block_source <- Some f

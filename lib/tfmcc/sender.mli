@@ -16,21 +16,27 @@
     explicit leave) is dropped, after which the rate ramps up at the
     capped rate until a new report arrives (so the correct new CLR
     reveals itself).  Optionally the previous CLR is remembered for
-    conservative switch-back (App. C). *)
+    conservative switch-back (App. C).
+
+    The sender is runtime-agnostic: it talks to the world only through
+    its {!Env.t} (clock, timers, datagram send, observability) and
+    receives inbound reports via {!deliver} from whichever environment
+    hosts it — the simulator adapter ([Netsim_env]) or the real-time
+    loopback/UDP runtime ([Rt]). *)
 
 type t
 
 val create :
-  Netsim.Topology.t ->
-  cfg:Config.t ->
-  session:int ->
-  node:Netsim.Node.t ->
-  ?flow:int ->
-  ?initial_rate:float ->
-  unit ->
-  t
-(** [flow] is the accounting tag on data packets (default = [session]).
-    [initial_rate] defaults to one packet per initial RTT. *)
+  env:Env.t -> cfg:Config.t -> session:int -> ?flow:int -> ?initial_rate:float -> unit -> t
+(** The sender's node id is [env.id].  [flow] is the accounting tag on
+    data packets (default = [session]).  [initial_rate] defaults to one
+    packet per initial RTT.  Calls [env.split_rng] exactly once. *)
+
+val deliver : t -> Wire.msg -> unit
+(** Feeds one inbound message to the sender.  Reports for this session
+    are validated (field sanity, round staleness, defense screen) and
+    then drive rate control; reports for a foreign session count as
+    malformed; data messages are ignored.  No-op while stopped. *)
 
 val start : t -> at:float -> unit
 

@@ -1,31 +1,30 @@
 type t = {
-  topo : Netsim.Topology.t;
   cfg : Config.t;
   session : int;
   sender : Sender.t;
-  sender_node : Netsim.Node.t;
+  sender_id : int;
   mutable receivers : Receiver.t list;
 }
 
-let create topo ?(cfg = Config.default) ~session ~sender_node ~receiver_nodes
+let create ~sender_env ?(cfg = Config.default) ~session ~receiver_envs
     ?clock_offsets () =
   let offsets =
     match clock_offsets with
-    | None -> List.map (fun _ -> 0.) receiver_nodes
+    | None -> List.map (fun _ -> 0.) receiver_envs
     | Some l ->
-        if List.length l <> List.length receiver_nodes then
+        if List.length l <> List.length receiver_envs then
           invalid_arg "Session.create: clock_offsets length mismatch";
         l
   in
-  let sender = Sender.create topo ~cfg ~session ~node:sender_node () in
+  let sender = Sender.create ~env:sender_env ~cfg ~session () in
+  let sender_id = sender_env.Env.id in
   let receivers =
     List.map2
-      (fun node clock_offset ->
-        Receiver.create topo ~cfg ~session ~node ~sender:sender_node
-          ~clock_offset ())
-      receiver_nodes offsets
+      (fun env clock_offset ->
+        Receiver.create ~env ~cfg ~session ~sender:sender_id ~clock_offset ())
+      receiver_envs offsets
   in
-  { topo; cfg; session; sender; sender_node; receivers }
+  { cfg; session; sender; sender_id; receivers }
 
 let start ?(join_receivers = true) t ~at =
   if join_receivers then List.iter Receiver.join t.receivers;
@@ -40,14 +39,16 @@ let receivers t = t.receivers
 let receiver t ~node_id =
   List.find (fun r -> Receiver.node_id r = node_id) t.receivers
 
-let add_receiver t ~node ?(clock_offset = 0.) ~join_now () =
+let add_receiver t ~env ?(clock_offset = 0.) ~join_now () =
   let r =
-    Receiver.create t.topo ~cfg:t.cfg ~session:t.session ~node
-      ~sender:t.sender_node ~clock_offset ()
+    Receiver.create ~env ~cfg:t.cfg ~session:t.session ~sender:t.sender_id
+      ~clock_offset ()
   in
   t.receivers <- r :: t.receivers;
   if join_now then Receiver.join r;
   r
+
+let session_id t = t.session
 
 let receivers_with_rtt t =
   List.length (List.filter Receiver.has_rtt_measurement t.receivers)

@@ -2,36 +2,38 @@ type echo = { rx_id : int; rx_ts : float; echo_delay : float }
 
 type fb_echo = { fb_rx_id : int; fb_rate : float; fb_has_loss : bool }
 
-type Netsim.Packet.payload +=
-  | Data of {
-      session : int;
-      seq : int;
-      ts : float;
-      rate : float;
-      round : int;
-      round_duration : float;
-      max_rtt : float;
-      clr : int;
-      in_slowstart : bool;
-      echo : echo option;
-      fb : fb_echo option;
-      app : int;
-    }
-  | Report of {
-      session : int;
-      rx_id : int;
-      ts : float;
-      echo_ts : float;
-      echo_delay : float;
-      rate : float;
-      have_rtt : bool;
-      rtt : float;
-      p : float;
-      x_recv : float;
-      round : int;
-      has_loss : bool;
-      leaving : bool;
-    }
+type data = {
+  session : int;
+  seq : int;
+  ts : float;
+  rate : float;
+  round : int;
+  round_duration : float;
+  max_rtt : float;
+  clr : int;
+  in_slowstart : bool;
+  echo : echo option;
+  fb : fb_echo option;
+  app : int;
+}
+
+type report = {
+  session : int;
+  rx_id : int;
+  ts : float;
+  echo_ts : float;
+  echo_delay : float;
+  rate : float;
+  have_rtt : bool;
+  rtt : float;
+  p : float;
+  x_recv : float;
+  round : int;
+  has_loss : bool;
+  leaving : bool;
+}
+
+type msg = Data of data | Report of report
 
 let report_size = 40
 
@@ -59,6 +61,11 @@ let report_fields_valid ~rx_id ~ts ~echo_ts ~echo_delay ~rate ~rtt ~p ~x_recv
   && x_recv >= 0.
   && round >= -1
 
+let report_valid (r : report) =
+  report_fields_valid ~rx_id:r.rx_id ~ts:r.ts ~echo_ts:r.echo_ts
+    ~echo_delay:r.echo_delay ~rate:r.rate ~rtt:r.rtt ~p:r.p ~x_recv:r.x_recv
+    ~round:r.round
+
 let data_fields_valid ~seq ~ts ~rate ~round ~round_duration ~max_rtt ~clr
     ~echo ~fb =
   seq >= 0
@@ -73,13 +80,18 @@ let data_fields_valid ~seq ~ts ~rate ~round ~round_duration ~max_rtt ~clr
   && clr >= -1
   && (match echo with
      | None -> true
-     | Some e ->
+     | Some (e : echo) ->
          e.rx_id >= 0 && Float.is_finite e.rx_ts
          && Float.is_finite e.echo_delay
          && e.echo_delay >= 0.)
   && (match fb with
      | None -> true
      | Some f -> f.fb_rx_id >= 0 && Float.is_finite f.fb_rate && f.fb_rate >= 0.)
+
+let data_valid (d : data) =
+  data_fields_valid ~seq:d.seq ~ts:d.ts ~rate:d.rate ~round:d.round
+    ~round_duration:d.round_duration ~max_rtt:d.max_rtt ~clr:d.clr ~echo:d.echo
+    ~fb:d.fb
 
 (* ----------------------------------------------------------- byte codec *)
 
@@ -103,35 +115,34 @@ let require_finite ctx name v =
     invalid_arg
       (Printf.sprintf "Wire.%s: non-finite %s (%h)" ctx name v)
 
-let encode_report ~session ~rx_id ~ts ~echo_ts ~echo_delay ~rate ~have_rtt
-    ~rtt ~p ~x_recv ~round ~has_loss ~leaving =
+let encode_report (r : report) =
   let chk = require_finite "encode_report" in
-  chk "ts" ts;
-  chk "echo_ts" echo_ts;
-  chk "echo_delay" echo_delay;
-  chk "rate" rate;
-  chk "rtt" rtt;
-  chk "p" p;
-  chk "x_recv" x_recv;
+  chk "ts" r.ts;
+  chk "echo_ts" r.echo_ts;
+  chk "echo_delay" r.echo_delay;
+  chk "rate" r.rate;
+  chk "rtt" r.rtt;
+  chk "p" r.p;
+  chk "x_recv" r.x_recv;
   let b = Bytes.create encoded_report_size in
   Bytes.set_uint8 b 0 report_magic;
   let flags =
-    (if have_rtt then 1 else 0)
-    lor (if has_loss then 2 else 0)
-    lor if leaving then 4 else 0
+    (if r.have_rtt then 1 else 0)
+    lor (if r.has_loss then 2 else 0)
+    lor if r.leaving then 4 else 0
   in
   Bytes.set_uint8 b 1 flags;
-  Bytes.set_int64_le b 2 (Int64.of_int session);
-  Bytes.set_int64_le b 10 (Int64.of_int rx_id);
-  Bytes.set_int64_le b 18 (Int64.of_int round);
+  Bytes.set_int64_le b 2 (Int64.of_int r.session);
+  Bytes.set_int64_le b 10 (Int64.of_int r.rx_id);
+  Bytes.set_int64_le b 18 (Int64.of_int r.round);
   let f off v = Bytes.set_int64_le b off (Int64.bits_of_float v) in
-  f 26 ts;
-  f 34 echo_ts;
-  f 42 echo_delay;
-  f 50 rate;
-  f 58 rtt;
-  f 66 p;
-  f 74 x_recv;
+  f 26 r.ts;
+  f 34 r.echo_ts;
+  f 42 r.echo_delay;
+  f 50 r.rate;
+  f 58 r.rtt;
+  f 66 r.p;
+  f 74 r.x_recv;
   b
 
 let decode_report b =
@@ -177,7 +188,10 @@ let decode_report b =
              })
 
 (* Serialized data-packet header.  Fixed layout: absent echo/fb sections
-   are encoded as zeroes and masked out by the presence flags. *)
+   are encoded as zeroes and masked out by the presence flags.  Real
+   transports pad the frame out to the configured packet size; decoding
+   reads only the header prefix, so any frame ≥ the header size with a
+   valid prefix is accepted. *)
 
 let encoded_data_size = 114
 
@@ -185,49 +199,48 @@ let data_magic = 0x44 (* 'D' *)
 
 let data_flag_mask = 0x0f (* in_slowstart | echo? | fb? | fb_has_loss *)
 
-let encode_data ~session ~seq ~ts ~rate ~round ~round_duration ~max_rtt ~clr
-    ~in_slowstart ~echo ~fb ~app =
+let encode_data (d : data) =
   let chk = require_finite "encode_data" in
-  chk "ts" ts;
-  chk "rate" rate;
-  chk "round_duration" round_duration;
-  chk "max_rtt" max_rtt;
-  (match echo with
+  chk "ts" d.ts;
+  chk "rate" d.rate;
+  chk "round_duration" d.round_duration;
+  chk "max_rtt" d.max_rtt;
+  (match d.echo with
   | Some e ->
       chk "echo.rx_ts" e.rx_ts;
       chk "echo.echo_delay" e.echo_delay
   | None -> ());
-  (match fb with
+  (match d.fb with
   | Some f -> chk "fb.fb_rate" f.fb_rate
   | None -> ());
   let b = Bytes.create encoded_data_size in
   Bytes.fill b 0 encoded_data_size '\000';
   Bytes.set_uint8 b 0 data_magic;
   let flags =
-    (if in_slowstart then 1 else 0)
-    lor (match echo with Some _ -> 2 | None -> 0)
-    lor (match fb with Some _ -> 4 | None -> 0)
-    lor match fb with Some f when f.fb_has_loss -> 8 | _ -> 0
+    (if d.in_slowstart then 1 else 0)
+    lor (match d.echo with Some _ -> 2 | None -> 0)
+    lor (match d.fb with Some _ -> 4 | None -> 0)
+    lor match d.fb with Some f when f.fb_has_loss -> 8 | _ -> 0
   in
   Bytes.set_uint8 b 1 flags;
   let i off v = Bytes.set_int64_le b off (Int64.of_int v) in
   let f off v = Bytes.set_int64_le b off (Int64.bits_of_float v) in
-  i 2 session;
-  i 10 seq;
-  i 18 round;
-  i 26 clr;
-  i 34 app;
-  f 42 ts;
-  f 50 rate;
-  f 58 round_duration;
-  f 66 max_rtt;
-  (match echo with
+  i 2 d.session;
+  i 10 d.seq;
+  i 18 d.round;
+  i 26 d.clr;
+  i 34 d.app;
+  f 42 d.ts;
+  f 50 d.rate;
+  f 58 d.round_duration;
+  f 66 d.max_rtt;
+  (match d.echo with
   | Some e ->
       i 74 e.rx_id;
       f 82 e.rx_ts;
       f 90 e.echo_delay
   | None -> ());
-  (match fb with
+  (match d.fb with
   | Some fb ->
       i 98 fb.fb_rx_id;
       f 106 fb.fb_rate
@@ -235,7 +248,7 @@ let encode_data ~session ~seq ~ts ~rate ~round ~round_duration ~max_rtt ~clr
   b
 
 let decode_data b =
-  if Bytes.length b <> encoded_data_size then Error "data: bad length"
+  if Bytes.length b < encoded_data_size then Error "data: bad length"
   else if Bytes.get_uint8 b 0 <> data_magic then Error "data: bad magic"
   else
     let flags = Bytes.get_uint8 b 1 in
@@ -289,38 +302,40 @@ let decode_data b =
                app;
              })
 
+let decode b =
+  if Bytes.length b < 1 then Error "frame: empty"
+  else
+    match Bytes.get_uint8 b 0 with
+    | m when m = report_magic -> decode_report b
+    | m when m = data_magic -> decode_data b
+    | _ -> Error "frame: bad magic"
+
 (* ------------------------------------------------------------ corruption *)
 
-(* Mangle one field of a TFMCC payload into a hostile value (NaN, negative,
-   out-of-range, nonsense round, foreign session).  Matches the mangle
-   signature of [Netsim.Fault.corrupt]; non-TFMCC payloads pass through
-   untouched.  Deliberately produces exactly the malformed inputs the
-   validators above reject, so chaos runs exercise every guard. *)
-let corrupt_packet rng (pkt : Netsim.Packet.t) =
+(* Mangle one field of a TFMCC message into a hostile value (NaN,
+   negative, out-of-range, nonsense round, foreign session).
+   Deliberately produces exactly the malformed inputs the validators
+   above reject, so chaos runs exercise every guard. *)
+let corrupt_msg rng msg =
   let pick n = Stats.Rng.int rng n in
-  let payload =
-    match pkt.Netsim.Packet.payload with
-    | Report r -> (
-        match pick 9 with
-        | 0 -> Report { r with rate = Float.nan }
-        | 1 -> Report { r with rate = -1e12 }
-        | 2 -> Report { r with rtt = -0.5 }
-        | 3 -> Report { r with rtt = Float.nan }
-        | 4 -> Report { r with p = 7.5 }
-        | 5 -> Report { r with x_recv = Float.neg_infinity }
-        | 6 -> Report { r with round = -1000 }
-        | 7 -> Report { r with session = r.session + 977 }
-        | _ -> Report { r with echo_delay = Float.nan; ts = Float.infinity })
-    | Data d -> (
-        match pick 7 with
-        | 0 -> Data { d with rate = Float.nan }
-        | 1 -> Data { d with rate = -4096. }
-        | 2 -> Data { d with round_duration = -1. }
-        | 3 -> Data { d with max_rtt = Float.nan }
-        | 4 -> Data { d with round = -5 }
-        | 5 -> Data { d with session = d.session + 977 }
-        | _ -> Data { d with ts = Float.nan; clr = -42 })
-    | other -> other
-  in
-  { pkt with Netsim.Packet.payload }
-
+  match msg with
+  | Report r -> (
+      match pick 9 with
+      | 0 -> Report { r with rate = Float.nan }
+      | 1 -> Report { r with rate = -1e12 }
+      | 2 -> Report { r with rtt = -0.5 }
+      | 3 -> Report { r with rtt = Float.nan }
+      | 4 -> Report { r with p = 7.5 }
+      | 5 -> Report { r with x_recv = Float.neg_infinity }
+      | 6 -> Report { r with round = -1000 }
+      | 7 -> Report { r with session = r.session + 977 }
+      | _ -> Report { r with echo_delay = Float.nan; ts = Float.infinity })
+  | Data d -> (
+      match pick 7 with
+      | 0 -> Data { d with rate = Float.nan }
+      | 1 -> Data { d with rate = -4096. }
+      | 2 -> Data { d with round_duration = -1. }
+      | 3 -> Data { d with max_rtt = Float.nan }
+      | 4 -> Data { d with round = -5 }
+      | 5 -> Data { d with session = d.session + 977 }
+      | _ -> Data { d with ts = Float.nan; clr = -42 })

@@ -1,10 +1,15 @@
-(** TFMCC packet formats (extends {!Netsim.Packet.payload}).
+(** TFMCC packet formats (pure, transport-independent).
 
     One multicast data-packet header and one unicast receiver report,
     mirroring §2.4–2.5 of the paper: data packets carry the sender
     timestamp, current rate, feedback-round bookkeeping, one receiver-
     report echo (for RTT measurement) and the lowest report echoed so far
-    this round (for suppression). *)
+    this round (for suppression).
+
+    This module owns the protocol's message ADT and byte codec and knows
+    nothing about any runtime: the simulator wraps {!msg} into its
+    packet payload ([Netsim_env]), the real-time runtime serializes it
+    with the codec ([Rt]). *)
 
 (** Echo of one receiver's report inside a data packet: lets exactly that
     receiver compute its instantaneous RTT. *)
@@ -22,40 +27,42 @@ type fb_echo = {
   fb_has_loss : bool;  (** report came from a receiver that has seen loss *)
 }
 
-type Netsim.Packet.payload +=
-  | Data of {
-      session : int;
-      seq : int;
-      ts : float;  (** sender clock at transmission *)
-      rate : float;  (** current sending rate X_send, bytes/s *)
-      round : int;  (** feedback round number *)
-      round_duration : float;  (** T for the current round, seconds *)
-      max_rtt : float;  (** sender's current R_max estimate *)
-      clr : int;  (** node id of the current limiting receiver; -1 if none *)
-      in_slowstart : bool;
-      echo : echo option;
-      fb : fb_echo option;
-      app : int;
-          (** application block id carried by this packet, -1 for filler —
-              set through {!Sender.set_block_source} (congestion control
-              is payload-agnostic; reliability layers ride on this) *)
-    }
-  | Report of {
-      session : int;
-      rx_id : int;
-      ts : float;  (** receiver clock at transmission *)
-      echo_ts : float;  (** sender timestamp of the newest data packet seen *)
-      echo_delay : float;  (** receiver hold time since that packet *)
-      rate : float;  (** calculated rate X_r, bytes/s (receive-rate based
-                         during slowstart) *)
-      have_rtt : bool;  (** [rate] computed from a measured RTT? *)
-      rtt : float;  (** receiver's current RTT estimate *)
-      p : float;  (** loss event rate (diagnostics) *)
-      x_recv : float;  (** measured receive rate, bytes/s *)
-      round : int;  (** round this report answers *)
-      has_loss : bool;  (** receiver has experienced loss (ends slowstart) *)
-      leaving : bool;  (** explicit leave notification *)
-    }
+type data = {
+  session : int;
+  seq : int;
+  ts : float;  (** sender clock at transmission *)
+  rate : float;  (** current sending rate X_send, bytes/s *)
+  round : int;  (** feedback round number *)
+  round_duration : float;  (** T for the current round, seconds *)
+  max_rtt : float;  (** sender's current R_max estimate *)
+  clr : int;  (** node id of the current limiting receiver; -1 if none *)
+  in_slowstart : bool;
+  echo : echo option;
+  fb : fb_echo option;
+  app : int;
+      (** application block id carried by this packet, -1 for filler —
+          set through {!Sender.set_block_source} (congestion control
+          is payload-agnostic; reliability layers ride on this) *)
+}
+
+type report = {
+  session : int;
+  rx_id : int;
+  ts : float;  (** receiver clock at transmission *)
+  echo_ts : float;  (** sender timestamp of the newest data packet seen *)
+  echo_delay : float;  (** receiver hold time since that packet *)
+  rate : float;  (** calculated rate X_r, bytes/s (receive-rate based
+                     during slowstart) *)
+  have_rtt : bool;  (** [rate] computed from a measured RTT? *)
+  rtt : float;  (** receiver's current RTT estimate *)
+  p : float;  (** loss event rate (diagnostics) *)
+  x_recv : float;  (** measured receive rate, bytes/s *)
+  round : int;  (** round this report answers *)
+  has_loss : bool;  (** receiver has experienced loss (ends slowstart) *)
+  leaving : bool;  (** explicit leave notification *)
+}
+
+type msg = Data of data | Report of report
 
 val report_size : int
 (** Receiver reports are 40 bytes on the wire. *)
@@ -78,6 +85,10 @@ val report_fields_valid :
     fail this (counted by {!Sender.malformed_reports_dropped}); round
     staleness is checked separately against the sender's round counter. *)
 
+val report_valid : report -> bool
+(** {!report_fields_valid} on a record ([session]/[have_rtt]/[has_loss]/
+    [leaving] carry no field-level constraint). *)
+
 val data_fields_valid :
   seq:int ->
   ts:float ->
@@ -94,15 +105,20 @@ val data_fields_valid :
     {!Receiver.malformed_data_dropped}) instead of feeding NaN rates or
     negative round durations into their timers. *)
 
+val data_valid : data -> bool
+(** {!data_fields_valid} on a record ([session]/[in_slowstart]/[app]
+    carry no field-level constraint). *)
+
 (** {2 Byte codec}
 
-    Little-endian serialization of the two payloads, used by the
-    robustness suite to fuzz the parsing path with raw bytes.  Decoding
-    re-runs the field validators, so the contract is: {e any} byte
-    string — random, truncated, or a bit-flipped valid encoding — either
-    decodes to a payload that passes {!report_fields_valid} /
-    {!data_fields_valid}, or returns [Error]; it never raises and never
-    yields NaN or out-of-range fields.
+    Little-endian serialization of the two payloads: the real-time
+    runtime's on-the-wire format, also used by the robustness suite to
+    fuzz the parsing path with raw bytes.  Decoding re-runs the field
+    validators, so the contract is: {e any} byte string — random,
+    truncated, or a bit-flipped valid encoding — either decodes to a
+    payload that passes {!report_fields_valid} / {!data_fields_valid},
+    or returns [Error]; it never raises and never yields NaN or
+    out-of-range fields.
 
     Encoding enforces the dual contract at the source: both encoders
     raise [Invalid_argument] if any float field is NaN or infinite — a
@@ -114,49 +130,31 @@ val encoded_report_size : int
 (** 82 bytes (the simulator's accounting size {!report_size} models a
     more compact production encoding). *)
 
-val encode_report :
-  session:int ->
-  rx_id:int ->
-  ts:float ->
-  echo_ts:float ->
-  echo_delay:float ->
-  rate:float ->
-  have_rtt:bool ->
-  rtt:float ->
-  p:float ->
-  x_recv:float ->
-  round:int ->
-  has_loss:bool ->
-  leaving:bool ->
-  bytes
+val encode_report : report -> bytes
 
-val decode_report : bytes -> (Netsim.Packet.payload, string) result
+val decode_report : bytes -> (msg, string) result
 (** [Ok (Report _)] or a validation error. *)
 
 val encoded_data_size : int
-(** 114 bytes; absent echo/fb sections are zero-filled and flag-masked. *)
+(** 114 bytes; absent echo/fb sections are zero-filled and flag-masked.
+    Real transports pad data frames up to the configured packet size;
+    {!decode} only reads this header prefix. *)
 
-val encode_data :
-  session:int ->
-  seq:int ->
-  ts:float ->
-  rate:float ->
-  round:int ->
-  round_duration:float ->
-  max_rtt:float ->
-  clr:int ->
-  in_slowstart:bool ->
-  echo:echo option ->
-  fb:fb_echo option ->
-  app:int ->
-  bytes
+val encode_data : data -> bytes
 
-val decode_data : bytes -> (Netsim.Packet.payload, string) result
-(** [Ok (Data _)] or a validation error. *)
+val decode_data : bytes -> (msg, string) result
+(** [Ok (Data _)] or a validation error.  Accepts trailing padding:
+    any frame of at least {!encoded_data_size} bytes whose first
+    {!encoded_data_size} bytes form a valid header. *)
 
-val corrupt_packet : Stats.Rng.t -> Netsim.Packet.t -> Netsim.Packet.t
-(** Returns a copy of the packet with one randomly chosen payload field
+val decode : bytes -> (msg, string) result
+(** Dispatches on the magic byte: report or data frame. *)
+
+val corrupt_msg : Stats.Rng.t -> msg -> msg
+(** Returns a copy of the message with one randomly chosen field
     mangled into a hostile value (NaN, negative, out-of-range, foreign
-    session, stale/future round); non-TFMCC payloads are returned
-    unchanged.  Plugs straight into [Netsim.Fault.corrupt]'s [mangle]
-    argument and into property tests. *)
+    session, stale/future round).  Deliberately produces exactly the
+    malformed inputs the validators reject, so chaos runs exercise every
+    guard; [Netsim_env.corrupt_packet] adapts this to
+    [Netsim.Fault.corrupt]'s [mangle] argument and property tests use
+    it directly. *)

@@ -32,7 +32,7 @@ let forge_report rig ~rx_id ?(rate = 50_000.) ?(have_rtt = true) ?(rtt = 0.05)
     ?(x_recv = 50_000.) ?(round = 0) ?(has_loss = true) () =
   let now = Netsim.Engine.now rig.engine in
   let payload =
-    Tfmcc_core.Wire.Report
+    Netsim_env.Report
       {
         session = 1;
         rx_id;
@@ -60,7 +60,7 @@ let watch_echoes rig =
   let watch node =
     Netsim.Node.attach node (fun p ->
         match p.Netsim.Packet.payload with
-        | Tfmcc_core.Wire.Data { echo = Some e; _ } ->
+        | Netsim_env.Data { echo = Some e; _ } ->
             if not (List.mem e.Tfmcc_core.Wire.rx_id !echoes) then
               echoes := e.Tfmcc_core.Wire.rx_id :: !echoes
         | _ -> ())
@@ -97,7 +97,7 @@ let test_echo_priority_no_rtt_first () =
   Netsim.Topology.join rig.topo ~group:1 rig.rx1;
   let echoes = watch_echoes rig in
   let snd =
-    Tfmcc_core.Sender.create rig.topo ~cfg ~session:1 ~node:rig.sender_node
+    Netsim_env.Sender.create rig.topo ~cfg ~session:1 ~node:rig.sender_node
       ~initial_rate:20_000. ()
   in
   Tfmcc_core.Sender.start snd ~at:0.;
@@ -133,7 +133,7 @@ let test_echo_priority_no_rtt_first () =
 let test_slowstart_cap_two_times_min () =
   let rig = make_rig () in
   let snd =
-    Tfmcc_core.Sender.create rig.topo ~cfg ~session:1 ~node:rig.sender_node
+    Netsim_env.Sender.create rig.topo ~cfg ~session:1 ~node:rig.sender_node
       ~initial_rate:5_000. ()
   in
   Tfmcc_core.Sender.start snd ~at:0.;
@@ -157,7 +157,7 @@ let test_slowstart_cap_two_times_min () =
 let test_slowstart_terminates_once () =
   let rig = make_rig () in
   let snd =
-    Tfmcc_core.Sender.create rig.topo ~cfg ~session:1 ~node:rig.sender_node ()
+    Netsim_env.Sender.create rig.topo ~cfg ~session:1 ~node:rig.sender_node ()
   in
   Tfmcc_core.Sender.start snd ~at:0.;
   run_for rig 0.1;
@@ -175,7 +175,7 @@ let test_slowstart_terminates_once () =
 let test_appendix_b_initialization () =
   let rig = make_rig () in
   let rx =
-    Tfmcc_core.Receiver.create rig.topo ~cfg ~session:1 ~node:rig.rx1
+    Netsim_env.Receiver.create rig.topo ~cfg ~session:1 ~node:rig.rx1
       ~sender:rig.sender_node ()
   in
   Tfmcc_core.Receiver.join rx;
@@ -186,7 +186,7 @@ let test_appendix_b_initialization () =
     ignore
       (Netsim.Engine.at rig.engine ~time:t (fun () ->
            let payload =
-             Tfmcc_core.Wire.Data
+             Netsim_env.Data
                {
                  session = 1;
                  seq = s;
@@ -231,14 +231,14 @@ let test_appendix_b_initialization () =
 let test_clr_exempt_from_suppression () =
   let rig = make_rig () in
   let rx =
-    Tfmcc_core.Receiver.create rig.topo ~cfg ~session:1 ~node:rig.rx1
+    Netsim_env.Receiver.create rig.topo ~cfg ~session:1 ~node:rig.rx1
       ~sender:rig.sender_node ()
   in
   Tfmcc_core.Receiver.join rx;
   let forge ~fb =
     let now = Netsim.Engine.now rig.engine in
     let payload =
-      Tfmcc_core.Wire.Data
+      Netsim_env.Data
         {
           session = 1;
           seq = 0;
@@ -289,7 +289,7 @@ let test_ntp_initialization_unit () =
 let test_ntp_initialization_receiver () =
   let rig = make_rig () in
   let rx =
-    Tfmcc_core.Receiver.create rig.topo ~cfg ~session:1 ~node:rig.rx1
+    Netsim_env.Receiver.create rig.topo ~cfg ~session:1 ~node:rig.rx1
       ~sender:rig.sender_node ~ntp_error:0.03 ()
   in
   Tfmcc_core.Receiver.join rx;
@@ -297,7 +297,7 @@ let test_ntp_initialization_receiver () =
   (* A data packet stamped 25 ms ago: oneway 25 ms, eps 30 ms ->
      initial RTT = 2(0.025+0.03) = 0.11 instead of 0.5. *)
   let payload =
-    Tfmcc_core.Wire.Data
+    Netsim_env.Data
       {
         session = 1;
         seq = 0;
@@ -333,7 +333,7 @@ let test_clr_timeout_constant () =
 let test_initial_round_duration () =
   let rig = make_rig () in
   let snd =
-    Tfmcc_core.Sender.create rig.topo ~cfg ~session:1 ~node:rig.sender_node ()
+    Netsim_env.Sender.create rig.topo ~cfg ~session:1 ~node:rig.sender_node ()
   in
   Tfmcc_core.Sender.start snd ~at:0.;
   run_for rig 0.05;

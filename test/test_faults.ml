@@ -202,7 +202,7 @@ let report_payload rig ~rx_id ?(session = 1) ?(rate = 50_000.) ?(rtt = 0.05)
     ?(has_loss = true) ?(leaving = false) () =
   let now = Netsim.Engine.now rig.r_engine in
   let ts = if Float.is_nan ts then now else ts in
-  Tfmcc_core.Wire.Report
+  Netsim_env.Report
     {
       session;
       rx_id;
@@ -228,7 +228,7 @@ let deliver_report rig payload =
 
 let started_sender ?(cfg = cfg) ?initial_rate rig =
   let snd =
-    Tfmcc_core.Sender.create rig.r_topo ~cfg ~session:1 ~node:rig.sender_node
+    Netsim_env.Sender.create rig.r_topo ~cfg ~session:1 ~node:rig.sender_node
       ?initial_rate ()
   in
   Tfmcc_core.Sender.start snd ~at:0.;
@@ -316,7 +316,7 @@ let test_sender_fuzz_corrupted_reports () =
         (report_payload rig ~rx_id:rx ~round:(Tfmcc_core.Sender.round snd) ())
     in
     Netsim.Node.deliver_local rig.sender_node
-      (Tfmcc_core.Wire.corrupt_packet rng valid);
+      (Netsim_env.corrupt_packet rng valid);
     if i mod 50 = 0 then run_for rig 0.05;
     let rate = Tfmcc_core.Sender.rate_bytes_per_s snd in
     if not (Float.is_finite rate && rate > 0.) then
@@ -332,7 +332,7 @@ let test_sender_fuzz_corrupted_reports () =
 let test_receiver_rejects_bad_data () =
   let rig = make_rig () in
   let r =
-    Tfmcc_core.Receiver.create rig.r_topo ~cfg ~session:1 ~node:rig.rx_node
+    Netsim_env.Receiver.create rig.r_topo ~cfg ~session:1 ~node:rig.rx_node
       ~sender:rig.sender_node ()
   in
   Tfmcc_core.Receiver.join r;
@@ -344,7 +344,7 @@ let test_receiver_rejects_bad_data () =
       (Netsim.Packet.make ~flow:1 ~size:1000
          ~src:(Netsim.Node.id rig.sender_node)
          ~dst:(Netsim.Packet.Multicast 1) ~created:now
-         (Tfmcc_core.Wire.Data
+         (Netsim_env.Data
             {
               session = 1;
               seq;
@@ -378,7 +378,7 @@ let test_receiver_rejects_bad_data () =
 let test_receiver_fuzz_corrupted_data () =
   let rig = make_rig () in
   let r =
-    Tfmcc_core.Receiver.create rig.r_topo ~cfg ~session:1 ~node:rig.rx_node
+    Netsim_env.Receiver.create rig.r_topo ~cfg ~session:1 ~node:rig.rx_node
       ~sender:rig.sender_node ()
   in
   Tfmcc_core.Receiver.join r;
@@ -389,7 +389,7 @@ let test_receiver_fuzz_corrupted_data () =
       Netsim.Packet.make ~flow:1 ~size:1000
         ~src:(Netsim.Node.id rig.sender_node)
         ~dst:(Netsim.Packet.Multicast 1) ~created:now
-        (Tfmcc_core.Wire.Data
+        (Netsim_env.Data
            {
              session = 1;
              seq;
@@ -405,7 +405,7 @@ let test_receiver_fuzz_corrupted_data () =
              app = -1;
            })
     in
-    Netsim.Node.deliver_local rig.rx_node (Tfmcc_core.Wire.corrupt_packet rng valid);
+    Netsim.Node.deliver_local rig.rx_node (Netsim_env.corrupt_packet rng valid);
     if seq mod 50 = 0 then run_for rig 0.01
   done;
   run_for rig 0.1;
@@ -506,7 +506,7 @@ let test_receiver_volunteers_on_lost_clr () =
   let volunteer ~clr =
     let rig = make_rig () in
     let r =
-      Tfmcc_core.Receiver.create rig.r_topo ~cfg ~session:1 ~node:rig.rx_node
+      Netsim_env.Receiver.create rig.r_topo ~cfg ~session:1 ~node:rig.rx_node
         ~sender:rig.sender_node ()
     in
     Tfmcc_core.Receiver.join r;
@@ -516,7 +516,7 @@ let test_receiver_volunteers_on_lost_clr () =
         (Netsim.Packet.make ~flow:1 ~size:1000
            ~src:(Netsim.Node.id rig.sender_node)
            ~dst:(Netsim.Packet.Multicast 1) ~created:now
-           (Tfmcc_core.Wire.Data
+           (Netsim_env.Data
               {
                 session = 1;
                 seq;

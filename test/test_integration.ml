@@ -262,7 +262,7 @@ let test_clock_skew_harmless () =
   let rx = Netsim.Topology.add_node topo in
   ignore (Netsim.Topology.connect topo ~bandwidth_bps:1e6 ~delay_s:0.02 sender rx);
   let session =
-    Tfmcc_core.Session.create topo ~session:1 ~sender_node:sender
+    Netsim_env.Session.create topo ~session:1 ~sender_node:sender
       ~receiver_nodes:[ rx ] ~clock_offsets:[ 3600. ] ()
   in
   Tfmcc_core.Session.start session ~at:0.;

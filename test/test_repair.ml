@@ -21,7 +21,7 @@ let make_rig () =
 let forge_data rig ~seq ~app =
   let now = Netsim.Engine.now rig.engine in
   let payload =
-    Tfmcc_core.Wire.Data
+    Netsim_env.Data
       {
         session = 1;
         seq;
@@ -46,7 +46,7 @@ let forge_data rig ~seq ~app =
 
 let make_rx rig ~blocks =
   let r =
-    Tfmcc_core.Receiver.create rig.topo ~cfg:Tfmcc_core.Config.default
+    Netsim_env.Receiver.create rig.topo ~cfg:Tfmcc_core.Config.default
       ~session:1 ~node:rig.rx_node ~sender:rig.sender_node ()
   in
   Tfmcc_core.Receiver.join r;
@@ -151,7 +151,7 @@ let test_reliable_transfer_over_lossy_link () =
        ~loss_ab:(Netsim.Loss_model.bernoulli ~rng:(Netsim.Engine.split_rng e) ~p:0.05)
        ~bandwidth_bps:2e6 ~delay_s:0.02 sn rn);
   let session =
-    Tfmcc_core.Session.create topo ~session:1 ~sender_node:sn ~receiver_nodes:[ rn ] ()
+    Netsim_env.Session.create topo ~session:1 ~sender_node:sn ~receiver_nodes:[ rn ] ()
   in
   let blocks = 400 in
   let rsnd =
@@ -190,7 +190,7 @@ let test_multi_receiver_all_complete () =
         rn)
   in
   let session =
-    Tfmcc_core.Session.create topo ~session:1 ~sender_node:sn ~receiver_nodes:rns ()
+    Netsim_env.Session.create topo ~session:1 ~sender_node:sn ~receiver_nodes:rns ()
   in
   let blocks = 300 in
   let _rsnd =

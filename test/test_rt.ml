@@ -1,0 +1,436 @@
+(* Real-time runtime tests: timer-wheel semantics, loop clock hardening,
+   the time-translation-invariance property (ISSUE 7 satellite: shifting
+   the epoch by +1e9 s must not change rate decisions), and loopback/UDP
+   transport smokes. *)
+
+open Rt
+
+let cfg = Tfmcc_core.Config.default
+
+(* ------------------------------------------------------------------ *)
+(* Timer wheel                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Callbacks fire in nondecreasing deadline order; ties break by
+   insertion sequence. *)
+let test_wheel_order () =
+  let w = Wheel.create ~start:0. () in
+  let fired = ref [] in
+  let add tag at = ignore (Wheel.schedule w ~at (fun () -> fired := tag :: !fired)) in
+  add "c" 0.030;
+  add "a" 0.010;
+  add "tie1" 0.020;
+  add "tie2" 0.020;
+  add "b" 0.015;
+  Alcotest.(check int) "pending" 5 (Wheel.pending w);
+  let n = Wheel.advance w ~now:1.0 () in
+  Alcotest.(check int) "fired count" 5 n;
+  Alcotest.(check (list string))
+    "deadline order, ties by insertion"
+    [ "a"; "b"; "tie1"; "tie2"; "c" ]
+    (List.rev !fired);
+  Alcotest.(check int) "none left" 0 (Wheel.pending w)
+
+let test_wheel_cancel () =
+  let w = Wheel.create ~start:0. () in
+  let hits = ref 0 in
+  let t1 = Wheel.schedule w ~at:0.01 (fun () -> incr hits) in
+  let t2 = Wheel.schedule w ~at:0.02 (fun () -> incr hits) in
+  Wheel.cancel t1;
+  Wheel.cancel t1 (* idempotent *);
+  ignore (Wheel.advance w ~now:0.05 ());
+  Alcotest.(check int) "only t2 fired" 1 !hits;
+  Wheel.cancel t2 (* after fire: no-op *);
+  Alcotest.(check int) "fired total" 1 (Wheel.fired w)
+
+(* Deadlines beyond the wheel horizon (~4 s at defaults) wait in the
+   overflow heap and migrate in as the cursor approaches. *)
+let test_wheel_overflow_migration () =
+  let w = Wheel.create ~start:0. () in
+  let fired = ref [] in
+  let add tag at = ignore (Wheel.schedule w ~at (fun () -> fired := tag :: !fired)) in
+  add "far" 10.0;
+  add "farther" 100.0;
+  add "near" 0.5;
+  Alcotest.(check (option (float 1e-9))) "next_due is near" (Some 0.5) (Wheel.next_due w);
+  ignore (Wheel.advance w ~now:1.0 ());
+  Alcotest.(check (option (float 1e-9))) "then far" (Some 10.0) (Wheel.next_due w);
+  ignore (Wheel.advance w ~now:50.0 ());
+  ignore (Wheel.advance w ~now:200.0 ());
+  Alcotest.(check (list string)) "all fired in order" [ "near"; "far"; "farther" ]
+    (List.rev !fired);
+  Alcotest.(check (option (float 1e-9))) "empty" None (Wheel.next_due w)
+
+(* A cancelled overflow entry must not resurface as next_due. *)
+let test_wheel_cancel_overflow () =
+  let w = Wheel.create ~start:0. () in
+  let t = Wheel.schedule w ~at:10.0 (fun () -> Alcotest.fail "cancelled timer fired") in
+  ignore (Wheel.schedule w ~at:20.0 (fun () -> ()));
+  Wheel.cancel t;
+  Alcotest.(check (option (float 1e-9))) "heap tombstone skipped" (Some 20.0)
+    (Wheel.next_due w);
+  ignore (Wheel.advance w ~now:30.0 ());
+  Alcotest.(check int) "one fired" 1 (Wheel.fired w)
+
+(* Callbacks scheduling already-due timers: the chain fires within the
+   same advance, after the batch that spawned it. *)
+let test_wheel_zero_delay_chain () =
+  let w = Wheel.create ~start:0. () in
+  let depth = ref 0 in
+  let rec chain n () =
+    depth := n;
+    if n < 5 then ignore (Wheel.schedule w ~at:0.01 (chain (n + 1)))
+  in
+  ignore (Wheel.schedule w ~at:0.01 (chain 1));
+  let n = Wheel.advance w ~now:0.01 () in
+  Alcotest.(check int) "whole chain fired in one advance" 5 n;
+  Alcotest.(check int) "chain depth" 5 !depth
+
+(* Deadlines already in the past fire on the next advance. *)
+let test_wheel_past_deadline () =
+  let w = Wheel.create ~start:100. () in
+  let hit = ref false in
+  ignore (Wheel.schedule w ~at:1.0 (fun () -> hit := true));
+  ignore (Wheel.advance w ~now:100.0 ());
+  Alcotest.(check bool) "past deadline fired" true !hit
+
+let test_wheel_nan_deadline_rejected () =
+  let w = Wheel.create ~start:0. () in
+  Alcotest.check_raises "NaN deadline" (Invalid_argument "Wheel.schedule: NaN deadline")
+    (fun () -> ignore (Wheel.schedule w ~at:Float.nan (fun () -> ())))
+
+(* ------------------------------------------------------------------ *)
+(* Turbo loop                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_loop_turbo_until () =
+  let loop = Loop.create () in
+  let times = ref [] in
+  ignore (Loop.after loop ~delay:0.5 (fun () -> times := Loop.now loop :: !times));
+  ignore (Loop.at loop ~time:1.25 (fun () -> times := Loop.now loop :: !times));
+  ignore (Loop.at loop ~time:99.0 (fun () -> Alcotest.fail "beyond until"));
+  Loop.run ~until:2.0 loop;
+  Alcotest.(check (list (float 1e-9))) "virtual clock jumped to deadlines"
+    [ 0.5; 1.25 ] (List.rev !times);
+  Alcotest.(check (float 1e-9)) "clock lands exactly on until" 2.0 (Loop.now loop);
+  Alcotest.(check int) "one still pending" 1 (Loop.timers_pending loop)
+
+(* Non-finite / negative delays are clamped to zero and counted instead
+   of corrupting the wheel. *)
+let test_loop_bad_delay () =
+  let loop = Loop.create () in
+  let hits = ref 0 in
+  ignore (Loop.after loop ~delay:Float.nan (fun () -> incr hits));
+  ignore (Loop.after loop ~delay:(-3.) (fun () -> incr hits));
+  ignore (Loop.after loop ~delay:Float.infinity (fun () -> incr hits));
+  Loop.run loop;
+  Alcotest.(check int) "all clamped to immediate" 3 !hits;
+  Alcotest.(check int) "anomalies counted" 3 (Loop.clock_anomalies loop)
+
+(* ------------------------------------------------------------------ *)
+(* Clock hardening (ISSUE 7 satellite: non-monotonic now, late timers)  *)
+(* ------------------------------------------------------------------ *)
+
+let test_monotonic_clock_clamps () =
+  let samples = ref [ 1.0; 2.0; 1.5; 3.0 ] in
+  let raw () =
+    match !samples with
+    | [] -> Alcotest.fail "raw clock exhausted"
+    | x :: rest ->
+        samples := rest;
+        x
+  in
+  let backsteps = ref [] in
+  let clock =
+    Tfmcc_core.Env.monotonic_clock ~on_anomaly:(fun d -> backsteps := d :: !backsteps) raw
+  in
+  let out = List.init 4 (fun _ -> clock ()) in
+  Alcotest.(check (list (float 1e-9))) "backward sample clamped to high-water"
+    [ 1.0; 2.0; 2.0; 3.0 ] out;
+  Alcotest.(check (list (float 1e-9))) "one anomaly, magnitude of the step" [ 0.5 ]
+    !backsteps
+
+let test_draw_clamped () =
+  let anomalies = ref 0 in
+  let on_anomaly () = incr anomalies in
+  let draw t_max =
+    Tfmcc_core.Feedback_timer.draw_clamped (Stats.Rng.create 5)
+      ~on_anomaly ~bias:cfg.Tfmcc_core.Config.bias ~t_max ~delta:0.5
+      ~n_estimate:10_000 ~ratio:0.8
+  in
+  List.iter
+    (fun bad ->
+      let t = draw bad in
+      Alcotest.(check bool)
+        (Printf.sprintf "finite non-negative for t_max=%h" bad)
+        true
+        (Float.is_finite t && t >= 0.))
+    [ Float.nan; 0.; -1.; Float.neg_infinity ];
+  Alcotest.(check int) "each bad t_max counted" 4 !anomalies;
+  (* On valid input it is draw itself, RNG consumption included. *)
+  let a = draw 2.0 in
+  let b =
+    Tfmcc_core.Feedback_timer.draw (Stats.Rng.create 5)
+      ~bias:cfg.Tfmcc_core.Config.bias ~t_max:2.0 ~delta:0.5
+      ~n_estimate:10_000 ~ratio:0.8
+  in
+  Alcotest.(check (float 0.)) "identical to draw on valid input" b a;
+  Alcotest.(check int) "no anomaly on valid input" 4 !anomalies
+
+let test_round_duration_clamped () =
+  let anomalies = ref 0 in
+  let on_anomaly () = incr anomalies in
+  List.iter
+    (fun (max_rtt, rate) ->
+      let t =
+        Tfmcc_core.Feedback_timer.round_duration_clamped ~on_anomaly ~cfg ~max_rtt ~rate
+      in
+      Alcotest.(check bool) "finite positive" true (Float.is_finite t && t > 0.))
+    [ (Float.nan, 1000.); (0., 1000.); (0.1, Float.nan); (0.1, 0.); (-1., -1.) ];
+  Alcotest.(check bool) "anomalies counted" true (!anomalies >= 5);
+  let clean = ref 0 in
+  let t =
+    Tfmcc_core.Feedback_timer.round_duration_clamped
+      ~on_anomaly:(fun () -> incr clean)
+      ~cfg ~max_rtt:0.1 ~rate:10_000.
+  in
+  Alcotest.(check (float 0.)) "matches round_duration on valid input"
+    (Tfmcc_core.Feedback_timer.round_duration ~cfg ~max_rtt:0.1 ~rate:10_000.)
+    t;
+  Alcotest.(check int) "no anomaly on valid input" 0 !clean
+
+let test_rtt_estimator_nonmonotonic_now () =
+  let e = Tfmcc_core.Rtt_estimator.create ~cfg ~clock_offset:0. () in
+  Tfmcc_core.Rtt_estimator.on_echo e ~local_now:10.0 ~rx_ts:9.9 ~echo_delay:0.02
+    ~pkt_ts:9.95 ~is_clr:true;
+  Alcotest.(check int) "no anomaly yet" 0 (Tfmcc_core.Rtt_estimator.clock_anomalies e);
+  (* The local clock steps backwards: the sample is clamped to the
+     high-water mark, counted, and the estimate stays finite. *)
+  Tfmcc_core.Rtt_estimator.on_data e ~local_now:5.0 ~pkt_ts:9.96;
+  Alcotest.(check bool) "backstep counted" true
+    (Tfmcc_core.Rtt_estimator.clock_anomalies e >= 1);
+  let est = Tfmcc_core.Rtt_estimator.estimate e in
+  Alcotest.(check bool) "estimate still sane" true (Float.is_finite est && est > 0.)
+
+let test_rtt_estimator_bad_echo () =
+  let e = Tfmcc_core.Rtt_estimator.create ~cfg ~clock_offset:0. () in
+  (* Raw sample local_now - rx_ts - echo_delay is negative: clamped to
+     the 1 ms floor, not discarded (the loop is proven closed). *)
+  Tfmcc_core.Rtt_estimator.on_echo e ~local_now:1.0 ~rx_ts:2.0 ~echo_delay:0.
+    ~pkt_ts:0.99 ~is_clr:true;
+  Alcotest.(check int) "rejection counted" 1 (Tfmcc_core.Rtt_estimator.rejections e);
+  Alcotest.(check bool) "measurement still recorded" true
+    (Tfmcc_core.Rtt_estimator.has_measurement e);
+  let est = Tfmcc_core.Rtt_estimator.estimate e in
+  Alcotest.(check bool) "estimate finite positive" true (Float.is_finite est && est > 0.);
+  (* NaN raw sample: dropped entirely. *)
+  let e2 = Tfmcc_core.Rtt_estimator.create ~cfg ~clock_offset:0. () in
+  Tfmcc_core.Rtt_estimator.on_echo e2 ~local_now:1.0 ~rx_ts:0.9 ~echo_delay:Float.nan
+    ~pkt_ts:0.95 ~is_clr:true;
+  Alcotest.(check int) "NaN rejected" 1 (Tfmcc_core.Rtt_estimator.rejections e2);
+  Alcotest.(check bool) "NaN sample not a measurement" false
+    (Tfmcc_core.Rtt_estimator.has_measurement e2);
+  Alcotest.(check (float 1e-9)) "estimate untouched"
+    cfg.Tfmcc_core.Config.rtt_initial
+    (Tfmcc_core.Rtt_estimator.estimate e2)
+
+(* ------------------------------------------------------------------ *)
+(* Time-translation invariance (the satellite property)                 *)
+(* ------------------------------------------------------------------ *)
+
+let harness_at ~seed ~epoch =
+  Harness.run
+    { Harness.default with epoch; seed; sessions = 3; duration = 6. }
+
+(* Shifting every absolute time by +1e9 s must leave the protocol's
+   decisions untouched: packet/report/frame/timer counts identical,
+   rates equal to double-precision quantization of the RTT terms
+   (~1.2e-7 s resolution at 1e9). *)
+let prop_time_translation =
+  QCheck.Test.make ~name:"epoch shift +1e9 s leaves rate decisions unchanged"
+    ~count:6
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let a = harness_at ~seed ~epoch:0. in
+      let b = harness_at ~seed ~epoch:1e9 in
+      if a.Harness.frames_sent <> b.Harness.frames_sent then
+        QCheck.Test.fail_reportf "frames sent: %d vs %d" a.Harness.frames_sent
+          b.Harness.frames_sent;
+      if a.Harness.timers_fired <> b.Harness.timers_fired then
+        QCheck.Test.fail_reportf "timers fired: %d vs %d" a.Harness.timers_fired
+          b.Harness.timers_fired;
+      List.iter2
+        (fun (x : Harness.session_stat) (y : Harness.session_stat) ->
+          if x.packets <> y.packets then
+            QCheck.Test.fail_reportf "session %d packets: %d vs %d" x.session
+              x.packets y.packets;
+          if x.reports <> y.reports then
+            QCheck.Test.fail_reportf "session %d reports: %d vs %d" x.session
+              x.reports y.reports;
+          if x.starved <> y.starved then
+            QCheck.Test.fail_reportf "session %d starved flag differs" x.session;
+          let rel =
+            if x.rate = 0. then abs_float y.rate
+            else abs_float (x.rate -. y.rate) /. abs_float x.rate
+          in
+          if rel > 1e-5 then
+            QCheck.Test.fail_reportf "session %d rate: %.6f vs %.6f (rel %.3e)"
+              x.session x.rate y.rate rel)
+        a.Harness.stats b.Harness.stats;
+      true)
+
+(* Same config, same seed, run twice: bit-identical outcomes (the turbo
+   loop is deterministic end to end). *)
+let test_turbo_determinism () =
+  let a = harness_at ~seed:42 ~epoch:0. in
+  let b = harness_at ~seed:42 ~epoch:0. in
+  Alcotest.(check int) "frames" a.Harness.frames_sent b.Harness.frames_sent;
+  List.iter2
+    (fun (x : Harness.session_stat) (y : Harness.session_stat) ->
+      Alcotest.(check int) "packets" x.packets y.packets;
+      Alcotest.(check (float 0.)) "rate bit-identical" x.rate y.rate;
+      Alcotest.(check (float 0.)) "rtt bit-identical" x.rtt y.rtt)
+    a.Harness.stats b.Harness.stats
+
+(* ------------------------------------------------------------------ *)
+(* Loopback transport                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_loopback_convergence () =
+  let r = Harness.run Harness.default in
+  Alcotest.(check int) "no decode errors" 0 r.Harness.decode_errors;
+  Alcotest.(check int) "no encode drops" 0 r.Harness.encode_drops;
+  Alcotest.(check int) "no clock anomalies in turbo" 0 r.Harness.clock_anomalies;
+  Alcotest.(check bool) "frames flowed" true (r.Harness.frames_delivered > 1000);
+  Alcotest.(check bool) "losses occurred" true (r.Harness.frames_lost > 0);
+  Alcotest.(check (float 1e-9)) "ran to the end" 8.0 r.Harness.end_time;
+  List.iter
+    (fun (s : Harness.session_stat) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "session %d converged" s.session)
+        true
+        (Harness.converged s ~cfg);
+      Alcotest.(check bool)
+        (Printf.sprintf "session %d measured RTT" s.session)
+        true s.rtt_measured)
+    r.Harness.stats
+
+(* The warmup field must hold the loss dice: a lossless-warmup run and
+   a loss-from-t0 run at the same seed diverge only after warmup. *)
+let test_loopback_warmup_holds_loss () =
+  let run warmup =
+    Harness.run
+      {
+        Harness.default with
+        sessions = 1;
+        duration = 1.5;
+        impair = Net.impairment ~loss:0.5 ~delay:0.01 ~warmup ();
+      }
+  in
+  let held = run 2.0 in
+  let unleashed = run 0.0 in
+  Alcotest.(check int) "no losses while the dice are held" 0 held.Harness.frames_lost;
+  Alcotest.(check bool) "losses from t0 otherwise" true
+    (unleashed.Harness.frames_lost > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Realtime mode                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_realtime_loopback_smoke () =
+  let r =
+    Harness.run
+      { Harness.default with sessions = 2; duration = 1.0; mode = Loop.Realtime }
+  in
+  Alcotest.(check bool) "took about a wall second" true (r.Harness.wall_s >= 0.8);
+  Alcotest.(check bool) "frames flowed" true (r.Harness.frames_delivered > 0);
+  Alcotest.(check int) "no decode errors" 0 r.Harness.decode_errors
+
+(* A callback that blocks the loop makes the next timer tardy beyond
+   the tolerance: counted as a clock anomaly, not dropped. *)
+let test_realtime_late_timer_counted () =
+  let loop = Loop.create ~mode:Loop.Realtime ~late_tolerance_s:0.02 () in
+  let fired = ref 0 in
+  ignore (Loop.after loop ~delay:0.005 (fun () -> Unix.sleepf 0.08));
+  ignore (Loop.after loop ~delay:0.01 (fun () -> incr fired));
+  Loop.run loop;
+  Alcotest.(check int) "late timer still fired" 1 !fired;
+  Alcotest.(check bool) "tardiness counted" true (Loop.clock_anomalies loop >= 1)
+
+let test_udp_smoke () =
+  match
+    Harness.run
+      {
+        Harness.default with
+        sessions = 1;
+        duration = 0.8;
+        mode = Loop.Realtime;
+        transport = Harness.Udp_sockets;
+      }
+  with
+  | exception Unix.Unix_error (e, fn, _) ->
+      (* Sandboxes without loopback sockets: report, don't fail. *)
+      Printf.printf "udp smoke skipped: %s in %s\n%!" (Unix.error_message e) fn
+  | r ->
+      Alcotest.(check bool) "frames crossed the kernel" true
+        (r.Harness.frames_delivered > 0);
+      Alcotest.(check int) "no decode errors" 0 r.Harness.decode_errors;
+      Alcotest.(check int) "no send errors" 0 r.Harness.encode_drops
+
+(* Turbo mode must refuse kernel sockets: the virtual clock outruns
+   any real fd. *)
+let test_udp_rejects_turbo () =
+  let loop = Loop.create ~mode:Loop.Turbo () in
+  Alcotest.check_raises "turbo UDP rejected"
+    (Invalid_argument "Udp.create: needs a realtime loop (virtual time outruns sockets)") (fun () ->
+      ignore (Udp.create loop ()))
+
+let () =
+  Alcotest.run "rt"
+    [
+      ( "wheel",
+        [
+          Alcotest.test_case "deadline order with ties" `Quick test_wheel_order;
+          Alcotest.test_case "cancel" `Quick test_wheel_cancel;
+          Alcotest.test_case "overflow migration" `Quick test_wheel_overflow_migration;
+          Alcotest.test_case "cancel in overflow" `Quick test_wheel_cancel_overflow;
+          Alcotest.test_case "zero-delay chain" `Quick test_wheel_zero_delay_chain;
+          Alcotest.test_case "past deadline" `Quick test_wheel_past_deadline;
+          Alcotest.test_case "NaN deadline rejected" `Quick
+            test_wheel_nan_deadline_rejected;
+        ] );
+      ( "loop",
+        [
+          Alcotest.test_case "turbo run until" `Quick test_loop_turbo_until;
+          Alcotest.test_case "bad delays clamped" `Quick test_loop_bad_delay;
+        ] );
+      ( "clock hardening",
+        [
+          Alcotest.test_case "monotonic clock clamps" `Quick test_monotonic_clock_clamps;
+          Alcotest.test_case "feedback draw clamped" `Quick test_draw_clamped;
+          Alcotest.test_case "round duration clamped" `Quick
+            test_round_duration_clamped;
+          Alcotest.test_case "rtt estimator non-monotonic now" `Quick
+            test_rtt_estimator_nonmonotonic_now;
+          Alcotest.test_case "rtt estimator bad echo samples" `Quick
+            test_rtt_estimator_bad_echo;
+        ] );
+      ( "time translation",
+        [
+          QCheck_alcotest.to_alcotest prop_time_translation;
+          Alcotest.test_case "turbo determinism" `Quick test_turbo_determinism;
+        ] );
+      ( "loopback",
+        [
+          Alcotest.test_case "convergence smoke" `Quick test_loopback_convergence;
+          Alcotest.test_case "warmup holds loss" `Quick test_loopback_warmup_holds_loss;
+        ] );
+      ( "realtime",
+        [
+          Alcotest.test_case "loopback smoke" `Quick test_realtime_loopback_smoke;
+          Alcotest.test_case "late timer counted" `Quick
+            test_realtime_late_timer_counted;
+          Alcotest.test_case "udp smoke" `Quick test_udp_smoke;
+          Alcotest.test_case "udp rejects turbo" `Quick test_udp_rejects_turbo;
+        ] );
+    ]

@@ -30,7 +30,7 @@ let forge_report rig ~rx_id ?(rate = 50_000.) ?(have_rtt = true) ?(rtt = 0.05)
     ?(leaving = false) () =
   let now = Netsim.Engine.now rig.engine in
   let payload =
-    Tfmcc_core.Wire.Report
+    Netsim_env.Report
       {
         session = 1;
         rx_id;
@@ -61,7 +61,7 @@ let run_for rig dt =
 
 let started_sender ?initial_rate rig =
   let snd =
-    Tfmcc_core.Sender.create rig.topo ~cfg ~session:1 ~node:rig.sender_node
+    Netsim_env.Sender.create rig.topo ~cfg ~session:1 ~node:rig.sender_node
       ?initial_rate ()
   in
   Tfmcc_core.Sender.start snd ~at:0.;
@@ -166,7 +166,7 @@ let forge_data rig ~seq ?(rate = 50_000.) ?(round = 0) ?(round_duration = 1.)
     ?(clr = -1) ?(in_slowstart = false) ?echo ?fb () =
   let now = Netsim.Engine.now rig.engine in
   let payload =
-    Tfmcc_core.Wire.Data
+    Netsim_env.Data
       {
         session = 1;
         seq;
@@ -191,7 +191,7 @@ let forge_data rig ~seq ?(rate = 50_000.) ?(round = 0) ?(round_duration = 1.)
 
 let make_receiver rig =
   let r =
-    Tfmcc_core.Receiver.create rig.topo ~cfg ~session:1 ~node:rig.rx_node
+    Netsim_env.Receiver.create rig.topo ~cfg ~session:1 ~node:rig.rx_node
       ~sender:rig.sender_node ()
   in
   Tfmcc_core.Receiver.join r;
@@ -322,7 +322,7 @@ let test_receiver_not_suppressed_when_left () =
 let forge_report_to rig ~dst ~rx_id ~rate ~round ~has_loss ?(leaving = false) () =
   let now = Netsim.Engine.now rig.engine in
   let payload =
-    Tfmcc_core.Wire.Report
+    Netsim_env.Report
       {
         session = 1;
         rx_id;
@@ -350,20 +350,20 @@ let count_reports_at node =
   let n = ref 0 in
   Netsim.Node.attach node (fun p ->
       match p.Netsim.Packet.payload with
-      | Tfmcc_core.Wire.Report _ -> incr n
+      | Netsim_env.Report _ -> incr n
       | _ -> ());
   n
 
 let test_aggregator_forwards_minimum () =
   let rig = make_rig () in
   let agg =
-    Tfmcc_core.Aggregator.create rig.topo ~session:1 ~node:rig.rx_node
+    Netsim_env.Aggregator.create rig.topo ~session:1 ~node:rig.rx_node
       ~parent:rig.sender_node ~hold:0.1 ()
   in
   let seen = ref None in
   Netsim.Node.attach rig.sender_node (fun p ->
       match p.Netsim.Packet.payload with
-      | Tfmcc_core.Wire.Report { rate; _ } -> seen := Some rate
+      | Netsim_env.Report { rate; _ } -> seen := Some rate
       | _ -> ());
   forge_report_to rig ~dst:rig.rx_node ~rx_id:101 ~rate:50_000. ~round:1
     ~has_loss:true ();
@@ -379,13 +379,13 @@ let test_aggregator_forwards_minimum () =
 let test_aggregator_loss_dominates () =
   let rig = make_rig () in
   let _agg =
-    Tfmcc_core.Aggregator.create rig.topo ~session:1 ~node:rig.rx_node
+    Netsim_env.Aggregator.create rig.topo ~session:1 ~node:rig.rx_node
       ~parent:rig.sender_node ~hold:0.1 ()
   in
   let seen = ref None in
   Netsim.Node.attach rig.sender_node (fun p ->
       match p.Netsim.Packet.payload with
-      | Tfmcc_core.Wire.Report { rate; has_loss; _ } -> seen := Some (rate, has_loss)
+      | Netsim_env.Report { rate; has_loss; _ } -> seen := Some (rate, has_loss)
       | _ -> ());
   (* a lower rate-only report must lose to a loss report *)
   forge_report_to rig ~dst:rig.rx_node ~rx_id:101 ~rate:10_000. ~round:1
@@ -400,7 +400,7 @@ let test_aggregator_loss_dominates () =
 let test_aggregator_one_per_round () =
   let rig = make_rig () in
   let agg =
-    Tfmcc_core.Aggregator.create rig.topo ~session:1 ~node:rig.rx_node
+    Netsim_env.Aggregator.create rig.topo ~session:1 ~node:rig.rx_node
       ~parent:rig.sender_node ~hold:0.05 ()
   in
   (* Ten reports of the same round from distinct receivers, spaced wider
@@ -427,7 +427,7 @@ let test_aggregator_one_per_round () =
 let test_aggregator_leave_passes_through () =
   let rig = make_rig () in
   let agg =
-    Tfmcc_core.Aggregator.create rig.topo ~session:1 ~node:rig.rx_node
+    Netsim_env.Aggregator.create rig.topo ~session:1 ~node:rig.rx_node
       ~parent:rig.sender_node ~hold:0.1 ()
   in
   let n = count_reports_at rig.sender_node in
@@ -441,7 +441,7 @@ let test_aggregator_leave_passes_through () =
 let test_aggregator_clr_passthrough () =
   let rig = make_rig () in
   let agg =
-    Tfmcc_core.Aggregator.create rig.topo ~session:1 ~node:rig.rx_node
+    Netsim_env.Aggregator.create rig.topo ~session:1 ~node:rig.rx_node
       ~parent:rig.sender_node ~hold:0.05 ()
   in
   (* Establish rx 101 as the subtree's spoken-for receiver... *)
@@ -484,16 +484,39 @@ let decoded_data_ok = function
   | Error _ -> true
 
 let valid_report_bytes () =
-  W.encode_report ~session:7 ~rx_id:12 ~ts:1.5 ~echo_ts:1.4 ~echo_delay:0.01
-    ~rate:50_000. ~have_rtt:true ~rtt:0.05 ~p:0.01 ~x_recv:48_000. ~round:3
-    ~has_loss:true ~leaving:false
+  W.encode_report
+    {
+      W.session = 7;
+      rx_id = 12;
+      ts = 1.5;
+      echo_ts = 1.4;
+      echo_delay = 0.01;
+      rate = 50_000.;
+      have_rtt = true;
+      rtt = 0.05;
+      p = 0.01;
+      x_recv = 48_000.;
+      round = 3;
+      has_loss = true;
+      leaving = false;
+    }
 
 let valid_data_bytes () =
-  W.encode_data ~session:7 ~seq:99 ~ts:2.5 ~rate:125_000. ~round:4
-    ~round_duration:0.5 ~max_rtt:0.5 ~clr:12 ~in_slowstart:false
-    ~echo:(Some { W.rx_id = 12; rx_ts = 2.4; echo_delay = 0.02 })
-    ~fb:(Some { W.fb_rx_id = 31; fb_rate = 40_000.; fb_has_loss = true })
-    ~app:(-1)
+  W.encode_data
+    {
+      W.session = 7;
+      seq = 99;
+      ts = 2.5;
+      rate = 125_000.;
+      round = 4;
+      round_duration = 0.5;
+      max_rtt = 0.5;
+      clr = 12;
+      in_slowstart = false;
+      echo = Some { W.rx_id = 12; rx_ts = 2.4; echo_delay = 0.02 };
+      fb = Some { W.fb_rx_id = 31; fb_rate = 40_000.; fb_has_loss = true };
+      app = -1;
+    }
 
 let test_codec_report_roundtrip () =
   match W.decode_report (valid_report_bytes ()) with
@@ -531,9 +554,21 @@ let test_codec_data_roundtrip () =
 let test_codec_data_roundtrip_bare () =
   match
     W.decode_data
-      (W.encode_data ~session:1 ~seq:0 ~ts:0. ~rate:1_000. ~round:0
-         ~round_duration:0.5 ~max_rtt:0.5 ~clr:(-1) ~in_slowstart:true
-         ~echo:None ~fb:None ~app:(-1))
+      (W.encode_data
+         {
+           W.session = 1;
+           seq = 0;
+           ts = 0.;
+           rate = 1_000.;
+           round = 0;
+           round_duration = 0.5;
+           max_rtt = 0.5;
+           clr = -1;
+           in_slowstart = true;
+           echo = None;
+           fb = None;
+           app = -1;
+         })
   with
   | Ok (W.Data d) ->
       Alcotest.(check bool) "in_slowstart" true d.in_slowstart;
@@ -623,16 +658,40 @@ let extreme_float =
   QCheck.make ~print:(Printf.sprintf "%h") extreme_float_gen
 
 let encode_report_with ~ts ~echo_ts ~echo_delay ~rate ~rtt ~p ~x_recv =
-  W.encode_report ~session:7 ~rx_id:12 ~ts ~echo_ts ~echo_delay ~rate
-    ~have_rtt:true ~rtt ~p ~x_recv ~round:3 ~has_loss:true ~leaving:false
+  W.encode_report
+    {
+      W.session = 7;
+      rx_id = 12;
+      ts;
+      echo_ts;
+      echo_delay;
+      rate;
+      have_rtt = true;
+      rtt;
+      p;
+      x_recv;
+      round = 3;
+      has_loss = true;
+      leaving = false;
+    }
 
 let encode_data_with ~ts ~rate ~round_duration ~max_rtt ~rx_ts ~e_delay
     ~fb_rate =
-  W.encode_data ~session:7 ~seq:99 ~ts ~rate ~round:4 ~round_duration ~max_rtt
-    ~clr:12 ~in_slowstart:false
-    ~echo:(Some { W.rx_id = 12; rx_ts; echo_delay = e_delay })
-    ~fb:(Some { W.fb_rx_id = 31; fb_rate; fb_has_loss = true })
-    ~app:(-1)
+  W.encode_data
+    {
+      W.session = 7;
+      seq = 99;
+      ts;
+      rate;
+      round = 4;
+      round_duration;
+      max_rtt;
+      clr = 12;
+      in_slowstart = false;
+      echo = Some { W.rx_id = 12; rx_ts; echo_delay = e_delay };
+      fb = Some { W.fb_rx_id = 31; fb_rate; fb_has_loss = true };
+      app = -1;
+    }
 
 let all_finite l = List.for_all Float.is_finite l
 
