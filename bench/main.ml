@@ -129,7 +129,7 @@ let bench_trace_event =
        otherwise after [Packet.ttl_limit] iterations every send takes the
        TTL-drop path and the bench stops measuring the tx+deliver pair it
        is named for. *)
-    p.Netsim.Packet.hops <- 0;
+    Netsim.Packet.set_hops p 0;
     Netsim.Link.send ab p;
     Netsim.Engine.run e
 
@@ -224,6 +224,25 @@ let bench_rt_simulated_second =
     now := !now +. 1.;
     Rt.Loop.run ~until:!now loop
 
+(* Allocation rate of the full stack, measured directly rather than via
+   bechamel (we count words, not nanoseconds): minor-heap words allocated
+   per simulated second of the same warmed-up star session as "full
+   stack: 1 simulated second".  This is the number the zero-alloc engine
+   work (packet arena, pooled events, batched dispatch) drives down;
+   wall-clock benchmarks alone can hide an allocation regression behind
+   CPU noise, and minor words are exactly reproducible. *)
+let measure_minor_words_per_simsec () =
+  let step = simulated_second_session ~obs:Obs.Sink.null in
+  (* One settling step so any remaining lazy initialization (table
+     growth, pool warm-up) lands outside the measured window. *)
+  step ();
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 60 do
+    step ()
+  done;
+  let w1 = Gc.minor_words () in
+  (w1 -. w0) /. 60.
+
 let micro_tests =
   let t name fn = Bechamel.Test.make ~name (Bechamel.Staged.stage fn) in
   [
@@ -300,6 +319,10 @@ let run_micro () =
           Printf.printf "%-40s %s\n%!" name estimate)
         analyzed)
     micro_tests;
+  let alloc = measure_minor_words_per_simsec () in
+  Printf.printf "%-40s %12.1f minor words/simsec\n%!"
+    "full stack: minor words/simsec" alloc;
+  collected := ("full stack: minor words/simsec", alloc) :: !collected;
   write_results !collected
 
 (* ------------------------------------------------------ figure harnesses *)

@@ -96,6 +96,61 @@ let aggregate per_seed =
         with Shape_mismatch -> None
       end
 
+(* ------------------------------------------------------------ schedule *)
+
+type schedule = Fifo | Lpt | Steal
+
+let schedule_label = function Fifo -> "fifo" | Lpt -> "lpt" | Steal -> "steal"
+
+let par_mode = function Fifo | Lpt -> Par.Fifo | Steal -> Par.Steal
+
+(* LPT permutation over task slots: [order.(k)] is the original index of
+   the k-th task to submit.  Descending measured cost ({!Sweep_costs}),
+   ties broken by original index, so the permutation is a pure function
+   of the task list — no clocks, no racing. *)
+let lpt_order ids =
+  let n = Array.length ids in
+  let cost = Array.map Sweep_costs.cost ids in
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun i j -> match compare cost.(j) cost.(i) with 0 -> compare i j | c -> c)
+    order;
+  order
+
+let inverse order =
+  let inv = Array.make (Array.length order) 0 in
+  Array.iteri (fun k i -> inv.(i) <- k) order;
+  inv
+
+(* Run [tasks] under [schedule] and hand results back in the tasks' own
+   (grid) order whatever permutation was submitted — the schedule moves
+   wall-clock time around, never bytes.  [ids] names each task's
+   experiment (same length as [tasks]) for the LPT cost lookup. *)
+let scheduled_map ~schedule ~jobs ids tasks =
+  match schedule with
+  | Fifo | Steal -> Par.map ~mode:(par_mode schedule) ~jobs tasks
+  | Lpt ->
+      let arr = Array.of_list tasks in
+      let order = lpt_order (Array.of_list ids) in
+      let results =
+        Array.of_list (Par.map ~jobs (List.map (fun i -> arr.(i)) (Array.to_list order)))
+      in
+      let inv = inverse order in
+      List.init (Array.length arr) (fun i -> results.(inv.(i)))
+
+let scheduled_map_outcomes ~schedule ~jobs ids tasks =
+  match schedule with
+  | Fifo | Steal -> Par.map_outcomes ~mode:(par_mode schedule) ~jobs tasks
+  | Lpt ->
+      let arr = Array.of_list tasks in
+      let order = lpt_order (Array.of_list ids) in
+      let outcomes =
+        Array.of_list
+          (Par.map_outcomes ~jobs (List.map (fun i -> arr.(i)) (Array.to_list order)))
+      in
+      let inv = inverse order in
+      List.init (Array.length arr) (fun i -> outcomes.(inv.(i)))
+
 (* ------------------------------------------------------------------ run *)
 
 let rec chunk n = function
@@ -109,8 +164,8 @@ let rec chunk n = function
       let head, rest = take n [] l in
       head :: chunk n rest
 
-let run ?(experiments = Registry.all) ?(strict = false) ~jobs ~mode ~seed
-    ?(seeds = 1) () =
+let run ?(experiments = Registry.all) ?(strict = false) ?(schedule = Fifo)
+    ~jobs ~mode ~seed ?(seeds = 1) () =
   if seeds < 1 then invalid_arg "Sweep.run: seeds must be >= 1";
   let seed_list = List.init seeds (fun i -> seed + i) in
   let tasks =
@@ -118,7 +173,12 @@ let run ?(experiments = Registry.all) ?(strict = false) ~jobs ~mode ~seed
       (fun e -> List.map (fun s () -> run_one ~strict e ~mode ~seed:s) seed_list)
       experiments
   in
-  let replicates = chunk seeds (Par.map ~jobs tasks) in
+  let ids =
+    List.concat_map
+      (fun e -> List.map (fun _ -> e.Registry.id) seed_list)
+      experiments
+  in
+  let replicates = chunk seeds (scheduled_map ~schedule ~jobs ids tasks) in
   List.map2
     (fun experiment replicates ->
       {
@@ -276,8 +336,8 @@ let pool_failure (e : Registry.experiment) seed cause detail =
     }
 
 let run_supervised ?(experiments = Registry.all) ?(strict = false)
-    ?(policy = default_policy) ?(obs = Obs.Sink.null) ~jobs ~mode ~seed
-    ?(seeds = 1) () =
+    ?(policy = default_policy) ?(obs = Obs.Sink.null) ?(schedule = Fifo) ~jobs
+    ~mode ~seed ?(seeds = 1) () =
   if seeds < 1 then invalid_arg "Sweep.run_supervised: seeds must be >= 1";
   if policy.retries < 0 then
     invalid_arg "Sweep.run_supervised: retries must be >= 0";
@@ -325,13 +385,16 @@ let run_supervised ?(experiments = Registry.all) ?(strict = false)
       tagged
   in
   let outcomes =
-    Par.map_outcomes ~jobs
+    scheduled_map_outcomes ~schedule ~jobs
+      (List.map (fun (e, _) -> e.Registry.id) to_run)
       (List.map
          (fun (e, s) control -> run_task ~strict ~policy e ~mode ~seed:s control)
          to_run)
   in
-  (* Stitch pool outcomes back into grid order; [map_outcomes] preserves
-     input order, so one pass over [tagged] consumes them in sequence. *)
+  (* Stitch pool outcomes back into grid order; [scheduled_map_outcomes]
+     returns slots in [to_run] order whatever the submission permutation
+     or pool mode, so one pass over [tagged] consumes them in
+     sequence. *)
   let rem = ref outcomes in
   let statuses =
     List.map

@@ -1,0 +1,61 @@
+(* Measured per-figure serial cost, the input to the LPT (longest
+   processing time first) sweep schedule.  Values are wall-clock
+   milliseconds of one quick-mode serial run (seed 42) on the reference
+   container; only their *relative* order matters, so they need
+   re-measuring only when an experiment's workload changes shape, not
+   when the host changes speed.  Unknown ids (new experiments not yet
+   measured) get the median cost, which parks them mid-schedule instead
+   of at either extreme. *)
+
+let table =
+  [
+    ("fig01", 32.);
+    ("fig02", 16.);
+    ("fig03", 35.);
+    ("fig04", 10.);
+    ("fig05", 51.);
+    ("fig06", 55.);
+    ("fig07", 57.);
+    ("fig09", 699.);
+    ("fig10", 1160.);
+    ("fig11", 1327.);
+    ("fig12", 2593.);
+    ("fig13", 2076.);
+    ("fig14", 801.);
+    ("fig15", 1013.);
+    ("fig16", 1155.);
+    ("fig17", 6.);
+    ("fig18", 601.);
+    ("fig19", 847.);
+    ("fig20", 1560.);
+    ("fig21", 1285.);
+    ("cmp01", 514.);
+    ("cmp02", 165.);
+    ("cmp03", 438.);
+    ("abl01", 1967.);
+    ("abl02", 448.);
+    ("abl03", 104.);
+    ("abl04", 1077.);
+    ("abl05", 53.);
+    ("abl06", 162.);
+    ("abl07", 144.);
+    ("abl08", 84.);
+    ("ext01", 346.);
+    ("ext02", 104.);
+    ("ext03", 326.);
+    ("rob01", 23.);
+    ("rob02", 20.);
+    ("rob03", 14.);
+    ("rob04", 278.);
+    ("rob05", 585.);
+    ("rob06", 481.);
+    ("rob07", 1729.);
+    ("chk01", 266.);
+    ("chk02", 26.);
+  ]
+
+let median =
+  let sorted = List.sort compare (List.map snd table) in
+  List.nth sorted (List.length sorted / 2)
+
+let cost id = match List.assoc_opt id table with Some c -> c | None -> median

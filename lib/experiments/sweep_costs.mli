@@ -1,0 +1,12 @@
+(** Measured per-figure serial cost for the LPT sweep schedule.
+
+    One quick-mode serial run per experiment, wall-clock milliseconds on
+    the reference container (see the table in the implementation for the
+    measurement protocol).  Only the relative ordering matters. *)
+
+val table : (string * float) list
+(** [(experiment id, cost)] in registry order. *)
+
+val cost : string -> float
+(** Cost of one experiment id; unknown ids get the median of {!table}
+    (mid-schedule placement for not-yet-measured experiments). *)

@@ -5,6 +5,8 @@
    of the millions of events. *)
 type t = {
   heap : Event_heap.t;
+  batch : Event_heap.batch;  (* same-timestamp dispatch scratch, reused *)
+  links : Link_table.t;  (* SoA busy/busy-time state for all links *)
   clock : Event_heap.time_cell;
   rng : Stats.Rng.t;
   mutable stopped : bool;
@@ -25,6 +27,8 @@ type handle = Event_heap.handle
 let create ?(seed = 42) ?(obs = Obs.Sink.null) () =
   {
     heap = Event_heap.create ();
+    batch = Event_heap.batch ();
+    links = Link_table.create ();
     clock = { Event_heap.cell_time = 0. };
     rng = Stats.Rng.create seed;
     stopped = false;
@@ -37,6 +41,8 @@ let create ?(seed = 42) ?(obs = Obs.Sink.null) () =
   }
 
 let obs t = t.obs
+
+let link_table t = t.links
 
 let set_watchdog t ?(every_events = 4096) f =
   if every_events < 1 then
@@ -62,6 +68,8 @@ let wd_tick t =
 
 let now t = t.clock.Event_heap.cell_time
 
+let time_cell t = t.clock
+
 let rng t = t.rng
 
 let split_rng t = Stats.Rng.split t.rng
@@ -76,6 +84,24 @@ let after t ~delay callback =
   if delay < 0. then invalid_arg "Engine.after: negative delay";
   Event_heap.add t.heap ~time:(t.clock.Event_heap.cell_time +. delay) callback
 
+(* Fire-and-forget scheduling: no handle is allocated or returned, so
+   the engine-internal hot paths (link transmissions/arrivals) schedule
+   with one short-lived minor-heap record per event and nothing else. *)
+let after_unit t ~delay callback =
+  if delay < 0. then invalid_arg "Engine.after_unit: negative delay";
+  Event_heap.add_unit t.heap ~time:(t.clock.Event_heap.cell_time +. delay) callback
+
+let after_pkt t ~delay pcb p =
+  if delay < 0. then invalid_arg "Engine.after_pkt: negative delay";
+  Event_heap.add_pkt t.heap ~time:(t.clock.Event_heap.cell_time +. delay) pcb p
+
+let at_unit t ~time callback =
+  if time < t.clock.Event_heap.cell_time then
+    invalid_arg
+      (Printf.sprintf "Engine.at_unit: time %g is in the past (now %g)" time
+         t.clock.Event_heap.cell_time);
+  Event_heap.add_unit t.heap ~time callback
+
 let cancel t handle = Event_heap.cancel t.heap handle
 
 let every t ?start ?until ~interval callback =
@@ -85,10 +111,9 @@ let every t ?start ?until ~interval callback =
     match until with
     | Some limit when time > limit -> ()
     | _ ->
-        ignore
-          (Event_heap.add t.heap ~time (fun () ->
-               callback ();
-               tick (time +. interval)))
+        Event_heap.add_unit t.heap ~time (fun () ->
+            callback ();
+            tick (time +. interval))
   in
   tick (Float.max t.clock.Event_heap.cell_time start)
 
@@ -96,11 +121,10 @@ let step t =
   let time = Event_heap.next_time t.heap in
   if Float.is_nan time then false
   else begin
-    let callback = Event_heap.pop_exn t.heap in
     t.clock.Event_heap.cell_time <- time;
     t.processed <- t.processed + 1;
     Obs.Metrics.Counter.inc t.ev_counter;
-    callback ();
+    ignore (Event_heap.pop_fire t.heap ~into:t.clock : bool);
     wd_tick t;
     true
   end
@@ -110,17 +134,63 @@ let run ?until t =
   (* [infinity] admits every event (including ones scheduled at
      [infinity], matching the unbounded behaviour of the old loop). *)
   let limit = match until with Some l -> l | None -> infinity in
+  let batch = t.batch in
+  (* Per-event accounting for the fused single-event fast path; one
+     closure per [run], not per event. *)
+  let pre () =
+    t.processed <- t.processed + 1;
+    Obs.Metrics.Counter.inc t.ev_counter
+  in
   let continue = ref true in
   while !continue do
     if t.stopped then continue := false
-    else
-      match Event_heap.pop_due t.heap ~limit ~into:t.clock with
-      | None -> continue := false
-      | Some callback ->
-          t.processed <- t.processed + 1;
-          Obs.Metrics.Counter.inc t.ev_counter;
-          callback ();
-          wd_tick t
+    else begin
+      (* Dispatch: a due event whose timestamp no other event shares is
+         popped and fired in one fused call (no batch traffic).  Exact
+         timestamp ties — multicast fan-outs, synchronized timers — are
+         drained into the flat scratch buffer and dispatched in one
+         loop, one root comparison per event instead of a full
+         pop-with-sift.  Dispatch order (time, then schedule order) is
+         identical to the one-at-a-time loop: events scheduled at the
+         same timestamp by a batch member land in the heap and drain
+         after this batch, and their insertion seq is newer than every
+         drained event's. *)
+      let n = Event_heap.drain_or_fire t.heap ~limit ~into:t.clock batch ~pre in
+      if n = 0 then continue := false
+      else if n < 0 then wd_tick t
+      else begin
+        let i = ref 0 in
+        (try
+           while !i < n do
+             if t.stopped then begin
+               (* [stop] from inside a batch: park the unfired tail back
+                  in the heap so it stays pending, as it would have under
+                  one-at-a-time dispatch. *)
+               Event_heap.requeue t.heap batch ~from:!i
+                 ~time:t.clock.Event_heap.cell_time;
+               i := n
+             end
+             else begin
+               if Event_heap.batch_claim batch !i then begin
+                 t.processed <- t.processed + 1;
+                 Obs.Metrics.Counter.inc t.ev_counter;
+                 Event_heap.batch_run batch !i;
+                 wd_tick t
+               end;
+               incr i
+             end
+           done
+         with e ->
+           (* A callback (or the watchdog) aborted the run: the unfired
+              tail must survive in the heap, exactly like events it had
+              not yet popped under the old loop. *)
+           Event_heap.requeue t.heap batch ~from:(!i + 1)
+             ~time:t.clock.Event_heap.cell_time;
+           Event_heap.batch_clear t.heap batch;
+           raise e);
+        Event_heap.batch_clear t.heap batch
+      end
+    end
   done;
   match until with
   | Some limit when (not t.stopped) && t.clock.Event_heap.cell_time < limit -> t.clock.Event_heap.cell_time <- limit

@@ -19,8 +19,18 @@ val create : ?seed:int -> ?obs:Obs.Sink.t -> unit -> t
 val obs : t -> Obs.Sink.t
 (** The sink passed at creation (the null sink when none was). *)
 
+val link_table : t -> Link_table.t
+(** The engine-owned struct-of-arrays hot state its links index
+    ({!Link_table}).  Links allocate their slot here at creation. *)
+
 val now : t -> float
 (** Current simulated time in seconds. *)
+
+val time_cell : t -> Event_heap.time_cell
+(** The engine's clock cell, for hot paths that read the time every
+    packet: a [cell_time] field read is a raw double load, where {!now}
+    boxes its result at the call boundary.  Read-only for callers — the
+    engine owns the write. *)
 
 val rng : t -> Stats.Rng.t
 (** The engine's master random stream.  Components that need their own
@@ -35,6 +45,21 @@ val at : t -> time:float -> (unit -> unit) -> handle
 
 val after : t -> delay:float -> (unit -> unit) -> handle
 (** Schedules a callback [delay] seconds from now (delay ≥ 0). *)
+
+val after_unit : t -> delay:float -> (unit -> unit) -> unit
+(** Fire-and-forget {!after}: no handle (the event cannot be cancelled),
+    and the event record is recycled through the heap's freelist — zero
+    record allocation in the steady state.  Use whenever the handle
+    would be [ignore]d. *)
+
+val after_pkt : t -> delay:float -> (Packet.t -> unit) -> Packet.t -> unit
+(** Fire-and-forget packet event: applies the function to the packet
+    after [delay].  With a preallocated per-object function this
+    schedules a delivery without allocating a per-packet closure; the
+    record is recycled like {!after_unit}'s. *)
+
+val at_unit : t -> time:float -> (unit -> unit) -> unit
+(** Fire-and-forget {!at} (same freelist recycling as {!after_unit}). *)
 
 val cancel : t -> handle -> unit
 

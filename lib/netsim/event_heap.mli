@@ -18,6 +18,17 @@ val create : unit -> t
 val add : t -> time:float -> (unit -> unit) -> handle
 (** Schedules a callback.  [time] may equal the current minimum. *)
 
+val add_unit : t -> time:float -> (unit -> unit) -> unit
+(** Like {!add} for fire-and-forget events: no handle is returned.
+    (Event records are always freshly allocated: recycling them through
+    a freelist was measured slower than minor allocation — see the
+    implementation note in event_heap.ml.) *)
+
+val add_pkt : t -> time:float -> (Packet.t -> unit) -> Packet.t -> unit
+(** Fire-and-forget packet event: at [time], applies the given function
+    to the packet.  With a preallocated per-link function this schedules
+    a delivery without a per-packet closure. *)
+
 val cancel : t -> handle -> unit
 (** Cancelling an already-fired or already-cancelled event is a no-op. *)
 
@@ -50,6 +61,57 @@ val pop_due : t -> limit:float -> into:time_cell -> (unit -> unit) option
     heap is empty or the next event is after [limit].  One call on the
     engine's inner loop in place of a {!next_time}/{!pop_exn} pair, with
     no boxed float crossing the boundary. *)
+
+type batch
+(** Reusable scratch buffer for batched dispatch ({!drain_due}).  One per
+    engine; never shared across domains. *)
+
+val batch : unit -> batch
+
+val batch_length : batch -> int
+
+val drain_due : t -> limit:float -> into:time_cell -> batch -> int
+(** Drains {e every} live event sharing the earliest due timestamp
+    (≤ [limit]) into the batch, in dispatch order, writing that
+    timestamp into [into]; returns the batch size (0 when nothing is
+    due).  Drained events leave the heap and its live count but stay
+    cancellable until claimed — cancelling one makes {!batch_claim} skip
+    it.  Replaces a {!pop_due} call per event with one drain per
+    distinct timestamp. *)
+
+val drain_or_fire :
+  t -> limit:float -> into:time_cell -> batch -> pre:(unit -> unit) -> int
+(** Fused engine-loop step.  If the earliest due event's timestamp is
+    {e unique} (no other live event shares it — the overwhelmingly
+    common case in continuous time), pops it, runs [pre] (the caller's
+    per-event accounting) after writing [into], fires it, and returns
+    [-1]; the batch is untouched.  On an exact timestamp tie, behaves
+    exactly like {!drain_due} (returns the batch length ≥ 1, nothing
+    fired).  Returns [0] when nothing is due at or before [limit]. *)
+
+val batch_claim : batch -> int -> bool
+(** Marks the [i]-th batched event fired; [false] if it was cancelled
+    after the drain (the dispatch loop must then skip it without
+    accounting).  [i < batch_length] is the caller's invariant. *)
+
+val batch_run : batch -> int -> unit
+(** Runs the [i]-th batched event's callback (after {!batch_claim}
+    returned [true]). *)
+
+val requeue : t -> batch -> from:int -> time:float -> unit
+(** Re-inserts batched events [from ..] that were never claimed back
+    into the heap at [time] — used when [stop] or an exception aborts a
+    batch mid-dispatch.  Original insertion order is preserved, so the
+    next drain dispatches them exactly as the aborted one would have. *)
+
+val batch_clear : t -> batch -> unit
+(** Drops the event references so a parked batch does not pin fired
+    callbacks (or their packets) between runs. *)
+
+val pop_fire : t -> into:time_cell -> bool
+(** Removes the earliest live event, writes its time into [into], and
+    runs it; [false] on an empty heap.  The single-event analogue of the
+    drain/dispatch pair, for [Engine.step]. *)
 
 val size : t -> int
 (** Number of live (non-cancelled) events. *)

@@ -1,12 +1,6 @@
 type fault_action =
   [ `Pass | `Drop | `Replace of Packet.t | `Duplicate | `Delay of float ]
 
-(* All-float record: raw double storage, so the per-transmission
-   accumulation below is a plain store instead of boxing a fresh float
-   (a [mutable float] field in the mixed record would allocate on every
-   packet). *)
-type fcell = { mutable fc : float }
-
 type t = {
   engine : Engine.t;
   mutable loss : Loss_model.t;
@@ -15,7 +9,20 @@ type t = {
   queue : Queue_disc.t;
   src : Node.t;
   dst : Node.t;
-  mutable busy : bool;
+  (* Hot state (busy flag, cumulative busy time) lives in the engine's
+     struct-of-arrays {!Link_table}, indexed by [slot]: the whole
+     fleet's transmit scalars stay contiguous and the busy-time
+     accumulation is a plain unboxed store. *)
+  tbl : Link_table.t;
+  slot : int;
+  (* The transmission-complete callback is allocated once per link, not
+     once per packet: the line serializes transmissions, so exactly one
+     packet is on the wire head at a time and rides in [tx_pkt]. *)
+  mutable tx_pkt : Packet.t;
+  mutable complete : unit -> unit;
+  (* Arrival callback, allocated once per link: with [Engine.after_pkt]
+     an in-flight packet needs no per-packet closure. *)
+  mutable arrive_pcb : Packet.t -> unit;
   mutable up : bool;
   mutable sent : int;
   mutable delivered : int;
@@ -35,7 +42,6 @@ type t = {
   mutable drop_down_n : int;
   mutable drop_ttl_n : int;
   mutable drop_fault_n : int;
-  busy_time : fcell;
   mutable fault : (Packet.t -> fault_action) option;
   mutable tracer :
     (time:float ->
@@ -82,12 +88,63 @@ let counters_for metrics =
       Domain.DLS.set counters_cache (Some (metrics, c));
       c
 
+let tx_time t (p : Packet.t) = float_of_int p.size *. 8. /. t.bandwidth_bps
+
+let trace t ~kind p =
+  match t.tracer with
+  | Some f -> f ~time:(Engine.now t.engine) ~kind p
+  | None -> ()
+
+let on_arrive t p =
+  t.in_flight <- t.in_flight - 1;
+  t.delivered <- t.delivered + 1;
+  Obs.Metrics.Counter.inc t.cs.m_deliver;
+  trace t ~kind:`Deliver p;
+  Node.receive t.dst p
+
+let deliver t p =
+  if Loss_model.drops_packet t.loss then begin
+    t.lost <- t.lost + 1;
+    t.drop_loss_n <- t.drop_loss_n + 1;
+    Obs.Metrics.Counter.inc t.cs.m_drop_loss;
+    trace t ~kind:`Drop_loss p;
+    Packet.release p
+  end
+  else begin
+    t.in_flight <- t.in_flight + 1;
+    (* One scheduled event per in-flight packet, deliberately:
+       [set_delay] may change the propagation delay while packets are in
+       flight, so arrivals are not FIFO and cannot ride one shared
+       pre-scheduled callback.  [after_pkt] keeps it allocation-free. *)
+    Engine.after_pkt t.engine ~delay:t.delay_s t.arrive_pcb p
+  end
+
+(* Transmit [p] now; [t.complete] (the once-per-link closure around
+   [on_complete]) pulls the next queued packet when the line frees up. *)
+let transmit t p =
+  Link_table.set_busy t.tbl t.slot true;
+  let tx = tx_time t p in
+  Link_table.add_busy_time t.tbl t.slot tx;
+  t.tx_pkt <- p;
+  Engine.after_unit t.engine ~delay:tx t.complete
+
+let on_complete t =
+  let p = t.tx_pkt in
+  t.tx_pkt <- Packet.dummy;
+  t.sent <- t.sent + 1;
+  Obs.Metrics.Counter.inc t.cs.m_tx;
+  trace t ~kind:`Tx p;
+  deliver t p;
+  if Queue_disc.is_empty t.queue then Link_table.set_busy t.tbl t.slot false
+  else transmit t (Queue_disc.dequeue_exn t.queue)
+
 let create engine ?(loss = Loss_model.none) ~bandwidth_bps ~delay_s ~queue ~src
     ~dst () =
   if bandwidth_bps <= 0. then invalid_arg "Link.create: bandwidth must be positive";
   if delay_s < 0. then invalid_arg "Link.create: negative delay";
   let metrics = (Engine.obs engine).Obs.Sink.metrics in
-  {
+  let tbl = Engine.link_table engine in
+  let t = {
     engine;
     loss;
     bandwidth_bps;
@@ -95,7 +152,11 @@ let create engine ?(loss = Loss_model.none) ~bandwidth_bps ~delay_s ~queue ~src
     queue;
     src;
     dst;
-    busy = false;
+    tbl;
+    slot = Link_table.alloc tbl;
+    tx_pkt = Packet.dummy;
+    complete = ignore;  (* tied to the record below; see [transmit] *)
+    arrive_pcb = (fun (_ : Packet.t) -> ());
     up = true;
     sent = 0;
     delivered = 0;
@@ -108,53 +169,14 @@ let create engine ?(loss = Loss_model.none) ~bandwidth_bps ~delay_s ~queue ~src
     drop_down_n = 0;
     drop_ttl_n = 0;
     drop_fault_n = 0;
-    busy_time = { fc = 0. };
     fault = None;
     tracer = None;
     cs = counters_for metrics;
   }
-
-let tx_time t (p : Packet.t) = float_of_int p.size *. 8. /. t.bandwidth_bps
-
-let trace t ~kind p =
-  match t.tracer with
-  | Some f -> f ~time:(Engine.now t.engine) ~kind p
-  | None -> ()
-
-let deliver t p =
-  if Loss_model.drops_packet t.loss then begin
-    t.lost <- t.lost + 1;
-    t.drop_loss_n <- t.drop_loss_n + 1;
-    Obs.Metrics.Counter.inc t.cs.m_drop_loss;
-    trace t ~kind:`Drop_loss p
-  end
-  else begin
-    t.in_flight <- t.in_flight + 1;
-    let arrive () =
-      t.in_flight <- t.in_flight - 1;
-      t.delivered <- t.delivered + 1;
-      Obs.Metrics.Counter.inc t.cs.m_deliver;
-      trace t ~kind:`Deliver p;
-      Node.receive t.dst p
-    in
-    ignore (Engine.after t.engine ~delay:t.delay_s arrive)
-  end
-
-(* Transmit [p] now; when the line frees up, pull the next queued packet. *)
-let rec transmit t p =
-  t.busy <- true;
-  let tx = tx_time t p in
-  t.busy_time.fc <- t.busy_time.fc +. tx;
-  let complete () =
-    t.sent <- t.sent + 1;
-    Obs.Metrics.Counter.inc t.cs.m_tx;
-    trace t ~kind:`Tx p;
-    deliver t p;
-    match Queue_disc.dequeue t.queue with
-    | Some next -> transmit t next
-    | None -> t.busy <- false
   in
-  ignore (Engine.after t.engine ~delay:tx complete)
+  t.complete <- (fun () -> on_complete t);
+  t.arrive_pcb <- (fun p -> on_arrive t p);
+  t
 
 let forward t (p : Packet.t) =
   t.offered <- t.offered + 1;
@@ -162,7 +184,8 @@ let forward t (p : Packet.t) =
     t.lost <- t.lost + 1;
     t.drop_down_n <- t.drop_down_n + 1;
     Obs.Metrics.Counter.inc t.cs.m_drop_down;
-    trace t ~kind:`Drop_loss p
+    trace t ~kind:`Drop_loss p;
+    Packet.release p
   end
   else if p.hops > Packet.ttl_limit then begin
     (* A routing loop ate the packet: account for it like any other drop
@@ -171,19 +194,22 @@ let forward t (p : Packet.t) =
     t.drop_ttl_n <- t.drop_ttl_n + 1;
     Obs.Metrics.Counter.inc t.cs.m_drop_ttl;
     trace t ~kind:`Drop_ttl p;
-    Logs.warn (fun m -> m "Link: TTL exceeded, dropping %a" Packet.pp p)
+    Logs.warn (fun m -> m "Link: TTL exceeded, dropping %a" Packet.pp p);
+    Packet.release p
   end
-  else if t.busy then begin
+  else if Link_table.busy t.tbl t.slot then begin
     if not (Queue_disc.enqueue t.queue p) then begin
       t.drop_queue_n <- t.drop_queue_n + 1;
       Obs.Metrics.Counter.inc t.cs.m_drop_queue;
-      trace t ~kind:`Drop_queue p
+      trace t ~kind:`Drop_queue p;
+      Packet.release p
     end
   end
   else transmit t p
 
 let send t (p : Packet.t) =
-  p.hops <- p.hops + 1;
+  Packet.guard "Link.send" p;
+  Packet.set_hops p (p.hops + 1);
   match t.fault with
   | None -> forward t p
   | Some f -> (
@@ -193,12 +219,21 @@ let send t (p : Packet.t) =
           t.lost <- t.lost + 1;
           t.drop_fault_n <- t.drop_fault_n + 1;
           Obs.Metrics.Counter.inc t.cs.m_drop_loss;
-          trace t ~kind:`Drop_loss p
-      | `Replace p' -> forward t p'
+          trace t ~kind:`Drop_loss p;
+          Packet.release p
+      | `Replace p' ->
+          (* The injector handed back a different physical packet: the
+             original's arena slot is ours to recycle. *)
+          if p' != p then Packet.release p;
+          forward t p'
       | `Duplicate ->
+          (* Clone before forwarding: [forward] may drop-and-release [p]
+             (down link, TTL, full queue), after which it is not
+             clonable. *)
+          let q = Packet.clone p in
           forward t p;
-          forward t (Packet.clone p)
-      | `Delay d -> ignore (Engine.after t.engine ~delay:d (fun () -> forward t p)))
+          forward t q
+      | `Delay d -> Engine.after_unit t.engine ~delay:d (fun () -> forward t p))
 
 let src t = t.src
 
@@ -236,10 +271,10 @@ let drops_ttl t = t.drop_ttl_n
 
 let drops_fault t = t.drop_fault_n
 
-let busy t = t.busy
+let busy t = Link_table.busy t.tbl t.slot
 
 let utilization t ~now =
-  if now <= 0. then 0. else t.busy_time.fc /. now
+  if now <= 0. then 0. else Link_table.busy_time t.tbl t.slot /. now
 
 let set_tracer t f = t.tracer <- Some f
 

@@ -68,7 +68,8 @@ let record_delay st d =
 let tap t (p : Packet.t) =
   let st = flow_state t p.flow in
   st.packets <- st.packets + 1;
-  let now = Engine.now t.engine in
+  (* Raw clock-cell read: [Engine.now] would box the float per packet. *)
+  let now = (Engine.time_cell t.engine).Event_heap.cell_time in
   let delay = now -. p.created in
   record_delay st delay;
   Obs.Metrics.Counter.inc st.m_packets;

@@ -11,21 +11,31 @@ type red_state = {
 
 type kind = Droptail | Droptail_bytes of int | Red of red_state
 
+(* FIFO storage is a growable power-of-two ring over a flat packet
+   array: enqueue/dequeue are index arithmetic plus one store, where
+   [Stdlib.Queue] allocated a 3-word cell per push.  Keeps the queued
+   packets contiguous for the link's drain loop. *)
 type t = {
   kind : kind;
   capacity : int;
-  fifo : Packet.t Queue.t;
+  mutable ring : Packet.t array;
+  mutable head : int;  (* index of the oldest packet *)
+  mutable len : int;
   mutable bytes : int;
   mutable drops : int;
   mutable enqueued : int;
 }
+
+let initial_ring = 16  (* power of two; doubles on demand *)
 
 let droptail ~capacity_pkts =
   if capacity_pkts <= 0 then invalid_arg "Queue_disc.droptail: capacity must be positive";
   {
     kind = Droptail;
     capacity = capacity_pkts;
-    fifo = Queue.create ();
+    ring = Array.make initial_ring Packet.dummy;
+    head = 0;
+    len = 0;
     bytes = 0;
     drops = 0;
     enqueued = 0;
@@ -37,7 +47,9 @@ let droptail_bytes ~capacity_bytes =
   {
     kind = Droptail_bytes capacity_bytes;
     capacity = max_int;
-    fifo = Queue.create ();
+    ring = Array.make initial_ring Packet.dummy;
+    head = 0;
+    len = 0;
     bytes = 0;
     drops = 0;
     enqueued = 0;
@@ -65,14 +77,29 @@ let red ~rng ~capacity_pkts ?min_thresh ?max_thresh ?(max_p = 0.1)
           idle_since = None;
         };
     capacity = capacity_pkts;
-    fifo = Queue.create ();
+    ring = Array.make initial_ring Packet.dummy;
+    head = 0;
+    len = 0;
     bytes = 0;
     drops = 0;
     enqueued = 0;
   }
 
+let grow q =
+  let n = Array.length q.ring in
+  let ring = Array.make (2 * n) Packet.dummy in
+  (* Unroll the ring into index order so head masking stays valid. *)
+  for i = 0 to q.len - 1 do
+    ring.(i) <- q.ring.((q.head + i) land (n - 1))
+  done;
+  q.ring <- ring;
+  q.head <- 0
+
 let accept q p =
-  Queue.push p q.fifo;
+  if q.len = Array.length q.ring then grow q;
+  let mask = Array.length q.ring - 1 in
+  Array.unsafe_set q.ring ((q.head + q.len) land mask) p;
+  q.len <- q.len + 1;
   q.bytes <- q.bytes + p.Packet.size;
   q.enqueued <- q.enqueued + 1;
   true
@@ -82,9 +109,9 @@ let reject q =
   false
 
 let red_enqueue q s p =
-  let len = float_of_int (Queue.length q.fifo) in
+  let len = float_of_int q.len in
   s.avg <- ((1. -. s.weight) *. s.avg) +. (s.weight *. len);
-  if Queue.length q.fifo >= q.capacity then reject q
+  if q.len >= q.capacity then reject q
   else if s.avg < s.min_thresh then begin
     s.count <- -1;
     accept q p
@@ -109,22 +136,30 @@ let red_enqueue q s p =
 
 let enqueue q p =
   match q.kind with
-  | Droptail ->
-      if Queue.length q.fifo >= q.capacity then reject q else accept q p
+  | Droptail -> if q.len >= q.capacity then reject q else accept q p
   | Droptail_bytes cap ->
       if q.bytes + p.Packet.size > cap then reject q else accept q p
   | Red s -> red_enqueue q s p
 
-let dequeue q =
-  match Queue.pop q.fifo with
-  | p ->
-      q.bytes <- q.bytes - p.Packet.size;
-      Some p
-  | exception Queue.Empty -> None
+let is_empty q = q.len = 0
 
-let peek q = Queue.peek_opt q.fifo
+(* Allocation-free dequeue for the link's transmit-completion path. *)
+let dequeue_exn q =
+  if q.len = 0 then invalid_arg "Queue_disc.dequeue_exn: empty queue";
+  let p = Array.unsafe_get q.ring q.head in
+  (* Drop the slot's reference: the packet's arena slot must not be
+     pinned by the ring once it leaves the queue. *)
+  Array.unsafe_set q.ring q.head Packet.dummy;
+  q.head <- (q.head + 1) land (Array.length q.ring - 1);
+  q.len <- q.len - 1;
+  q.bytes <- q.bytes - p.Packet.size;
+  p
 
-let length q = Queue.length q.fifo
+let dequeue q = if q.len = 0 then None else Some (dequeue_exn q)
+
+let peek q = if q.len = 0 then None else Some q.ring.(q.head)
+
+let length q = q.len
 
 let byte_length q = q.bytes
 

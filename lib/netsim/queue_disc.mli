@@ -32,6 +32,12 @@ val enqueue : t -> Packet.t -> bool
 
 val dequeue : t -> Packet.t option
 
+val is_empty : t -> bool
+
+val dequeue_exn : t -> Packet.t
+(** Allocation-free {!dequeue} for the link hot path; raises
+    [Invalid_argument] on an empty queue (guard with {!is_empty}). *)
+
 val peek : t -> Packet.t option
 
 val length : t -> int

@@ -67,7 +67,7 @@ let gap t =
 
 let emit t =
   let p =
-    Packet.make ~flow:t.flow ~size:t.packet_size ~src:(Node.id t.src)
+    Packet.alloc ~flow:t.flow ~size:t.packet_size ~src:(Node.id t.src)
       ~dst:(Packet.Unicast (Node.id t.dst))
       ~created:(Engine.now t.engine) (Packet.Raw t.flow)
   in
@@ -107,7 +107,7 @@ let start t ~at =
       t.in_on_period <- true;
       t.period_ends <- at +. Stats.Rng.exponential t.rng ~mean:on_mean
   | Cbr _ | Poisson -> ());
-  ignore (Engine.at t.engine ~time:at (fun () -> tick t))
+  Engine.at_unit t.engine ~time:at (fun () -> tick t)
 
 let stop t =
   t.running <- false;

@@ -15,20 +15,24 @@ let env topo ~session node =
   let eng = Netsim.Topology.engine topo in
   let id = Netsim.Node.id node in
   let timer h = { Env.cancel = (fun () -> Netsim.Engine.cancel eng h) } in
+  (* Shared by every multicast send of this endpoint: the constructor is
+     immutable, so allocating it per packet would be pure garbage. *)
+  let group_dst = Netsim.Packet.Multicast session in
   {
     Env.id;
     now = (fun () -> Netsim.Engine.now eng);
     after = (fun ~delay f -> timer (Netsim.Engine.after eng ~delay f));
+    after_unit = (fun ~delay f -> Netsim.Engine.after_unit eng ~delay f);
     at = (fun ~time f -> timer (Netsim.Engine.at eng ~time f));
     send =
       (fun ~dest ~flow ~size msg ->
         let dst =
           match dest with
-          | Env.To_group -> Netsim.Packet.Multicast session
+          | Env.To_group -> group_dst
           | Env.To_node n -> Netsim.Packet.Unicast n
         in
         Netsim.Topology.inject topo
-          (Netsim.Packet.make ~flow ~size ~src:id ~dst
+          (Netsim.Packet.alloc ~flow ~size ~src:id ~dst
              ~created:(Netsim.Engine.now eng)
              (payload_of_msg msg)));
     join = (fun () -> Netsim.Topology.join topo ~group:session node);
@@ -43,10 +47,25 @@ let attach node f =
       | Some msg -> f ~size:p.Netsim.Packet.size msg
       | None -> ())
 
+(* Per-packet attaches for the sender/receiver hot paths: dispatch on the
+   payload constructor directly, so a delivery re-boxes neither an option
+   nor a [Wire.msg]. *)
+let attach_receiver node r =
+  Netsim.Node.attach node (fun p ->
+      match p.Netsim.Packet.payload with
+      | Data d -> Tfmcc_core.Receiver.deliver_data r ~size:p.Netsim.Packet.size d
+      | _ -> ())
+
+let attach_sender node s =
+  Netsim.Node.attach node (fun p ->
+      match p.Netsim.Packet.payload with
+      | Report r -> Tfmcc_core.Sender.deliver_report s r
+      | _ -> ())
+
 let corrupt_packet rng (pkt : Netsim.Packet.t) =
   match msg_of_payload pkt.Netsim.Packet.payload with
   | Some msg ->
-      { pkt with Netsim.Packet.payload = payload_of_msg (Wire.corrupt_msg rng msg) }
+      Netsim.Packet.with_payload pkt (payload_of_msg (Wire.corrupt_msg rng msg))
   | None -> pkt
 
 module Sender = struct
@@ -57,7 +76,7 @@ module Sender = struct
       Tfmcc_core.Sender.create ~env:(env topo ~session node) ~cfg ~session
         ?flow ?initial_rate ()
     in
-    attach node (fun ~size:_ msg -> deliver t msg);
+    attach_sender node t;
     t
 end
 
@@ -72,7 +91,7 @@ module Receiver = struct
         ?report_to:(Option.map Netsim.Node.id report_to)
         ?clock_offset ?ntp_error ?report_flow ()
     in
-    attach node (fun ~size msg -> deliver t ~size msg);
+    attach_receiver node t;
     t
 end
 
@@ -88,12 +107,10 @@ module Session = struct
         ~receiver_envs:(List.map (env topo ~session) receiver_nodes)
         ?clock_offsets ()
     in
-    attach sender_node (fun ~size:_ msg ->
-        Tfmcc_core.Sender.deliver (sender t) msg);
+    attach_sender sender_node (sender t);
     (* [Tfmcc_core.Session.create] builds receivers in node-list order. *)
     List.iter2
-      (fun node r ->
-        attach node (fun ~size msg -> Tfmcc_core.Receiver.deliver r ~size msg))
+      (fun node r -> attach_receiver node r)
       receiver_nodes (receivers t);
     t
 
@@ -103,7 +120,7 @@ module Session = struct
         ~env:(env topo ~session:(session_id t) node)
         ?clock_offset ~join_now ()
     in
-    attach node (fun ~size msg -> Tfmcc_core.Receiver.deliver r ~size msg);
+    attach_receiver node r;
     r
 end
 

@@ -121,28 +121,31 @@ let deliver_frame t dst frame =
 
 let send ep ~dest ~flow:_ ~size msg =
   let t = ep.net in
+  (* Encode straight into the final padded datagram: data frames ride
+     datagrams of the configured packet size with the codec header as a
+     prefix (decode ignores the tail), report frames are never padded —
+     their wire size is exact.  One allocation per frame, no
+     encode-then-pad blit.  The buffer cannot be a reusable scratch
+     here: it is captured by the delivery timer closure (shared by every
+     multicast destination) and must stay immutable until the last
+     in-flight copy lands. *)
+  let enc_len =
+    match msg with
+    | Wire.Report _ -> Wire.encoded_report_size
+    | Wire.Data _ -> Wire.encoded_data_size
+  in
+  let frame = Bytes.make (if size > enc_len then size else enc_len) '\000' in
   match
     match msg with
-    | Wire.Report r -> Wire.encode_report r
-    | Wire.Data d -> Wire.encode_data d
+    | Wire.Report r -> Wire.encode_report_into frame r
+    | Wire.Data d -> Wire.encode_data_into frame d
   with
   | exception Invalid_argument _ ->
       (* A non-finite field slipped past the protocol core: drop the
          frame, as a real transport would, and make it visible. *)
       t.enc_drops <- t.enc_drops + 1;
       Obs.Metrics.Counter.inc t.m_enc
-  | frame ->
-      (* Data frames ride datagrams of the configured packet size; the
-         codec frame is smaller, so pad (decode ignores the tail).
-         Report frames are never padded: their wire size is exact. *)
-      let frame =
-        if Bytes.length frame < size then begin
-          let b = Bytes.make size '\000' in
-          Bytes.blit frame 0 b 0 (Bytes.length frame);
-          b
-        end
-        else frame
-      in
+  | (_ : int) ->
       let dests =
         match dest with
         | Env.To_node id -> if id = ep.ep_id then [] else [ id ]
@@ -188,6 +191,9 @@ let env ep =
     Env.id = ep.ep_id;
     now = (fun () -> Loop.now ep.net.loop);
     after = (fun ~delay fn -> Loop.after ep.net.loop ~delay fn);
+    after_unit =
+      (fun ~delay fn ->
+        ignore (Loop.after ep.net.loop ~delay fn : Tfmcc_core.Env.timer));
     at = (fun ~time fn -> Loop.at ep.net.loop ~time fn);
     send = (fun ~dest ~flow ~size msg -> send ep ~dest ~flow ~size msg);
     join = (fun () -> join ep);

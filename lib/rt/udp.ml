@@ -16,6 +16,7 @@ and t = {
   endpoints : (int, endpoint) Hashtbl.t;
   groups : (int, (int, unit) Hashtbl.t) Hashtbl.t;
   buf : Bytes.t;
+  sendbuf : Bytes.t;  (* shared scratch datagram; see [send] *)
   mutable next_id : int;
   mutable sent : int;
   mutable delivered : int;
@@ -31,6 +32,7 @@ let create loop () =
     endpoints = Hashtbl.create 16;
     groups = Hashtbl.create 16;
     buf = Bytes.create 65536;
+    sendbuf = Bytes.make 65536 '\000';
     next_id = 0;
     sent = 0;
     delivered = 0;
@@ -95,21 +97,31 @@ let members t session =
 
 let send ep ~dest ~flow:_ ~size msg =
   let t = ep.net in
+  (* Encode into the fabric's shared scratch datagram: [Unix.sendto]
+     copies the bytes into the kernel synchronously, so — unlike the
+     loopback fabric, whose frames sit in timer closures until delivery
+     — the buffer is free again the moment each sendto returns.  Zero
+     allocation per frame.  Only the codec header region is ever
+     written, so the padding tail stays all-zero across reuses; data
+     frames pad to the configured packet size, report frames go out at
+     their exact wire size. *)
+  let enc_len =
+    match msg with
+    | Wire.Report _ -> Wire.encoded_report_size
+    | Wire.Data _ -> Wire.encoded_data_size
+  in
+  let frame_len = if size > enc_len then size else enc_len in
+  let frame =
+    if frame_len <= Bytes.length t.sendbuf then t.sendbuf
+    else Bytes.make frame_len '\000' (* > 64 KiB: exceeds UDP anyway *)
+  in
   match
     match msg with
-    | Wire.Report r -> Wire.encode_report r
-    | Wire.Data d -> Wire.encode_data d
+    | Wire.Report r -> Wire.encode_report_into frame r
+    | Wire.Data d -> Wire.encode_data_into frame d
   with
   | exception Invalid_argument _ -> t.send_errs <- t.send_errs + 1
-  | frame ->
-      let frame =
-        if Bytes.length frame < size then begin
-          let b = Bytes.make size '\000' in
-          Bytes.blit frame 0 b 0 (Bytes.length frame);
-          b
-        end
-        else frame
-      in
+  | (_ : int) ->
       let dests =
         match dest with
         | Env.To_node id -> if id = ep.ep_id then [] else [ id ]
@@ -122,10 +134,8 @@ let send ep ~dest ~flow:_ ~size msg =
           | None -> ()
           | Some peer -> (
               t.sent <- t.sent + 1;
-              match
-                Unix.sendto ep.fd frame 0 (Bytes.length frame) [] peer.addr
-              with
-              | n when n = Bytes.length frame -> ()
+              match Unix.sendto ep.fd frame 0 frame_len [] peer.addr with
+              | n when n = frame_len -> ()
               | _ -> t.send_errs <- t.send_errs + 1
               | exception Unix.Unix_error (_, _, _) ->
                   t.send_errs <- t.send_errs + 1))
@@ -136,6 +146,9 @@ let env ep =
     Env.id = ep.ep_id;
     now = (fun () -> Loop.now ep.net.loop);
     after = (fun ~delay fn -> Loop.after ep.net.loop ~delay fn);
+    after_unit =
+      (fun ~delay fn ->
+        ignore (Loop.after ep.net.loop ~delay fn : Tfmcc_core.Env.timer));
     at = (fun ~time fn -> Loop.at ep.net.loop ~time fn);
     send = (fun ~dest ~flow ~size msg -> send ep ~dest ~flow ~size msg);
     join = (fun () -> join ep);

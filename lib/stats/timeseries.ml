@@ -61,8 +61,16 @@ module Counter = struct
 
   let create () = { series = create (); total = 0 }
 
+  (* [add] inlined: called once per delivered packet, and routing the
+     floats through another function boundary would box them again. *)
   let record c ~time ~bytes =
-    add c.series ~time ~value:(float_of_int bytes);
+    let s = c.series in
+    if s.len > 0 && time < s.times.(s.len - 1) then
+      invalid_arg "Timeseries.add: time must be non-decreasing";
+    ensure_capacity s;
+    s.times.(s.len) <- time;
+    s.values.(s.len) <- float_of_int bytes;
+    s.len <- s.len + 1;
     c.total <- c.total + bytes
 
   let total_bytes c = c.total

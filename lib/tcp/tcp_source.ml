@@ -66,7 +66,7 @@ and send_segment t seq =
   let emit () =
     let payload = Segment.Data { conn = t.conn; seq } in
     let p =
-      Netsim.Packet.make ~flow:t.flow ~size:t.segment_size
+      Netsim.Packet.alloc ~flow:t.flow ~size:t.segment_size
         ~src:(Netsim.Node.id t.src)
         ~dst:(Netsim.Packet.Unicast (Netsim.Node.id t.dst))
         ~created:(Netsim.Engine.now t.engine)
@@ -82,7 +82,7 @@ and send_segment t seq =
        like out-of-order delivery and trigger spurious dupacks. *)
     let target = if target <= t.last_emit then t.last_emit +. 1e-6 else target in
     t.last_emit <- target;
-    ignore (Netsim.Engine.at t.engine ~time:target emit)
+    Netsim.Engine.at_unit t.engine ~time:target emit
   end
 
 and send_available t =

@@ -78,7 +78,7 @@ let send_feedback t =
         }
     in
     let p =
-      Netsim.Packet.make ~flow:(-1) ~size:Wire.feedback_size
+      Netsim.Packet.alloc ~flow:(-1) ~size:Wire.feedback_size
         ~src:(Netsim.Node.id t.node)
         ~dst:(Netsim.Packet.Unicast (Netsim.Node.id t.sender))
         ~created:now payload

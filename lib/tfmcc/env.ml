@@ -6,6 +6,11 @@ type t = {
   id : int;
   now : unit -> float;
   after : delay:float -> (unit -> unit) -> timer;
+  (* Fire-and-forget [after]: no timer handle, so the runtime can recycle
+     the event record (zero allocation in the steady state).  Callbacks
+     that may outlive their purpose must guard themselves (generation
+     counter or [running] flag) instead of cancelling. *)
+  after_unit : delay:float -> (unit -> unit) -> unit;
   at : time:float -> (unit -> unit) -> timer;
   send : dest:dest -> flow:int -> size:int -> Wire.msg -> unit;
   join : unit -> unit;

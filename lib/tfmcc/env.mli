@@ -39,6 +39,11 @@ type t = {
   id : int;  (** this endpoint's node/endpoint id *)
   now : unit -> float;
   after : delay:float -> (unit -> unit) -> timer;
+  after_unit : delay:float -> (unit -> unit) -> unit;
+      (** Fire-and-forget [after]: no timer handle, so the runtime can
+          recycle the event record (zero allocation in the steady state).
+          Callbacks that may outlive their purpose guard themselves
+          (generation counter or running flag) instead of cancelling. *)
   at : time:float -> (unit -> unit) -> timer;
   send : dest:dest -> flow:int -> size:int -> Wire.msg -> unit;
   join : unit -> unit;

@@ -287,10 +287,13 @@ let on_data t ~size (d : Wire.data) =
           Tfrc.Loss_history.remodel t.history ~rtt:(rtt t)
       end
     end;
-    (* Receive rate over a few RTTs. *)
+    (* Receive rate over a few RTTs.  The post-update RTT estimate is
+       read once: every [rtt t] call boxes its float result. *)
     let now = now t in
+    let rtt_now = rtt t in
     let window =
-      Float.max (2. *. rtt t) (4. *. float_of_int t.cfg.Config.packet_size /. d.rate)
+      Float.max (2. *. rtt_now)
+        (4. *. float_of_int t.cfg.Config.packet_size /. d.rate)
     in
     Tfrc.Rate_meter.set_window t.meter (Float.max 0.05 window);
     Tfrc.Rate_meter.record t.meter ~now ~bytes:size;
@@ -298,7 +301,7 @@ let on_data t ~size (d : Wire.data) =
     (* Loss detection. *)
     let had_loss = Tfrc.Loss_history.has_loss t.history in
     let prev_loss_events = Tfrc.Loss_history.loss_events t.history in
-    Tfrc.Loss_history.on_packet t.history ~seq:d.seq ~now ~rtt:(rtt t);
+    Tfrc.Loss_history.on_packet t.history ~seq:d.seq ~now ~rtt:rtt_now;
     let new_loss_events =
       Tfrc.Loss_history.loss_events t.history - prev_loss_events
     in
@@ -413,21 +416,27 @@ let create ~env ~cfg ~session ~sender ?report_to ?(clock_offset = 0.)
   in
   Lazy.force t
 
+(* Direct entry for hosts that already hold the unwrapped record: skips
+   re-boxing the message on the per-packet path. *)
+let deliver_data t ~size (d : Wire.data) =
+  if d.Wire.session = t.session then begin
+    if
+      Wire.data_fields_valid ~seq:d.seq ~ts:d.ts ~rate:d.rate ~round:d.round
+        ~round_duration:d.round_duration ~max_rtt:d.max_rtt ~clr:d.clr
+        ~echo:d.echo ~fb:d.fb
+    then on_data t ~size d
+    else if t.joined then begin
+      t.malformed_data <- t.malformed_data + 1;
+      Obs.Metrics.Counter.inc t.m_malformed;
+      jnl t ~severity:Obs.Journal.Warn
+        (Obs.Journal.Malformed_drop { what = "data-fields" })
+    end
+  end
+
 let deliver t ~size msg =
   match msg with
-  | Wire.Data d when d.Wire.session = t.session ->
-      if
-        Wire.data_fields_valid ~seq:d.seq ~ts:d.ts ~rate:d.rate ~round:d.round
-          ~round_duration:d.round_duration ~max_rtt:d.max_rtt ~clr:d.clr
-          ~echo:d.echo ~fb:d.fb
-      then on_data t ~size d
-      else if t.joined then begin
-        t.malformed_data <- t.malformed_data + 1;
-        Obs.Metrics.Counter.inc t.m_malformed;
-        jnl t ~severity:Obs.Journal.Warn
-          (Obs.Journal.Malformed_drop { what = "data-fields" })
-      end
-  | Wire.Data _ | Wire.Report _ -> ()
+  | Wire.Data d -> deliver_data t ~size d
+  | Wire.Report _ -> ()
 
 let join t =
   if t.left then invalid_arg "Receiver.join: receiver has left the session";

@@ -45,6 +45,11 @@ val deliver : t -> size:int -> Wire.msg -> unit
     else is ignored (invalid data of this session counts as malformed
     once joined). *)
 
+val deliver_data : t -> size:int -> Wire.data -> unit
+(** {!deliver} for an already-unwrapped data record — the per-packet
+    entry for hosts that dispatch on their own payload representation,
+    avoiding a [Wire.msg] box per packet. *)
+
 val join : t -> unit
 (** Joins the multicast group (idempotent). *)
 

@@ -54,7 +54,13 @@ type t = {
   mutable clr_echo : pending_echo option;  (* CLR default echo *)
   mutable last_rate_change : float;
   mutable block_source : (unit -> int) option;
-  mutable send_timer : Env.timer option;
+  (* Pacing rides fire-and-forget events ([Env.after_unit]): the one
+     closure per [start] is stored here and re-scheduled for every
+     packet, so steady-state pacing allocates neither a closure nor a
+     cancellable event record.  [stop] bumps [pacing_gen] instead of
+     cancelling; a stale event fires into a generation check and dies. *)
+  mutable pacing_gen : int;
+  mutable pacing_cb : unit -> unit;
   mutable round_timer : Env.timer option;
   mutable sent : int;
   mutable reports : int;
@@ -549,9 +555,8 @@ let rec start_round t =
 
 (* --------------------------------------------------------------- pacing *)
 
-let rec send_packet t =
-  t.send_timer <- None;
-  if t.running then begin
+let send_packet t ~gen =
+  if t.running && gen = t.pacing_gen then begin
     let now = now t in
     (* Slowstart ramp: approach the target over roughly one RTT. *)
     (if t.in_ss && t.ss_target > 0. then begin
@@ -602,7 +607,7 @@ let rec send_packet t =
        flow). *)
     let jitter = 0.75 +. (0.5 *. Stats.Rng.uniform t.rng) in
     let delay = jitter *. float_of_int t.cfg.Config.packet_size /. t.rate in
-    t.send_timer <- Some (t.env.Env.after ~delay (fun () -> send_packet t))
+    t.env.Env.after_unit ~delay t.pacing_cb
   end
 
 let create ~env ~cfg ~session ?flow ?initial_rate () =
@@ -642,7 +647,8 @@ let create ~env ~cfg ~session ?flow ?initial_rate () =
     clr_echo = None;
     last_rate_change = 0.;
     block_source = None;
-    send_timer = None;
+    pacing_gen = 0;
+    pacing_cb = ignore;  (* installed by [start] *)
     round_timer = None;
     sent = 0;
     reports = 0;
@@ -675,9 +681,10 @@ let create ~env ~cfg ~session ?flow ?initial_rate () =
     m_rate = Obs.Metrics.gauge metrics ~labels "tfmcc_sender_rate_bytes_per_s";
   }
 
-let deliver t msg =
-  match msg with
-  | Wire.Report r when r.Wire.session = t.session ->
+(* Direct entry for hosts that already hold the unwrapped record (see
+   [Receiver.deliver_data]). *)
+let deliver_report t (r : Wire.report) =
+  if r.Wire.session = t.session then begin
       if t.running then begin
         (* Field validation plus round staleness: a report more than
            the CLR timeout behind the current round carries dead
@@ -745,28 +752,35 @@ let deliver t msg =
             (Obs.Journal.Malformed_drop { what = "report-fields" })
         end
       end
-  | Wire.Report _ ->
-      (* Unknown session id: never let it near this sender's state. *)
-      if t.running then begin
-        t.malformed_dropped <- t.malformed_dropped + 1;
-        Obs.Metrics.Counter.inc t.m_malformed;
-        jnl t ~severity:Obs.Journal.Warn
-          (Obs.Journal.Malformed_drop { what = "unknown-session" })
-      end
+  end
+  else if t.running then begin
+    (* Unknown session id: never let it near this sender's state. *)
+    t.malformed_dropped <- t.malformed_dropped + 1;
+    Obs.Metrics.Counter.inc t.m_malformed;
+    jnl t ~severity:Obs.Journal.Warn
+      (Obs.Journal.Malformed_drop { what = "unknown-session" })
+  end
+
+let deliver t msg =
+  match msg with
+  | Wire.Report r -> deliver_report t r
   | Wire.Data _ -> ()
 
 let start t ~at =
   t.running <- true;
+  t.pacing_gen <- t.pacing_gen + 1;
+  let gen = t.pacing_gen in
+  t.pacing_cb <- (fun () -> send_packet t ~gen);
   ignore
     (t.env.Env.at ~time:at (fun () ->
          t.last_rate_change <- now t;
          t.last_report_arrival <- now t;
          start_round t;
-         send_packet t))
+         send_packet t ~gen))
 
 let stop t =
   t.running <- false;
-  t.send_timer <- Env.cancel_opt t.send_timer;
+  t.pacing_gen <- t.pacing_gen + 1;
   t.round_timer <- Env.cancel_opt t.round_timer
 
 let set_block_source t f = t.block_source <- Some f

@@ -38,6 +38,11 @@ val deliver : t -> Wire.msg -> unit
     then drive rate control; reports for a foreign session count as
     malformed; data messages are ignored.  No-op while stopped. *)
 
+val deliver_report : t -> Wire.report -> unit
+(** {!deliver} for an already-unwrapped report record — avoids boxing a
+    [Wire.msg] per report for hosts with their own payload
+    representation. *)
+
 val start : t -> at:float -> unit
 
 val stop : t -> unit

@@ -115,7 +115,9 @@ let require_finite ctx name v =
     invalid_arg
       (Printf.sprintf "Wire.%s: non-finite %s (%h)" ctx name v)
 
-let encode_report (r : report) =
+let encode_report_into b (r : report) =
+  if Bytes.length b < encoded_report_size then
+    invalid_arg "Wire.encode_report_into: buffer too small";
   let chk = require_finite "encode_report" in
   chk "ts" r.ts;
   chk "echo_ts" r.echo_ts;
@@ -124,7 +126,6 @@ let encode_report (r : report) =
   chk "rtt" r.rtt;
   chk "p" r.p;
   chk "x_recv" r.x_recv;
-  let b = Bytes.create encoded_report_size in
   Bytes.set_uint8 b 0 report_magic;
   let flags =
     (if r.have_rtt then 1 else 0)
@@ -143,6 +144,11 @@ let encode_report (r : report) =
   f 58 r.rtt;
   f 66 r.p;
   f 74 r.x_recv;
+  encoded_report_size
+
+let encode_report (r : report) =
+  let b = Bytes.create encoded_report_size in
+  let (_ : int) = encode_report_into b r in
   b
 
 let decode_report b =
@@ -199,7 +205,9 @@ let data_magic = 0x44 (* 'D' *)
 
 let data_flag_mask = 0x0f (* in_slowstart | echo? | fb? | fb_has_loss *)
 
-let encode_data (d : data) =
+let encode_data_into b (d : data) =
+  if Bytes.length b < encoded_data_size then
+    invalid_arg "Wire.encode_data_into: buffer too small";
   let chk = require_finite "encode_data" in
   chk "ts" d.ts;
   chk "rate" d.rate;
@@ -213,7 +221,8 @@ let encode_data (d : data) =
   (match d.fb with
   | Some f -> chk "fb.fb_rate" f.fb_rate
   | None -> ());
-  let b = Bytes.create encoded_data_size in
+  (* Absent echo/fb sections must read as zeroes whatever the buffer
+     held before (scratch buffers are reused across frames). *)
   Bytes.fill b 0 encoded_data_size '\000';
   Bytes.set_uint8 b 0 data_magic;
   let flags =
@@ -245,6 +254,11 @@ let encode_data (d : data) =
       i 98 fb.fb_rx_id;
       f 106 fb.fb_rate
   | None -> ());
+  encoded_data_size
+
+let encode_data (d : data) =
+  let b = Bytes.create encoded_data_size in
+  let (_ : int) = encode_data_into b d in
   b
 
 let decode_data b =

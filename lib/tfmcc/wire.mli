@@ -132,6 +132,12 @@ val encoded_report_size : int
 
 val encode_report : report -> bytes
 
+val encode_report_into : bytes -> report -> int
+(** Encodes into the first {!encoded_report_size} bytes of a
+    caller-owned buffer (scratch reuse: no allocation per frame) and
+    returns the number of bytes written.  Raises [Invalid_argument] if
+    the buffer is too small or a float field is non-finite. *)
+
 val decode_report : bytes -> (msg, string) result
 (** [Ok (Report _)] or a validation error. *)
 
@@ -141,6 +147,11 @@ val encoded_data_size : int
     {!decode} only reads this header prefix. *)
 
 val encode_data : data -> bytes
+
+val encode_data_into : bytes -> data -> int
+(** {!encode_report_into} for data frames: writes (and zero-fills) the
+    first {!encoded_data_size} bytes of the caller's buffer, returning
+    that length.  Any tail the caller keeps for padding is untouched. *)
 
 val decode_data : bytes -> (msg, string) result
 (** [Ok (Data _)] or a validation error.  Accepts trailing padding:

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Bench regression guard: fresh BENCH_results.json vs the committed baseline.
+
+Usage: bench_guard.py BASELINE.json FRESH.json
+
+Two rules, both with a 25% tolerance:
+
+- "full stack: minor words/simsec" is compared absolutely.  Minor-heap
+  words per simulated second are exactly reproducible (no clocks
+  involved), so any growth beyond tolerance is a real allocation
+  regression whatever machine CI landed on.
+
+- Every shared time benchmark (ns keys) is compared *relative to the
+  median ratio* across all time keys.  CI hardware is not the machine
+  the baseline was measured on: a uniform slowdown shifts every ratio
+  equally and cancels out of the comparison, while one benchmark
+  regressing shows up as its ratio exceeding the median by more than
+  the tolerance.
+
+Bookkeeping keys (job counts, speedups, core counts) are ignored.
+Exit 0 = clean, 1 = regression(s), 2 = usage/parse error.
+"""
+
+import json
+import statistics
+import sys
+
+TOLERANCE = 0.25
+ALLOC_KEY = "full stack: minor words/simsec"
+IGNORE = (
+    "sweep: parallel jobs",
+    "sweep: parallel speedup",
+    "sweep: recommended domains",
+)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1]) as f:
+            baseline = json.load(f)
+        with open(sys.argv[2]) as f:
+            fresh = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_guard: cannot load results: {e}", file=sys.stderr)
+        return 2
+
+    failures = []
+
+    if ALLOC_KEY in baseline and ALLOC_KEY in fresh:
+        old, new = baseline[ALLOC_KEY], fresh[ALLOC_KEY]
+        if old > 0 and new > old * (1 + TOLERANCE):
+            failures.append(
+                f"{ALLOC_KEY}: {old:.0f} -> {new:.0f} words "
+                f"(+{100 * (new / old - 1):.1f}%, absolute check)"
+            )
+        else:
+            print(f"ok (absolute): {ALLOC_KEY}: {old:.0f} -> {new:.0f}")
+
+    time_keys = sorted(
+        k
+        for k in baseline
+        if k in fresh
+        and k != ALLOC_KEY
+        and k not in IGNORE
+        and isinstance(baseline[k], (int, float))
+        and isinstance(fresh[k], (int, float))
+        and baseline[k] > 0
+        and fresh[k] > 0
+    )
+    if time_keys:
+        ratios = {k: fresh[k] / baseline[k] for k in time_keys}
+        median = statistics.median(ratios.values())
+        print(
+            f"machine calibration: median ratio {median:.3f} "
+            f"over {len(time_keys)} time benchmarks"
+        )
+        for k in time_keys:
+            rel = ratios[k] / median
+            if rel > 1 + TOLERANCE:
+                failures.append(
+                    f"{k}: {baseline[k]:.0f} -> {fresh[k]:.0f} ns "
+                    f"({rel:.2f}x the calibrated baseline)"
+                )
+            else:
+                print(f"ok: {k}: {rel:.2f}x calibrated")
+
+    if failures:
+        print(f"\nbench_guard: {len(failures)} regression(s) beyond "
+              f"{100 * TOLERANCE:.0f}% tolerance:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("bench_guard: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

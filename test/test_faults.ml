@@ -107,7 +107,7 @@ let test_corrupt_injector_replaces () =
   let got = arrivals net in
   (* The mangle's replacement travels in the original's place. *)
   Netsim.Fault.corrupt f net.ab ~rate:1.0
-    ~mangle:(fun _rng p -> { p with Netsim.Packet.payload = Netsim.Packet.Raw 999 })
+    ~mangle:(fun _rng p -> Netsim.Packet.with_payload p (Netsim.Packet.Raw 999))
     ();
   send_at net ~time:0.01 ~tag:1;
   Netsim.Engine.run ~until:1. net.engine;

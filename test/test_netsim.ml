@@ -389,7 +389,7 @@ let test_link_ttl_drop_counted () =
       ~dst:(Netsim.Packet.Unicast (Netsim.Node.id b))
       ~created:0. (Netsim.Packet.Raw 0)
   in
-  p.Netsim.Packet.hops <- Netsim.Packet.ttl_limit;
+  Netsim.Packet.set_hops p Netsim.Packet.ttl_limit;
   (* Link.send bumps hops once more, pushing it over the limit. *)
   Netsim.Link.send ab p;
   Netsim.Engine.run e;
@@ -861,6 +861,123 @@ let prop_random_graph_multicast_exactly_once =
       List.for_all (fun i -> counts.(i) = 1) members
       && Array.for_all (fun c -> c <= 1) counts)
 
+(* --------------------------------------------- Packet-pool lifecycle *)
+
+(* (flow, size, src, dst) for a random packet; size must be positive. *)
+let packet_fields =
+  QCheck.(quad (int_range 0 1000) (int_range 1 9000) small_nat (pair bool small_nat))
+
+let mk_dst (mc, n) =
+  if mc then Netsim.Packet.Multicast n else Netsim.Packet.Unicast n
+
+let prop_pool_recycle_no_stale =
+  QCheck.Test.make ~name:"recycled arena slot is fully re-initialized" ~count:200
+    QCheck.(pair packet_fields packet_fields)
+    (fun (fa, fb) ->
+      let pl = Netsim.Packet.Pool.domain () in
+      QCheck.assume (Netsim.Packet.Pool.free pl > 0);
+      let alloc (flow, size, src, d) tag =
+        Netsim.Packet.alloc ~flow ~size ~src ~dst:(mk_dst d)
+          ~created:(float_of_int tag) (Netsim.Packet.Raw tag)
+      in
+      let a = alloc fa 1 in
+      let uid_a = a.Netsim.Packet.uid in
+      Netsim.Packet.set_hops a 5;
+      Netsim.Packet.release a;
+      let b = alloc fb 2 in
+      let flow, size, src, d = fb in
+      let ok =
+        (* LIFO freelist: the released record itself is recycled... *)
+        b == a
+        (* ...and nothing of its previous life survives. *)
+        && b.Netsim.Packet.uid <> uid_a
+        && b.Netsim.Packet.flow = flow
+        && b.Netsim.Packet.size = size
+        && b.Netsim.Packet.src = src
+        && b.Netsim.Packet.dst = mk_dst d
+        && b.Netsim.Packet.created = 2.
+        && b.Netsim.Packet.hops = 0
+        && b.Netsim.Packet.payload = Netsim.Packet.Raw 2
+        && Netsim.Packet.is_live b
+      in
+      Netsim.Packet.release b;
+      ok)
+
+let prop_pool_exhaustion_falls_back =
+  QCheck.Test.make ~name:"arena exhaustion falls back to heap records" ~count:20
+    QCheck.(int_range 1 50)
+    (fun extra ->
+      let pl = Netsim.Packet.Pool.domain () in
+      let alloc tag =
+        Netsim.Packet.alloc ~flow:7 ~size:100 ~src:1
+          ~dst:(Netsim.Packet.Unicast 2) ~created:0. (Netsim.Packet.Raw tag)
+      in
+      let drained = ref [] in
+      Fun.protect
+        ~finally:(fun () -> List.iter Netsim.Packet.release !drained)
+        (fun () ->
+          while Netsim.Packet.Pool.free pl > 0 do
+            drained := alloc 0 :: !drained
+          done;
+          let before = Netsim.Packet.Pool.exhausted pl in
+          let fallbacks = List.init extra alloc in
+          let after = Netsim.Packet.Pool.exhausted pl in
+          after - before = extra
+          && List.for_all
+               (fun p ->
+                 (not p.Netsim.Packet.pooled)
+                 && Netsim.Packet.is_live p
+                 && p.Netsim.Packet.flow = 7
+                 &&
+                 (* release on a heap fallback is a no-op: the record
+                    stays live and never enters the arena *)
+                 (Netsim.Packet.release p;
+                  Netsim.Packet.is_live p && Netsim.Packet.Pool.free pl = 0))
+               fallbacks))
+
+let prop_pool_uaf_guard_fires =
+  QCheck.Test.make ~name:"guard trips on a released arena packet" ~count:100
+    packet_fields
+    (fun (flow, size, src, d) ->
+      let pl = Netsim.Packet.Pool.domain () in
+      QCheck.assume (Netsim.Packet.Pool.free pl > 0);
+      let p =
+        Netsim.Packet.alloc ~flow ~size ~src ~dst:(mk_dst d) ~created:0.
+          (Netsim.Packet.Raw 0)
+      in
+      Netsim.Packet.guard "live" p;
+      (* a live packet passes *)
+      Netsim.Packet.release p;
+      (not (Netsim.Packet.is_live p))
+      &&
+      match Netsim.Packet.guard "released" p with
+      | () -> false
+      | exception Netsim.Packet.Use_after_free _ -> true)
+
+let test_pool_debug_double_release () =
+  let pl = Netsim.Packet.Pool.domain () in
+  let was = Netsim.Packet.Pool.debug pl in
+  Fun.protect
+    ~finally:(fun () -> Netsim.Packet.Pool.set_debug pl was)
+    (fun () ->
+      Netsim.Packet.Pool.set_debug pl true;
+      let p =
+        Netsim.Packet.alloc ~flow:1 ~size:100 ~src:0
+          ~dst:(Netsim.Packet.Unicast 1) ~created:0. (Netsim.Packet.Raw 0)
+      in
+      Alcotest.(check bool) "drawn from the arena" true p.Netsim.Packet.pooled;
+      let uid = p.Netsim.Packet.uid in
+      Netsim.Packet.release p;
+      (* Debug mode poisons the scalars so a stale reader sees values no
+         real packet carries. *)
+      Alcotest.(check int) "size poisoned" min_int p.Netsim.Packet.size;
+      Alcotest.(check int) "flow poisoned" min_int p.Netsim.Packet.flow;
+      Alcotest.(check int) "hops poisoned" min_int p.Netsim.Packet.hops;
+      Alcotest.check_raises "double release raises"
+        (Netsim.Packet.Use_after_free
+           (Printf.sprintf "double release of packet #%d" uid))
+        (fun () -> Netsim.Packet.release p))
+
 let () =
   Alcotest.run "netsim"
     [
@@ -939,6 +1056,14 @@ let () =
           Alcotest.test_case "random tree connected" `Quick test_topo_gen_random_tree_connected;
           Alcotest.test_case "transit-stub shape" `Quick test_topo_gen_transit_stub_shape;
         ] );
+      ( "pool",
+        Alcotest.test_case "debug poison + double release" `Quick
+          test_pool_debug_double_release
+        :: List.map QCheck_alcotest.to_alcotest
+             [
+               prop_pool_recycle_no_stale; prop_pool_exhaustion_falls_back;
+               prop_pool_uaf_guard_fires;
+             ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [

@@ -83,7 +83,7 @@ let test_map_outcomes_timeout () =
         (String.concat "; " (List.map Par.outcome_label outcomes))
 
 let test_nested_submit_names_task () =
-  let pool = Par.Pool.create ~jobs:2 in
+  let pool = Par.Pool.create ~jobs:2 () in
   Fun.protect
     ~finally:(fun () -> Par.Pool.shutdown pool)
     (fun () ->

@@ -79,6 +79,63 @@ let test_multi_seed_aggregate () =
     serial;
   check_same_results "seeds=2 serial vs -j 4" serial parallel
 
+(* Scheduler invariance: fifo, lpt and steal reorder execution only, so
+   the rendered sweep — the exact bytes `tfmcc-sim sweep` prints — must
+   be identical across every (schedule, jobs) combination.  The subset
+   mixes the costliest and cheapest figures in the cost table so LPT's
+   permutation and steal's deque dealing actually differ from grid
+   order. *)
+let sched_subset () =
+  List.filter
+    (fun e ->
+      List.mem e.Experiments.Registry.id
+        [ "fig01"; "fig17"; "rob03"; "chk02"; "abl05" ])
+    Experiments.Registry.all
+
+let test_schedules_byte_identical () =
+  let experiments = sched_subset () in
+  let render schedule jobs =
+    let report =
+      Experiments.Sweep.run_supervised ~experiments ~schedule ~jobs
+        ~mode:Experiments.Scenario.Quick ~seed:42 ~seeds:2 ()
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "no failures (%s, -j %d)"
+         (Experiments.Sweep.schedule_label schedule)
+         jobs)
+      0
+      (List.length report.Experiments.Sweep.failures);
+    Experiments.Sweep.render ~csv:true ~replicates:true ~seeds:2
+      report.Experiments.Sweep.results
+  in
+  let reference = render Experiments.Sweep.Fifo 1 in
+  Alcotest.(check bool) "reference output non-empty" true (reference <> "");
+  List.iter
+    (fun schedule ->
+      List.iter
+        (fun jobs ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s -j %d vs fifo -j 1"
+               (Experiments.Sweep.schedule_label schedule)
+               jobs)
+            reference (render schedule jobs))
+        [ 1; 4 ])
+    [ Experiments.Sweep.Fifo; Experiments.Sweep.Lpt; Experiments.Sweep.Steal ]
+
+let test_schedules_unsupervised_identical () =
+  let experiments = sched_subset () in
+  let reference = run ~experiments ~jobs:1 () in
+  List.iter
+    (fun schedule ->
+      let got =
+        Experiments.Sweep.run ~experiments ~schedule ~jobs:4
+          ~mode:Experiments.Scenario.Quick ~seed:42 ()
+      in
+      check_same_results
+        (Experiments.Sweep.schedule_label schedule ^ " -j 4 vs fifo -j 1")
+        reference got)
+    [ Experiments.Sweep.Lpt; Experiments.Sweep.Steal ]
+
 let () =
   Alcotest.run "sweep determinism"
     [
@@ -90,5 +147,9 @@ let () =
             test_repeated_parallel_runs;
           Alcotest.test_case "multi-seed aggregate" `Quick
             test_multi_seed_aggregate;
+          Alcotest.test_case "schedules render byte-identically" `Quick
+            test_schedules_byte_identical;
+          Alcotest.test_case "schedules: unsupervised run identical" `Quick
+            test_schedules_unsupervised_identical;
         ] );
     ]
