@@ -224,6 +224,44 @@ let bench_rt_simulated_second =
     now := !now +. 1.;
     Rt.Loop.run ~until:!now loop
 
+(* Identical star session, but with a chaos plan applied whose only
+   event lies far beyond the measured window.  The pair quantifies the
+   per-frame cost of the chaos hooks on the fabric send path (fabric_up
+   check + blocked-endpoint guard) when no impairment is active — the
+   bench guard holds the two keys to the same relative tolerance, so an
+   idle-overhead regression fails CI. *)
+let bench_rt_simulated_second_chaos =
+  let loop = Rt.Loop.create ~seed:77 () in
+  let net =
+    Rt.Net.create loop
+      ~impair:(Rt.Net.impairment ~loss:0.01 ~delay:0.02 ~warmup:2. ())
+      ()
+  in
+  let cfg = Tfmcc_core.Config.default in
+  let s_ep = Rt.Net.endpoint net ~session:1 in
+  let rx_eps = List.init 4 (fun _ -> Rt.Net.endpoint net ~session:1) in
+  let s =
+    Tfmcc_core.Session.create ~sender_env:(Rt.Net.env s_ep) ~cfg ~session:1
+      ~receiver_envs:(List.map Rt.Net.env rx_eps) ()
+  in
+  let snd = Tfmcc_core.Session.sender s in
+  Rt.Net.set_deliver s_ep (fun ~size:_ msg -> Tfmcc_core.Sender.deliver snd msg);
+  List.iter2
+    (fun ep r ->
+      Rt.Net.set_deliver ep (fun ~size msg ->
+          Tfmcc_core.Receiver.deliver r ~size msg))
+    rx_eps
+    (Tfmcc_core.Session.receivers s);
+  Tfmcc_core.Session.start s ~at:0.;
+  let _chaos =
+    Rt.Chaos.apply net [ Rt.Chaos.Flap { down_at = 1e6; up_at = 1e6 +. 1. } ]
+  in
+  Rt.Loop.run ~until:30. loop;
+  let now = ref 30. in
+  fun () ->
+    now := !now +. 1.;
+    Rt.Loop.run ~until:!now loop
+
 (* Allocation rate of the full stack, measured directly rather than via
    bechamel (we count words, not nanoseconds): minor-heap words allocated
    per simulated second of the same warmed-up star session as "full
@@ -262,6 +300,7 @@ let micro_tests =
     t "full stack +obs: 1 simulated second" bench_simulated_second_obs;
     t "rt loopback: tx+deliver frame pair" bench_rt_frame_pair;
     t "rt loopback: 1 simulated second" bench_rt_simulated_second;
+    t "rt loopback +chaos: 1 simulated second" bench_rt_simulated_second_chaos;
   ]
 
 let results_file = "BENCH_results.json"

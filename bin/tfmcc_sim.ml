@@ -644,6 +644,7 @@ let loopback_cmd =
     let cfg = { Tfmcc_core.Config.default with rtt_initial } in
     let hc =
       {
+        Rt.Harness.default with
         Rt.Harness.sessions;
         receivers;
         duration;
@@ -742,6 +743,309 @@ let loopback_cmd =
       $ delay_arg $ jitter_arg $ warmup_arg $ realtime_arg $ udp_arg
       $ epoch_arg $ rtt_initial_arg $ seed_arg $ json_arg $ metrics_out_arg)
 
+let chaos_rt_cmd =
+  let doc =
+    "Soak many TFMCC sessions on the real-time runtime under a chaos plan \
+     (CLR partition mid-slowstart, fabric flap, receiver churn, optional \
+     session kill) and assert convergence and post-fault recovery — the rt \
+     twin of $(b,chaos).  Turbo loopback only: two runs with the same seed \
+     are byte-identical."
+  in
+  let sessions_arg =
+    let doc = "Concurrent TFMCC sessions." in
+    Arg.(value & opt int 200 & info [ "sessions" ] ~docv:"N" ~doc)
+  in
+  let receivers_arg =
+    let doc = "Receivers per session (the CLR needs someone to fail over to)." in
+    Arg.(value & opt int 4 & info [ "receivers" ] ~docv:"N" ~doc)
+  in
+  let duration_arg =
+    let doc =
+      "Run length in virtual loop-seconds.  Leave several seconds after the \
+       last fault: recovery from the starvation decay is deliberately slow \
+       (paper §4), and the convergence bar judges the final state."
+    in
+    Arg.(value & opt float 20. & info [ "duration" ] ~docv:"SECONDS" ~doc)
+  in
+  let loss_arg =
+    let doc = "Baseline impairment: per-frame loss probability." in
+    Arg.(value & opt float 0.02 & info [ "loss" ] ~docv:"P" ~doc)
+  in
+  let delay_arg =
+    let doc = "Baseline impairment: one-way delay, seconds." in
+    Arg.(value & opt float 0.025 & info [ "delay" ] ~docv:"SECONDS" ~doc)
+  in
+  let jitter_arg =
+    let doc = "Baseline impairment: uniform extra delay width, seconds." in
+    Arg.(value & opt float 0.005 & info [ "jitter" ] ~docv:"SECONDS" ~doc)
+  in
+  let warmup_arg =
+    let doc = "Baseline impairment: hold the loss dice this many seconds." in
+    Arg.(value & opt float 2. & info [ "warmup" ] ~docv:"SECONDS" ~doc)
+  in
+  let clr_at_arg =
+    let doc =
+      "Partition every session's current CLR at this time (mid-slowstart by \
+       default); heal at $(b,--clr-partition-heal)."
+    in
+    Arg.(value & opt float 3. & info [ "clr-partition-at" ] ~docv:"SECONDS" ~doc)
+  in
+  let clr_heal_arg =
+    let doc =
+      "Heal the CLR partition.  A heal time at or before \
+       $(b,--clr-partition-at) disables the fault."
+    in
+    Arg.(value & opt float 6. & info [ "clr-partition-heal" ] ~docv:"SECONDS" ~doc)
+  in
+  let flap_at_arg =
+    let doc = "Flap the whole fabric down at this time; up at $(b,--flap-up)." in
+    Arg.(value & opt float 7. & info [ "flap-at" ] ~docv:"SECONDS" ~doc)
+  in
+  let flap_up_arg =
+    let doc =
+      "Bring the fabric back up.  An up time at or before $(b,--flap-at) \
+       disables the flap."
+    in
+    Arg.(value & opt float 7.4 & info [ "flap-up" ] ~docv:"SECONDS" ~doc)
+  in
+  let churn_arg =
+    let doc =
+      "Receiver churn: fraction of each session's joined receivers taken \
+       down per cycle (0 disables)."
+    in
+    Arg.(value & opt float 0.2 & info [ "churn" ] ~docv:"FRACTION" ~doc)
+  in
+  let churn_from_arg =
+    Arg.(value & opt float 4. & info [ "churn-from" ] ~docv:"SECONDS"
+           ~doc:"Churn window start.")
+  in
+  let churn_until_arg =
+    Arg.(value & opt float 10. & info [ "churn-until" ] ~docv:"SECONDS"
+           ~doc:"Churn window end.")
+  in
+  let churn_period_arg =
+    Arg.(value & opt float 1.5 & info [ "churn-period" ] ~docv:"SECONDS"
+           ~doc:"Seconds between churn cycles.")
+  in
+  let churn_down_arg =
+    Arg.(value & opt float 0.6 & info [ "churn-down" ] ~docv:"SECONDS"
+           ~doc:"How long each churned receiver stays unreachable.")
+  in
+  let kill_session_arg =
+    let doc =
+      "Inject a crash into this session's timer path (0 disables) — proves \
+       crash isolation: the other sessions must converge as if nothing \
+       happened."
+    in
+    Arg.(value & opt int 0 & info [ "kill-session" ] ~docv:"N" ~doc)
+  in
+  let kill_at_arg =
+    Arg.(value & opt float 2. & info [ "kill-at" ] ~docv:"SECONDS"
+           ~doc:"When to inject the kill.")
+  in
+  let min_converged_arg =
+    let doc = "Fail unless at least this fraction of sessions converges." in
+    Arg.(value & opt float 0.95 & info [ "min-converged" ] ~docv:"FRACTION" ~doc)
+  in
+  let rtt_initial_arg =
+    Arg.(value & opt float 0.15 & info [ "rtt-initial" ] ~docv:"SECONDS"
+           ~doc:"Initial RTT estimate handed to the protocol.")
+  in
+  let run sessions receivers duration loss delay jitter warmup clr_at clr_heal
+      flap_at flap_up churn churn_from churn_until churn_period churn_down
+      kill_session kill_at min_converged rtt_initial seed json metrics_out =
+    let cfg = { Tfmcc_core.Config.default with rtt_initial } in
+    let plan =
+      (if flap_up > flap_at then
+         [ Rt.Chaos.Flap { down_at = flap_at; up_at = flap_up } ]
+       else [])
+      @
+      if churn > 0. then
+        [
+          Rt.Chaos.Churn
+            {
+              sessions = [];
+              fraction = churn;
+              from_ = churn_from;
+              until = churn_until;
+              period = churn_period;
+              down_for = churn_down;
+            };
+        ]
+      else []
+    in
+    let faults =
+      (if clr_heal > clr_at then
+         [ Rt.Harness.Partition_clr { at = clr_at; until = clr_heal } ]
+       else [])
+      @
+      if kill_session > 0 then
+        [ Rt.Harness.Kill_session { session = kill_session; at = kill_at } ]
+      else []
+    in
+    let hc =
+      {
+        Rt.Harness.default with
+        Rt.Harness.sessions;
+        receivers;
+        duration;
+        impair = Rt.Net.impairment ~loss ~delay ~jitter ~warmup ();
+        cfg;
+        seed;
+        chaos = plan;
+        faults;
+      }
+    in
+    let sink = Obs.Sink.create () in
+    let r = Rt.Harness.run ~obs:sink hc in
+    (match metrics_out with
+    | Some file -> write_metrics_out ~file sink
+    | None -> ());
+    let ok_stats =
+      List.filter_map
+        (fun (_, o) -> match o with Par.Ok s -> Some s | _ -> None)
+        r.Rt.Harness.outcomes
+    in
+    let conv =
+      List.length (List.filter (Rt.Harness.converged ~cfg) ok_stats)
+    in
+    let ratio = float_of_int conv /. float_of_int sessions in
+    let failovers =
+      List.fold_left (fun a s -> a + s.Rt.Harness.failovers) 0 r.Rt.Harness.stats
+    in
+    let chaos_counts =
+      Obs.Metrics.labelled_values sink.Obs.Sink.metrics
+        "tfmcc_rt_chaos_events_total"
+    in
+    let rates = List.map (fun s -> s.Rt.Harness.rate) ok_stats in
+    let rate_min = List.fold_left Float.min infinity rates in
+    let rate_max = List.fold_left Float.max neg_infinity rates in
+    let rate_mean =
+      if rates = [] then 0.
+      else List.fold_left ( +. ) 0. rates /. float_of_int (List.length rates)
+    in
+    (* Assertions: nothing escaped the session guards, the fleet
+       converged despite the plan, and — when the CLR partition ran —
+       the senders demonstrably failed over. *)
+    let failures = ref [] in
+    let check cond msg = if not cond then failures := msg :: !failures in
+    check (r.Rt.Harness.loop_exceptions = 0)
+      (Printf.sprintf "%d exception(s) hit the loop backstop"
+         r.Rt.Harness.loop_exceptions);
+    check (ratio >= min_converged)
+      (Printf.sprintf "converged %d/%d (%.1f%% < %.1f%%)" conv sessions
+         (100. *. ratio) (100. *. min_converged));
+    if clr_heal > clr_at then begin
+      check (r.Rt.Harness.clr_partitioned > 0) "CLR partition never fired";
+      check (failovers > 0) "no CLR failover under partition"
+    end;
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("sessions", Obs.Json.Int sessions);
+                ("receivers", Obs.Json.Int receivers);
+                ("duration_s", Obs.Json.Float duration);
+                ("seed", Obs.Json.Int seed);
+                ("plan", Obs.Json.Str (Rt.Chaos.describe plan));
+                ("timers_fired", Obs.Json.Int r.Rt.Harness.timers_fired);
+                ("frames_sent", Obs.Json.Int r.Rt.Harness.frames_sent);
+                ("frames_delivered", Obs.Json.Int r.Rt.Harness.frames_delivered);
+                ("frames_lost", Obs.Json.Int r.Rt.Harness.frames_lost);
+                ("frames_blocked", Obs.Json.Int r.Rt.Harness.frames_blocked);
+                ("converged_sessions", Obs.Json.Int conv);
+                ("converged_ratio", Obs.Json.Float ratio);
+                ("clr_partitioned", Obs.Json.Int r.Rt.Harness.clr_partitioned);
+                ("failovers", Obs.Json.Int failovers);
+                ("crashes", Obs.Json.Int r.Rt.Harness.crashes);
+                ("restarts", Obs.Json.Int r.Rt.Harness.restarts);
+                ("stalls", Obs.Json.Int r.Rt.Harness.stalls);
+                ("sessions_failed", Obs.Json.Int r.Rt.Harness.sessions_failed);
+                ("loop_exceptions", Obs.Json.Int r.Rt.Harness.loop_exceptions);
+                ( "chaos_events",
+                  Obs.Json.Obj
+                    (List.map
+                       (fun (labels, v) ->
+                         ( (match labels with
+                           | [ (_, kind) ] -> kind
+                           | _ -> "unknown"),
+                           Obs.Json.Int v ))
+                       chaos_counts) );
+                ("rate_min", Obs.Json.Float rate_min);
+                ("rate_mean", Obs.Json.Float rate_mean);
+                ("rate_max", Obs.Json.Float rate_max);
+                ( "outcomes",
+                  Obs.Json.Arr
+                    (List.map
+                       (fun (sid, o) ->
+                         Obs.Json.Obj
+                           [
+                             ("session", Obs.Json.Int sid);
+                             ("outcome", Obs.Json.Str (Par.outcome_label o));
+                             ( "converged",
+                               Obs.Json.Bool
+                                 (match o with
+                                 | Par.Ok s -> Rt.Harness.converged s ~cfg
+                                 | _ -> false) );
+                           ])
+                       r.Rt.Harness.outcomes) );
+                ( "ok",
+                  Obs.Json.Bool (!failures = []) );
+              ]))
+    else begin
+      Printf.printf "chaos-rt: %d session(s) x %d receiver(s), %.1f loop-s, seed %d\n"
+        sessions receivers duration seed;
+      Printf.printf "plan: %s\n"
+        (if plan = [] then "(none)" else Rt.Chaos.describe plan);
+      Printf.printf
+        "faults: clr-partition %s, kill-session %s\n"
+        (if clr_heal > clr_at then
+           Printf.sprintf "%g..%gs (%d partitioned)" clr_at clr_heal
+             r.Rt.Harness.clr_partitioned
+         else "off")
+        (if kill_session > 0 then
+           Printf.sprintf "#%d@%gs" kill_session kill_at
+         else "off");
+      Printf.printf
+        "frames: %d sent, %d delivered, %d lost, %d blocked (partition/flap)\n"
+        r.Rt.Harness.frames_sent r.Rt.Harness.frames_delivered
+        r.Rt.Harness.frames_lost r.Rt.Harness.frames_blocked;
+      List.iter
+        (fun (labels, v) ->
+          match labels with
+          | [ (_, kind) ] -> Printf.printf "chaos event: %-16s %d\n" kind v
+          | _ -> ())
+        chaos_counts;
+      Printf.printf
+        "supervision: %d crash(es), %d restart(s), %d stall(s), %d failed, %d \
+         loop exception(s)\n"
+        r.Rt.Harness.crashes r.Rt.Harness.restarts r.Rt.Harness.stalls
+        r.Rt.Harness.sessions_failed r.Rt.Harness.loop_exceptions;
+      Printf.printf
+        "converged %d/%d (%.1f%%), %d CLR failover(s); rates (kbit/s) min \
+         %.1f mean %.1f max %.1f\n"
+        conv sessions (100. *. ratio) failovers
+        (rate_min *. 8. /. 1000.)
+        (rate_mean *. 8. /. 1000.)
+        (rate_max *. 8. /. 1000.)
+    end;
+    Printf.eprintf "chaos-rt: %.2f wall-s\n%!" r.Rt.Harness.wall_s;
+    if !failures <> [] then begin
+      List.iter (Printf.eprintf "chaos-rt: FAIL: %s\n") (List.rev !failures);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos-rt" ~doc)
+    Term.(
+      const run $ sessions_arg $ receivers_arg $ duration_arg $ loss_arg
+      $ delay_arg $ jitter_arg $ warmup_arg $ clr_at_arg $ clr_heal_arg
+      $ flap_at_arg $ flap_up_arg $ churn_arg $ churn_from_arg
+      $ churn_until_arg $ churn_period_arg $ churn_down_arg $ kill_session_arg
+      $ kill_at_arg $ min_converged_arg $ rtt_initial_arg $ seed_arg $ json_arg
+      $ metrics_out_arg)
+
 let () =
   let doc = "TFMCC (SIGCOMM 2001) reproduction: experiment runner" in
   let info = Cmd.info "tfmcc-sim" ~version:"1.0.0" ~doc in
@@ -749,4 +1053,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; all_cmd; sweep_cmd; verify_golden_cmd;
-            chaos_cmd; scatter_cmd; trace_cmd; dot_cmd; loopback_cmd ]))
+            chaos_cmd; scatter_cmd; trace_cmd; dot_cmd; loopback_cmd;
+            chaos_rt_cmd ]))

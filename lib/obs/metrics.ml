@@ -146,6 +146,15 @@ let sum_counters t name =
       match inst with C c when n = name -> acc + Counter.value c | _ -> acc)
     t.tbl 0
 
+let labelled_values t name =
+  Hashtbl.fold
+    (fun (n, labels) inst acc ->
+      match inst with
+      | C c when n = name -> (labels, Counter.value c) :: acc
+      | _ -> acc)
+    t.tbl []
+  |> List.sort compare
+
 let labels_to_string labels =
   match labels with
   | [] -> ""

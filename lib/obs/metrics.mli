@@ -94,6 +94,11 @@ val sum_counters : t -> string -> int
 (** Sum of the counter [name] over every label set it is registered
     with. *)
 
+val labelled_values : t -> string -> (labels * int) list
+(** Every label set the counter [name] is registered with, paired with
+    its current value, sorted — the per-kind breakdown of a labelled
+    counter family (e.g. [tfmcc_rt_send_error_total]). *)
+
 val describe : ?prefix:string -> t -> string
 (** One-line ["name{k=v}=n, ..."] rendering of every counter whose name
     starts with [prefix] (default: all), for human-readable summaries.

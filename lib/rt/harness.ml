@@ -4,6 +4,29 @@ open Tfmcc_core
 
 type transport = Loopback | Udp_sockets
 
+type supervision = {
+  probe_interval : float;
+  stall_probes : int;
+  max_restarts : int;
+  restart_backoff : float;
+  restart_on_stall : bool;
+}
+
+let default_supervision =
+  {
+    probe_interval = 1.0;
+    stall_probes = 20;
+    max_restarts = 3;
+    restart_backoff = 0.25;
+    restart_on_stall = true;
+  }
+
+type fault =
+  | Kill_session of { session : int; at : float }
+  | Kill_session_every of { session : int; at : float; period : float; until : float }
+  | Stop_sender of { session : int; at : float }
+  | Partition_clr of { at : float; until : float }
+
 type config = {
   sessions : int;
   receivers : int;
@@ -14,6 +37,9 @@ type config = {
   transport : transport;
   epoch : float;
   seed : int;
+  supervise : supervision;
+  chaos : Chaos.plan;
+  faults : fault list;
 }
 
 let default =
@@ -27,6 +53,9 @@ let default =
     transport = Loopback;
     epoch = 0.;
     seed = 42;
+    supervise = default_supervision;
+    chaos = [];
+    faults = [];
   }
 
 type session_stat = {
@@ -38,10 +67,13 @@ type session_stat = {
   loss_rate : float;
   rtt : float;
   rtt_measured : bool;
+  failovers : int;
+  starvations : int;
 }
 
 type result = {
   stats : session_stat list;
+  outcomes : (int * session_stat Par.outcome) list;
   wall_s : float;
   end_time : float;
   timers_fired : int;
@@ -49,15 +81,27 @@ type result = {
   frames_sent : int;
   frames_delivered : int;
   frames_lost : int;
+  frames_blocked : int;
   encode_drops : int;
   decode_errors : int;
+  crashes : int;
+  restarts : int;
+  stalls : int;
+  sessions_failed : int;
+  loop_exceptions : int;
+  clr_partitioned : int;
+  chaos : Chaos.t option;
 }
 
 (* One vtable per transport so the session-building code below is
    written once. *)
 type ops = {
   new_ep : session:int -> Env.t * ((size:int -> Wire.msg -> unit) -> unit);
-  totals : unit -> int * int * int * int * int;
+  totals : unit -> int * int * int * int * int * int;
+  block : int -> unit;  (* Partition_clr; loopback only *)
+  unblock : int -> unit;
+  set_on_fatal : (session:int -> endpoint:int -> exn -> unit) -> unit;
+  net : Net.t option;  (* chaos plans need the fabric; None on udp *)
   shutdown : unit -> unit;
 }
 
@@ -74,7 +118,12 @@ let loopback_ops loop ~impair =
           Net.frames_delivered net,
           Net.frames_lost net,
           Net.encode_drops net,
-          Net.decode_errors net ));
+          Net.decode_errors net,
+          Net.partition_drops net + Net.flap_drops net ));
+    block = Net.block net;
+    unblock = Net.unblock net;
+    set_on_fatal = (fun _ -> ());
+    net = Some net;
     shutdown = (fun () -> ());
   }
 
@@ -91,13 +140,76 @@ let udp_ops loop =
           Udp.frames_delivered net,
           0,
           Udp.send_errors net,
-          Udp.decode_errors net ));
+          Udp.decode_errors net,
+          Udp.send_shed net ));
+    block = (fun _ -> invalid_arg "Harness: Partition_clr needs the loopback fabric");
+    unblock = (fun _ -> ());
+    set_on_fatal = Udp.set_on_fatal net;
+    net = None;
     shutdown = (fun () -> Udp.close net);
   }
+
+(* Per-session supervision state (DESIGN.md §15).  [gen] is the crash
+   generation: every timer, callback and delivery hook captures the
+   generation it was installed under and mutes itself once the
+   supervisor has moved on — a restarted session can never be poked by
+   its dead predecessor's timers. *)
+type sup = {
+  sid : int;
+  mutable gen : int;
+  mutable sess : Session.t option;
+  mutable guarded_env : Env.t option;  (* current sender env; kill faults inject here *)
+  mutable state : [ `Running | `Backoff | `Failed ];
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable stalls : int;
+  mutable last_packets : int;
+  mutable idle_probes : int;
+  mutable fail : [ `Crash of exn * Printexc.raw_backtrace | `Stall of string ] option;
+}
+
+let validate_faults c =
+  List.iter
+    (fun f ->
+      let need_session sid name =
+        if sid < 1 || sid > c.sessions then
+          invalid_arg (Printf.sprintf "Harness: %s names unknown session %d" name sid)
+      in
+      match f with
+      | Kill_session { session; at } ->
+          need_session session "Kill_session";
+          if not (Float.is_finite at && at >= 0.) then
+            invalid_arg "Harness: Kill_session.at must be finite and >= 0"
+      | Kill_session_every { session; at; period; until } ->
+          need_session session "Kill_session_every";
+          if not (Float.is_finite period && period > 0.) then
+            invalid_arg "Harness: Kill_session_every.period must be positive";
+          if not (Float.is_finite at && at >= 0. && Float.is_finite until) then
+            invalid_arg "Harness: Kill_session_every window must be finite"
+      | Stop_sender { session; at } ->
+          need_session session "Stop_sender";
+          if not (Float.is_finite at && at >= 0.) then
+            invalid_arg "Harness: Stop_sender.at must be finite and >= 0"
+      | Partition_clr { at; until } ->
+          if c.transport <> Loopback then
+            invalid_arg "Harness: Partition_clr needs the loopback fabric";
+          if not (Float.is_finite at && at >= 0. && Float.is_finite until && until > at)
+          then invalid_arg "Harness: Partition_clr window must be finite with until > at")
+    c.faults
 
 let run ?obs c =
   if c.sessions < 1 then invalid_arg "Harness.run: need at least one session";
   if c.receivers < 1 then invalid_arg "Harness.run: need at least one receiver";
+  if not (Float.is_finite c.supervise.probe_interval && c.supervise.probe_interval > 0.)
+  then invalid_arg "Harness.run: probe_interval must be positive";
+  if c.supervise.stall_probes < 1 then
+    invalid_arg "Harness.run: stall_probes must be >= 1";
+  if c.supervise.max_restarts < 0 then
+    invalid_arg "Harness.run: max_restarts must be >= 0";
+  if c.chaos <> [] && c.transport <> Loopback then
+    invalid_arg "Harness.run: chaos plans need the loopback fabric";
+  Chaos.validate c.chaos;
+  validate_faults c;
   let obs = match obs with Some s -> s | None -> Obs.Sink.create () in
   let loop = Loop.create ~mode:c.mode ~epoch:c.epoch ~obs ~seed:c.seed () in
   let ops =
@@ -105,55 +217,299 @@ let run ?obs c =
     | Loopback -> loopback_ops loop ~impair:c.impair
     | Udp_sockets -> udp_ops loop
   in
+  let m = obs.Obs.Sink.metrics in
+  let m_crashes = Obs.Metrics.counter m "tfmcc_rt_session_crashes_total" in
+  let m_restarted = Obs.Metrics.counter m "tfmcc_rt_sessions_restarted_total" in
+  let m_failed = Obs.Metrics.counter m "tfmcc_rt_sessions_failed_total" in
+  let m_stalls = Obs.Metrics.counter m "tfmcc_rt_session_stalls_total" in
   Obs.Metrics.Gauge.set
-    (Obs.Metrics.gauge obs.Obs.Sink.metrics "tfmcc_rt_sessions")
+    (Obs.Metrics.gauge m "tfmcc_rt_sessions")
     (float_of_int c.sessions);
-  let sessions =
+  let journal sup ~severity ~kind ~detail =
+    Obs.Sink.event obs ~time:(Loop.now loop) ~severity
+      (Obs.Journal.scope ~session:sup.sid "rt.harness")
+      (Obs.Journal.Fault { kind; detail })
+  in
+  (* Backstop: nothing should reach this (every session path is guarded
+     below), but a bug in the harness itself must not kill the other
+     199 sessions.  [Loop.exceptions_caught] stays 0 on a healthy run
+     and the CI soak asserts exactly that. *)
+  Loop.set_exn_handler loop (fun e _bt ->
+      Obs.Sink.event obs ~time:(Loop.now loop) ~severity:Obs.Journal.Error
+        (Obs.Journal.scope "rt.harness")
+        (Obs.Journal.Fault
+           { kind = "loop-exception"; detail = Printexc.to_string e }));
+  let sups =
     List.init c.sessions (fun i ->
-        let sid = i + 1 in
-        let sender_env, set_sender_deliver = ops.new_ep ~session:sid in
-        let rx = List.init c.receivers (fun _ -> ops.new_ep ~session:sid) in
-        let s =
-          Session.create ~sender_env ~cfg:c.cfg ~session:sid
-            ~receiver_envs:(List.map fst rx) ()
-        in
-        let snd = Session.sender s in
-        set_sender_deliver (fun ~size:_ msg -> Sender.deliver snd msg);
-        List.iter2
-          (fun (_, set_deliver) r ->
-            set_deliver (fun ~size msg -> Receiver.deliver r ~size msg))
-          rx (Session.receivers s);
-        (* Stagger the starts so a thousand senders don't share one
-           feedback-round phase. *)
-        Session.start s ~at:(c.epoch +. (0.01 *. float_of_int (i mod 128)));
-        (sid, s))
+        {
+          sid = i + 1;
+          gen = 0;
+          sess = None;
+          guarded_env = None;
+          state = `Running;
+          crashes = 0;
+          restarts = 0;
+          stalls = 0;
+          last_packets = -1;
+          idle_probes = 0;
+          fail = None;
+        })
+  in
+  let sup_for sid = List.nth sups (sid - 1) in
+  let clr_partitioned = ref 0 in
+  (* [guard] captures the generation a callback was installed under:
+     stale generations are muted, and an exception in a live one is a
+     session crash, not a loop crash. *)
+  let rec guard sup ~gen fn () =
+    if sup.gen = gen then
+      try fn ()
+      with e -> on_crash sup e (Printexc.get_raw_backtrace ())
+  and guard_env sup ~gen (env : Env.t) =
+    {
+      env with
+      Env.after = (fun ~delay fn -> env.Env.after ~delay (guard sup ~gen fn));
+      after_unit = (fun ~delay fn -> env.Env.after_unit ~delay (guard sup ~gen fn));
+      at = (fun ~time fn -> env.Env.at ~time (guard sup ~gen fn));
+    }
+  and build_session sup ~start_at =
+    let gen = sup.gen in
+    let sender_env, set_sender_deliver = ops.new_ep ~session:sup.sid in
+    let rx = List.init c.receivers (fun _ -> ops.new_ep ~session:sup.sid) in
+    let genv = guard_env sup ~gen sender_env in
+    let s =
+      Session.create ~sender_env:genv ~cfg:c.cfg ~session:sup.sid
+        ~receiver_envs:(List.map (fun (e, _) -> guard_env sup ~gen e) rx)
+        ()
+    in
+    let snd = Session.sender s in
+    set_sender_deliver (fun ~size:_ msg ->
+        if sup.gen = gen then
+          try Sender.deliver snd msg
+          with e -> on_crash sup e (Printexc.get_raw_backtrace ()));
+    List.iter2
+      (fun (_, set_deliver) r ->
+        set_deliver (fun ~size msg ->
+            if sup.gen = gen then
+              try Receiver.deliver r ~size msg
+              with e -> on_crash sup e (Printexc.get_raw_backtrace ())))
+      rx (Session.receivers s);
+    sup.sess <- Some s;
+    sup.guarded_env <- Some genv;
+    Session.start s ~at:start_at
+  and teardown sup =
+    (* Advance the generation first: everything the dead incarnation
+       scheduled is mute from here on.  Then stop the sender and pull
+       the receivers out of the group so fan-out stops feeding them. *)
+    sup.gen <- sup.gen + 1;
+    match sup.sess with
+    | None -> ()
+    | Some s ->
+        (try Session.stop s with _ -> ());
+        List.iter
+          (fun r -> try Receiver.leave r ~explicit_leave:false () with _ -> ())
+          (Session.receivers s)
+  and retire sup ~cause =
+    teardown sup;
+    sup.fail <- Some cause;
+    if sup.restarts >= c.supervise.max_restarts then begin
+      sup.state <- `Failed;
+      Obs.Metrics.Counter.inc m_failed;
+      journal sup ~severity:Obs.Journal.Error ~kind:"session-failed"
+        ~detail:(Printf.sprintf "gave up after %d restarts" sup.restarts)
+    end
+    else begin
+      sup.state <- `Backoff;
+      let delay = c.supervise.restart_backoff *. (2. ** float_of_int sup.restarts) in
+      sup.restarts <- sup.restarts + 1;
+      Obs.Metrics.Counter.inc m_restarted;
+      journal sup ~severity:Obs.Journal.Warn ~kind:"session-restart"
+        ~detail:(Printf.sprintf "restart %d in %.3fs" sup.restarts delay);
+      ignore
+        (Loop.after loop ~delay (fun () ->
+             if sup.state = `Backoff then begin
+               sup.state <- `Running;
+               sup.idle_probes <- 0;
+               sup.last_packets <- -1;
+               build_session sup ~start_at:(Loop.now loop)
+             end)
+          : Env.timer)
+    end
+  and on_crash sup e bt =
+    match sup.state with
+    | `Backoff | `Failed -> ()
+    | `Running ->
+        sup.crashes <- sup.crashes + 1;
+        Obs.Metrics.Counter.inc m_crashes;
+        journal sup ~severity:Obs.Journal.Error ~kind:"session-crash"
+          ~detail:(Printexc.to_string e);
+        retire sup ~cause:(`Crash (e, bt))
+  in
+  (* A fatal transport error is not restartable: the incarnation's
+     socket is gone and every retry would rebuild state the kernel
+     already refused.  Fail the session immediately. *)
+  ops.set_on_fatal (fun ~session ~endpoint e ->
+      let sup = sup_for session in
+      match sup.state with
+      | `Failed -> ()
+      | `Running | `Backoff ->
+          teardown sup;
+          sup.fail <- Some (`Crash (e, Printexc.get_callstack 0));
+          sup.state <- `Failed;
+          Obs.Metrics.Counter.inc m_failed;
+          journal sup ~severity:Obs.Journal.Error ~kind:"session-failed"
+            ~detail:
+              (Printf.sprintf "fatal transport error on endpoint %d: %s" endpoint
+                 (Printexc.to_string e)));
+  List.iteri
+    (fun i sup ->
+      (* Stagger the starts so a thousand senders don't share one
+         feedback-round phase. *)
+      build_session sup ~start_at:(c.epoch +. (0.01 *. float_of_int (i mod 128))))
+    sups;
+  (* Stall watchdog: one probe sweep over every running session.  A
+     session that has not sent a packet for [stall_probes] consecutive
+     probes is stalled (the rt mirror of [Netsim.Watchdog]'s
+     no-progress rule; [<>] not [>] because a restarted sender's count
+     begins again at zero). *)
+  ignore
+    (Loop.every loop ~interval:c.supervise.probe_interval (fun () ->
+         List.iter
+           (fun sup ->
+             match (sup.state, sup.sess) with
+             | `Running, Some s ->
+                 let p = Sender.packets_sent (Session.sender s) in
+                 if p <> sup.last_packets then begin
+                   sup.last_packets <- p;
+                   sup.idle_probes <- 0
+                 end
+                 else begin
+                   sup.idle_probes <- sup.idle_probes + 1;
+                   if sup.idle_probes >= c.supervise.stall_probes then begin
+                     let reason =
+                       Printf.sprintf "no packets for %d probes (%.1fs)"
+                         sup.idle_probes
+                         (float_of_int sup.idle_probes *. c.supervise.probe_interval)
+                     in
+                     sup.stalls <- sup.stalls + 1;
+                     sup.idle_probes <- 0;
+                     Obs.Metrics.Counter.inc m_stalls;
+                     journal sup ~severity:Obs.Journal.Warn ~kind:"session-stall"
+                       ~detail:reason;
+                     if c.supervise.restart_on_stall then
+                       retire sup ~cause:(`Stall reason)
+                   end
+                 end
+             | _ -> ())
+           sups)
+      : Env.timer);
+  (* Fault injection (times relative to the epoch, like chaos plans).
+     Kills are injected through the session's own guarded env so the
+     exception exercises the real crash path, not a shortcut. *)
+  let inject_kill sup =
+    match (sup.state, sup.guarded_env) with
+    | `Running, Some env ->
+        env.Env.after_unit ~delay:0. (fun () ->
+            failwith "chaos: injected session kill")
+    | _ -> ()
+  in
+  let blocked_clrs = ref [] in
+  List.iter
+    (fun f ->
+      let arm ~at fn =
+        ignore (Loop.at loop ~time:(c.epoch +. at) fn : Env.timer)
+      in
+      match f with
+      | Kill_session { session; at } ->
+          arm ~at (fun () -> inject_kill (sup_for session))
+      | Kill_session_every { session; at; period; until } ->
+          let t = ref at in
+          while !t < until do
+            let at = !t in
+            arm ~at (fun () -> inject_kill (sup_for session));
+            t := !t +. period
+          done
+      | Stop_sender { session; at } ->
+          arm ~at (fun () ->
+              let sup = sup_for session in
+              match (sup.state, sup.sess) with
+              | `Running, Some s -> Sender.stop (Session.sender s)
+              | _ -> ())
+      | Partition_clr { at; until } ->
+          arm ~at (fun () ->
+              List.iter
+                (fun sup ->
+                  match (sup.state, sup.sess) with
+                  | `Running, Some s -> (
+                      match Sender.clr (Session.sender s) with
+                      | Some node ->
+                          ops.block node;
+                          incr clr_partitioned;
+                          blocked_clrs := node :: !blocked_clrs;
+                          journal sup ~severity:Obs.Journal.Error
+                            ~kind:"clr-partitioned"
+                            ~detail:(Printf.sprintf "endpoint %d" node)
+                      | None -> ())
+                  | _ -> ())
+                sups);
+          arm ~at:until (fun () ->
+              List.iter ops.unblock !blocked_clrs;
+              blocked_clrs := []))
+    c.faults;
+  let chaos =
+    match (c.chaos, ops.net) with
+    | [], _ | _, None -> None
+    | plan, Some net -> Some (Chaos.apply net plan)
   in
   let t0 = Unix.gettimeofday () in
   Loop.run ~until:(c.epoch +. c.duration) loop;
   let wall_s = Unix.gettimeofday () -. t0 in
-  let stats =
-    List.map
-      (fun (sid, s) ->
-        let snd = Session.sender s in
-        let rxs = Session.receivers s in
-        let n = float_of_int (List.length rxs) in
-        let mean f = List.fold_left (fun a r -> a +. f r) 0. rxs /. n in
-        {
-          session = sid;
-          rate = Sender.rate_bytes_per_s snd;
-          packets = Sender.packets_sent snd;
-          reports = Sender.reports_received snd;
-          starved = Sender.is_starved snd;
-          loss_rate = mean Receiver.loss_event_rate;
-          rtt = mean Receiver.rtt;
-          rtt_measured = List.for_all Receiver.has_rtt_measurement rxs;
-        })
-      sessions
+  let stat_of sup s =
+    let snd = Session.sender s in
+    let rxs = Session.receivers s in
+    let n = float_of_int (List.length rxs) in
+    let mean f = List.fold_left (fun a r -> a +. f r) 0. rxs /. n in
+    {
+      session = sup.sid;
+      rate = Sender.rate_bytes_per_s snd;
+      packets = Sender.packets_sent snd;
+      reports = Sender.reports_received snd;
+      starved = Sender.is_starved snd;
+      loss_rate = mean Receiver.loss_event_rate;
+      rtt = mean Receiver.rtt;
+      rtt_measured = List.for_all Receiver.has_rtt_measurement rxs;
+      failovers = Sender.clr_failovers snd;
+      starvations = Sender.feedback_starvations snd;
+    }
   in
-  let sent, delivered, lost, enc, dec = ops.totals () in
+  let outcomes =
+    List.map
+      (fun sup ->
+        let outcome =
+          match (sup.state, sup.sess, sup.fail) with
+          | `Running, Some s, _ -> Par.Ok (stat_of sup s)
+          | (`Failed | `Backoff), _, Some (`Crash (exn, backtrace)) ->
+              Par.Failed { exn; backtrace }
+          | (`Failed | `Backoff), _, Some (`Stall reason) -> Par.Stalled { reason }
+          | _ ->
+              Par.Failed
+                {
+                  exn = Failure "session lost without a recorded cause";
+                  backtrace = Printexc.get_callstack 0;
+                }
+        in
+        (sup.sid, outcome))
+      sups
+  in
+  let stats =
+    List.filter_map
+      (fun sup -> Option.map (stat_of sup) sup.sess)
+      sups
+  in
+  let sent, delivered, lost, enc, dec, blocked = ops.totals () in
   ops.shutdown ();
   {
     stats;
+    outcomes;
     wall_s;
     end_time = Loop.now loop;
     timers_fired = Loop.timers_fired loop;
@@ -161,8 +517,17 @@ let run ?obs c =
     frames_sent = sent;
     frames_delivered = delivered;
     frames_lost = lost;
+    frames_blocked = blocked;
     encode_drops = enc;
     decode_errors = dec;
+    crashes = List.fold_left (fun a s -> a + s.crashes) 0 sups;
+    restarts = List.fold_left (fun a s -> a + s.restarts) 0 sups;
+    stalls = List.fold_left (fun a s -> a + s.stalls) 0 sups;
+    sessions_failed =
+      List.length (List.filter (fun s -> s.state = `Failed) sups);
+    loop_exceptions = Loop.exceptions_caught loop;
+    clr_partitioned = !clr_partitioned;
+    chaos;
   }
 
 let converged stat ~cfg =

@@ -2,13 +2,55 @@
     TFMCC sessions (one sender, [receivers] receivers each) as fabric
     endpoints on one loop, starts them staggered to decorrelate
     feedback rounds, runs for [duration] loop-seconds and reports
-    per-session outcomes.  This is what [tfmcc-sim loopback] and the CI
-    soak smoke run. *)
+    per-session outcomes.  This is what [tfmcc-sim loopback],
+    [tfmcc-sim chaos-rt] and the CI soaks run.
+
+    Sessions run {e supervised} (DESIGN.md §15): every timer, callback
+    and delivery hook is wrapped so an exception in one session is a
+    session crash — counted, journaled, and answered with
+    restart-with-exponential-backoff — never a loop crash.  A stall
+    watchdog (the rt mirror of [Netsim.Watchdog]'s no-progress rule)
+    catches sessions that stop sending without raising.  Each session
+    ends the run with a structured {!Par.outcome}. *)
 
 type transport =
   | Loopback  (** in-process fabric ({!Net}); scales to thousands *)
   | Udp_sockets
       (** kernel UDP ({!Udp}); one fd per endpoint, realtime mode only *)
+
+type supervision = {
+  probe_interval : float;  (** seconds between health-probe sweeps *)
+  stall_probes : int;
+      (** consecutive probes with no new packets before a session
+          counts as stalled *)
+  max_restarts : int;  (** per session; exceeded -> [Failed] *)
+  restart_backoff : float;
+      (** first restart delay, seconds; doubles per restart *)
+  restart_on_stall : bool;
+      (** false: stalls are counted and journaled but not restarted *)
+}
+
+val default_supervision : supervision
+(** 1 s probes, stalled after 20 idle probes, 3 restarts starting at
+    0.25 s backoff, stalls restarted. *)
+
+(** Deterministic fault injection, the harness-level complement of a
+    {!Chaos.plan} (which impairs the fabric; these target sessions).
+    Times are relative to the config epoch. *)
+type fault =
+  | Kill_session of { session : int; at : float }
+      (** Injects an exception into the session's timer path at [at] —
+          exercises the full crash/restart machinery. *)
+  | Kill_session_every of { session : int; at : float; period : float; until : float }
+      (** Repeated kills; enough of them exhaust [max_restarts] and
+          drive the session to [Failed]. *)
+  | Stop_sender of { session : int; at : float }
+      (** Stops the sender without an exception — the session goes
+          quiet, which only the stall watchdog can notice. *)
+  | Partition_clr of { at : float; until : float }
+      (** At [at], looks up every session's current CLR and blocks that
+          endpoint on the fabric until [until] — the rt twin of the
+          simulator's CLR-partition scenario.  Loopback only. *)
 
 type config = {
   sessions : int;
@@ -20,13 +62,16 @@ type config = {
   transport : transport;
   epoch : float;
   seed : int;
+  supervise : supervision;
+  chaos : Chaos.plan;  (** fabric impairment schedule; loopback only *)
+  faults : fault list;  (** session-targeted fault schedule *)
 }
 
 val default : config
 (** 4 sessions x 1 receiver, 8 s turbo, 2% loss, 25 ms delay, 5 ms
     jitter — an impairment under which the equation rate is a few
     hundred packets per second, so rates visibly converge within the
-    run. *)
+    run.  Default supervision, no chaos, no faults. *)
 
 type session_stat = {
   session : int;
@@ -37,10 +82,19 @@ type session_stat = {
   loss_rate : float;  (** mean receiver loss-event rate *)
   rtt : float;  (** mean receiver RTT estimate *)
   rtt_measured : bool;  (** every receiver holds a real RTT sample *)
+  failovers : int;  (** CLR failovers the sender performed *)
+  starvations : int;  (** feedback starvation episodes *)
 }
 
 type result = {
   stats : session_stat list;
+      (** final stats of each session's last incarnation (failed
+          sessions report the state they died with) *)
+  outcomes : (int * session_stat Par.outcome) list;
+      (** per-session structured outcome, PR 6 shape: [Ok stat] for a
+          session alive at the end (restarts allowed), [Failed] for a
+          crash that exhausted its restarts (or a fatal transport
+          error), [Stalled] for a watchdog retirement *)
   wall_s : float;  (** host wall-clock spent inside the loop *)
   end_time : float;  (** loop clock when the run stopped *)
   timers_fired : int;
@@ -48,14 +102,30 @@ type result = {
   frames_sent : int;
   frames_delivered : int;
   frames_lost : int;
+  frames_blocked : int;
+      (** loopback: partition + flap chaos drops; udp: frames shed *)
   encode_drops : int;
   decode_errors : int;
+  crashes : int;  (** session crashes caught across the run *)
+  restarts : int;  (** session restarts performed *)
+  stalls : int;  (** stall-watchdog firings *)
+  sessions_failed : int;  (** sessions in the [Failed] state at the end *)
+  loop_exceptions : int;
+      (** exceptions that escaped every session guard and hit the loop
+          backstop — zero on a healthy run, asserted by the CI soak *)
+  clr_partitioned : int;  (** CLR endpoints blocked by [Partition_clr] *)
+  chaos : Chaos.t option;  (** applied-plan handle with event counters *)
 }
 
 val run : ?obs:Obs.Sink.t -> config -> result
 (** Builds its own loop/fabric; [obs] (default a fresh sink) receives
     the live metrics registry, including the [tfmcc_rt_*] transport
-    counters and a [tfmcc_rt_sessions] gauge. *)
+    counters, the supervision counters
+    ([tfmcc_rt_session_crashes_total], [tfmcc_rt_sessions_restarted_total],
+    [tfmcc_rt_sessions_failed_total], [tfmcc_rt_session_stalls_total])
+    and a [tfmcc_rt_sessions] gauge.  Raises [Invalid_argument] for a
+    chaos plan or [Partition_clr] fault on the UDP transport, or a
+    fault naming an unknown session. *)
 
 val converged : session_stat -> cfg:Tfmcc_core.Config.t -> bool
 (** Non-zero goodput, not in the starvation decay, and at least one

@@ -13,6 +13,14 @@ type t = {
   mutable running : bool;
   mutable fds : (Unix.file_descr * (unit -> unit)) list;
   mutable anomalies : int;
+  (* Exception backstop (DESIGN.md §15): without a handler, an exception
+     escaping a timer or fd callback propagates out of [run] — the
+     pre-chaos behavior, and the right one for tests that want to see
+     their own bugs.  With a handler installed (the supervised harness
+     does), the loop survives: the exception is counted, handed to the
+     handler, and the remaining timers keep firing. *)
+  mutable exn_handler : (exn -> Printexc.raw_backtrace -> unit) option;
+  mutable exns_caught : int;
 }
 
 (* Same metric family as Tfmcc_core.Env.clock_anomaly, registered
@@ -40,6 +48,8 @@ let create ?(mode = Turbo) ?(epoch = 0.) ?obs ?(seed = 42)
       running = false;
       fds = [];
       anomalies = 0;
+      exn_handler = None;
+      exns_caught = 0;
     }
   in
   (match mode with
@@ -69,6 +79,27 @@ let split_rng t = Stats.Rng.split t.rng
 
 let timer_of e = { Tfmcc_core.Env.cancel = (fun () -> Wheel.cancel e) }
 
+(* The handler is consulted at fire time, not schedule time: installing
+   it after timers are queued still protects them.  The metric is
+   registered lazily so an exception-free run leaves the registry
+   untouched. *)
+let protect t fn () =
+  match t.exn_handler with
+  | None -> fn ()
+  | Some handler -> (
+      try fn ()
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        t.exns_caught <- t.exns_caught + 1;
+        Obs.Metrics.Counter.inc
+          (Obs.Metrics.counter t.obs.Obs.Sink.metrics
+             "tfmcc_rt_loop_exceptions_total");
+        handler e bt)
+
+let set_exn_handler t h = t.exn_handler <- Some h
+
+let exceptions_caught t = t.exns_caught
+
 let after t ~delay fn =
   let delay =
     if Float.is_finite delay && delay >= 0. then delay
@@ -77,7 +108,7 @@ let after t ~delay fn =
       0.
     end
   in
-  timer_of (Wheel.schedule t.wheel ~at:(now t +. delay) fn)
+  timer_of (Wheel.schedule t.wheel ~at:(now t +. delay) (protect t fn))
 
 let at t ~time fn =
   let time =
@@ -87,7 +118,35 @@ let at t ~time fn =
       now t
     end
   in
-  timer_of (Wheel.schedule t.wheel ~at:time fn)
+  timer_of (Wheel.schedule t.wheel ~at:time (protect t fn))
+
+(* Self-rescheduling periodic timer.  The chain survives a callback
+   exception when an exn handler is installed ([protect] runs inside the
+   scheduled closure, after the next occurrence is queued), and cancel
+   works mid-chain: the [cancelled] flag mutes whichever wheel entry is
+   current. *)
+let every t ~interval fn =
+  if not (Float.is_finite interval && interval > 0.) then
+    invalid_arg "Loop.every: interval must be finite and positive";
+  let cancelled = ref false in
+  let cur = ref None in
+  let rec arm ~time =
+    let e =
+      Wheel.schedule t.wheel ~at:time (fun () ->
+          if not !cancelled then begin
+            arm ~time:(time +. interval);
+            protect t fn ()
+          end)
+    in
+    cur := Some e
+  in
+  arm ~time:(now t +. interval);
+  {
+    Tfmcc_core.Env.cancel =
+      (fun () ->
+        cancelled := true;
+        match !cur with None -> () | Some e -> Wheel.cancel e);
+  }
 
 let watch_fd t fd cb = t.fds <- (fd, cb) :: List.remove_assoc fd t.fds
 
@@ -138,7 +197,7 @@ let run_realtime ?until t =
                   List.iter
                     (fun fd ->
                       match List.assoc_opt fd t.fds with
-                      | Some cb -> cb ()
+                      | Some cb -> protect t cb ()
                       | None -> ())
                     ready
               | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))

@@ -47,6 +47,24 @@ val after : t -> delay:float -> (unit -> unit) -> Tfmcc_core.Env.timer
 
 val at : t -> time:float -> (unit -> unit) -> Tfmcc_core.Env.timer
 
+val every : t -> interval:float -> (unit -> unit) -> Tfmcc_core.Env.timer
+(** Periodic timer: first fires [interval] seconds from now, then every
+    [interval] after, until the returned timer is cancelled.  The chain
+    survives a callback exception when {!set_exn_handler} is installed.
+    @raise Invalid_argument on a non-finite or non-positive interval. *)
+
+val set_exn_handler : t -> (exn -> Printexc.raw_backtrace -> unit) -> unit
+(** Installs the crash backstop: an exception escaping a timer or fd
+    callback is caught, counted under [tfmcc_rt_loop_exceptions_total],
+    and handed to the handler instead of tearing down {!run}.  Without a
+    handler (the default) exceptions propagate as before — and, because
+    the wheel processes due timers in batches, may silently cancel
+    same-tick siblings; supervised harnesses should always install one.
+    Consulted at fire time, so timers scheduled before installation are
+    covered too. *)
+
+val exceptions_caught : t -> int
+
 val watch_fd : t -> Unix.file_descr -> (unit -> unit) -> unit
 (** Registers a readable-callback (realtime mode only; the turbo clock
     outruns any real socket). *)

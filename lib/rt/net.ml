@@ -24,23 +24,36 @@ type endpoint = {
 
 and t = {
   loop : Loop.t;
-  impair : impairment;
+  mutable impair : impairment; (* current shim; chaos plans rewrite it *)
+  base_impair : impairment; (* as configured at creation (chaos restores to it) *)
   rng : Stats.Rng.t; (* impairment draws, split off the loop's master *)
   endpoints : (int, endpoint) Hashtbl.t;
   groups : (int, (int, unit) Hashtbl.t) Hashtbl.t; (* session -> member ids *)
   last_arrival : (int * int, float) Hashtbl.t; (* (src,dst) -> FIFO horizon *)
   loss_from : float; (* loop time the loss dice start rolling *)
+  (* Chaos state (DESIGN.md §15).  [blocked] refcounts endpoints taken
+     out by partitions/churn — overlapping windows may block the same
+     endpoint twice, and it only resurfaces once every window heals.
+     [blocked_n] caches the live entry count so the clean-path send
+     pays two int compares, not hash lookups. *)
+  blocked : (int, int) Hashtbl.t;
+  mutable blocked_n : int;
+  mutable fabric_up : bool;
   mutable next_id : int;
   mutable sent : int;
   mutable delivered : int;
   mutable lost : int;
   mutable enc_drops : int;
   mutable dec_errors : int;
+  mutable partition_drops : int;
+  mutable flap_drops : int;
   m_sent : Obs.Metrics.Counter.t;
   m_delivered : Obs.Metrics.Counter.t;
   m_lost : Obs.Metrics.Counter.t;
   m_enc : Obs.Metrics.Counter.t;
   m_dec : Obs.Metrics.Counter.t;
+  m_partition : Obs.Metrics.Counter.t;
+  m_flap : Obs.Metrics.Counter.t;
 }
 
 let create loop ?(impair = impairment ()) () =
@@ -48,17 +61,23 @@ let create loop ?(impair = impairment ()) () =
   {
     loop;
     impair;
+    base_impair = impair;
     rng = Loop.split_rng loop;
     endpoints = Hashtbl.create 64;
     groups = Hashtbl.create 16;
     last_arrival = Hashtbl.create 64;
     loss_from = Loop.now loop +. impair.warmup;
+    blocked = Hashtbl.create 16;
+    blocked_n = 0;
+    fabric_up = true;
     next_id = 0;
     sent = 0;
     delivered = 0;
     lost = 0;
     enc_drops = 0;
     dec_errors = 0;
+    partition_drops = 0;
+    flap_drops = 0;
     m_sent = Obs.Metrics.counter m "tfmcc_rt_frames_sent_total";
     m_delivered = Obs.Metrics.counter m "tfmcc_rt_frames_delivered_total";
     m_lost =
@@ -69,7 +88,49 @@ let create loop ?(impair = impairment ()) () =
     m_dec =
       Obs.Metrics.counter m ~labels:[ ("reason", "decode") ]
         "tfmcc_rt_frame_drop_total";
+    m_partition =
+      Obs.Metrics.counter m ~labels:[ ("reason", "partition") ]
+        "tfmcc_rt_frame_drop_total";
+    m_flap =
+      Obs.Metrics.counter m ~labels:[ ("reason", "flap") ]
+        "tfmcc_rt_frame_drop_total";
   }
+
+let loop t = t.loop
+
+let sessions t =
+  List.sort compare (Hashtbl.fold (fun sid _ acc -> sid :: acc) t.groups [])
+
+(* ----------------------------------------------------------- chaos hooks *)
+
+let set_impair t impair = t.impair <- impair
+
+let current_impair t = t.impair
+
+let base_impair t = t.base_impair
+
+let set_fabric_up t up = t.fabric_up <- up
+
+let fabric_up t = t.fabric_up
+
+let block t id =
+  (match Hashtbl.find_opt t.blocked id with
+  | None ->
+      Hashtbl.replace t.blocked id 1;
+      t.blocked_n <- t.blocked_n + 1
+  | Some n -> Hashtbl.replace t.blocked id (n + 1))
+
+let unblock t id =
+  match Hashtbl.find_opt t.blocked id with
+  | None -> ()
+  | Some 1 ->
+      Hashtbl.remove t.blocked id;
+      t.blocked_n <- t.blocked_n - 1
+  | Some n -> Hashtbl.replace t.blocked id (n - 1)
+
+let is_blocked t id = t.blocked_n > 0 && Hashtbl.mem t.blocked id
+
+let blocked_count t = t.blocked_n
 
 let endpoint t ~session =
   let ep = { ep_id = t.next_id; session; net = t; deliver = None } in
@@ -152,11 +213,23 @@ let send ep ~dest ~flow:_ ~size msg =
         | Env.To_group ->
             List.filter (fun id -> id <> ep.ep_id) (members t ep.session)
       in
+      (* Chaos checks happen at send time: frames already in flight when
+         a partition or flap begins still land, like packets on the wire
+         when a real link goes down behind them. *)
+      let src_blocked = is_blocked t ep.ep_id in
       List.iter
         (fun dst ->
           t.sent <- t.sent + 1;
           Obs.Metrics.Counter.inc t.m_sent;
-          if
+          if not t.fabric_up then begin
+            t.flap_drops <- t.flap_drops + 1;
+            Obs.Metrics.Counter.inc t.m_flap
+          end
+          else if src_blocked || is_blocked t dst then begin
+            t.partition_drops <- t.partition_drops + 1;
+            Obs.Metrics.Counter.inc t.m_partition
+          end
+          else if
             t.impair.loss > 0.
             && Loop.now t.loop >= t.loss_from
             && Stats.Rng.uniform t.rng < t.impair.loss
@@ -211,3 +284,7 @@ let frames_lost t = t.lost
 let encode_drops t = t.enc_drops
 
 let decode_errors t = t.dec_errors
+
+let partition_drops t = t.partition_drops
+
+let flap_drops t = t.flap_drops

@@ -17,7 +17,16 @@
     Frames that fail to encode (non-finite field escaping the protocol
     core) are dropped and counted under [tfmcc_rt_frame_drop_total
     {reason="encode"}] rather than crashing the loop; undecodable
-    frames count [reason="decode"]. *)
+    frames count [reason="decode"].
+
+    The fabric also exposes chaos hooks (driven by {!Chaos} plans,
+    DESIGN.md §15): the whole fabric can flap down/up, individual
+    endpoints can be blocked (partitioned/churned — frames to {e or}
+    from a blocked endpoint are dropped at send time, counted under
+    [reason="partition"]; fabric-down drops count [reason="flap"]),
+    and the impairment profile can be rewritten mid-run.  All chaos
+    mutations happen from loop timers, so a turbo-mode chaos run is
+    as deterministic as a clean one. *)
 
 type t
 
@@ -63,6 +72,51 @@ val set_deliver : endpoint -> (size:int -> Tfmcc_core.Wire.msg -> unit) -> unit
 
 val endpoint_id : endpoint -> int
 
+val loop : t -> Loop.t
+
+val sessions : t -> int list
+(** Session ids with at least one group (joined) member, sorted. *)
+
+val members : t -> int -> int list
+(** Joined endpoint ids of a session's group, sorted.  Receivers only:
+    the sender unicasts into the group without joining it, so chaos
+    churn drawn from this list never takes a sender down. *)
+
+(* Chaos hooks.  These are the primitives {!Chaos} plans compile to;
+   they can also be driven directly (the harness uses [block] to
+   partition a session's CLR).  In-flight frames are not recalled:
+   a block/flap only affects frames offered after it lands. *)
+
+val set_fabric_up : t -> bool -> unit
+(** [false] drops every subsequently offered frame
+    ([tfmcc_rt_frame_drop_total{reason="flap"}]) until set back. *)
+
+val fabric_up : t -> bool
+
+val block : t -> int -> unit
+(** Partitions endpoint [id]: frames from or to it are dropped
+    ([reason="partition"]).  Refcounted — overlapping chaos windows may
+    block the same endpoint more than once, and it only resurfaces when
+    every window has called {!unblock}. *)
+
+val unblock : t -> int -> unit
+
+val is_blocked : t -> int -> bool
+
+val blocked_count : t -> int
+(** Endpoints currently blocked (distinct ids, not refcounts). *)
+
+val set_impair : t -> impairment -> unit
+(** Replaces the impairment profile mid-run (time-varying loss/delay
+    schedules).  The warmup hold-off keeps its original absolute
+    deadline — it is a property of the fabric's first seconds, not of
+    the current profile. *)
+
+val current_impair : t -> impairment
+
+val base_impair : t -> impairment
+(** The profile the fabric was created with (what chaos windows restore). *)
+
 (* Fabric-wide counters (also exported as [tfmcc_rt_*] metrics). *)
 
 val frames_sent : t -> int
@@ -77,3 +131,9 @@ val frames_lost : t -> int
 val encode_drops : t -> int
 
 val decode_errors : t -> int
+
+val partition_drops : t -> int
+(** Frames dropped because an endpoint on the path was blocked. *)
+
+val flap_drops : t -> int
+(** Frames dropped while the fabric was down. *)
